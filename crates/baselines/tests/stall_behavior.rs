@@ -1,0 +1,109 @@
+//! The stall phenomenology of §3.1 under a write burst with throttled
+//! devices: NoveLSM exhibits both stall kinds, MatrixKV avoids prolonged
+//! interval stalls via fast row flushing but pays cumulative pacing, and
+//! the LSM-below backpressure shows up in both.
+
+use std::sync::Arc;
+
+use miodb_baselines::{MatrixKv, MatrixKvOptions, NoveLsm, NoveLsmOptions};
+use miodb_common::{KvEngine, Stats};
+use miodb_lsm::LsmOptions;
+use miodb_pmem::DeviceModel;
+
+fn lsm() -> LsmOptions {
+    LsmOptions {
+        table_bytes: 32 * 1024,
+        level1_max_bytes: 64 * 1024,
+        l0_compaction_trigger: 2,
+        l0_slowdown_trigger: 3,
+        l0_stop_trigger: 6,
+        ..LsmOptions::default()
+    }
+}
+
+fn burst(engine: &dyn KvEngine, n: u32) {
+    let value = vec![0x77u8; 1024];
+    for i in 0..n {
+        engine.put(format!("key{i:06}").as_bytes(), &value).unwrap();
+    }
+}
+
+#[test]
+fn novelsm_stalls_under_burst_with_slow_tables() {
+    let engine = NoveLsm::open(
+        NoveLsmOptions {
+            memtable_bytes: 32 * 1024,
+            nvm_memtable_bytes: 96 * 1024,
+            lsm: lsm(),
+            // Strongly throttled table device: flushing cannot keep up.
+            table_device: DeviceModel::ssd().scaled(2.0),
+            nvm_device: DeviceModel::nvm(),
+            nvm_pool_bytes: 128 << 20,
+            ..NoveLsmOptions::default()
+        },
+        Arc::new(Stats::new()),
+    )
+    .unwrap();
+    burst(&engine, 2_000);
+    let s = engine.report().stats;
+    assert!(
+        s.interval_stall_ns + s.cumulative_stall_ns > 0,
+        "NoveLSM must stall under burst: {s:?}"
+    );
+    engine.wait_idle().unwrap();
+    // Data integrity is unaffected by the stalls.
+    for i in (0..2_000u32).step_by(191) {
+        assert!(engine.get(format!("key{i:06}").as_bytes()).unwrap().is_some());
+    }
+}
+
+#[test]
+fn matrixkv_pays_cumulative_pacing_when_container_fills() {
+    let engine = MatrixKv::open(
+        MatrixKvOptions {
+            memtable_bytes: 32 * 1024,
+            // Tiny container with a slow L1 device: pacing must kick in.
+            container_bytes: 64 * 1024,
+            lsm: lsm(),
+            table_device: DeviceModel::ssd().scaled(2.0),
+            row_device: DeviceModel::nvm(),
+            ..MatrixKvOptions::default()
+        },
+        Arc::new(Stats::new()),
+    )
+    .unwrap();
+    burst(&engine, 2_000);
+    let s = engine.report().stats;
+    assert!(s.cumulative_stall_ns > 0, "MatrixKV paces writers when behind: {s:?}");
+    engine.wait_idle().unwrap();
+    for i in (0..2_000u32).step_by(191) {
+        assert!(engine.get(format!("key{i:06}").as_bytes()).unwrap().is_some());
+    }
+}
+
+#[test]
+fn matrixkv_flushes_faster_than_it_compacts() {
+    // The defining MatrixKV behaviour: MemTable flushes (row writes to
+    // NVM) never block on the slow column compaction to SSD, so interval
+    // stalls stay near zero even when cumulative pacing is active.
+    let stats = Arc::new(Stats::new());
+    let engine = MatrixKv::open(
+        MatrixKvOptions {
+            memtable_bytes: 32 * 1024,
+            container_bytes: 1 << 20, // roomy container absorbs the burst
+            lsm: lsm(),
+            table_device: DeviceModel::ssd(),
+            row_device: DeviceModel::nvm_unthrottled(),
+            ..MatrixKvOptions::default()
+        },
+        stats,
+    )
+    .unwrap();
+    burst(&engine, 1_500);
+    let s = engine.report().stats;
+    assert!(
+        s.interval_stall_ns < 500_000_000,
+        "row flushing should not produce long interval stalls: {s:?}"
+    );
+    assert!(s.flush_count > 10, "burst must rotate many memtables");
+}

@@ -1,0 +1,81 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! - **bloom filters on/off** (§4.6): point-lookup cost when every table
+//!   must be probed vs. bloom-guided skipping;
+//! - **parallel vs. serial compaction** (§4.5): end-to-end load+settle
+//!   time when one thread serves all levels instead of one per level.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use miodb_common::KvEngine;
+use miodb_core::{MioDb, MioOptions};
+
+fn opts(bloom: bool, parallel: bool) -> MioOptions {
+    MioOptions {
+        memtable_bytes: 64 * 1024,
+        elastic_levels: 6,
+        nvm_pool_bytes: 128 << 20,
+        // Throttled NVM: the bloom ablation measures avoided NVM probes,
+        // which are free on an unthrottled pool.
+        nvm_device: miodb_pmem::DeviceModel::nvm(),
+        bloom_enabled: bloom,
+        parallel_compaction: parallel,
+        ..MioOptions::small_for_tests()
+    }
+}
+
+fn loaded_db(bloom: bool) -> MioDb {
+    let db = MioDb::open(opts(bloom, true)).unwrap();
+    for i in 0..8_000u32 {
+        db.put(format!("key{i:06}").as_bytes(), &[5u8; 256]).unwrap();
+    }
+    // Do not wait for quiescence: the interesting case has tables resting
+    // in several levels.
+    std::thread::sleep(Duration::from_millis(50));
+    db
+}
+
+fn bloom_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom_ablation_get");
+    group.sample_size(30);
+    for &bloom in &[true, false] {
+        let label = if bloom { "bloom_on" } else { "bloom_off" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &bloom, |b, &bloom| {
+            let db = loaded_db(bloom);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 7919) % 8_000;
+                assert!(db.get(format!("key{i:06}").as_bytes()).unwrap().is_some());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn compaction_parallelism_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compaction_parallelism");
+    group.sample_size(10);
+    for &parallel in &[true, false] {
+        let label = if parallel { "one_thread_per_level" } else { "single_thread" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &parallel, |b, &parallel| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let db = MioDb::open(opts(true, parallel)).unwrap();
+                    let t0 = Instant::now();
+                    for i in 0..6_000u32 {
+                        db.put(format!("key{i:06}").as_bytes(), &[3u8; 256]).unwrap();
+                    }
+                    db.wait_idle().unwrap();
+                    total += t0.elapsed();
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bloom_ablation, compaction_parallelism_ablation);
+criterion_main!(benches);

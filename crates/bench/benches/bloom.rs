@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks of the mergeable bloom filter (§4.6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use miodb_bloom::BloomFilter;
+
+fn bloom_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom");
+    group.bench_function("insert", |b| {
+        let mut f = BloomFilter::with_bits_per_key(100_000, 16);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            f.insert(&i.to_le_bytes());
+        });
+    });
+
+    let mut filled = BloomFilter::with_bits_per_key(100_000, 16);
+    for i in 0..100_000u64 {
+        filled.insert(&i.to_le_bytes());
+    }
+    group.bench_function("may_contain_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            assert!(filled.may_contain(&i.to_le_bytes()));
+        });
+    });
+    group.bench_function("may_contain_miss", |b| {
+        let mut i = 1_000_000u64;
+        b.iter(|| {
+            i += 1;
+            criterion::black_box(filled.may_contain(&i.to_le_bytes()));
+        });
+    });
+    group.bench_function("or_merge", |b| {
+        let other = filled.clone();
+        let mut acc = filled.clone();
+        b.iter(|| {
+            acc.merge(&other).unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bloom_ops);
+criterion_main!(benches);

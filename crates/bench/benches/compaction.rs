@@ -1,0 +1,86 @@
+//! Ablation: zero-copy compaction vs copying compaction (paper §4.3).
+//!
+//! `zero_copy` merges two PMTables by pointer re-linking only; `copy`
+//! rebuilds a fresh table by physically copying every entry (what a
+//! traditional compaction does, and what MioDB's own lazy-copy pays at the
+//! bottom level). Both run under the throttled NVM model — the advantage
+//! being measured *is* the avoided NVM write traffic.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use miodb_common::{OpKind, Stats};
+use miodb_pmem::{DeviceModel, PmemPool};
+use miodb_skiplist::{
+    merge::MergeLimits, zero_copy_merge, GrowableSkipList, InsertionMark, SkipListArena,
+};
+
+fn build_table(pool: &Arc<PmemPool>, base: u64, entries: u64, vlen: usize) -> SkipListArena {
+    let arena = SkipListArena::new(pool.clone(), 32 << 20).unwrap();
+    let value = vec![3u8; vlen];
+    for i in 0..entries {
+        arena
+            .insert(
+                format!("k{:015}", base + i * 2).as_bytes(),
+                &value,
+                base + i + 1,
+                OpKind::Put,
+            )
+            .unwrap();
+    }
+    arena
+}
+
+fn compaction_ablation(c: &mut Criterion) {
+    let entries = 2_000u64;
+    let vlen = 1024usize;
+    let mut group = c.benchmark_group("compaction_ablation");
+    group.sample_size(15);
+    group.throughput(Throughput::Bytes(2 * entries * (16 + vlen as u64)));
+
+    group.bench_with_input(BenchmarkId::new("zero_copy", entries), &(), |b, ()| {
+        b.iter_with_setup(
+            || {
+                let pool =
+                    PmemPool::new(256 << 20, DeviceModel::nvm(), Arc::new(Stats::new()))
+                        .unwrap();
+                let old = build_table(&pool, 0, entries, vlen);
+                let new = build_table(&pool, 1_000_000, entries, vlen);
+                let mark = InsertionMark::alloc(&pool).unwrap();
+                (pool, old, new, mark)
+            },
+            |(pool, old, new, mark)| {
+                let out = zero_copy_merge(&pool, new.head(), old.head(), &mark, MergeLimits::none());
+                assert!(out.is_complete());
+            },
+        );
+    });
+
+    group.bench_with_input(BenchmarkId::new("copy", entries), &(), |b, ()| {
+        b.iter_with_setup(
+            || {
+                let pool =
+                    PmemPool::new(256 << 20, DeviceModel::nvm(), Arc::new(Stats::new()))
+                        .unwrap();
+                let old = build_table(&pool, 0, entries, vlen);
+                let new = build_table(&pool, 1_000_000, entries, vlen);
+                (pool, old, new)
+            },
+            |(pool, old, new)| {
+                // Traditional merge: copy every entry into a fresh table.
+                let out = GrowableSkipList::new(pool.clone(), 8 << 20).unwrap();
+                for e in new.list().iter() {
+                    out.apply(&e.key, &e.value, e.seq, e.kind).unwrap();
+                }
+                for e in old.list().iter() {
+                    out.apply(&e.key, &e.value, e.seq, e.kind).unwrap();
+                }
+                assert!(!out.is_empty());
+            },
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, compaction_ablation);
+criterion_main!(benches);

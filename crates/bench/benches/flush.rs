@@ -1,0 +1,64 @@
+//! Ablation: one-piece flushing vs per-entry merging into a big skip list
+//! (paper §4.2 / Principle 2, Figure 12's mechanism).
+//!
+//! `one_piece` copies a whole MemTable arena into NVM with one memcpy plus
+//! pointer swizzling; `per_entry` is what NoveLSM does — insert every KV
+//! into a large persistent skip list one by one.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use miodb_common::{OpKind, Stats};
+use miodb_pmem::{DeviceModel, PmemPool};
+use miodb_skiplist::{flush::flush_and_swizzle, GrowableSkipList, SkipListArena};
+
+fn build_memtable(dram: &Arc<PmemPool>, entries: u64, vlen: usize) -> SkipListArena {
+    let arena = SkipListArena::new(dram.clone(), 16 << 20).unwrap();
+    let value = vec![9u8; vlen];
+    for i in 0..entries {
+        arena
+            .insert(format!("k{i:015}").as_bytes(), &value, i + 1, OpKind::Put)
+            .unwrap();
+    }
+    arena
+}
+
+fn flush_ablation(c: &mut Criterion) {
+    let entries = 2_000u64;
+    let vlen = 1024usize;
+    let mut group = c.benchmark_group("flush_ablation");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(entries * (16 + vlen as u64)));
+
+    group.bench_with_input(BenchmarkId::new("one_piece", entries), &(), |b, ()| {
+        let stats = Arc::new(Stats::new());
+        let dram = PmemPool::new(64 << 20, DeviceModel::dram(), stats.clone()).unwrap();
+        let nvm = PmemPool::new(1 << 30, DeviceModel::nvm(), stats).unwrap();
+        let mem = build_memtable(&dram, entries, vlen);
+        b.iter(|| {
+            let (_list, table) = flush_and_swizzle(&mem, &nvm).unwrap();
+            nvm.free(table.region);
+        });
+    });
+
+    group.bench_with_input(BenchmarkId::new("per_entry", entries), &(), |b, ()| {
+        let stats = Arc::new(Stats::new());
+        let dram = PmemPool::new(64 << 20, DeviceModel::dram(), stats.clone()).unwrap();
+        let nvm = PmemPool::new(1 << 30, DeviceModel::nvm(), stats).unwrap();
+        let mem = build_memtable(&dram, entries, vlen);
+        // Pre-populate the big list so inserts pay realistic search depths.
+        let big = GrowableSkipList::new(nvm.clone(), 8 << 20).unwrap();
+        for i in 0..20_000u64 {
+            big.apply(format!("p{i:015}").as_bytes(), &[0u8; 64], i + 1, OpKind::Put).unwrap();
+        }
+        b.iter(|| {
+            for e in mem.list().iter() {
+                big.apply(&e.key, &e.value, e.seq, e.kind).unwrap();
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, flush_ablation);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks of the arena skip list (insert, point
+//! lookup) — the primitive behind MemTables and PMTables.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use miodb_common::{OpKind, Stats};
+use miodb_pmem::{DeviceModel, PmemPool};
+use miodb_skiplist::SkipListArena;
+
+fn insert_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skiplist_insert");
+    for &value_len in &[64usize, 1024, 4096] {
+        group.throughput(Throughput::Bytes(value_len as u64 + 16));
+        group.bench_with_input(BenchmarkId::from_parameter(value_len), &value_len, |b, &vlen| {
+            let pool = PmemPool::new(256 << 20, DeviceModel::dram(), Arc::new(Stats::new())).unwrap();
+            let value = vec![7u8; vlen];
+            let mut arena = SkipListArena::new(pool.clone(), 64 << 20).unwrap();
+            let mut i = 0u64;
+            b.iter(|| {
+                if !arena.fits(16, vlen) {
+                    let old = std::mem::replace(
+                        &mut arena,
+                        SkipListArena::new(pool.clone(), 64 << 20).unwrap(),
+                    );
+                    old.release();
+                }
+                i += 1;
+                arena
+                    .insert(format!("k{i:015}").as_bytes(), &value, i, OpKind::Put)
+                    .unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn get_bench(c: &mut Criterion) {
+    let pool = PmemPool::new(128 << 20, DeviceModel::dram(), Arc::new(Stats::new())).unwrap();
+    let arena = SkipListArena::new(pool, 64 << 20).unwrap();
+    let n = 100_000u64;
+    for i in 0..n {
+        arena
+            .insert(format!("k{i:015}").as_bytes(), &[1u8; 64], i + 1, OpKind::Put)
+            .unwrap();
+    }
+    let list = arena.list();
+    let mut group = c.benchmark_group("skiplist_get");
+    group.bench_function("hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % n;
+            assert!(list.get(format!("k{i:015}").as_bytes()).is_some());
+        });
+    });
+    group.bench_function("miss", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            assert!(list.get(format!("x{i:015}").as_bytes()).is_none());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, insert_bench, get_bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of SSTable serialization and
+//! deserialization — the baseline costs MioDB's PMTables eliminate
+//! (Figure 2, Table 1).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use miodb_common::{OpKind, Stats};
+use miodb_lsm::{SsTableBuilder, TableStore};
+use miodb_pmem::DeviceModel;
+
+fn build_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sstable_build");
+    group.sample_size(20);
+    for &vlen in &[1024usize, 4096] {
+        let entries = 1000u64;
+        group.throughput(Throughput::Bytes(entries * (16 + vlen as u64)));
+        group.bench_with_input(BenchmarkId::from_parameter(vlen), &vlen, |b, &vlen| {
+            let stats = Arc::new(Stats::new());
+            let store = TableStore::new(DeviceModel::nvm_unthrottled(), stats.clone());
+            let value = vec![5u8; vlen];
+            b.iter(|| {
+                let mut builder = SsTableBuilder::new(4096, 10);
+                for i in 0..entries {
+                    builder.add(format!("k{i:015}").as_bytes(), &value, i + 1, OpKind::Put);
+                }
+                let meta = builder.finish(&store, &stats).unwrap();
+                store.delete(meta.id);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn get_bench(c: &mut Criterion) {
+    let stats = Arc::new(Stats::new());
+    let store = TableStore::new(DeviceModel::nvm_unthrottled(), stats.clone());
+    let mut builder = SsTableBuilder::new(4096, 10);
+    let n = 10_000u64;
+    for i in 0..n {
+        builder.add(format!("k{i:015}").as_bytes(), &[2u8; 1024], i + 1, OpKind::Put);
+    }
+    let meta = builder.finish(&store, &stats).unwrap();
+    let mut group = c.benchmark_group("sstable_get");
+    group.bench_function("hit_deserialize", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % n;
+            assert!(meta.reader.get(format!("k{i:015}").as_bytes(), &stats).unwrap().is_some());
+        });
+    });
+    group.bench_function("bloom_filtered_miss", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            assert!(meta.reader.get(format!("x{i:015}").as_bytes(), &stats).unwrap().is_none());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, build_bench, get_bench);
+criterion_main!(benches);

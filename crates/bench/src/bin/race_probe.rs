@@ -1,0 +1,40 @@
+use miodb_common::KvEngine;
+use miodb_core::{MioDb, MioOptions};
+use miodb_pmem::DeviceModel;
+use std::time::Duration;
+
+fn main() {
+    for round in 0..200 {
+        let db = MioDb::open(MioOptions {
+            memtable_bytes: 64 * 1024,
+            elastic_levels: 6,
+            nvm_pool_bytes: 128 << 20,
+            nvm_device: DeviceModel::nvm(),
+            ..MioOptions::small_for_tests()
+        }).unwrap();
+        for i in 0..8_000u32 {
+            db.put(format!("key{i:06}").as_bytes(), &[5u8; 256]).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        // Reads while compactions are still running.
+        let mut i = 0u64;
+        for n in 0..30_000u64 {
+            i = (i + 7919) % 8_000;
+            if db.get(format!("key{i:06}").as_bytes()).unwrap().is_none() {
+                eprintln!("ROUND {round}: key{i:06} INVISIBLE at probe {n}");
+                eprintln!("locate: {:?}", db.debug_locate(format!("key{i:06}").as_bytes()));
+                eprintln!("bloom audit: {:?}", db.debug_bloom_audit());
+                eprintln!("report: {:?}", db.report().tables_per_level);
+                // Check again after settling.
+                db.wait_idle().unwrap();
+                match db.get(format!("key{i:06}").as_bytes()).unwrap() {
+                    Some(_) => eprintln!("  ...reappeared after wait_idle (transient)"),
+                    None => eprintln!("  ...PERMANENTLY LOST"),
+                }
+                std::process::exit(1);
+            }
+        }
+        eprint!("\r{round} ok");
+    }
+    eprintln!("\nno race in 200 rounds");
+}

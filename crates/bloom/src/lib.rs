@@ -1,0 +1,281 @@
+//! Mergeable bloom filters for PMTables.
+//!
+//! The paper (§4.6) attaches a **fixed-size** bloom filter to every PMTable
+//! so that a point lookup can skip tables that cannot contain the key.
+//! Fixing the size makes filters *mergeable*: when two PMTables are
+//! compacted by zero-copy merging, their filters are combined with a
+//! bitwise **OR** — no rebuild, no access to the keys.
+//!
+//! The trade-off the paper tunes (number of elastic-buffer levels, Figure 9)
+//! is visible here: as merged tables grow, a fixed-size filter saturates
+//! and its false-positive rate climbs; [`BloomFilter::fill_ratio`] exposes
+//! the saturation so the engine can size levels accordingly.
+//!
+//! # Examples
+//!
+//! ```
+//! use miodb_bloom::BloomFilter;
+//!
+//! let mut a = BloomFilter::new(1 << 14, 4);
+//! a.insert(b"apple");
+//! let mut b = BloomFilter::new(1 << 14, 4);
+//! b.insert(b"banana");
+//! a.merge(&b).expect("same geometry");
+//! assert!(a.may_contain(b"apple"));
+//! assert!(a.may_contain(b"banana"));
+//! ```
+
+use miodb_common::{Error, Result};
+
+/// A fixed-geometry bloom filter combinable by bitwise OR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: usize,
+    num_hashes: u32,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `num_bits` bits (rounded up to a multiple of
+    /// 64) and `num_hashes` probes per key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bits` or `num_hashes` is zero.
+    pub fn new(num_bits: usize, num_hashes: u32) -> BloomFilter {
+        assert!(num_bits > 0, "bloom filter needs at least one bit");
+        assert!(num_hashes > 0, "bloom filter needs at least one hash");
+        let words = num_bits.div_ceil(64);
+        BloomFilter {
+            bits: vec![0u64; words],
+            num_bits: words * 64,
+            num_hashes,
+            inserted: 0,
+        }
+    }
+
+    /// Creates a filter sized for `expected_keys` at `bits_per_key`
+    /// (the paper uses 16 bits/key), with the standard optimal probe count
+    /// `k = bits_per_key * ln 2` clamped to `[1, 30]`.
+    pub fn with_bits_per_key(expected_keys: usize, bits_per_key: usize) -> BloomFilter {
+        let num_bits = (expected_keys.max(1) * bits_per_key).max(64);
+        let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
+        BloomFilter::new(num_bits, k)
+    }
+
+    /// Number of bits in the filter.
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// Number of hash probes per key.
+    pub fn num_hashes(&self) -> u32 {
+        self.num_hashes
+    }
+
+    /// Number of keys inserted (including via merges).
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    #[inline]
+    fn probe_positions(&self, key: &[u8]) -> impl Iterator<Item = usize> + '_ {
+        // Double hashing (Kirsch–Mitzenmacher): h_i = h1 + i * h2.
+        let h = hash64(key);
+        let h1 = h;
+        let h2 = h.rotate_left(32) | 1;
+        let n = self.num_bits as u64;
+        (0..self.num_hashes as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % n) as usize)
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let positions: Vec<usize> = self.probe_positions(key).collect();
+        for pos in positions {
+            self.bits[pos / 64] |= 1u64 << (pos % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Returns `false` if the key is definitely absent; `true` if it may be
+    /// present.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        self.probe_positions(key)
+            .all(|pos| self.bits[pos / 64] & (1u64 << (pos % 64)) != 0)
+    }
+
+    /// ORs `other` into this filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] if the two filters have different
+    /// geometry (bit count or probe count) — only same-shape filters are
+    /// mergeable.
+    pub fn merge(&mut self, other: &BloomFilter) -> Result<()> {
+        if self.num_bits != other.num_bits || self.num_hashes != other.num_hashes {
+            return Err(Error::InvalidArgument(format!(
+                "bloom geometry mismatch: {}x{} vs {}x{}",
+                self.num_bits, self.num_hashes, other.num_bits, other.num_hashes
+            )));
+        }
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a |= *b;
+        }
+        self.inserted += other.inserted;
+        Ok(())
+    }
+
+    /// The filter's raw 64-bit words, for serialization (SSTable bloom
+    /// blocks).
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Reconstructs a filter from serialized words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] if `words` does not match
+    /// `num_bits`, or if either count is zero.
+    pub fn from_words(num_bits: usize, num_hashes: u32, words: Vec<u64>) -> Result<BloomFilter> {
+        if num_bits == 0 || num_hashes == 0 || words.len() * 64 != num_bits {
+            return Err(Error::InvalidArgument(format!(
+                "bloom geometry mismatch: {num_bits} bits, {} words",
+                words.len()
+            )));
+        }
+        Ok(BloomFilter {
+            bits: words,
+            num_bits,
+            num_hashes,
+            inserted: 0,
+        })
+    }
+
+    /// Fraction of bits set — the saturation indicator used to bound the
+    /// number of OR-merges a fixed-size filter can absorb.
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u64 = self.bits.iter().map(|w| w.count_ones() as u64).sum();
+        set as f64 / self.num_bits as f64
+    }
+
+    /// Estimated false-positive rate at the current fill: `fill^k`.
+    pub fn estimated_fp_rate(&self) -> f64 {
+        self.fill_ratio().powi(self.num_hashes as i32)
+    }
+}
+
+/// FNV-1a–style 64-bit hash with an avalanche finish.
+fn hash64(key: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // Final avalanche (splitmix64 tail) for better bit diffusion.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = BloomFilter::new(1024, 4);
+        assert!(!f.may_contain(b"anything"));
+        assert_eq!(f.fill_ratio(), 0.0);
+        assert_eq!(f.inserted(), 0);
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_bits_per_key(1000, 16);
+        for i in 0..1000u32 {
+            f.insert(format!("key{i}").as_bytes());
+        }
+        for i in 0..1000u32 {
+            assert!(f.may_contain(format!("key{i}").as_bytes()), "false negative for key{i}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_at_16_bits_per_key() {
+        let mut f = BloomFilter::with_bits_per_key(10_000, 16);
+        for i in 0..10_000u32 {
+            f.insert(format!("present{i}").as_bytes());
+        }
+        let mut fps = 0;
+        let probes = 20_000;
+        for i in 0..probes {
+            if f.may_contain(format!("absent{i}").as_bytes()) {
+                fps += 1;
+            }
+        }
+        let rate = fps as f64 / probes as f64;
+        assert!(rate < 0.01, "fp rate {rate} too high for 16 bits/key");
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = BloomFilter::new(4096, 4);
+        let mut b = BloomFilter::new(4096, 4);
+        a.insert(b"only-a");
+        b.insert(b"only-b");
+        a.merge(&b).unwrap();
+        assert!(a.may_contain(b"only-a"));
+        assert!(a.may_contain(b"only-b"));
+        assert_eq!(a.inserted(), 2);
+    }
+
+    #[test]
+    fn merge_geometry_mismatch_rejected() {
+        let mut a = BloomFilter::new(4096, 4);
+        let b = BloomFilter::new(8192, 4);
+        assert!(a.merge(&b).is_err());
+        let c = BloomFilter::new(4096, 5);
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn saturation_raises_estimated_fp() {
+        let mut f = BloomFilter::new(256, 4);
+        let before = f.estimated_fp_rate();
+        for i in 0..500u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        assert!(f.fill_ratio() > 0.9, "filter should saturate");
+        assert!(f.estimated_fp_rate() > before);
+        assert!(f.estimated_fp_rate() > 0.5);
+    }
+
+    #[test]
+    fn bits_rounded_to_words() {
+        let f = BloomFilter::new(100, 3);
+        assert_eq!(f.num_bits(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bits_panics() {
+        BloomFilter::new(0, 1);
+    }
+
+    #[test]
+    fn hash_distributes() {
+        // Consecutive keys should not collide into the same few positions.
+        let f = BloomFilter::new(1 << 16, 1);
+        let mut positions = std::collections::HashSet::new();
+        for i in 0..1000u32 {
+            for p in f.probe_positions(format!("k{i}").as_bytes()) {
+                positions.insert(p);
+            }
+        }
+        assert!(positions.len() > 950, "only {} distinct positions", positions.len());
+    }
+}

@@ -1,0 +1,124 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// A specialized [`Result`](std::result::Result) used throughout MioDB.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors returned by MioDB and its substrates.
+///
+/// Every public fallible function in the workspace returns this type so that
+/// errors compose across crates without boxing.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An I/O error from the operating system (file-backed snapshots, SSTable
+    /// storage in tiered mode, write-ahead-log files).
+    Io(std::io::Error),
+    /// Persistent data failed an integrity check (bad checksum, truncated
+    /// record, malformed node) and cannot be trusted.
+    Corruption(String),
+    /// The NVM pool (or an arena within it) has no room for the allocation.
+    PoolExhausted {
+        /// Bytes that were requested.
+        requested: usize,
+        /// Bytes that were available in the pool at the time.
+        available: usize,
+    },
+    /// An arena-backed structure ran out of its reserved space; the caller
+    /// should seal the structure and start a new one.
+    ArenaFull,
+    /// The caller supplied an argument outside the supported range.
+    InvalidArgument(String),
+    /// The database has been shut down and can no longer serve requests.
+    Closed,
+    /// A background task (flush/compaction thread) failed; the database is in
+    /// read-only degraded mode.
+    Background(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Corruption(msg) => write!(f, "corruption: {msg}"),
+            Error::PoolExhausted {
+                requested,
+                available,
+            } => write!(
+                f,
+                "pool exhausted: requested {requested} bytes, {available} available"
+            ),
+            Error::ArenaFull => write!(f, "arena full"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::Closed => write!(f, "database is closed"),
+            Error::Background(msg) => write!(f, "background error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl Error {
+    /// Returns `true` if the error indicates persistent-data corruption.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, Error::Corruption(_))
+    }
+
+    /// Returns `true` if the error is a capacity problem (pool or arena).
+    pub fn is_capacity(&self) -> bool {
+        matches!(self, Error::PoolExhausted { .. } | Error::ArenaFull)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = Error::Corruption("bad checksum".to_string());
+        assert_eq!(e.to_string(), "corruption: bad checksum");
+        let e = Error::ArenaFull;
+        assert_eq!(e.to_string(), "arena full");
+    }
+
+    #[test]
+    fn io_error_round_trip() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn capacity_classification() {
+        assert!(Error::ArenaFull.is_capacity());
+        assert!(Error::PoolExhausted {
+            requested: 10,
+            available: 5
+        }
+        .is_capacity());
+        assert!(!Error::Closed.is_capacity());
+        assert!(Error::Corruption(String::new()).is_corruption());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,309 @@
+//! Log-bucketed latency histogram with percentile queries.
+//!
+//! The evaluation in the paper reports average, 90th, 99th and 99.9th
+//! percentile latencies (Tables 2 and 3) and per-operation latency timelines
+//! (Figure 8). This histogram records nanosecond latencies into
+//! logarithmically spaced buckets (HdrHistogram-style: power-of-two major
+//! buckets each split into 16 linear sub-buckets, ~6% relative error) so
+//! recording is O(1) and memory use is constant.
+
+/// Number of linear sub-buckets per power-of-two bucket.
+const SUB_BUCKETS: usize = 16;
+/// log2 of `SUB_BUCKETS`.
+const SUB_BITS: u32 = 4;
+/// Number of power-of-two major buckets (covers up to 2^40 ns ≈ 18 minutes).
+const MAJOR_BUCKETS: usize = 41;
+const NUM_BUCKETS: usize = MAJOR_BUCKETS * SUB_BUCKETS;
+
+/// A latency histogram with log-spaced buckets.
+///
+/// # Examples
+///
+/// ```
+/// use miodb_common::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [100, 200, 300, 400, 1_000_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.percentile(99.9) >= 900_000);
+/// assert!(h.mean() > 100.0);
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("mean_ns", &self.mean())
+            .field("p50_ns", &self.percentile(50.0))
+            .field("p99_ns", &self.percentile(99.0))
+            .field("max_ns", &self.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        // Values in [2^m, 2^(m+1)) are split into 16 sub-buckets of width
+        // 2^(m-4). Row 0 holds [0, 16) exactly, so row for exponent m is
+        // m - SUB_BITS + 1 (m = 4 -> row 1).
+        let m = 63 - value.leading_zeros();
+        let row = (m - SUB_BITS + 1) as usize;
+        let sub = (value >> (m - SUB_BITS)) as usize & (SUB_BUCKETS - 1);
+        (row * SUB_BUCKETS + sub).min(NUM_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of a bucket (the value reported for it).
+    fn bucket_value(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let row = (index / SUB_BUCKETS) as u32;
+        let sub = (index % SUB_BUCKETS) as u64;
+        let m = row + SUB_BITS - 1;
+        let base = 1u64 << m;
+        let width = base >> SUB_BITS;
+        base + (sub + 1) * width - 1
+    }
+
+    /// Records one observation (e.g. a latency in nanoseconds).
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean of the recorded values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at the given percentile `p` (0–100), approximated to the bucket
+    /// boundary (~6% relative error). Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=100.0`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Clears all recorded observations.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Formats the standard latency report used by Tables 2 and 3:
+    /// `avg / p90 / p99 / p99.9` in microseconds.
+    pub fn summary_us(&self) -> String {
+        format!(
+            "avg={:.1}us p90={:.1}us p99={:.1}us p99.9={:.1}us",
+            self.mean() / 1000.0,
+            self.percentile(90.0) as f64 / 1000.0,
+            self.percentile(99.0) as f64 / 1000.0,
+            self.percentile(99.9) as f64 / 1000.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn exact_for_small_values() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.percentile(100.0), 15);
+    }
+
+    #[test]
+    fn percentile_monotonic() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 100);
+        }
+        let mut last = 0;
+        for p in [10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            let v = h.percentile(p);
+            assert!(v >= last, "p{p} = {v} < previous {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn percentile_accuracy_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0) as f64;
+        assert!((p50 - 50_000.0).abs() / 50_000.0 < 0.08, "p50 = {p50}");
+        let p99 = h.percentile(99.0) as f64;
+        assert!((p99 - 99_000.0).abs() / 99_000.0 < 0.08, "p99 = {p99}");
+    }
+
+    #[test]
+    fn mean_and_sum() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(30);
+        assert_eq!(h.sum(), 60);
+        assert!((h.mean() - 20.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=500u64 {
+            a.record(v);
+        }
+        for v in 501..=1000u64 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 1000);
+        assert_eq!(a.max(), 1000);
+        assert_eq!(a.min(), 1);
+        let p50 = a.percentile(50.0) as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut h = Histogram::new();
+        h.record(42);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+    }
+
+    #[test]
+    fn large_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.percentile(100.0) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_out_of_range_panics() {
+        Histogram::new().percentile(101.0);
+    }
+
+    #[test]
+    fn bucket_value_is_upper_bound_of_its_bucket() {
+        for v in [0u64, 1, 15, 16, 17, 100, 1000, 123_456, 10_000_000] {
+            let idx = Histogram::bucket_index(v);
+            let upper = Histogram::bucket_value(idx);
+            assert!(upper >= v, "value {v} maps to bucket with upper {upper}");
+            // The representative must be within ~1/16 of the value above it.
+            assert!(upper as f64 <= v as f64 * 1.07 + 16.0);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Common types shared across the MioDB workspace.
+//!
+//! This crate defines the vocabulary used by every other crate in the
+//! reproduction of *"Revisiting Log-Structured Merging for KV Stores in
+//! Hybrid Memory Systems"* (ASPLOS'23):
+//!
+//! - [`error`]: the workspace-wide [`error::Error`] type,
+//! - [`types`]: keys, values, sequence numbers and operation kinds,
+//! - [`histogram`]: a log-bucketed latency histogram with percentiles,
+//! - [`stats`]: atomic counters for stalls, flushing and write amplification,
+//! - [`engine`]: the [`engine::KvEngine`] trait implemented by
+//!   MioDB and every baseline so that workloads can drive them uniformly.
+
+pub mod crc32;
+pub mod engine;
+pub mod error;
+pub mod histogram;
+pub mod stats;
+pub mod types;
+
+pub use engine::{EngineReport, KvEngine, ScanEntry};
+pub use error::{Error, Result};
+pub use histogram::Histogram;
+pub use stats::Stats;
+pub use types::{OpKind, SequenceNumber, MAX_SEQUENCE_NUMBER};

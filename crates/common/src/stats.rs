@@ -1,0 +1,271 @@
+//! Engine statistics: stalls, flushing, serialization and write amplification.
+//!
+//! These counters back Table 1, Figure 2 and Figure 11 of the paper. Every
+//! engine (MioDB and the baselines) shares an [`Stats`] instance with its
+//! device layer so write amplification is measured identically everywhere:
+//!
+//! ```text
+//! WA = (bytes written to NVM + bytes written to SSD) / bytes of user data
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Atomic counters describing one engine run.
+///
+/// All counters are monotonically increasing; durations are stored in
+/// nanoseconds. The struct is cheap to share (`Arc<Stats>`) and safe to
+/// update from flush/compaction threads.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Bytes of user data accepted by `put`/`delete` (keys + values).
+    pub user_bytes_written: AtomicU64,
+    /// Bytes physically written to the (simulated) NVM device.
+    pub nvm_bytes_written: AtomicU64,
+    /// Bytes physically written to the (simulated) SSD device.
+    pub ssd_bytes_written: AtomicU64,
+    /// Bytes physically read from the NVM device.
+    pub nvm_bytes_read: AtomicU64,
+    /// Bytes physically read from the SSD device.
+    pub ssd_bytes_read: AtomicU64,
+
+    /// Total time writers were blocked because the immutable MemTable was
+    /// still being flushed when the active one filled (paper: *interval
+    /// stalls*, observed as full request blocking).
+    pub interval_stall_ns: AtomicU64,
+    /// Total time spent in deliberate short write delays used to pace
+    /// writers (paper: *cumulative stalls*).
+    pub cumulative_stall_ns: AtomicU64,
+    /// Number of interval-stall events.
+    pub interval_stall_count: AtomicU64,
+    /// Number of cumulative-stall (slowdown) events.
+    pub cumulative_stall_count: AtomicU64,
+
+    /// Total time spent flushing MemTables to the persistent layer.
+    pub flush_ns: AtomicU64,
+    /// Number of MemTable flushes.
+    pub flush_count: AtomicU64,
+    /// Bytes moved by MemTable flushes.
+    pub flush_bytes: AtomicU64,
+    /// Total time spent serializing entries into block format (baselines).
+    pub serialization_ns: AtomicU64,
+    /// Total time spent deserializing blocks during reads (baselines).
+    pub deserialization_ns: AtomicU64,
+
+    /// Total time spent in zero-copy compactions.
+    pub zero_copy_compaction_ns: AtomicU64,
+    /// Number of zero-copy compactions performed.
+    pub zero_copy_compactions: AtomicU64,
+    /// Total time spent in lazy-copy compactions (MioDB) or SSTable
+    /// compactions (baselines).
+    pub copy_compaction_ns: AtomicU64,
+    /// Number of copy compactions performed.
+    pub copy_compactions: AtomicU64,
+    /// Total time spent swizzling pointers after one-piece flushes.
+    pub swizzle_ns: AtomicU64,
+
+    /// Number of `get` operations served.
+    pub gets: AtomicU64,
+    /// Number of `get` operations that found a value.
+    pub get_hits: AtomicU64,
+    /// Number of bloom-filter negative hits (tables skipped).
+    pub bloom_skips: AtomicU64,
+    /// Number of bloom-filter false positives (table probed, key absent).
+    pub bloom_false_positives: AtomicU64,
+}
+
+impl Stats {
+    /// Creates a zeroed statistics block.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Adds a duration to a nanosecond counter.
+    pub fn add_time(counter: &AtomicU64, d: Duration) {
+        counter.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Current write-amplification ratio: persistent bytes written divided
+    /// by user bytes written. Returns 0.0 before any user write.
+    pub fn write_amplification(&self) -> f64 {
+        let user = self.user_bytes_written.load(Ordering::Relaxed);
+        if user == 0 {
+            return 0.0;
+        }
+        let dev = self.nvm_bytes_written.load(Ordering::Relaxed)
+            + self.ssd_bytes_written.load(Ordering::Relaxed);
+        dev as f64 / user as f64
+    }
+
+    /// Snapshot of all counters as plain integers (for reports).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            user_bytes_written: ld(&self.user_bytes_written),
+            nvm_bytes_written: ld(&self.nvm_bytes_written),
+            ssd_bytes_written: ld(&self.ssd_bytes_written),
+            nvm_bytes_read: ld(&self.nvm_bytes_read),
+            ssd_bytes_read: ld(&self.ssd_bytes_read),
+            interval_stall_ns: ld(&self.interval_stall_ns),
+            cumulative_stall_ns: ld(&self.cumulative_stall_ns),
+            interval_stall_count: ld(&self.interval_stall_count),
+            cumulative_stall_count: ld(&self.cumulative_stall_count),
+            flush_ns: ld(&self.flush_ns),
+            flush_count: ld(&self.flush_count),
+            flush_bytes: ld(&self.flush_bytes),
+            serialization_ns: ld(&self.serialization_ns),
+            deserialization_ns: ld(&self.deserialization_ns),
+            zero_copy_compaction_ns: ld(&self.zero_copy_compaction_ns),
+            zero_copy_compactions: ld(&self.zero_copy_compactions),
+            copy_compaction_ns: ld(&self.copy_compaction_ns),
+            copy_compactions: ld(&self.copy_compactions),
+            swizzle_ns: ld(&self.swizzle_ns),
+            gets: ld(&self.gets),
+            get_hits: ld(&self.get_hits),
+            bloom_skips: ld(&self.bloom_skips),
+            bloom_false_positives: ld(&self.bloom_false_positives),
+            write_amplification: self.write_amplification(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`Stats`], suitable for diffing and printing.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StatsSnapshot {
+    pub user_bytes_written: u64,
+    pub nvm_bytes_written: u64,
+    pub ssd_bytes_written: u64,
+    pub nvm_bytes_read: u64,
+    pub ssd_bytes_read: u64,
+    pub interval_stall_ns: u64,
+    pub cumulative_stall_ns: u64,
+    pub interval_stall_count: u64,
+    pub cumulative_stall_count: u64,
+    pub flush_ns: u64,
+    pub flush_count: u64,
+    pub flush_bytes: u64,
+    pub serialization_ns: u64,
+    pub deserialization_ns: u64,
+    pub zero_copy_compaction_ns: u64,
+    pub zero_copy_compactions: u64,
+    pub copy_compaction_ns: u64,
+    pub copy_compactions: u64,
+    pub swizzle_ns: u64,
+    pub gets: u64,
+    pub get_hits: u64,
+    pub bloom_skips: u64,
+    pub bloom_false_positives: u64,
+    pub write_amplification: f64,
+}
+
+impl StatsSnapshot {
+    /// Flush throughput in bytes per second, or 0.0 if no flush happened.
+    pub fn flush_throughput_bps(&self) -> f64 {
+        if self.flush_ns == 0 {
+            0.0
+        } else {
+            self.flush_bytes as f64 / (self.flush_ns as f64 / 1e9)
+        }
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "user writes:      {} B", self.user_bytes_written)?;
+        writeln!(
+            f,
+            "device writes:    {} B nvm, {} B ssd (WA {:.2}x)",
+            self.nvm_bytes_written, self.ssd_bytes_written, self.write_amplification
+        )?;
+        writeln!(
+            f,
+            "stalls:           {:.3} s interval ({}), {:.3} s cumulative ({})",
+            self.interval_stall_ns as f64 / 1e9,
+            self.interval_stall_count,
+            self.cumulative_stall_ns as f64 / 1e9,
+            self.cumulative_stall_count
+        )?;
+        writeln!(
+            f,
+            "flushing:         {:.3} s over {} flushes ({} B)",
+            self.flush_ns as f64 / 1e9,
+            self.flush_count,
+            self.flush_bytes
+        )?;
+        writeln!(
+            f,
+            "codec:            {:.3} s serialize, {:.3} s deserialize",
+            self.serialization_ns as f64 / 1e9,
+            self.deserialization_ns as f64 / 1e9
+        )?;
+        writeln!(
+            f,
+            "compactions:      {} zero-copy ({:.3} s), {} copy ({:.3} s), swizzle {:.3} s",
+            self.zero_copy_compactions,
+            self.zero_copy_compaction_ns as f64 / 1e9,
+            self.copy_compactions,
+            self.copy_compaction_ns as f64 / 1e9,
+            self.swizzle_ns as f64 / 1e9
+        )?;
+        write!(
+            f,
+            "reads:            {} gets ({} hits), {} bloom skips, {} false positives",
+            self.gets, self.get_hits, self.bloom_skips, self.bloom_false_positives
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let s = Stats::new();
+        s.user_bytes_written.store(10, Ordering::Relaxed);
+        s.nvm_bytes_written.store(30, Ordering::Relaxed);
+        let text = s.snapshot().to_string();
+        assert!(text.contains("WA 3.00x"), "{text}");
+        assert!(text.contains("zero-copy"));
+    }
+
+    #[test]
+    fn wa_is_zero_without_user_writes() {
+        let s = Stats::new();
+        s.nvm_bytes_written.store(100, Ordering::Relaxed);
+        assert_eq!(s.write_amplification(), 0.0);
+    }
+
+    #[test]
+    fn wa_counts_both_devices() {
+        let s = Stats::new();
+        s.user_bytes_written.store(100, Ordering::Relaxed);
+        s.nvm_bytes_written.store(150, Ordering::Relaxed);
+        s.ssd_bytes_written.store(150, Ordering::Relaxed);
+        assert!((s.write_amplification() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_time_accumulates() {
+        let s = Stats::new();
+        Stats::add_time(&s.flush_ns, Duration::from_micros(5));
+        Stats::add_time(&s.flush_ns, Duration::from_micros(5));
+        assert_eq!(s.flush_ns.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let s = Stats::new();
+        s.gets.store(7, Ordering::Relaxed);
+        s.flush_bytes.store(1_000_000, Ordering::Relaxed);
+        s.flush_ns.store(1_000_000_000, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.gets, 7);
+        assert!((snap.flush_throughput_bps() - 1_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn flush_throughput_zero_when_no_flush() {
+        assert_eq!(StatsSnapshot::default().flush_throughput_bps(), 0.0);
+    }
+}

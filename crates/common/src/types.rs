@@ -1,0 +1,112 @@
+//! Keys, values, sequence numbers and operation kinds.
+
+use std::fmt;
+
+/// Monotonically increasing number assigned to every write.
+///
+/// Larger sequence numbers denote newer data; multi-version structures
+/// (skip lists, SSTables) order duplicate keys by *descending* sequence
+/// number so the freshest version is found first.
+pub type SequenceNumber = u64;
+
+/// The largest representable sequence number, used as the "read everything"
+/// snapshot in lookups.
+pub const MAX_SEQUENCE_NUMBER: SequenceNumber = u64::MAX;
+
+/// The kind of a logged/stored operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum OpKind {
+    /// Insert or overwrite a key.
+    Put = 0,
+    /// Delete a key (a *tombstone*; physically removed during lazy-copy
+    /// compaction / bottom-level LSM compaction).
+    Delete = 1,
+}
+
+impl OpKind {
+    /// Decodes an operation kind from its on-media byte.
+    ///
+    /// Returns `None` for unknown encodings so corruption is surfaced to the
+    /// caller instead of being silently misinterpreted.
+    pub fn from_u8(v: u8) -> Option<OpKind> {
+        match v {
+            0 => Some(OpKind::Put),
+            1 => Some(OpKind::Delete),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this kind is a tombstone.
+    pub fn is_delete(self) -> bool {
+        matches!(self, OpKind::Delete)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Put => f.write_str("put"),
+            OpKind::Delete => f.write_str("delete"),
+        }
+    }
+}
+
+/// Compares two versioned entries in *multi-version order*:
+/// keys ascending, then sequence numbers descending (newest first).
+///
+/// This is the order used inside PMTables (paper §4.3, Figure 5) and
+/// SSTables, so that the first match for a key during a search is always
+/// its newest version.
+pub fn mv_cmp(a_key: &[u8], a_seq: SequenceNumber, b_key: &[u8], b_seq: SequenceNumber) -> std::cmp::Ordering {
+    a_key.cmp(b_key).then(b_seq.cmp(&a_seq))
+}
+
+/// A borrowed view of one stored entry, used by iterators across the
+/// workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryRef<'a> {
+    /// User key bytes.
+    pub key: &'a [u8],
+    /// Value bytes (empty for tombstones).
+    pub value: &'a [u8],
+    /// Sequence number of the write.
+    pub seq: SequenceNumber,
+    /// Whether this entry is a put or a tombstone.
+    pub kind: OpKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn op_kind_round_trip() {
+        assert_eq!(OpKind::from_u8(OpKind::Put as u8), Some(OpKind::Put));
+        assert_eq!(OpKind::from_u8(OpKind::Delete as u8), Some(OpKind::Delete));
+        assert_eq!(OpKind::from_u8(7), None);
+        assert!(OpKind::Delete.is_delete());
+        assert!(!OpKind::Put.is_delete());
+    }
+
+    #[test]
+    fn mv_order_keys_ascending() {
+        assert_eq!(mv_cmp(b"a", 5, b"b", 1), Ordering::Less);
+        assert_eq!(mv_cmp(b"b", 1, b"a", 5), Ordering::Greater);
+    }
+
+    #[test]
+    fn mv_order_same_key_newest_first() {
+        // Newer (larger seq) sorts *before* older for the same key.
+        assert_eq!(mv_cmp(b"k", 9, b"k", 3), Ordering::Less);
+        assert_eq!(mv_cmp(b"k", 3, b"k", 9), Ordering::Greater);
+        assert_eq!(mv_cmp(b"k", 3, b"k", 3), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_kind() {
+        assert_eq!(OpKind::Put.to_string(), "put");
+        assert_eq!(OpKind::Delete.to_string(), "delete");
+    }
+}

@@ -1,0 +1,1729 @@
+//! The MioDB engine: write path, lock-free read path, background flushing
+//! and parallel compaction.
+//!
+//! Threading model (paper §4.5):
+//!
+//! - the caller's threads execute `put`/`get`/`scan` (writers serialized by
+//!   a mutex, readers lock-free against compaction);
+//! - one **flush worker** performs one-piece flushes and background
+//!   pointer swizzling;
+//! - one **compactor thread per elastic level** `0..n-1` merges that
+//!   level's two oldest PMTables by zero-copy compaction and pushes the
+//!   result down;
+//! - one **lazy-copy worker** drains the bottom buffer level into the data
+//!   repository and reclaims arena memory (the only GC point, §4.4);
+//! - in SSD mode, one **repository maintainer** runs the on-SSD LSM's
+//!   compactions.
+//!
+//! Queries follow the paper's visibility protocol per level: settled
+//! tables newest→oldest, then the in-flight merge's newtable, the
+//! insertion mark, the oldtable, then a draining table, and finally the
+//! repository.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use miodb_common::{
+    EngineReport, Error, KvEngine, OpKind, Result, ScanEntry, SequenceNumber, Stats,
+};
+use miodb_lsm::merge_iter::{dedup_newest, KWayMerge};
+use miodb_pmem::{DeviceModel, PmemPool, PmemRegion};
+use miodb_skiplist::iter::OwnedEntry;
+use miodb_skiplist::merge::MergeLimits;
+use miodb_skiplist::{
+    one_piece_flush, swizzle, zero_copy_merge, GrowableSkipList, InsertionMark, MergeOutcome,
+    SkipList,
+};
+use miodb_wal::WriteAheadLog;
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::manifest::{LevelState, Manifest, ManifestState, RepoState, TableState};
+use crate::options::{MioOptions, RepositoryMode};
+use crate::repository::Repository;
+use crate::table::{MemTable, PmTable};
+
+/// Merge steps executed per scan-gate acquisition: bounds how long a scan
+/// can be blocked by a zero-copy merge.
+const MERGE_STEPS_PER_GATE: usize = 128;
+
+struct Level {
+    /// Settled tables, oldest at the front.
+    tables: VecDeque<Arc<PmTable>>,
+    /// In-flight zero-copy merge `(newtable, oldtable)`.
+    merging: Option<(Arc<PmTable>, Arc<PmTable>)>,
+    /// Table currently being lazy-copied into the repository.
+    lazy_draining: Option<Arc<PmTable>>,
+    /// The level's persistent insertion mark.
+    mark: InsertionMark,
+    /// Scans exclude zero-copy pointer motion through this gate.
+    gate: Arc<Mutex<()>>,
+}
+
+struct MemState {
+    active: Arc<MemTable>,
+    imm: Option<Arc<MemTable>>,
+}
+
+struct Inner {
+    opts: MioOptions,
+    stats: Arc<Stats>,
+    nvm: Arc<PmemPool>,
+    dram: Arc<PmemPool>,
+    seq: AtomicU64,
+    mem: RwLock<MemState>,
+    write_mutex: Mutex<()>,
+    imm_cv: Condvar,
+    flush_flag: Mutex<bool>,
+    flush_cv: Condvar,
+    levels: Mutex<Vec<Level>>,
+    level_cv: Condvar,
+    repo: Repository,
+    repo_writer: Mutex<()>,
+    elastic_bytes: AtomicU64,
+    manifest: Manifest,
+    shutdown: AtomicBool,
+    /// Set while a flush is blocked on the elastic-buffer cap; tells the
+    /// lazy worker to drain ahead of the normal trigger.
+    pressure: AtomicBool,
+    bg_error: Mutex<Option<String>>,
+}
+
+/// The MioDB key-value store. See the [crate docs](crate) for an overview
+/// and example.
+pub struct MioDb {
+    inner: Arc<Inner>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for MioDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MioDb")
+            .field("name", &self.inner.opts.name)
+            .field("levels", &self.inner.levels.lock().len())
+            .finish()
+    }
+}
+
+impl MioDb {
+    /// Opens a fresh database.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration or allocation errors.
+    pub fn open(opts: MioOptions) -> Result<MioDb> {
+        opts.validate()?;
+        let stats = Arc::new(Stats::new());
+        let nvm = PmemPool::new(opts.nvm_pool_bytes, opts.nvm_device, stats.clone())?;
+        Self::open_on_pool(opts, nvm, stats, None)
+    }
+
+    /// Recovers a database from a restored NVM pool (crash recovery,
+    /// §4.7): reloads the manifest, rebuilds levels and the repository,
+    /// resumes interrupted compactions and replays the WALs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] for unreadable persistent state and
+    /// [`Error::InvalidArgument`] if `opts` is structurally incompatible
+    /// with the recovered state (different level count).
+    pub fn recover(nvm: Arc<PmemPool>, opts: MioOptions) -> Result<MioDb> {
+        opts.validate()?;
+        let stats = nvm.stats().clone();
+        Self::open_on_pool(opts, nvm, stats, Some(()))
+    }
+
+    fn open_on_pool(
+        opts: MioOptions,
+        nvm: Arc<PmemPool>,
+        stats: Arc<Stats>,
+        recovering: Option<()>,
+    ) -> Result<MioDb> {
+        let dram = PmemPool::new(opts.dram_pool_bytes, DeviceModel::dram(), stats.clone())?;
+
+        let (manifest, prior) = if recovering.is_some() {
+            Manifest::load(nvm.clone())?
+        } else {
+            (Manifest::create(nvm.clone()), None)
+        };
+
+        let n = opts.elastic_levels;
+        let mut levels = Vec::with_capacity(n);
+        let mut repo: Option<Repository> = None;
+        let mut seq0 = 0u64;
+        let mut wal_replays: Vec<Vec<PmemRegion>> = Vec::new();
+        let mut elastic_bytes = 0u64;
+        let mut resumed_merges: Vec<(usize, Arc<PmTable>, Arc<PmTable>)> = Vec::new();
+        let mut resumed_drain: Option<Arc<PmTable>> = None;
+
+        if let Some(state) = prior {
+            if state.levels.len() != n {
+                return Err(Error::InvalidArgument(format!(
+                    "recovered manifest has {} levels, options request {n}",
+                    state.levels.len()
+                )));
+            }
+            seq0 = state.seq;
+            if let Some(imm) = state.imm_wal {
+                wal_replays.push(imm);
+            }
+            wal_replays.push(state.active_wal);
+
+            for (i, ls) in state.levels.iter().enumerate() {
+                let mark = match ls.mark {
+                    Some(region) => InsertionMark::from_raw(nvm.clone(), region),
+                    None => InsertionMark::alloc(&nvm)?,
+                };
+                let mut level = Level {
+                    tables: VecDeque::new(),
+                    merging: None,
+                    lazy_draining: None,
+                    mark,
+                    gate: Arc::new(Mutex::new(())),
+                };
+                for ts in &ls.tables {
+                    let t = rebuild_table(&nvm, ts, opts.bloom_bits_per_key, opts.bloom_expected_keys());
+                    elastic_bytes += t.arena_bytes();
+                    level.tables.push_back(t);
+                }
+                if let Some((new_ts, old_ts)) = &ls.merging {
+                    let new_t = rebuild_table(&nvm, new_ts, opts.bloom_bits_per_key, opts.bloom_expected_keys());
+                    let old_t = rebuild_table(&nvm, old_ts, opts.bloom_bits_per_key, opts.bloom_expected_keys());
+                    elastic_bytes += new_t.arena_bytes() + old_t.arena_bytes();
+                    resumed_merges.push((i, new_t, old_t));
+                }
+                if let Some(ts) = &ls.lazy_draining {
+                    let t = rebuild_table(&nvm, ts, opts.bloom_bits_per_key, opts.bloom_expected_keys());
+                    elastic_bytes += t.arena_bytes();
+                    resumed_drain = Some(t);
+                }
+                levels.push(level);
+            }
+            if let Some(rs) = state.repo {
+                // An interrupted drain may have allocated past the recorded
+                // cursor; burn the chunk tail so no live node is reused.
+                let cursor = if resumed_drain.is_some() { rs.end } else { rs.cursor };
+                repo = Some(Repository::Pm(GrowableSkipList::from_parts(
+                    nvm.clone(),
+                    rs.head,
+                    rs.chunk_size as usize,
+                    rs.chunks,
+                    cursor,
+                    rs.end,
+                    rs.len,
+                    rs.data_bytes,
+                )));
+            }
+        } else {
+            for _ in 0..n {
+                levels.push(Level {
+                    tables: VecDeque::new(),
+                    merging: None,
+                    lazy_draining: None,
+                    mark: InsertionMark::alloc(&nvm)?,
+                    gate: Arc::new(Mutex::new(())),
+                });
+            }
+        }
+
+        let repo = match repo {
+            Some(r) => r,
+            None => match &opts.repository {
+                RepositoryMode::HugePmTable => {
+                    Repository::new_pm(nvm.clone(), opts.repo_chunk_bytes)?
+                }
+                RepositoryMode::Ssd { lsm, device } => {
+                    Repository::new_lsm(lsm.clone(), *device, stats.clone())
+                }
+            },
+        };
+
+        // Resume interrupted zero-copy merges synchronously.
+        let mut pending_pushes: Vec<(usize, Arc<PmTable>)> = Vec::new();
+        for (i, new_t, old_t) in resumed_merges {
+            let level_mark = levels[i].mark.clone();
+            let out = zero_copy_merge(&nvm, new_t.list.head(), old_t.list.head(), &level_mark, MergeLimits::none());
+            let merged = merged_table(&nvm, &new_t, &old_t, out.stats(), opts.bloom_bits_per_key);
+            pending_pushes.push((i + 1, merged));
+        }
+        for (target, merged) in pending_pushes {
+            levels[target].tables.push_back(merged);
+        }
+
+        // Resume an interrupted lazy-copy drain synchronously.
+        if let Some(t) = resumed_drain {
+            let merged = dedup_newest(t.list.iter(), false);
+            for e in merged {
+                repo.apply(&e.key, &e.value, e.seq, e.kind)?;
+            }
+            if let Ok(table) = Arc::try_unwrap(t) {
+                elastic_bytes -= table.arena_bytes();
+                table.release(&nvm);
+            }
+        }
+
+        let active = Arc::new(MemTable::new(
+            &dram,
+            &nvm,
+            opts.memtable_bytes,
+            opts.wal_segment_bytes,
+            opts.bloom_bits_per_key,
+            opts.bloom_expected_keys(),
+        )?);
+
+        let inner = Arc::new(Inner {
+            opts,
+            stats,
+            nvm,
+            dram,
+            seq: AtomicU64::new(seq0),
+            mem: RwLock::new(MemState { active, imm: None }),
+            write_mutex: Mutex::new(()),
+            imm_cv: Condvar::new(),
+            flush_flag: Mutex::new(false),
+            flush_cv: Condvar::new(),
+            levels: Mutex::new(levels),
+            level_cv: Condvar::new(),
+            repo,
+            repo_writer: Mutex::new(()),
+            elastic_bytes: AtomicU64::new(elastic_bytes),
+            manifest,
+            shutdown: AtomicBool::new(false),
+            pressure: AtomicBool::new(false),
+            bg_error: Mutex::new(None),
+        });
+
+        store_manifest(&inner)?;
+
+        let db = MioDb {
+            threads: Mutex::new(spawn_workers(&inner)),
+            inner,
+        };
+
+        // Replay WALs from the recovered state through the normal write
+        // machinery (records carry their original sequence numbers). The
+        // chain walk finds segments allocated after the manifest's last
+        // store, so no acknowledged write or sequence number is lost.
+        let mut records = Vec::new();
+        let mut reclaim: Vec<PmemRegion> = Vec::new();
+        for segs in &wal_replays {
+            if let Some(first) = segs.first() {
+                let (recs, visited) = WriteAheadLog::replay_chain(&db.inner.nvm, *first)?;
+                records.extend(recs);
+                reclaim.extend(visited);
+            }
+        }
+        records.sort_by_key(|r| r.seq);
+        let guard = db.inner.write_mutex.lock();
+        for r in &records {
+            db.inner.seq.fetch_max(r.seq, Ordering::Relaxed);
+            db.insert_locked(&r.key, &r.value, r.seq, r.kind)?;
+        }
+        drop(guard);
+        for region in reclaim {
+            db.inner.nvm.free(region);
+        }
+        if !records.is_empty() {
+            store_manifest(&db.inner)?;
+        }
+        Ok(db)
+    }
+
+    /// The engine's NVM pool (snapshot it for crash tests).
+    pub fn nvm_pool(&self) -> &Arc<PmemPool> {
+        &self.inner.nvm
+    }
+
+    /// Shared statistics.
+    pub fn stats(&self) -> &Arc<Stats> {
+        &self.inner.stats
+    }
+
+    /// Bytes currently held by elastic-buffer PMTables.
+    pub fn elastic_buffer_bytes(&self) -> u64 {
+        self.inner.elastic_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Takes a point-in-time snapshot of the NVM pool (crash simulation).
+    ///
+    /// A real power failure freezes all stores at one instant; a memcpy of
+    /// the live pool does not. To keep the captured state self-consistent
+    /// this briefly quiesces every *structural* transition — writers, all
+    /// zero-copy merges (via the scan gates), the lazy-copy drain and
+    /// manifest stores — before copying. Lock order (gates → repo →
+    /// levels) never inverts any background thread's order, so this cannot
+    /// deadlock. Unpublished work (an in-flight one-piece flush memcpy)
+    /// may still land torn in the file, which is harmless: the manifest
+    /// does not reference it yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the snapshot file.
+    pub fn snapshot(&self, path: &std::path::Path) -> Result<()> {
+        let inner = &*self.inner;
+        let _writers = inner.write_mutex.lock();
+        let gates: Vec<Arc<Mutex<()>>> = {
+            let levels = inner.levels.lock();
+            levels.iter().map(|l| l.gate.clone()).collect()
+        };
+        let _gate_guards: Vec<_> = gates.iter().map(|g| g.lock()).collect();
+        let _repo = inner.repo_writer.lock();
+        let _levels = inner.levels.lock();
+        inner.nvm.snapshot_to_file(path)
+    }
+
+    fn check_usable(&self) -> Result<()> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(Error::Closed);
+        }
+        if let Some(msg) = self.inner.bg_error.lock().clone() {
+            return Err(Error::Background(msg));
+        }
+        Ok(())
+    }
+
+    fn write(&self, key: &[u8], value: &[u8], kind: OpKind) -> Result<()> {
+        self.check_usable()?;
+        let guard = self.inner.write_mutex.lock();
+        self.inner
+            .stats
+            .user_bytes_written
+            .fetch_add((key.len() + value.len()) as u64, Ordering::Relaxed);
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        self.insert_with_rotation(guard, key, value, seq, kind)
+    }
+
+    /// Insert assuming `write_mutex` is held by the caller (recovery path).
+    fn insert_locked(&self, key: &[u8], value: &[u8], seq: SequenceNumber, kind: OpKind) -> Result<()> {
+        let inner = &*self.inner;
+        loop {
+            // Scope the Arc clone to the attempt: holding it across the
+            // rotation wait would keep the table's refcount elevated while
+            // the flush worker spin-waits for uniqueness — a cycle that
+            // costs the full release timeout per rotation.
+            let r = {
+                let active = inner.mem.read().active.clone();
+                active.insert(key, value, seq, kind)
+            };
+            match r {
+                Ok(()) => return Ok(()),
+                Err(Error::ArenaFull) => {
+                    self.rotate_memtable(None, min_capacity(key, value))?
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn insert_with_rotation(
+        &self,
+        mut guard: parking_lot::MutexGuard<'_, ()>,
+        key: &[u8],
+        value: &[u8],
+        seq: SequenceNumber,
+        kind: OpKind,
+    ) -> Result<()> {
+        let inner = &*self.inner;
+        loop {
+            // See `insert_locked` for why the clone must not outlive the
+            // attempt.
+            let r = {
+                let active = inner.mem.read().active.clone();
+                active.insert(key, value, seq, kind)
+            };
+            match r {
+                Ok(()) => return Ok(()),
+                Err(Error::ArenaFull) => {
+                    self.rotate_memtable(Some(&mut guard), min_capacity(key, value))?
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Seals the active MemTable and installs a fresh one. If an immutable
+    /// MemTable is still being flushed this blocks — an **interval stall**
+    /// in the paper's terminology (in MioDB it is nearly always zero
+    /// because one-piece flushing is a single memcpy).
+    fn rotate_memtable(
+        &self,
+        guard: Option<&mut parking_lot::MutexGuard<'_, ()>>,
+        min_capacity: usize,
+    ) -> Result<()> {
+        let inner = &*self.inner;
+        let t0 = Instant::now();
+        let mut stalled = false;
+        match guard {
+            Some(guard) => {
+                while inner.mem.read().imm.is_some() {
+                    stalled = true;
+                    inner.imm_cv.wait_for(guard, Duration::from_millis(5));
+                    if inner.shutdown.load(Ordering::Acquire) {
+                        return Err(Error::Closed);
+                    }
+                    if let Some(msg) = inner.bg_error.lock().clone() {
+                        return Err(Error::Background(msg));
+                    }
+                }
+            }
+            None => {
+                while inner.mem.read().imm.is_some() {
+                    stalled = true;
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+        }
+        if stalled {
+            Stats::add_time(&inner.stats.interval_stall_ns, t0.elapsed());
+            inner.stats.interval_stall_count.fetch_add(1, Ordering::Relaxed);
+        }
+        let fresh = Arc::new(MemTable::new(
+            &inner.dram,
+            &inner.nvm,
+            inner.opts.memtable_bytes.max(min_capacity),
+            inner.opts.wal_segment_bytes,
+            inner.opts.bloom_bits_per_key,
+            inner.opts.bloom_expected_keys(),
+        )?);
+        {
+            let mut mem = inner.mem.write();
+            let old = std::mem::replace(&mut mem.active, fresh);
+            mem.imm = Some(old);
+        }
+        store_manifest(inner)?;
+        let mut flag = inner.flush_flag.lock();
+        *flag = true;
+        inner.flush_cv.notify_all();
+        Ok(())
+    }
+
+    /// Searches every structure without bloom filters and reports where
+    /// `key` is found — a diagnostic for visibility debugging.
+    #[doc(hidden)]
+    pub fn debug_locate(&self, key: &[u8]) -> Vec<String> {
+        let inner = &*self.inner;
+        let mut found = Vec::new();
+        {
+            let mem = inner.mem.read();
+            if mem.active.list().get(key).is_some() {
+                found.push("active".to_string());
+            }
+            if let Some(imm) = &mem.imm {
+                if imm.list().get(key).is_some() {
+                    found.push("imm".to_string());
+                }
+            }
+        }
+        let n = inner.opts.elastic_levels;
+        for i in 0..n {
+            let (tables, merging, lazy, mark) = {
+                let levels = inner.levels.lock();
+                (
+                    levels[i].tables.iter().cloned().collect::<Vec<_>>(),
+                    levels[i].merging.clone(),
+                    levels[i].lazy_draining.clone(),
+                    levels[i].mark.clone(),
+                )
+            };
+            for (j, t) in tables.iter().enumerate() {
+                if t.list.get(key).is_some() {
+                    let b = t.bloom.may_contain(key);
+                    found.push(format!("L{i}[{j}] bloom={b}"));
+                }
+            }
+            if let Some((new_t, old_t)) = merging {
+                if new_t.list.get(key).is_some() {
+                    found.push(format!(
+                        "L{i}.merging.new bloom={} bits={} n={}",
+                        new_t.bloom.may_contain(key),
+                        new_t.bloom.num_bits(),
+                        new_t.len
+                    ));
+                }
+                if old_t.list.get(key).is_some() {
+                    found.push(format!(
+                        "L{i}.merging.old bloom={} (new-side bloom={}) old_bits={} new_bits={}",
+                        old_t.bloom.may_contain(key),
+                        new_t.bloom.may_contain(key),
+                        old_t.bloom.num_bits(),
+                        new_t.bloom.num_bits()
+                    ));
+                }
+            }
+            if mark.read(key).is_some() {
+                found.push(format!("L{i}.mark"));
+            }
+            if let Some(t) = lazy {
+                if t.list.get(key).is_some() {
+                    found.push(format!("L{i}.lazy bloom={}", t.bloom.may_contain(key)));
+                }
+            }
+        }
+        if inner.repo.get(key).ok().flatten().is_some() {
+            found.push("repo".to_string());
+        }
+        found
+    }
+
+    /// Audits every table's bloom filter against its list contents,
+    /// returning descriptions of any false negatives (which must never
+    /// exist). Diagnostic only.
+    #[doc(hidden)]
+    pub fn debug_bloom_audit(&self) -> Vec<String> {
+        let inner = &*self.inner;
+        let mut bad = Vec::new();
+        let n = inner.opts.elastic_levels;
+        for i in 0..n {
+            let (tables, merging, lazy) = {
+                let levels = inner.levels.lock();
+                (
+                    levels[i].tables.iter().cloned().collect::<Vec<_>>(),
+                    levels[i].merging.clone(),
+                    levels[i].lazy_draining.clone(),
+                )
+            };
+            let mut audit = |label: String, t: &Arc<PmTable>| {
+                let mut missing = 0usize;
+                let mut total = 0usize;
+                for e in t.list.iter() {
+                    total += 1;
+                    if !t.bloom.may_contain(&e.key) {
+                        missing += 1;
+                    }
+                }
+                if missing > 0 {
+                    bad.push(format!("{label}: {missing}/{total} keys missing from bloom"));
+                }
+            };
+            for (j, t) in tables.iter().enumerate() {
+                audit(format!("L{i}[{j}]"), t);
+            }
+            if let Some((new_t, old_t)) = &merging {
+                audit(format!("L{i}.merging.new"), new_t);
+                audit(format!("L{i}.merging.old"), old_t);
+            }
+            if let Some(t) = &lazy {
+                audit(format!("L{i}.lazy"), t);
+            }
+        }
+        bad
+    }
+
+    /// Resolves a lookup result into the engine-level answer.
+    fn resolve(r: miodb_skiplist::LookupResult) -> Option<Vec<u8>> {
+        match r.kind {
+            OpKind::Put => Some(r.value),
+            OpKind::Delete => None,
+        }
+    }
+}
+
+fn rebuild_table(
+    nvm: &Arc<PmemPool>,
+    ts: &TableState,
+    bloom_bits: usize,
+    bloom_expected: usize,
+) -> Arc<PmTable> {
+    let list = SkipList::from_raw(nvm.clone(), ts.head);
+    let bloom = PmTable::rebuild_bloom(&list, bloom_expected, bloom_bits);
+    Arc::new(PmTable {
+        list,
+        arenas: ts.arenas.clone(),
+        bloom,
+        len: ts.len as usize,
+        data_bytes: ts.data_bytes,
+        newest_seq: ts.newest_seq,
+    })
+}
+
+fn table_state(t: &PmTable) -> TableState {
+    TableState {
+        head: t.list.head(),
+        len: t.len as u64,
+        data_bytes: t.data_bytes,
+        newest_seq: t.newest_seq,
+        arenas: t.arenas.clone(),
+    }
+}
+
+/// Builds the merged table descriptor after a zero-copy merge: the old
+/// table's head now roots the union, arenas are pooled, blooms are OR-ed.
+fn merged_table(
+    nvm: &Arc<PmemPool>,
+    new_t: &PmTable,
+    old_t: &PmTable,
+    stats: miodb_skiplist::MergeStats,
+    bloom_bits: usize,
+) -> Arc<PmTable> {
+    let mut arenas = old_t.arenas.clone();
+    arenas.extend_from_slice(&new_t.arenas);
+    let mut bloom = old_t.bloom.clone();
+    if bloom.merge(&new_t.bloom).is_err() {
+        // Geometry drift (e.g. recovery rebuilt with a different expected
+        // size): rebuild from the merged list.
+        bloom = PmTable::rebuild_bloom(
+            &old_t.list,
+            old_t.len + new_t.len,
+            bloom_bits,
+        );
+    }
+    let len = (old_t.len as u64 + stats.moved)
+        .saturating_sub(stats.bypassed_old) as usize;
+    Arc::new(PmTable {
+        list: SkipList::from_raw(nvm.clone(), old_t.list.head()),
+        arenas,
+        bloom,
+        len,
+        data_bytes: old_t.data_bytes + new_t.data_bytes,
+        newest_seq: new_t.newest_seq.max(old_t.newest_seq),
+    })
+}
+
+/// Serializes the full engine state for the manifest. Takes the levels
+/// lock (callers must not hold it).
+fn store_manifest(inner: &Inner) -> Result<()> {
+    let levels = inner.levels.lock();
+    store_manifest_locked(inner, &levels)
+}
+
+/// Serializes state with the levels lock already held.
+fn store_manifest_locked(inner: &Inner, levels: &[Level]) -> Result<()> {
+    let mem = inner.mem.read();
+    let state = ManifestState {
+        seq: inner.seq.load(Ordering::Relaxed),
+        active_wal: mem.active.wal_segments(),
+        imm_wal: mem.imm.as_ref().map(|m| m.wal_segments()),
+        levels: levels
+            .iter()
+            .map(|l| LevelState {
+                mark: Some(l.mark.region()),
+                merging: l
+                    .merging
+                    .as_ref()
+                    .map(|(n, o)| (table_state(n), table_state(o))),
+                lazy_draining: l.lazy_draining.as_ref().map(|t| table_state(t)),
+                tables: l.tables.iter().map(|t| table_state(t)).collect(),
+            })
+            .collect(),
+        repo: match &inner.repo {
+            Repository::Pm(r) => {
+                let (head, chunks, cursor, end, len, data_bytes) = r.parts();
+                Some(RepoState {
+                    head,
+                    chunk_size: inner.opts.repo_chunk_bytes as u64,
+                    cursor,
+                    end,
+                    len,
+                    data_bytes,
+                    chunks,
+                })
+            }
+            Repository::Lsm(_) => None,
+        },
+    };
+    drop(mem);
+    inner.manifest.store(&state)
+}
+
+fn spawn_workers(inner: &Arc<Inner>) -> Vec<std::thread::JoinHandle<()>> {
+    let mut threads = Vec::new();
+    {
+        let inner = inner.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("miodb-flush".to_string())
+                .spawn(move || flush_worker(inner))
+                .expect("spawn flush worker"),
+        );
+    }
+    let n = inner.opts.elastic_levels;
+    if inner.opts.parallel_compaction {
+        for i in 0..n.saturating_sub(1) {
+            let inner = inner.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("miodb-compact-L{i}"))
+                    .spawn(move || compactor_worker(inner, i))
+                    .expect("spawn compactor"),
+            );
+        }
+    } else if n > 1 {
+        let inner = inner.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("miodb-compact-serial".to_string())
+                .spawn(move || serial_compactor_worker(inner))
+                .expect("spawn serial compactor"),
+        );
+    }
+    {
+        let inner = inner.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("miodb-lazy".to_string())
+                .spawn(move || lazy_worker(inner))
+                .expect("spawn lazy worker"),
+        );
+    }
+    if matches!(inner.repo, Repository::Lsm(_)) {
+        let inner = inner.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("miodb-repo".to_string())
+                .spawn(move || repo_worker(inner))
+                .expect("spawn repo worker"),
+        );
+    }
+    threads
+}
+
+fn set_bg_error(inner: &Inner, msg: String) {
+    let mut e = inner.bg_error.lock();
+    if e.is_none() {
+        *e = Some(msg);
+    }
+}
+
+/// One-piece flush + background swizzle of the immutable MemTable.
+fn flush_worker(inner: Arc<Inner>) {
+    loop {
+        {
+            let mut flag = inner.flush_flag.lock();
+            while !*flag && !inner.shutdown.load(Ordering::Acquire) {
+                inner.flush_cv.wait_for(&mut flag, Duration::from_millis(100));
+            }
+            *flag = false;
+        }
+        let imm = inner.mem.read().imm.clone();
+        if let Some(imm) = imm {
+            let published = flush_one(&inner, &imm);
+            {
+                let mut mem = inner.mem.write();
+                mem.imm = None;
+            }
+            // Re-store the manifest so it stops referencing the immutable
+            // MemTable's WAL *before* those segments are freed — otherwise
+            // a crash in between would leave the manifest pointing at
+            // recycled regions and recovery would double-free them.
+            if let Err(e) = store_manifest(&inner) {
+                set_bg_error(&inner, format!("manifest store failed: {e}"));
+            }
+            {
+                // Notify under the writer mutex: a rotating writer checks
+                // `imm` and then parks on `imm_cv` while holding it, so an
+                // unsynchronized notify could land in that gap and be lost
+                // (costing the full wait timeout per rotation).
+                let _writers = inner.write_mutex.lock();
+                inner.imm_cv.notify_all();
+            }
+            match published {
+                Ok(()) => release_memtable_when_unique(imm),
+                Err(e) => set_bg_error(&inner, format!("flush failed: {e}")),
+            }
+        }
+        if inner.shutdown.load(Ordering::Acquire) && inner.mem.read().imm.is_none() {
+            return;
+        }
+    }
+}
+
+fn flush_one(inner: &Inner, imm: &Arc<MemTable>) -> Result<()> {
+    // Backpressure: respect the elastic-buffer cap (Figure 14) and pool
+    // capacity; lazy-copy GC frees space.
+    let need = imm.arena().used_bytes();
+    loop {
+        let used = inner.elastic_bytes.load(Ordering::Relaxed);
+        // An empty buffer always accepts one flush, so a cap below the
+        // MemTable size degrades to "one table at a time" instead of
+        // deadlocking.
+        let over_cap = used > 0
+            && inner
+                .opts
+                .elastic_buffer_cap
+                .is_some_and(|cap| used + need > cap);
+        if !over_cap {
+            inner.pressure.store(false, Ordering::Release);
+            break;
+        }
+        if inner.shutdown.load(Ordering::Acquire) {
+            return Err(Error::Closed);
+        }
+        // Ask the lazy worker to drain ahead of its trigger.
+        inner.pressure.store(true, Ordering::Release);
+        {
+            let _levels = inner.levels.lock();
+            inner.level_cv.notify_all();
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    let t0 = Instant::now();
+    let flushed = loop {
+        match one_piece_flush(imm.arena(), &inner.nvm) {
+            Ok(f) => break f,
+            Err(Error::PoolExhausted { .. }) => {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return Err(Error::Closed);
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            Err(e) => return Err(e),
+        }
+    };
+    Stats::add_time(&inner.stats.flush_ns, t0.elapsed());
+    inner.stats.flush_count.fetch_add(1, Ordering::Relaxed);
+    inner.stats.flush_bytes.fetch_add(flushed.bytes, Ordering::Relaxed);
+
+    // Background pointer swizzling: the immutable MemTable keeps serving
+    // reads while this runs.
+    let t1 = Instant::now();
+    swizzle(&inner.nvm, &flushed);
+    Stats::add_time(&inner.stats.swizzle_ns, t1.elapsed());
+
+    let table = Arc::new(PmTable {
+        list: SkipList::from_raw(inner.nvm.clone(), flushed.head),
+        arenas: vec![flushed.region],
+        bloom: imm.bloom_snapshot(),
+        len: flushed.len,
+        data_bytes: flushed.data_bytes,
+        newest_seq: inner.seq.load(Ordering::Relaxed),
+    });
+    inner
+        .elastic_bytes
+        .fetch_add(table.arena_bytes(), Ordering::Relaxed);
+
+    {
+        let mut levels = inner.levels.lock();
+        levels[0].tables.push_back(table);
+        store_manifest_locked(inner, &levels)?;
+        inner.level_cv.notify_all();
+    }
+    Ok(())
+}
+
+/// Zero-copy compactor for elastic level `i` (pushes into `i + 1`).
+fn compactor_worker(inner: Arc<Inner>, i: usize) {
+    loop {
+        let (new_t, old_t, gate, mark) = {
+            let mut levels = inner.levels.lock();
+            loop {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if levels[i].tables.len() >= 2 {
+                    break;
+                }
+                inner.level_cv.wait_for(&mut levels, Duration::from_millis(100));
+            }
+            let old_t = levels[i].tables.pop_front().unwrap();
+            let new_t = levels[i].tables.pop_front().unwrap();
+            levels[i].merging = Some((new_t.clone(), old_t.clone()));
+            if let Err(e) = store_manifest_locked(&inner, &levels) {
+                set_bg_error(&inner, format!("manifest store failed: {e}"));
+                return;
+            }
+            (new_t, old_t, levels[i].gate.clone(), levels[i].mark.clone())
+        };
+        if !run_one_zero_copy_merge(&inner, i, new_t, old_t, gate, mark) {
+            return;
+        }
+    }
+}
+
+/// The parallel-compaction ablation: one thread serves every level in
+/// round-robin order, so a busy deep merge blocks upper levels — the
+/// coupling the paper's per-level threads remove.
+fn serial_compactor_worker(inner: Arc<Inner>) {
+    let n = inner.opts.elastic_levels;
+    loop {
+        let mut worked = false;
+        for i in 0..n.saturating_sub(1) {
+            let picked = {
+                let mut levels = inner.levels.lock();
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if levels[i].tables.len() < 2 {
+                    None
+                } else {
+                    let old_t = levels[i].tables.pop_front().unwrap();
+                    let new_t = levels[i].tables.pop_front().unwrap();
+                    levels[i].merging = Some((new_t.clone(), old_t.clone()));
+                    if let Err(e) = store_manifest_locked(&inner, &levels) {
+                        set_bg_error(&inner, format!("manifest store failed: {e}"));
+                        return;
+                    }
+                    Some((new_t, old_t, levels[i].gate.clone(), levels[i].mark.clone()))
+                }
+            };
+            if let Some((new_t, old_t, gate, mark)) = picked {
+                if !run_one_zero_copy_merge(&inner, i, new_t, old_t, gate, mark) {
+                    return;
+                }
+                worked = true;
+            }
+        }
+        if !worked {
+            let mut levels = inner.levels.lock();
+            if inner.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            inner.level_cv.wait_for(&mut levels, Duration::from_millis(100));
+        }
+    }
+}
+
+/// Executes one gated zero-copy merge for level `i` and publishes the
+/// result to `i + 1`. Returns false if the engine must shut down.
+#[must_use]
+fn run_one_zero_copy_merge(
+    inner: &Arc<Inner>,
+    i: usize,
+    new_t: Arc<PmTable>,
+    old_t: Arc<PmTable>,
+    gate: Arc<Mutex<()>>,
+    mark: InsertionMark,
+) -> bool {
+
+    let t0 = Instant::now();
+    let mut total = miodb_skiplist::MergeStats::default();
+    loop {
+        let _g = gate.lock();
+        let out = zero_copy_merge(
+            &inner.nvm,
+            new_t.list.head(),
+            old_t.list.head(),
+            &mark,
+            MergeLimits {
+                max_steps: Some(MERGE_STEPS_PER_GATE),
+                abandon_after_link_writes: None,
+            },
+        );
+        let s = out.stats();
+        total.moved += s.moved;
+        total.dropped_new += s.dropped_new;
+        total.bypassed_old += s.bypassed_old;
+        total.link_writes += s.link_writes;
+        if matches!(out, MergeOutcome::Complete(_)) {
+            break;
+        }
+    }
+    Stats::add_time(&inner.stats.zero_copy_compaction_ns, t0.elapsed());
+    inner.stats.zero_copy_compactions.fetch_add(1, Ordering::Relaxed);
+
+    let merged = merged_table(&inner.nvm, &new_t, &old_t, total, inner.opts.bloom_bits_per_key);
+    drop(new_t);
+    drop(old_t);
+    {
+        let mut levels = inner.levels.lock();
+        levels[i].merging = None;
+        levels[i + 1].tables.push_back(merged);
+        if let Err(e) = store_manifest_locked(inner, &levels) {
+            set_bg_error(inner, format!("manifest store failed: {e}"));
+            return false;
+        }
+        inner.level_cv.notify_all();
+    }
+    true
+}
+
+/// Picks a level to pressure-drain: the deepest level holding tables, but
+/// only if no in-flight merge could later push *older* data below it —
+/// draining its front (oldest) table to the repository then preserves the
+/// newer-shadows-older read order.
+fn pick_pressure_drain(levels: &[Level]) -> Option<usize> {
+    for (i, l) in levels.iter().enumerate().rev() {
+        let busy = l.merging.is_some() || l.lazy_draining.is_some();
+        if !l.tables.is_empty() {
+            return if busy { None } else { Some(i) };
+        }
+        if busy {
+            return None; // wait for the in-flight work at the deepest level
+        }
+    }
+    None
+}
+
+/// Lazy-copy worker for the bottom buffer level: drains the oldest PMTable
+/// into the repository and reclaims its arenas (the GC point). Under
+/// elastic-cap pressure it also drains the globally oldest table early.
+fn lazy_worker(inner: Arc<Inner>) {
+    let b = inner.opts.elastic_levels - 1;
+    loop {
+        let (table, level_idx) = {
+            let mut levels = inner.levels.lock();
+            let picked = loop {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if levels[b].tables.len() >= inner.opts.lazy_copy_trigger
+                    && levels[b].lazy_draining.is_none()
+                {
+                    break b;
+                }
+                if inner.pressure.load(Ordering::Acquire) {
+                    if let Some(i) = pick_pressure_drain(&levels) {
+                        break i;
+                    }
+                }
+                inner.level_cv.wait_for(&mut levels, Duration::from_millis(100));
+            };
+            let t = levels[picked].tables.pop_front().unwrap();
+            levels[picked].lazy_draining = Some(t.clone());
+            if let Err(e) = store_manifest_locked(&inner, &levels) {
+                set_bg_error(&inner, format!("manifest store failed: {e}"));
+                return;
+            }
+            (t, picked)
+        };
+        let table = table;
+
+        let t0 = Instant::now();
+        let _w = inner.repo_writer.lock();
+        let drained: Result<()> = (|| {
+            let merged = dedup_newest(table.list.iter(), false);
+            match &inner.repo {
+                Repository::Pm(_) => {
+                    for e in merged {
+                        inner.repo.apply(&e.key, &e.value, e.seq, e.kind)?;
+                    }
+                }
+                Repository::Lsm(_) => {
+                    let entries: Vec<OwnedEntry> = merged.collect();
+                    inner.repo.ingest_run(entries.into_iter())?;
+                }
+            }
+            Ok(())
+        })();
+        if let Err(e) = drained {
+            set_bg_error(&inner, format!("lazy-copy failed: {e}"));
+            return;
+        }
+        Stats::add_time(&inner.stats.copy_compaction_ns, t0.elapsed());
+        inner.stats.copy_compactions.fetch_add(1, Ordering::Relaxed);
+
+        {
+            let mut levels = inner.levels.lock();
+            levels[level_idx].lazy_draining = None;
+            if let Err(e) = store_manifest_locked(&inner, &levels) {
+                set_bg_error(&inner, format!("manifest store failed: {e}"));
+                return;
+            }
+            inner.level_cv.notify_all();
+        }
+
+        // GC: free the drained table's arenas once no reader holds it.
+        let mut arc = table;
+        loop {
+            match Arc::try_unwrap(arc) {
+                Ok(t) => {
+                    inner
+                        .elastic_bytes
+                        .fetch_sub(t.arena_bytes(), Ordering::Relaxed);
+                    t.release(&inner.nvm);
+                    break;
+                }
+                Err(back) => {
+                    arc = back;
+                    if inner.shutdown.load(Ordering::Acquire) {
+                        return; // leak rather than free under readers
+                    }
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
+}
+
+/// Background compaction of the on-SSD LSM repository (SSD mode).
+fn repo_worker(inner: Arc<Inner>) {
+    while !inner.shutdown.load(Ordering::Acquire) {
+        match inner.repo.maintain() {
+            Ok(true) => continue,
+            Ok(false) => std::thread::sleep(Duration::from_millis(2)),
+            Err(e) => {
+                set_bg_error(&inner, format!("repository compaction failed: {e}"));
+                return;
+            }
+        }
+    }
+}
+
+fn release_memtable_when_unique(mut arc: Arc<MemTable>) {
+    for _ in 0..10_000 {
+        match Arc::try_unwrap(arc) {
+            Ok(m) => {
+                m.release();
+                return;
+            }
+            Err(back) => {
+                arc = back;
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+}
+
+impl KvEngine for MioDb {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.write(key, value, OpKind::Put)
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        self.write(key, b"", OpKind::Delete)
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let inner = &*self.inner;
+        inner.stats.gets.fetch_add(1, Ordering::Relaxed);
+
+        // 1. DRAM MemTables.
+        let (active, imm) = {
+            let mem = inner.mem.read();
+            (mem.active.clone(), mem.imm.clone())
+        };
+        if let Some(r) = active.list().get(key) {
+            inner.stats.get_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Self::resolve(r));
+        }
+        if let Some(imm) = imm {
+            if let Some(r) = imm.list().get(key) {
+                inner.stats.get_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Self::resolve(r));
+            }
+        }
+
+        // 2. Elastic buffer, level by level, newest table first, following
+        //    the paper's merge-visibility protocol.
+        let n = inner.opts.elastic_levels;
+        for i in 0..n {
+            let (tables, merging, lazy, mark, gate) = {
+                let levels = inner.levels.lock();
+                (
+                    levels[i].tables.iter().cloned().collect::<Vec<_>>(),
+                    levels[i].merging.clone(),
+                    levels[i].lazy_draining.clone(),
+                    levels[i].mark.clone(),
+                    levels[i].gate.clone(),
+                )
+            };
+            for t in tables.iter().rev() {
+                if inner.opts.bloom_enabled && !t.bloom.may_contain(key) {
+                    inner.stats.bloom_skips.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if let Some(r) = t.list.get(key) {
+                    inner.stats.get_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Self::resolve(r));
+                }
+                inner.stats.bloom_false_positives.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some((new_t, old_t)) = merging {
+                // newtable -> insertion mark -> oldtable (§4.3). The
+                // newtable search skips the in-flight node (Case 2): a
+                // traversal crossing it mid-splice would follow rewritten
+                // pointers into the oldtable and miss newtable entries.
+                let hit = if !inner.opts.bloom_enabled
+                    || new_t.bloom.may_contain(key)
+                    || old_t.bloom.may_contain(key)
+                {
+                    let optimistic = miodb_skiplist::get_skip_marked(&new_t.list, key, &mark)
+                        .or_else(|| mark.read(key))
+                        .or_else(|| old_t.list.get(key));
+                    match optimistic {
+                        Some(r) => Some(r),
+                        None => {
+                            // Rare revalidation: a reader preempted while
+                            // standing on a node that a whole merge step
+                            // then moved can compute a false miss that no
+                            // optimistic check can detect (ABA). Under the
+                            // level gate the merge is at a step boundary
+                            // (mark clear, lists well-formed), so plain
+                            // searches are exact.
+                            let _quiesce = gate.lock();
+                            new_t
+                                .list
+                                .get(key)
+                                .or_else(|| mark.read(key))
+                                .or_else(|| old_t.list.get(key))
+                        }
+                    }
+                } else {
+                    inner.stats.bloom_skips.fetch_add(1, Ordering::Relaxed);
+                    mark.read(key)
+                };
+                if let Some(r) = hit {
+                    inner.stats.get_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Self::resolve(r));
+                }
+            }
+            if let Some(t) = lazy {
+                if !inner.opts.bloom_enabled || t.bloom.may_contain(key) {
+                    if let Some(r) = t.list.get(key) {
+                        inner.stats.get_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Self::resolve(r));
+                    }
+                }
+            }
+        }
+
+        // 3. Data repository.
+        if let Some(r) = inner.repo.get(key)? {
+            if r.kind == OpKind::Put {
+                inner.stats.get_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Some(r.value));
+            }
+        }
+        Ok(None)
+    }
+
+    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<ScanEntry>> {
+        let inner = &*self.inner;
+        let (active, imm) = {
+            let mem = inner.mem.read();
+            (mem.active.clone(), mem.imm.clone())
+        };
+
+        // Pause zero-copy pointer motion on every level while iterators
+        // run (gates are re-acquired by compactors every
+        // MERGE_STEPS_PER_GATE steps, bounding our wait).
+        let gates: Vec<Arc<Mutex<()>>> = {
+            let levels = inner.levels.lock();
+            levels.iter().map(|l| l.gate.clone()).collect()
+        };
+        let _guards: Vec<_> = gates.iter().map(|g| g.lock()).collect();
+
+        let mut sources: Vec<Box<dyn Iterator<Item = OwnedEntry> + Send>> = Vec::new();
+        sources.push(Box::new(active.list().iter_from(start)));
+        if let Some(imm) = imm {
+            sources.push(Box::new(imm.list().iter_from(start)));
+        }
+        {
+            let levels = inner.levels.lock();
+            for l in levels.iter() {
+                for t in l.tables.iter().rev() {
+                    sources.push(Box::new(t.list.iter_from(start)));
+                }
+                if let Some((new_t, old_t)) = &l.merging {
+                    sources.push(Box::new(new_t.list.iter_from(start)));
+                    if let Some(e) = l.mark.load().map(|_| ()).and_then(|()| {
+                        // Materialize the in-flight node as a one-entry source.
+                        mark_entry(&l.mark)
+                    }) {
+                        if e.key.as_slice() >= start {
+                            sources.push(Box::new(std::iter::once(e)));
+                        }
+                    }
+                    sources.push(Box::new(old_t.list.iter_from(start)));
+                }
+                if let Some(t) = &l.lazy_draining {
+                    sources.push(Box::new(t.list.iter_from(start)));
+                }
+            }
+        }
+        sources.extend(inner.repo.scan_sources(start));
+
+        let merged = dedup_newest(KWayMerge::new(sources), true);
+        Ok(merged
+            .take(limit)
+            .map(|e| ScanEntry { key: e.key, value: e.value })
+            .collect())
+    }
+
+    fn wait_idle(&self) -> Result<()> {
+        let inner = &*self.inner;
+        loop {
+            self.check_usable()?;
+            let mem_busy = inner.mem.read().imm.is_some();
+            let levels_busy = {
+                let levels = inner.levels.lock();
+                let n = levels.len();
+                levels.iter().enumerate().any(|(i, l)| {
+                    l.merging.is_some()
+                        || l.lazy_draining.is_some()
+                        || (i + 1 < n && l.tables.len() >= 2)
+                        || (i + 1 == n && l.tables.len() >= inner.opts.lazy_copy_trigger)
+                })
+            };
+            if !mem_busy && !levels_busy && inner.repo.is_quiescent() {
+                return Ok(());
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    fn report(&self) -> EngineReport {
+        let inner = &*self.inner;
+        let mut tables: Vec<usize> = {
+            let levels = inner.levels.lock();
+            levels
+                .iter()
+                .map(|l| {
+                    l.tables.len()
+                        + l.merging.as_ref().map_or(0, |_| 2)
+                        + l.lazy_draining.as_ref().map_or(0, |_| 1)
+                })
+                .collect()
+        };
+        tables.extend(inner.repo.tables_per_level());
+        EngineReport {
+            name: inner.opts.name.clone(),
+            nvm_used_bytes: inner.nvm.used_bytes(),
+            nvm_peak_bytes: inner.nvm.peak_bytes(),
+            tables_per_level: tables,
+            stats: inner.stats.snapshot(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.inner.opts.name
+    }
+}
+
+/// MemTable capacity guaranteed to accept the entry being written.
+fn min_capacity(key: &[u8], value: &[u8]) -> usize {
+    miodb_skiplist::SkipListArena::capacity_for_entry(key.len(), value.len())
+}
+
+/// An atomic multi-operation write (LevelDB-style `WriteBatch`).
+///
+/// All operations of a batch are framed as a **single WAL record**, so
+/// after a crash either every operation replays or none does; they receive
+/// consecutive sequence numbers and land in one MemTable. (Readers without
+/// snapshots may still observe a batch mid-application — durability is
+/// atomic, isolation follows the paper's snapshot-less read model.)
+///
+/// # Examples
+///
+/// ```
+/// use miodb_core::{MioDb, MioOptions, WriteBatch};
+/// use miodb_common::KvEngine;
+///
+/// # fn main() -> miodb_common::Result<()> {
+/// let db = MioDb::open(MioOptions::small_for_tests())?;
+/// let mut batch = WriteBatch::new();
+/// batch.put(b"a", b"1");
+/// batch.put(b"b", b"2");
+/// batch.delete(b"stale");
+/// db.write_batch(batch)?;
+/// assert_eq!(db.get(b"a")?.as_deref(), Some(&b"1"[..]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct WriteBatch {
+    ops: Vec<(Vec<u8>, Vec<u8>, OpKind)>,
+}
+
+impl WriteBatch {
+    /// Creates an empty batch.
+    pub fn new() -> WriteBatch {
+        WriteBatch::default()
+    }
+
+    /// Queues an insert/overwrite.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> &mut WriteBatch {
+        self.ops.push((key.to_vec(), value.to_vec(), OpKind::Put));
+        self
+    }
+
+    /// Queues a deletion.
+    pub fn delete(&mut self, key: &[u8]) -> &mut WriteBatch {
+        self.ops.push((key.to_vec(), Vec::new(), OpKind::Delete));
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Drops all queued operations.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+}
+
+impl MioDb {
+    /// Applies a [`WriteBatch`]: one WAL record, consecutive sequence
+    /// numbers, all operations in one MemTable (rotating to a large-enough
+    /// MemTable first if needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns the usual write-path failures; on error, nothing from the
+    /// batch was logged.
+    pub fn write_batch(&self, batch: WriteBatch) -> Result<()> {
+        if batch.ops.is_empty() {
+            return Ok(());
+        }
+        self.check_usable()?;
+        let inner = &*self.inner;
+        let mut guard = inner.write_mutex.lock();
+        let user_bytes: u64 = batch.ops.iter().map(|(k, v, _)| (k.len() + v.len()) as u64).sum();
+        inner.stats.user_bytes_written.fetch_add(user_bytes, Ordering::Relaxed);
+        let n = batch.ops.len() as u64;
+        let seq_base = inner.seq.fetch_add(n, Ordering::Relaxed) + 1;
+        let need: usize = batch
+            .ops
+            .iter()
+            .map(|(k, v, _)| miodb_skiplist::node_size_upper(k.len(), v.len()) as usize)
+            .sum::<usize>()
+            + 4096;
+        loop {
+            let r = {
+                let active = inner.mem.read().active.clone();
+                active.insert_batch(&batch.ops, seq_base)
+            };
+            match r {
+                Ok(()) => return Ok(()),
+                Err(Error::ArenaFull) => {
+                    self.rotate_memtable(Some(&mut guard), need)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Materializes the insertion mark's node, if any, as an owned entry.
+fn mark_entry(mark: &InsertionMark) -> Option<OwnedEntry> {
+    let (_node, _) = mark.load()?;
+    // Reading via the mark's own lookup keeps all unsafe access inside the
+    // skiplist crate; the key is unknown, so expose it via the raw load.
+    mark.entry()
+}
+
+impl Drop for MioDb {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.flush_cv.notify_all();
+        self.inner.imm_cv.notify_all();
+        self.inner.level_cv.notify_all();
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> MioDb {
+        MioDb::open(MioOptions::small_for_tests()).unwrap()
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let d = db();
+        d.put(b"k", b"v").unwrap();
+        assert_eq!(d.get(b"k").unwrap().unwrap(), b"v");
+        d.delete(b"k").unwrap();
+        assert!(d.get(b"k").unwrap().is_none());
+        assert!(d.get(b"missing").unwrap().is_none());
+    }
+
+    #[test]
+    fn overwrites_return_newest() {
+        let d = db();
+        for i in 0..10u32 {
+            d.put(b"key", format!("v{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(d.get(b"key").unwrap().unwrap(), b"v9");
+    }
+
+    #[test]
+    fn data_flows_through_all_levels() {
+        let d = db();
+        let value = vec![42u8; 256];
+        for i in 0..4000u32 {
+            d.put(format!("key{i:06}").as_bytes(), &value).unwrap();
+        }
+        d.wait_idle().unwrap();
+        let report = d.report();
+        assert!(report.stats.flush_count > 1, "several flushes expected");
+        assert!(report.stats.zero_copy_compactions > 0, "zero-copy merges expected");
+        assert!(report.stats.copy_compactions > 0, "lazy-copy expected");
+        for i in (0..4000u32).step_by(191) {
+            assert_eq!(
+                d.get(format!("key{i:06}").as_bytes()).unwrap().unwrap(),
+                value,
+                "key{i:06}"
+            );
+        }
+    }
+
+    #[test]
+    fn wa_stays_near_paper_bound() {
+        // Zero-copy compaction means the only NVM rewrites are the WAL, the
+        // one-piece flush and the lazy copy: WA should stay around ~3
+        // (paper Figure 11: 2.9x, theoretical bound 3).
+        let d = db();
+        let value = vec![7u8; 512];
+        for i in 0..6000u32 {
+            d.put(format!("key{:06}", i % 1500).as_bytes(), &value).unwrap();
+        }
+        d.wait_idle().unwrap();
+        let wa = d.report().stats.write_amplification;
+        assert!(wa > 1.0, "wa = {wa}");
+        assert!(wa < 4.5, "zero-copy compaction must bound WA, got {wa}");
+    }
+
+    #[test]
+    fn deletes_survive_compaction() {
+        let d = db();
+        let value = vec![1u8; 256];
+        for i in 0..1000u32 {
+            d.put(format!("key{i:05}").as_bytes(), &value).unwrap();
+        }
+        for i in (0..1000u32).step_by(2) {
+            d.delete(format!("key{i:05}").as_bytes()).unwrap();
+        }
+        d.wait_idle().unwrap();
+        for i in 0..1000u32 {
+            let got = d.get(format!("key{i:05}").as_bytes()).unwrap();
+            if i % 2 == 0 {
+                assert!(got.is_none(), "key{i:05} should be deleted");
+            } else {
+                assert_eq!(got.unwrap(), value, "key{i:05} should live");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_is_sorted_and_deduped() {
+        let d = db();
+        let value = vec![9u8; 200];
+        for i in 0..2000u32 {
+            d.put(format!("key{i:05}").as_bytes(), &value).unwrap();
+        }
+        // Overwrite some keys and delete others while compaction runs.
+        for i in (0..2000u32).step_by(3) {
+            d.put(format!("key{i:05}").as_bytes(), b"fresh").unwrap();
+        }
+        for i in (1..2000u32).step_by(100) {
+            d.delete(format!("key{i:05}").as_bytes()).unwrap();
+        }
+        let out = d.scan(b"key00500", 50).unwrap();
+        assert!(!out.is_empty());
+        for w in out.windows(2) {
+            assert!(w[0].key < w[1].key, "scan must be sorted");
+        }
+        for e in &out {
+            let direct = d.get(&e.key).unwrap().expect("scan returned dead key");
+            assert_eq!(direct, e.value, "scan/get disagree on {:?}", String::from_utf8_lossy(&e.key));
+        }
+    }
+
+    #[test]
+    fn memtable_pressure_has_no_interval_stalls() {
+        // MioDB's headline property: flushing is one memcpy, so even write
+        // bursts should not produce interval stalls.
+        let d = db();
+        let value = vec![5u8; 1024];
+        for i in 0..3000u32 {
+            d.put(format!("key{i:06}").as_bytes(), &value).unwrap();
+        }
+        let snap = d.report().stats;
+        // One-piece flushing keeps rotation nearly free: any residual
+        // interval stalls must be negligible (the paper's Table 1 shows 0s
+        // vs minutes for the baselines).
+        assert!(
+            snap.interval_stall_ns < 100_000_000,
+            "interval stalls too large: {snap:?}"
+        );
+        assert!(snap.serialization_ns == 0, "MioDB never serializes into NVM");
+    }
+
+    #[test]
+    fn elastic_cap_applies_backpressure() {
+        let opts = MioOptions {
+            elastic_buffer_cap: Some(256 * 1024),
+            ..MioOptions::small_for_tests()
+        };
+        let d = MioDb::open(opts).unwrap();
+        let value = vec![3u8; 512];
+        for i in 0..3000u32 {
+            d.put(format!("key{i:06}").as_bytes(), &value).unwrap();
+        }
+        d.wait_idle().unwrap();
+        for i in (0..3000u32).step_by(307) {
+            assert!(d.get(format!("key{i:06}").as_bytes()).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn reads_concurrent_with_writes() {
+        let d = Arc::new(db());
+        let value = vec![8u8; 300];
+        std::thread::scope(|s| {
+            let writer = {
+                let d = d.clone();
+                let value = value.clone();
+                s.spawn(move || {
+                    for i in 0..3000u32 {
+                        d.put(format!("key{i:06}").as_bytes(), &value).unwrap();
+                    }
+                })
+            };
+            for t in 0..3 {
+                let d = d.clone();
+                let value = value.clone();
+                s.spawn(move || {
+                    for i in (t..2000u32).step_by(7) {
+                        if let Some(v) = d.get(format!("key{i:06}").as_bytes()).unwrap() {
+                            assert_eq!(v, value);
+                        }
+                    }
+                });
+            }
+            writer.join().unwrap();
+        });
+        d.wait_idle().unwrap();
+        assert_eq!(d.get(b"key002999").unwrap().unwrap(), value);
+    }
+
+    #[test]
+    fn ssd_mode_round_trip() {
+        let opts = MioOptions {
+            repository: RepositoryMode::Ssd {
+                lsm: miodb_lsm::LsmOptions {
+                    table_bytes: 32 * 1024,
+                    level1_max_bytes: 128 * 1024,
+                    ..miodb_lsm::LsmOptions::default()
+                },
+                device: DeviceModel::ssd_unthrottled(),
+            },
+            elastic_levels: 3,
+            ..MioOptions::small_for_tests()
+        };
+        let d = MioDb::open(opts).unwrap();
+        let value = vec![6u8; 400];
+        for i in 0..2000u32 {
+            d.put(format!("key{i:06}").as_bytes(), &value).unwrap();
+        }
+        d.wait_idle().unwrap();
+        let snap = d.report().stats;
+        assert!(snap.ssd_bytes_written > 0, "repository must hit the SSD");
+        for i in (0..2000u32).step_by(173) {
+            assert_eq!(d.get(format!("key{i:06}").as_bytes()).unwrap().unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn report_shape() {
+        let d = db();
+        d.put(b"k", b"v").unwrap();
+        let r = d.report();
+        assert_eq!(r.name, "MioDB");
+        assert_eq!(r.tables_per_level.len(), 4);
+        assert!(r.nvm_used_bytes > 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! PMTables and the engine-side MemTable wrapper.
+
+use std::sync::Arc;
+
+use miodb_bloom::BloomFilter;
+use miodb_common::{OpKind, Result, SequenceNumber};
+use miodb_pmem::{PmemPool, PmemRegion};
+use miodb_skiplist::{SkipList, SkipListArena};
+use miodb_wal::WriteAheadLog;
+use parking_lot::Mutex;
+
+/// A persistent, immutable-by-writers skip-list table in the elastic
+/// buffer.
+///
+/// A PMTable owns the set of arenas its nodes physically live in: after a
+/// zero-copy merge the merged table's nodes span the arenas of both inputs,
+/// so arena ownership is transferred (unioned) at merge time and memory is
+/// reclaimed only when the table is lazy-copied into the repository.
+#[derive(Debug)]
+pub struct PmTable {
+    /// Read view rooted at the table's head node.
+    pub list: SkipList,
+    /// Every arena whose nodes may be reachable from `list`.
+    pub arenas: Vec<PmemRegion>,
+    /// Mergeable bloom filter over the table's keys (kept in DRAM; rebuilt
+    /// from the list on recovery).
+    pub bloom: BloomFilter,
+    /// Approximate number of nodes.
+    pub len: usize,
+    /// Approximate user bytes.
+    pub data_bytes: u64,
+    /// Largest sequence number contained (age ordering sanity checks).
+    pub newest_seq: SequenceNumber,
+}
+
+impl PmTable {
+    /// Total NVM bytes held by this table's arenas.
+    pub fn arena_bytes(&self) -> u64 {
+        self.arenas.iter().map(|a| a.len).sum()
+    }
+
+    /// Rebuilds the bloom filter by scanning the list (recovery path).
+    pub fn rebuild_bloom(list: &SkipList, expected_keys: usize, bits_per_key: usize) -> BloomFilter {
+        let mut bloom = BloomFilter::with_bits_per_key(expected_keys.max(16), bits_per_key);
+        for e in list.iter() {
+            bloom.insert(&e.key);
+        }
+        bloom
+    }
+
+    /// Frees all arenas back to `pool`, consuming the table. The caller
+    /// must guarantee no readers hold references (see the engine's
+    /// unique-ownership GC).
+    pub fn release(self, pool: &PmemPool) {
+        for a in self.arenas {
+            pool.free(a);
+        }
+    }
+}
+
+/// The engine-side MemTable: a DRAM skip-list arena plus its WAL and an
+/// incrementally built bloom filter (inherited by the flushed PMTable).
+pub struct MemTable {
+    arena: SkipListArena,
+    wal: WriteAheadLog,
+    bloom: Mutex<BloomFilter>,
+}
+
+impl std::fmt::Debug for MemTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemTable")
+            .field("used", &self.arena.used_bytes())
+            .field("len", &self.arena.len())
+            .finish()
+    }
+}
+
+impl MemTable {
+    /// Creates a MemTable of `capacity` bytes in `dram`, logging to a
+    /// fresh WAL in `nvm`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a capacity error if either pool cannot fit its part.
+    pub fn new(
+        dram: &Arc<PmemPool>,
+        nvm: &Arc<PmemPool>,
+        capacity: usize,
+        wal_segment: usize,
+        bloom_bits_per_key: usize,
+        bloom_expected_keys: usize,
+    ) -> Result<MemTable> {
+        let arena = SkipListArena::new(dram.clone(), capacity)?;
+        let wal = WriteAheadLog::new(nvm.clone(), wal_segment)?;
+        Ok(MemTable {
+            arena,
+            wal,
+            bloom: Mutex::new(BloomFilter::with_bits_per_key(
+                bloom_expected_keys,
+                bloom_bits_per_key,
+            )),
+        })
+    }
+
+    /// Logs and inserts one entry. Writers must be serialized by the
+    /// caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`miodb_common::Error::ArenaFull`] when the MemTable must be
+    /// rotated; the WAL record for the failed insert is harmless (its
+    /// sequence number is simply replayed into the next MemTable on
+    /// recovery — same value, same outcome).
+    pub fn insert(&self, key: &[u8], value: &[u8], seq: SequenceNumber, kind: OpKind) -> Result<()> {
+        if !self.arena.fits(key.len(), value.len()) {
+            return Err(miodb_common::Error::ArenaFull);
+        }
+        self.wal.append(key, value, seq, kind)?;
+        self.arena.insert(key, value, seq, kind)?;
+        self.bloom.lock().insert(key);
+        Ok(())
+    }
+
+    /// Logs and inserts a whole batch with consecutive sequence numbers
+    /// starting at `seq_base`, framed as a single WAL record so replay is
+    /// all-or-nothing. Writers must be serialized by the caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`miodb_common::Error::ArenaFull`] (before logging anything)
+    /// when the batch does not fit — the caller must rotate to a MemTable
+    /// large enough for the whole batch.
+    pub fn insert_batch(
+        &self,
+        entries: &[(Vec<u8>, Vec<u8>, OpKind)],
+        seq_base: SequenceNumber,
+    ) -> Result<()> {
+        let need: u64 = entries
+            .iter()
+            .map(|(k, v, _)| miodb_skiplist::node_size_upper(k.len(), v.len()))
+            .sum();
+        if need > self.arena.remaining_bytes() {
+            return Err(miodb_common::Error::ArenaFull);
+        }
+        self.wal.append_batch(entries, seq_base)?;
+        let mut bloom = self.bloom.lock();
+        for (i, (key, value, kind)) in entries.iter().enumerate() {
+            self.arena.insert(key, value, seq_base + i as u64, *kind)?;
+            bloom.insert(key);
+        }
+        Ok(())
+    }
+
+    /// The underlying arena (flush path).
+    pub fn arena(&self) -> &SkipListArena {
+        &self.arena
+    }
+
+    /// Read view.
+    pub fn list(&self) -> SkipList {
+        self.arena.list()
+    }
+
+    /// Snapshot of the bloom filter (cloned into the flushed PMTable).
+    pub fn bloom_snapshot(&self) -> BloomFilter {
+        self.bloom.lock().clone()
+    }
+
+    /// WAL segments, persisted in the manifest for replay.
+    pub fn wal_segments(&self) -> Vec<PmemRegion> {
+        self.wal.segments()
+    }
+
+    /// Releases the arena and the WAL, consuming the MemTable.
+    pub fn release(self) {
+        self.arena.release();
+        self.wal.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miodb_common::Stats;
+    use miodb_pmem::DeviceModel;
+
+    fn pools() -> (Arc<PmemPool>, Arc<PmemPool>) {
+        let stats = Arc::new(Stats::new());
+        (
+            PmemPool::new(4 << 20, DeviceModel::dram(), stats.clone()).unwrap(),
+            PmemPool::new(8 << 20, DeviceModel::nvm_unthrottled(), stats).unwrap(),
+        )
+    }
+
+    #[test]
+    fn memtable_logs_and_indexes() {
+        let (dram, nvm) = pools();
+        let m = MemTable::new(&dram, &nvm, 64 * 1024, 64 * 1024, 16, 1024).unwrap();
+        m.insert(b"k", b"v", 1, OpKind::Put).unwrap();
+        assert_eq!(m.list().get(b"k").unwrap().value, b"v");
+        let replayed = miodb_wal::WriteAheadLog::replay(&nvm, &m.wal_segments()).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].key, b"k");
+        assert!(m.bloom_snapshot().may_contain(b"k"));
+        assert!(!m.bloom_snapshot().may_contain(b"other"));
+    }
+
+    #[test]
+    fn full_memtable_reports_before_logging() {
+        let (dram, nvm) = pools();
+        let m = MemTable::new(&dram, &nvm, 8 * 1024, 64 * 1024, 16, 1024).unwrap();
+        let big = vec![0u8; 4000];
+        m.insert(b"a", &big, 1, OpKind::Put).unwrap();
+        let err = m.insert(b"b", &big, 2, OpKind::Put).unwrap_err();
+        assert!(matches!(err, miodb_common::Error::ArenaFull));
+        // The rejected insert must not have reached the WAL.
+        let replayed = miodb_wal::WriteAheadLog::replay(&nvm, &m.wal_segments()).unwrap();
+        assert_eq!(replayed.len(), 1);
+    }
+
+    #[test]
+    fn release_frees_both_pools() {
+        let (dram, nvm) = pools();
+        let d0 = dram.used_bytes();
+        let n0 = nvm.used_bytes();
+        let m = MemTable::new(&dram, &nvm, 64 * 1024, 16 * 1024, 16, 1024).unwrap();
+        m.insert(b"k", b"v", 1, OpKind::Put).unwrap();
+        m.release();
+        assert_eq!(dram.used_bytes(), d0);
+        assert_eq!(nvm.used_bytes(), n0);
+    }
+
+    #[test]
+    fn rebuild_bloom_covers_all_keys() {
+        let (dram, _nvm) = pools();
+        let arena = SkipListArena::new(dram, 64 * 1024).unwrap();
+        for i in 0..100u32 {
+            arena.insert(format!("k{i}").as_bytes(), b"v", i as u64 + 1, OpKind::Put).unwrap();
+        }
+        let bloom = PmTable::rebuild_bloom(&arena.list(), 100, 16);
+        for i in 0..100u32 {
+            assert!(bloom.may_contain(format!("k{i}").as_bytes()));
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Correctness of the ablation configurations: disabling bloom filters or
+//! parallel compaction must never change results, only costs.
+
+use miodb_common::KvEngine;
+use miodb_core::{MioDb, MioOptions};
+
+fn verify_workload(db: &MioDb) {
+    let value = vec![9u8; 300];
+    for i in 0..3_000u32 {
+        db.put(format!("key{i:05}").as_bytes(), &value).unwrap();
+    }
+    for i in (0..3_000u32).step_by(3) {
+        db.delete(format!("key{i:05}").as_bytes()).unwrap();
+    }
+    db.wait_idle().unwrap();
+    for i in 0..3_000u32 {
+        let got = db.get(format!("key{i:05}").as_bytes()).unwrap();
+        if i % 3 == 0 {
+            assert!(got.is_none(), "key{i:05} should be deleted");
+        } else {
+            assert_eq!(got.unwrap(), value, "key{i:05}");
+        }
+    }
+    let scan = db.scan(b"key00010", 20).unwrap();
+    assert!(!scan.is_empty());
+    for w in scan.windows(2) {
+        assert!(w[0].key < w[1].key);
+    }
+}
+
+#[test]
+fn bloom_disabled_is_correct() {
+    let db = MioDb::open(MioOptions {
+        bloom_enabled: false,
+        ..MioOptions::small_for_tests()
+    })
+    .unwrap();
+    verify_workload(&db);
+    // Without filters, no skip statistics accumulate.
+    assert_eq!(db.report().stats.bloom_skips, 0);
+}
+
+#[test]
+fn serial_compaction_is_correct() {
+    let db = MioDb::open(MioOptions {
+        parallel_compaction: false,
+        elastic_levels: 3, // shallow buffer so the workload reaches lazy-copy
+        ..MioOptions::small_for_tests()
+    })
+    .unwrap();
+    verify_workload(&db);
+    let report = db.report();
+    assert!(report.stats.zero_copy_compactions > 0, "serial compactor must run merges");
+    assert!(report.stats.copy_compactions > 0, "lazy copy still drains");
+}
+
+#[test]
+fn serial_and_no_bloom_together() {
+    let db = MioDb::open(MioOptions {
+        parallel_compaction: false,
+        bloom_enabled: false,
+        elastic_levels: 3,
+        ..MioOptions::small_for_tests()
+    })
+    .unwrap();
+    verify_workload(&db);
+}
+
+#[test]
+fn bloom_enabled_skips_tables() {
+    let db = MioDb::open(MioOptions::small_for_tests()).unwrap();
+    for i in 0..3_000u32 {
+        db.put(format!("key{i:05}").as_bytes(), &[1u8; 300]).unwrap();
+    }
+    db.wait_idle().unwrap();
+    for i in 0..500u32 {
+        db.get(format!("key{i:05}").as_bytes()).unwrap();
+    }
+    assert!(db.report().stats.bloom_skips > 0, "filters should skip resting tables");
+}

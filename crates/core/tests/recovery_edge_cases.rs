@@ -1,0 +1,131 @@
+//! Recovery edge cases beyond the happy paths in the root test suite.
+
+use std::sync::Arc;
+
+use miodb_common::{KvEngine, Stats};
+use miodb_core::{MioDb, MioOptions, WriteBatch};
+use miodb_pmem::{DeviceModel, PmemPool};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("miodb-edge-{}-{name}", std::process::id()))
+}
+
+fn recover(path: &std::path::Path, opts: &MioOptions) -> MioDb {
+    let pool = PmemPool::restore_from_file(path, opts.nvm_device, Arc::new(Stats::new())).unwrap();
+    MioDb::recover(pool, opts.clone()).unwrap()
+}
+
+#[test]
+fn recover_empty_database() {
+    let opts = MioOptions::small_for_tests();
+    let path = tmp("empty");
+    {
+        let db = MioDb::open(opts.clone()).unwrap();
+        db.snapshot(&path).unwrap();
+    }
+    let db = recover(&path, &opts);
+    assert!(db.get(b"anything").unwrap().is_none());
+    db.put(b"fresh", b"start").unwrap();
+    assert_eq!(db.get(b"fresh").unwrap().unwrap(), b"start");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn recover_single_unflushed_key() {
+    let opts = MioOptions::small_for_tests();
+    let path = tmp("onekey");
+    {
+        let db = MioDb::open(opts.clone()).unwrap();
+        db.put(b"solo", b"value").unwrap();
+        db.snapshot(&path).unwrap();
+    }
+    let db = recover(&path, &opts);
+    assert_eq!(db.get(b"solo").unwrap().unwrap(), b"value");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sequence_numbers_continue_after_recovery() {
+    // An overwrite written after recovery must shadow the pre-crash value
+    // even through later compactions (i.e. its sequence number must be
+    // strictly larger).
+    let opts = MioOptions::small_for_tests();
+    let path = tmp("seq");
+    {
+        let db = MioDb::open(opts.clone()).unwrap();
+        for _ in 0..50 {
+            db.put(b"clash", b"pre-crash").unwrap();
+        }
+        for i in 0..500u32 {
+            db.put(format!("fill{i:04}").as_bytes(), &[0u8; 200]).unwrap();
+        }
+        db.snapshot(&path).unwrap();
+    }
+    let db = recover(&path, &opts);
+    db.put(b"clash", b"post-crash").unwrap();
+    for i in 0..2_000u32 {
+        db.put(format!("more{i:05}").as_bytes(), &[1u8; 200]).unwrap();
+    }
+    db.wait_idle().unwrap();
+    assert_eq!(db.get(b"clash").unwrap().unwrap(), b"post-crash");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn oversized_memtable_entry_survives_recovery() {
+    let opts = MioOptions::small_for_tests(); // 64 KiB memtables
+    let path = tmp("jumbo");
+    let jumbo = vec![0xEEu8; 200 * 1024];
+    {
+        let db = MioDb::open(opts.clone()).unwrap();
+        db.put(b"jumbo", &jumbo).unwrap();
+        db.put(b"small", b"s").unwrap();
+        db.snapshot(&path).unwrap();
+    }
+    let db = recover(&path, &opts);
+    assert_eq!(db.get(b"jumbo").unwrap().unwrap(), jumbo);
+    assert_eq!(db.get(b"small").unwrap().unwrap(), b"s");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn batches_and_singles_interleaved_across_crash() {
+    let opts = MioOptions::small_for_tests();
+    let path = tmp("mixed");
+    {
+        let db = MioDb::open(opts.clone()).unwrap();
+        db.put(b"a", b"1").unwrap();
+        let mut b = WriteBatch::new();
+        b.put(b"b", b"2");
+        b.put(b"a", b"overwritten");
+        db.write_batch(b).unwrap();
+        db.delete(b"b").unwrap();
+        db.snapshot(&path).unwrap();
+    }
+    let db = recover(&path, &opts);
+    assert_eq!(db.get(b"a").unwrap().unwrap(), b"overwritten");
+    assert!(db.get(b"b").unwrap().is_none());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn restore_into_unthrottled_then_throttled_device() {
+    // Device models are runtime configuration, not persistent state: the
+    // same snapshot can be reopened under a different timing model.
+    let mut opts = MioOptions::small_for_tests();
+    let path = tmp("device");
+    {
+        let db = MioDb::open(opts.clone()).unwrap();
+        for i in 0..300u32 {
+            db.put(format!("k{i:04}").as_bytes(), b"v").unwrap();
+        }
+        db.snapshot(&path).unwrap();
+    }
+    opts.nvm_device = DeviceModel::nvm(); // throttled now
+    let pool = PmemPool::restore_from_file(&path, opts.nvm_device, Arc::new(Stats::new())).unwrap();
+    let db = MioDb::recover(pool, opts).unwrap();
+    for i in (0..300u32).step_by(37) {
+        assert_eq!(db.get(format!("k{i:04}").as_bytes()).unwrap().unwrap(), b"v");
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,168 @@
+//! K-way multi-version merging across sorted entry sources.
+//!
+//! Compactions and scans combine several sorted runs (MemTables, PMTables,
+//! SSTables). [`KWayMerge`] yields the union in global multi-version order
+//! (key ascending, seq descending); [`dedup_newest`] collapses it to the
+//! newest version per key, optionally dropping tombstones (bottom level).
+
+use miodb_skiplist::iter::OwnedEntry;
+
+/// Merges sorted entry iterators into one globally sorted stream.
+///
+/// Sources must each be in multi-version order. Ties on `(key, seq)` are
+/// broken by source index (earlier sources win), which callers exploit by
+/// passing newer sources first.
+pub struct KWayMerge {
+    sources: Vec<std::iter::Peekable<Box<dyn Iterator<Item = OwnedEntry> + Send>>>,
+}
+
+impl std::fmt::Debug for KWayMerge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KWayMerge")
+            .field("sources", &self.sources.len())
+            .finish()
+    }
+}
+
+impl KWayMerge {
+    /// Builds a merge over `sources` (newest first for tie-breaking).
+    pub fn new(sources: Vec<Box<dyn Iterator<Item = OwnedEntry> + Send>>) -> KWayMerge {
+        KWayMerge {
+            sources: sources.into_iter().map(Iterator::peekable).collect(),
+        }
+    }
+}
+
+impl Iterator for KWayMerge {
+    type Item = OwnedEntry;
+
+    fn next(&mut self) -> Option<OwnedEntry> {
+        let mut best: Option<(usize, Vec<u8>, u64)> = None;
+        for i in 0..self.sources.len() {
+            let Some(e) = self.sources[i].peek() else { continue };
+            let replace = match &best {
+                None => true,
+                Some((_, bk, bs)) => {
+                    miodb_common::types::mv_cmp(&e.key, e.seq, bk, *bs) == std::cmp::Ordering::Less
+                }
+            };
+            if replace {
+                best = Some((i, e.key.clone(), e.seq));
+            }
+        }
+        best.and_then(|(i, _, _)| self.sources[i].next())
+    }
+}
+
+/// Collapses a multi-version-ordered stream to the newest version per key.
+///
+/// When `drop_tombstones` is true (bottom-level compaction), keys whose
+/// newest version is a delete are omitted entirely.
+pub fn dedup_newest(
+    iter: impl Iterator<Item = OwnedEntry>,
+    drop_tombstones: bool,
+) -> impl Iterator<Item = OwnedEntry> {
+    let mut last_key: Option<Vec<u8>> = None;
+    iter.filter_map(move |e| {
+        if last_key.as_deref() == Some(e.key.as_slice()) {
+            return None; // older version of a key we already emitted/skipped
+        }
+        last_key = Some(e.key.clone());
+        if drop_tombstones && e.kind.is_delete() {
+            None
+        } else {
+            Some(e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miodb_common::OpKind;
+
+    fn e(key: &str, value: &str, seq: u64, kind: OpKind) -> OwnedEntry {
+        OwnedEntry {
+            key: key.as_bytes().to_vec(),
+            value: value.as_bytes().to_vec(),
+            seq,
+            kind,
+        }
+    }
+
+    fn boxed(v: Vec<OwnedEntry>) -> Box<dyn Iterator<Item = OwnedEntry> + Send> {
+        Box::new(v.into_iter())
+    }
+
+    #[test]
+    fn merges_disjoint_sources() {
+        let m = KWayMerge::new(vec![
+            boxed(vec![e("b", "2", 2, OpKind::Put)]),
+            boxed(vec![e("a", "1", 1, OpKind::Put), e("c", "3", 3, OpKind::Put)]),
+        ]);
+        let keys: Vec<Vec<u8>> = m.map(|x| x.key).collect();
+        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn multi_version_global_order() {
+        let m = KWayMerge::new(vec![
+            boxed(vec![e("k", "new", 9, OpKind::Put)]),
+            boxed(vec![e("k", "old", 3, OpKind::Put)]),
+        ]);
+        let seqs: Vec<u64> = m.map(|x| x.seq).collect();
+        assert_eq!(seqs, vec![9, 3]);
+    }
+
+    #[test]
+    fn dedup_keeps_newest() {
+        let src = vec![
+            e("a", "new", 9, OpKind::Put),
+            e("a", "old", 3, OpKind::Put),
+            e("b", "only", 5, OpKind::Put),
+        ];
+        let out: Vec<OwnedEntry> = dedup_newest(src.into_iter(), false).collect();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].value, b"new");
+        assert_eq!(out[1].value, b"only");
+    }
+
+    #[test]
+    fn dedup_drops_tombstones_at_bottom() {
+        let src = vec![
+            e("a", "", 9, OpKind::Delete),
+            e("a", "old", 3, OpKind::Put),
+            e("b", "live", 5, OpKind::Put),
+        ];
+        let out: Vec<OwnedEntry> = dedup_newest(src.into_iter(), true).collect();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, b"b");
+    }
+
+    #[test]
+    fn dedup_keeps_tombstones_midway() {
+        let src = vec![e("a", "", 9, OpKind::Delete), e("a", "old", 3, OpKind::Put)];
+        let out: Vec<OwnedEntry> = dedup_newest(src.into_iter(), false).collect();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, OpKind::Delete);
+    }
+
+    #[test]
+    fn empty_sources() {
+        let m = KWayMerge::new(vec![boxed(vec![]), boxed(vec![])]);
+        assert_eq!(m.count(), 0);
+        let m = KWayMerge::new(vec![]);
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn three_way_interleave() {
+        let m = KWayMerge::new(vec![
+            boxed(vec![e("a", "", 1, OpKind::Put), e("d", "", 4, OpKind::Put)]),
+            boxed(vec![e("b", "", 2, OpKind::Put), e("e", "", 5, OpKind::Put)]),
+            boxed(vec![e("c", "", 3, OpKind::Put), e("f", "", 6, OpKind::Put)]),
+        ]);
+        let keys: Vec<u8> = m.map(|x| x.key[0]).collect();
+        assert_eq!(keys, b"abcdef".to_vec());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the LSM substrate: SSTable round-trips, k-way merge
+//! against a sort-based model, and the leveled hierarchy against a map
+//! model across arbitrary ingest/compaction schedules.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use miodb_common::{OpKind, Stats};
+use miodb_lsm::merge_iter::{dedup_newest, KWayMerge};
+use miodb_lsm::{LsmCore, LsmOptions, SsTableBuilder, TableStore};
+use miodb_pmem::DeviceModel;
+use miodb_skiplist::iter::OwnedEntry;
+use proptest::prelude::*;
+
+fn store() -> (Arc<TableStore>, Arc<Stats>) {
+    let stats = Arc::new(Stats::new());
+    (TableStore::new(DeviceModel::ssd_unthrottled(), stats.clone()), stats)
+}
+
+fn entry_strategy() -> impl Strategy<Value = (u16, Vec<u8>, bool)> {
+    (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..300), any::<bool>())
+}
+
+fn to_sorted_run(raw: &[(u16, Vec<u8>, bool)], seq_base: u64) -> Vec<OwnedEntry> {
+    let mut entries: Vec<OwnedEntry> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, (k, v, del))| OwnedEntry {
+            key: format!("key{:05}", k % 300).into_bytes(),
+            value: if *del { Vec::new() } else { v.clone() },
+            seq: seq_base + i as u64 + 1,
+            kind: if *del { OpKind::Delete } else { OpKind::Put },
+        })
+        .collect();
+    entries.sort_by(|a, b| miodb_common::types::mv_cmp(&a.key, a.seq, &b.key, b.seq));
+    entries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sstable_round_trip(raw in proptest::collection::vec(entry_strategy(), 1..120)) {
+        let (store, stats) = store();
+        let entries = to_sorted_run(&raw, 0);
+        let mut b = SsTableBuilder::new(1024, 10);
+        for e in &entries {
+            b.add(&e.key, &e.value, e.seq, e.kind);
+        }
+        let meta = b.finish(&store, &stats).unwrap();
+        // Iteration returns exactly the input.
+        let out: Vec<OwnedEntry> = meta.reader.iter(stats.clone()).collect();
+        prop_assert_eq!(&out, &entries);
+        // Point lookups return the newest version per key.
+        let mut newest: BTreeMap<Vec<u8>, &OwnedEntry> = BTreeMap::new();
+        for e in &entries {
+            newest.entry(e.key.clone()).or_insert(e);
+        }
+        for (k, want) in &newest {
+            let got = meta.reader.get(k, &stats).unwrap().unwrap();
+            prop_assert_eq!(got.seq, want.seq);
+            prop_assert_eq!(&got.value, &want.value);
+        }
+    }
+
+    #[test]
+    fn kway_merge_equals_sorted_union(
+        runs in proptest::collection::vec(
+            proptest::collection::vec(entry_strategy(), 1..40), 1..5)
+    ) {
+        let mut sources: Vec<Box<dyn Iterator<Item = OwnedEntry> + Send>> = Vec::new();
+        let mut all: Vec<OwnedEntry> = Vec::new();
+        for (i, raw) in runs.iter().enumerate() {
+            let entries = to_sorted_run(raw, (i * 1000) as u64);
+            all.extend(entries.clone());
+            sources.push(Box::new(entries.into_iter()));
+        }
+        let merged: Vec<OwnedEntry> = KWayMerge::new(sources).collect();
+        all.sort_by(|a, b| miodb_common::types::mv_cmp(&a.key, a.seq, &b.key, b.seq));
+        prop_assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn lsm_core_matches_model_through_compactions(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(entry_strategy(), 1..40), 1..8)
+    ) {
+        let stats = Arc::new(Stats::new());
+        let store = TableStore::new(DeviceModel::ssd_unthrottled(), stats);
+        let core = LsmCore::new(
+            store,
+            LsmOptions {
+                table_bytes: 4 * 1024,
+                level1_max_bytes: 8 * 1024,
+                l0_compaction_trigger: 2,
+                ..LsmOptions::default()
+            },
+        );
+        let mut model: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        let mut seq_base = 0u64;
+        for raw in &batches {
+            let entries = to_sorted_run(raw, seq_base);
+            seq_base += 1000;
+            // Model applies in seq order.
+            let mut by_seq = entries.clone();
+            by_seq.sort_by_key(|e| e.seq);
+            for e in &by_seq {
+                if e.kind.is_delete() {
+                    model.insert(e.key.clone(), None);
+                } else {
+                    model.insert(e.key.clone(), Some(e.value.clone()));
+                }
+            }
+            core.ingest_sorted_run(entries.into_iter()).unwrap();
+            core.compact_to_quiescence().unwrap();
+        }
+        for (k, want) in &model {
+            let got = core.get(k).unwrap();
+            match want {
+                Some(v) => {
+                    let got = got.unwrap_or_else(|| panic!("lost key {k:?}"));
+                    prop_assert_eq!(got.kind, OpKind::Put);
+                    prop_assert_eq!(&got.value, v);
+                }
+                None => {
+                    if let Some(got) = got {
+                        prop_assert!(got.kind.is_delete(), "resurrected {k:?}");
+                    }
+                }
+            }
+        }
+        // Scans see exactly the live set.
+        let live: Vec<&Vec<u8>> =
+            model.iter().filter_map(|(k, v)| v.as_ref().map(|_| k)).collect();
+        let scanned: Vec<OwnedEntry> =
+            dedup_newest(KWayMerge::new(core.scan_sources(b"")), true).collect();
+        prop_assert_eq!(scanned.len(), live.len());
+        for (s, k) in scanned.iter().zip(&live) {
+            prop_assert_eq!(&&s.key, k);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Pool snapshot and restore for crash-consistency experiments.
+//!
+//! The paper's crash-recovery story (§4.7) relies on NVM contents surviving
+//! a restart. Our pool is process memory, so "surviving" is simulated by
+//! taking a byte-exact snapshot at an arbitrary instant (including mid-
+//! compaction, via the skip-list crate's step-limited merges), then
+//! restoring it into a fresh pool in a new "process lifetime" and running
+//! recovery.
+//!
+//! The snapshot file carries the allocator state (free list + high-water
+//! mark) alongside the raw contents so the restored pool can keep
+//! allocating.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use miodb_common::{Error, Result, Stats};
+
+use crate::device::DeviceModel;
+use crate::pool::PmemPool;
+
+const SNAPSHOT_MAGIC: u64 = 0x4D69_6F44_4250_6F6F; // "MioDBPoo"
+const SNAPSHOT_VERSION: u32 = 1;
+
+impl PmemPool {
+    /// Writes a point-in-time snapshot of this pool to `path`.
+    ///
+    /// Only bytes up to the allocator high-water mark are written, so
+    /// snapshot files stay proportional to actual usage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on filesystem failures.
+    pub fn snapshot_to_file(&self, path: &Path) -> Result<()> {
+        let (base, high_water, holes) = self.raw_parts();
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(&SNAPSHOT_MAGIC.to_le_bytes())?;
+        w.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+        w.write_all(&(self.capacity() as u64).to_le_bytes())?;
+        w.write_all(&high_water.to_le_bytes())?;
+        w.write_all(&(holes.len() as u64).to_le_bytes())?;
+        for (off, len) in &holes {
+            w.write_all(&off.to_le_bytes())?;
+            w.write_all(&len.to_le_bytes())?;
+        }
+        // SAFETY: `base` is valid for `high_water` bytes (allocator invariant:
+        // nothing above high_water was ever written). Concurrent atomic link
+        // updates may tear relative to each other, which models exactly what
+        // an instantaneous machine crash preserves.
+        let contents = unsafe { std::slice::from_raw_parts(base, high_water as usize) };
+        w.write_all(contents)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Restores a snapshot taken with [`PmemPool::snapshot_to_file`] into a
+    /// fresh pool, simulating a post-crash restart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] if the file is malformed and
+    /// [`Error::Io`] on filesystem failures.
+    pub fn restore_from_file(
+        path: &Path,
+        device: DeviceModel,
+        stats: Arc<Stats>,
+    ) -> Result<Arc<PmemPool>> {
+        let mut r = BufReader::new(File::open(path)?);
+        let magic = read_u64(&mut r)?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(Error::Corruption("snapshot magic mismatch".to_string()));
+        }
+        let version = read_u32(&mut r)?;
+        if version != SNAPSHOT_VERSION {
+            return Err(Error::Corruption(format!(
+                "unsupported snapshot version {version}"
+            )));
+        }
+        let capacity = read_u64(&mut r)? as usize;
+        let high_water = read_u64(&mut r)?;
+        if high_water > capacity as u64 {
+            return Err(Error::Corruption("high-water mark beyond capacity".to_string()));
+        }
+        let n_holes = read_u64(&mut r)? as usize;
+        if n_holes > capacity / 16 {
+            return Err(Error::Corruption("implausible free-list length".to_string()));
+        }
+        let mut holes = Vec::with_capacity(n_holes);
+        for _ in 0..n_holes {
+            let off = read_u64(&mut r)?;
+            let len = read_u64(&mut r)?;
+            holes.push((off, len));
+        }
+        let pool = PmemPool::new(capacity, device, stats)?;
+        // SAFETY: the fresh pool has at least `capacity >= high_water` bytes
+        // and no other thread references it yet.
+        let dst = unsafe { std::slice::from_raw_parts_mut(pool.base_ptr(), high_water as usize) };
+        r.read_exact(dst)
+            .map_err(|_| Error::Corruption("snapshot truncated".to_string()))?;
+        pool.restore_alloc_state(high_water, holes);
+        Ok(pool)
+    }
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)
+        .map_err(|_| Error::Corruption("snapshot truncated".to_string()))?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)
+        .map_err(|_| Error::Corruption("snapshot truncated".to_string()))?;
+    Ok(u32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("miodb-snap-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let pool =
+            PmemPool::new(1 << 20, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new())).unwrap();
+        let r1 = pool.alloc(4096).unwrap();
+        let r2 = pool.alloc(4096).unwrap();
+        pool.write_bytes(r1.offset, b"alpha");
+        pool.write_bytes(r2.offset, b"beta");
+        pool.free(r2);
+
+        let path = tmp("roundtrip");
+        pool.snapshot_to_file(&path).unwrap();
+
+        let restored =
+            PmemPool::restore_from_file(&path, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new()))
+                .unwrap();
+        let mut out = [0u8; 5];
+        restored.read_bytes(r1.offset, &mut out);
+        assert_eq!(&out, b"alpha");
+        // Allocator state restored: used bytes reflect only r1.
+        assert_eq!(restored.used_bytes(), r1.len);
+        // The freed hole is reusable in the restored pool.
+        let r3 = restored.alloc(4096).unwrap();
+        assert_eq!(r3.offset, r2.offset);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_words_survive_snapshot() {
+        let pool =
+            PmemPool::new(1 << 20, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new())).unwrap();
+        let r = pool.alloc(64).unwrap();
+        pool.atomic_u64(r.offset).store(12345, Ordering::Release);
+        let path = tmp("atomic");
+        pool.snapshot_to_file(&path).unwrap();
+        let restored =
+            PmemPool::restore_from_file(&path, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new()))
+                .unwrap();
+        assert_eq!(restored.atomic_u64(r.offset).load(Ordering::Acquire), 12345);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let path = tmp("badmagic");
+        std::fs::write(&path, [0u8; 64]).unwrap();
+        let err = PmemPool::restore_from_file(
+            &path,
+            DeviceModel::nvm_unthrottled(),
+            Arc::new(Stats::new()),
+        )
+        .unwrap_err();
+        assert!(err.is_corruption());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_snapshot_rejected() {
+        let pool =
+            PmemPool::new(1 << 20, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new())).unwrap();
+        let r = pool.alloc(4096).unwrap();
+        pool.write_bytes(r.offset, &[9u8; 4096]);
+        let path = tmp("trunc");
+        pool.snapshot_to_file(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = PmemPool::restore_from_file(
+            &path,
+            DeviceModel::nvm_unthrottled(),
+            Arc::new(Stats::new()),
+        )
+        .unwrap_err();
+        assert!(err.is_corruption());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the pool allocator: arbitrary alloc/free sequences
+//! must never hand out overlapping regions, must reclaim every freed byte
+//! (perfect coalescing), and snapshots must preserve both contents and
+//! allocator state.
+
+use std::sync::Arc;
+
+use miodb_common::Stats;
+use miodb_pmem::{DeviceModel, PmemPool, PmemRegion, POOL_HEADER_BYTES};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    Alloc(usize),
+    Free(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<AllocOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (64usize..32_768).prop_map(AllocOp::Alloc),
+            2 => any::<usize>().prop_map(AllocOp::Free),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn allocations_never_overlap(ops in ops()) {
+        let pool = PmemPool::new(8 << 20, DeviceModel::dram(), Arc::new(Stats::new())).unwrap();
+        let mut live: Vec<PmemRegion> = Vec::new();
+        for op in ops {
+            match op {
+                AllocOp::Alloc(size) => {
+                    if let Ok(r) = pool.alloc(size) {
+                        prop_assert!(r.offset >= POOL_HEADER_BYTES);
+                        prop_assert!(r.len as usize >= size);
+                        for other in &live {
+                            let disjoint = r.end() <= other.offset || r.offset >= other.end();
+                            prop_assert!(disjoint, "overlap: {r:?} vs {other:?}");
+                        }
+                        live.push(r);
+                    }
+                }
+                AllocOp::Free(idx) => {
+                    if !live.is_empty() {
+                        let r = live.swap_remove(idx % live.len());
+                        pool.free(r);
+                    }
+                }
+            }
+        }
+        let live_bytes: u64 = live.iter().map(|r| r.len).sum();
+        prop_assert_eq!(pool.used_bytes(), live_bytes);
+    }
+
+    #[test]
+    fn full_free_restores_one_hole(sizes in proptest::collection::vec(64usize..16_384, 1..50)) {
+        let pool = PmemPool::new(8 << 20, DeviceModel::dram(), Arc::new(Stats::new())).unwrap();
+        let regions: Vec<PmemRegion> = sizes.iter().filter_map(|&s| pool.alloc(s).ok()).collect();
+        // Free in a scrambled order.
+        let mut regions = regions;
+        let mut i = 0;
+        while !regions.is_empty() {
+            i = (i * 7 + 3) % regions.len().max(1);
+            let r = regions.swap_remove(i % regions.len());
+            pool.free(r);
+        }
+        prop_assert_eq!(pool.used_bytes(), 0);
+        // Perfect coalescing: the entire non-header space is one hole again.
+        let all = pool.alloc((8 << 20) - POOL_HEADER_BYTES as usize).unwrap();
+        prop_assert_eq!(all.offset, POOL_HEADER_BYTES);
+        pool.free(all);
+    }
+
+    #[test]
+    fn snapshot_preserves_contents_and_allocator(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..512), 1..20)
+    ) {
+        let pool = PmemPool::new(2 << 20, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new()))
+            .unwrap();
+        let mut written: Vec<(PmemRegion, Vec<u8>)> = Vec::new();
+        for p in &payloads {
+            let r = pool.alloc(p.len()).unwrap();
+            pool.write_bytes(r.offset, p);
+            written.push((r, p.clone()));
+        }
+        let path = std::env::temp_dir().join(format!(
+            "miodb-prop-snap-{}-{}",
+            std::process::id(),
+            written.len()
+        ));
+        pool.snapshot_to_file(&path).unwrap();
+        let restored =
+            PmemPool::restore_from_file(&path, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new()))
+                .unwrap();
+        for (r, p) in &written {
+            let mut out = vec![0u8; p.len()];
+            restored.read_bytes(r.offset, &mut out);
+            prop_assert_eq!(&out, p);
+        }
+        prop_assert_eq!(restored.used_bytes(), pool.used_bytes());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,465 @@
+//! The data repository: a huge, growable skip list at the bottom level.
+//!
+//! Lazy-copy compaction (paper §4.4) physically copies the newest version
+//! of every key from the last elastic-buffer level into this list and
+//! discards outdated versions. Unlike PMTables, the repository holds **at
+//! most one version per key** and no tombstones — a tombstone arriving from
+//! above physically removes the key here.
+//!
+//! The list grows by chaining fixed-size chunks allocated from the NVM
+//! pool; nodes reference each other with pool-global offsets, so chunk
+//! boundaries are invisible to traversal.
+//!
+//! The paper updates same-sized values in place; we substitute
+//! insert-new-node + atomic bypass of the old one, which has identical
+//! ordering behaviour but stays data-race-free for concurrent lock-free
+//! readers (documented in `DESIGN.md`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use miodb_common::{Error, OpKind, Result, SequenceNumber};
+use miodb_pmem::{PmemPool, PmemRegion};
+use parking_lot::Mutex;
+
+use crate::node::{self, find_preds, node_size, raw, LookupResult, SkipList, MAX_HEIGHT};
+
+/// What [`GrowableSkipList::apply`] did with an entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyOutcome {
+    /// The key was new; a node was inserted.
+    Inserted,
+    /// An older version existed and was replaced (old node bypassed).
+    Updated,
+    /// A tombstone removed an existing key.
+    Deleted,
+    /// A tombstone arrived for a key the repository never had.
+    DeletedAbsent,
+    /// The repository already holds a version at least as new; the entry
+    /// was discarded.
+    Superseded,
+}
+
+#[derive(Debug)]
+struct GrowState {
+    chunks: Vec<PmemRegion>,
+    /// Next free pool-global offset in the current chunk.
+    cursor: u64,
+    /// End of the current chunk.
+    end: u64,
+}
+
+/// A growable, single-version-per-key persistent skip list.
+///
+/// Writers (the lazy-copy compactor) must be serialized externally;
+/// concurrent readers are lock-free (same discipline as
+/// [`SkipListArena`](crate::SkipListArena)).
+pub struct GrowableSkipList {
+    pool: Arc<PmemPool>,
+    head: u64,
+    chunk_size: usize,
+    /// When true, tombstones are stored as entries (NoveLSM's big mutable
+    /// MemTable needs them to shadow older SSTable versions); when false,
+    /// a tombstone physically removes the key (MioDB's bottom repository).
+    keep_tombstones: bool,
+    state: Mutex<GrowState>,
+    len: AtomicU64,
+    data_bytes: AtomicU64,
+    rng: AtomicU64,
+}
+
+impl std::fmt::Debug for GrowableSkipList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GrowableSkipList")
+            .field("head", &self.head)
+            .field("len", &self.len())
+            .field("chunks", &self.state.lock().chunks.len())
+            .finish()
+    }
+}
+
+impl GrowableSkipList {
+    /// Creates an empty repository that grows in `chunk_size`-byte chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PoolExhausted`] if the first chunk cannot be
+    /// allocated, or [`Error::InvalidArgument`] for unusably small chunks.
+    pub fn new(pool: Arc<PmemPool>, chunk_size: usize) -> Result<GrowableSkipList> {
+        Self::with_tombstone_mode(pool, chunk_size, false)
+    }
+
+    /// Like [`GrowableSkipList::new`], but tombstones are stored as
+    /// regular entries instead of removing keys — required when the list
+    /// sits *above* other persistent data (NoveLSM's big NVM MemTable).
+    pub fn new_keeping_tombstones(pool: Arc<PmemPool>, chunk_size: usize) -> Result<GrowableSkipList> {
+        Self::with_tombstone_mode(pool, chunk_size, true)
+    }
+
+    fn with_tombstone_mode(
+        pool: Arc<PmemPool>,
+        chunk_size: usize,
+        keep_tombstones: bool,
+    ) -> Result<GrowableSkipList> {
+        let head_size = node_size(MAX_HEIGHT, 0, 0);
+        if (chunk_size as u64) < head_size * 4 {
+            return Err(Error::InvalidArgument(format!(
+                "repository chunk size {chunk_size} too small"
+            )));
+        }
+        let first = pool.alloc(chunk_size)?;
+        let head = first.offset;
+        raw::write_header(&pool, head, 0, 0, 0, MAX_HEIGHT, OpKind::Put);
+        for level in 0..MAX_HEIGHT {
+            pool.atomic_u64(raw::tower_slot(head, level)).store(0, Ordering::Relaxed);
+        }
+        pool.charge_write(head_size as usize);
+        Ok(GrowableSkipList {
+            rng: AtomicU64::new(crate::arena::next_seed(head ^ 0xD1B5_4A32_D192_ED03)),
+            pool,
+            head,
+            chunk_size,
+            keep_tombstones,
+            state: Mutex::new(GrowState {
+                cursor: head + head_size,
+                end: first.end(),
+                chunks: vec![first],
+            }),
+            len: AtomicU64::new(0),
+            data_bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// Reconstructs a repository from manifest state after a restart.
+    #[allow(clippy::too_many_arguments)] // mirrors the manifest record
+    pub fn from_parts(
+        pool: Arc<PmemPool>,
+        head: u64,
+        chunk_size: usize,
+        chunks: Vec<PmemRegion>,
+        cursor: u64,
+        end: u64,
+        len: u64,
+        data_bytes: u64,
+    ) -> GrowableSkipList {
+        GrowableSkipList {
+            rng: AtomicU64::new(crate::arena::next_seed(head ^ 0xD1B5_4A32_D192_ED03)),
+            pool,
+            head,
+            chunk_size,
+            keep_tombstones: false,
+            state: Mutex::new(GrowState { chunks, cursor, end }),
+            len: AtomicU64::new(len),
+            data_bytes: AtomicU64::new(data_bytes),
+        }
+    }
+
+    /// Manifest state: `(head, chunks, cursor, end, len, data_bytes)`.
+    pub fn parts(&self) -> (u64, Vec<PmemRegion>, u64, u64, u64, u64) {
+        let s = self.state.lock();
+        (
+            self.head,
+            s.chunks.clone(),
+            s.cursor,
+            s.end,
+            self.len.load(Ordering::Acquire),
+            self.data_bytes.load(Ordering::Acquire),
+        )
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire) as usize
+    }
+
+    /// Returns `true` if the repository holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total user bytes (keys + values) of live entries.
+    pub fn data_bytes(&self) -> u64 {
+        self.data_bytes.load(Ordering::Acquire)
+    }
+
+    /// Total NVM bytes held by the repository's chunks.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.state.lock().chunks.iter().map(|c| c.len).sum()
+    }
+
+    /// Read-only view.
+    pub fn list(&self) -> SkipList {
+        SkipList::from_raw(self.pool.clone(), self.head)
+    }
+
+    /// Point lookup: the repository holds at most one version per key and
+    /// never tombstones, so a hit is always live data.
+    pub fn get(&self, key: &[u8]) -> Option<LookupResult> {
+        self.list().get(key)
+    }
+
+    fn random_height(&self) -> usize {
+        let mut s = self.rng.load(Ordering::Relaxed);
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        self.rng.store(s, Ordering::Relaxed);
+        let mut h = 1;
+        let mut bits = s;
+        while h < MAX_HEIGHT && bits.is_multiple_of(4) {
+            h += 1;
+            bits /= 4;
+        }
+        h
+    }
+
+    fn alloc_node(&self, size: u64) -> Result<u64> {
+        let mut s = self.state.lock();
+        if s.cursor + size > s.end {
+            let chunk_len = self.chunk_size.max(size as usize);
+            let chunk = self.pool.alloc(chunk_len)?;
+            s.cursor = chunk.offset;
+            s.end = chunk.end();
+            s.chunks.push(chunk);
+        }
+        let off = s.cursor;
+        s.cursor += size;
+        Ok(off)
+    }
+
+    /// Applies one entry from a lazy-copy compaction: inserts/updates a put
+    /// or removes the key for a tombstone. Entries must be applied through
+    /// a single writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PoolExhausted`] if a new chunk cannot be allocated.
+    pub fn apply(&self, key: &[u8], value: &[u8], seq: SequenceNumber, kind: OpKind) -> Result<ApplyOutcome> {
+        let pool = &*self.pool;
+        let mut preds = [0u64; MAX_HEIGHT];
+        let existing = find_preds(pool, self.head, key, miodb_common::MAX_SEQUENCE_NUMBER, &mut preds);
+        let existing = if existing != 0 && raw::key(pool, existing) == key {
+            existing
+        } else {
+            0
+        };
+
+        if kind.is_delete() && !self.keep_tombstones {
+            if existing == 0 {
+                return Ok(ApplyOutcome::DeletedAbsent);
+            }
+            let removed_bytes = (raw::klen(pool, existing) + raw::vlen(pool, existing)) as u64;
+            self.unlink_chain(&preds, existing, key);
+            self.len.fetch_sub(1, Ordering::Release);
+            self.data_bytes.fetch_sub(removed_bytes, Ordering::Release);
+            return Ok(ApplyOutcome::Deleted);
+        }
+
+        if existing != 0 && raw::seq(pool, existing) >= seq {
+            return Ok(ApplyOutcome::Superseded);
+        }
+
+        // Insert the new node before any existing (older) version, then
+        // bypass the old chain.
+        let height = self.random_height();
+        let size = node_size(height, key.len(), value.len());
+        let off = self.alloc_node(size)?;
+        raw::write_header(pool, off, seq, key.len(), value.len(), height, kind);
+        let kv_off = off + node::HEADER_BYTES + 8 * height as u64;
+        pool.write_bytes(kv_off, key);
+        if !value.is_empty() {
+            pool.write_bytes(kv_off + key.len() as u64, value);
+        }
+        pool.charge_write((node::HEADER_BYTES + 8 * height as u64) as usize);
+
+        #[allow(clippy::needless_range_loop)] // level indexes preds AND towers
+        for level in 0..height {
+            let succ = raw::next(pool, preds[level], level);
+            pool.atomic_u64(raw::tower_slot(off, level)).store(succ, Ordering::Relaxed);
+            raw::set_next(pool, preds[level], level, off);
+        }
+
+        let outcome = if existing != 0 {
+            let old_bytes = (raw::klen(pool, existing) + raw::vlen(pool, existing)) as u64;
+            self.bypass_older(&preds, off, height, key);
+            self.data_bytes.fetch_sub(old_bytes, Ordering::Release);
+            ApplyOutcome::Updated
+        } else {
+            self.len.fetch_add(1, Ordering::Release);
+            ApplyOutcome::Inserted
+        };
+        self.data_bytes
+            .fetch_add((key.len() + value.len()) as u64, Ordering::Release);
+        Ok(outcome)
+    }
+
+    /// Unlinks every same-key node reachable right after `preds` (used for
+    /// tombstone removal). `first` is the first such node.
+    fn unlink_chain(&self, preds: &[u64; MAX_HEIGHT], first: u64, key: &[u8]) {
+        let pool = &*self.pool;
+        let mut victims = vec![first];
+        let mut cur = raw::next(pool, first, 0);
+        while cur != 0 && raw::key(pool, cur) == key {
+            victims.push(cur);
+            cur = raw::next(pool, cur, 0);
+        }
+        for v in victims {
+            let h = raw::height(pool, v);
+            for level in (0..h).rev() {
+                if raw::next(pool, preds[level], level) == v {
+                    raw::set_next(pool, preds[level], level, raw::next(pool, v, level));
+                }
+            }
+        }
+    }
+
+    /// Bypasses older same-key nodes that now follow the freshly inserted
+    /// node at `new_off`.
+    fn bypass_older(&self, preds: &[u64; MAX_HEIGHT], new_off: u64, new_height: usize, key: &[u8]) {
+        let pool = &*self.pool;
+        let mut victims = Vec::new();
+        let mut cur = raw::next(pool, new_off, 0);
+        while cur != 0 && raw::key(pool, cur) == key {
+            victims.push(cur);
+            cur = raw::next(pool, cur, 0);
+        }
+        for v in victims {
+            let h = raw::height(pool, v);
+            for level in (0..h).rev() {
+                if level < new_height && raw::next(pool, new_off, level) == v {
+                    raw::set_next(pool, new_off, level, raw::next(pool, v, level));
+                } else if raw::next(pool, preds[level], level) == v {
+                    raw::set_next(pool, preds[level], level, raw::next(pool, v, level));
+                }
+            }
+        }
+    }
+
+    /// Releases every chunk back to the pool, consuming the repository.
+    pub fn release(self) {
+        let s = self.state.into_inner();
+        for c in s.chunks {
+            self.pool.free(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miodb_common::Stats;
+    use miodb_pmem::DeviceModel;
+
+    fn repo() -> GrowableSkipList {
+        let pool = PmemPool::new(32 << 20, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new()))
+            .unwrap();
+        GrowableSkipList::new(pool, 64 * 1024).unwrap()
+    }
+
+    #[test]
+    fn insert_update_get() {
+        let r = repo();
+        assert_eq!(r.apply(b"k", b"v1", 1, OpKind::Put).unwrap(), ApplyOutcome::Inserted);
+        assert_eq!(r.get(b"k").unwrap().value, b"v1");
+        assert_eq!(r.apply(b"k", b"v2", 2, OpKind::Put).unwrap(), ApplyOutcome::Updated);
+        assert_eq!(r.get(b"k").unwrap().value, b"v2");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.list().count_nodes(), 1, "old node bypassed");
+    }
+
+    #[test]
+    fn superseded_entries_discarded() {
+        let r = repo();
+        r.apply(b"k", b"new", 10, OpKind::Put).unwrap();
+        assert_eq!(r.apply(b"k", b"old", 5, OpKind::Put).unwrap(), ApplyOutcome::Superseded);
+        assert_eq!(r.get(b"k").unwrap().value, b"new");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn tombstone_removes_key() {
+        let r = repo();
+        r.apply(b"k", b"v", 1, OpKind::Put).unwrap();
+        assert_eq!(r.apply(b"k", b"", 2, OpKind::Delete).unwrap(), ApplyOutcome::Deleted);
+        assert!(r.get(b"k").is_none());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.list().count_nodes(), 0);
+    }
+
+    #[test]
+    fn tombstone_for_absent_key() {
+        let r = repo();
+        assert_eq!(r.apply(b"ghost", b"", 1, OpKind::Delete).unwrap(), ApplyOutcome::DeletedAbsent);
+    }
+
+    #[test]
+    fn grows_across_chunks() {
+        let r = repo();
+        let value = vec![0xABu8; 1000];
+        // 64 KiB chunks, ~1 KiB nodes: forces many chunk allocations.
+        for i in 0..500u32 {
+            r.apply(format!("key{i:05}").as_bytes(), &value, i as u64 + 1, OpKind::Put).unwrap();
+        }
+        assert_eq!(r.len(), 500);
+        assert!(r.state.lock().chunks.len() > 3, "expected multiple chunks");
+        for i in (0..500u32).step_by(37) {
+            assert_eq!(r.get(format!("key{i:05}").as_bytes()).unwrap().value, value);
+        }
+        // Ordered iteration across chunk boundaries.
+        let keys: Vec<Vec<u8>> = r.list().iter().map(|e| e.key).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn oversized_value_gets_dedicated_chunk() {
+        let r = repo();
+        let huge = vec![1u8; 300 * 1024]; // bigger than the 64 KiB chunk
+        r.apply(b"big", &huge, 1, OpKind::Put).unwrap();
+        assert_eq!(r.get(b"big").unwrap().value, huge);
+    }
+
+    #[test]
+    fn data_bytes_tracks_live_set() {
+        let r = repo();
+        r.apply(b"a", b"12345", 1, OpKind::Put).unwrap();
+        assert_eq!(r.data_bytes(), 6);
+        r.apply(b"a", b"123", 2, OpKind::Put).unwrap();
+        assert_eq!(r.data_bytes(), 4);
+        r.apply(b"a", b"", 3, OpKind::Delete).unwrap();
+        assert_eq!(r.data_bytes(), 0);
+    }
+
+    #[test]
+    fn release_frees_all_chunks() {
+        let pool = PmemPool::new(8 << 20, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new()))
+            .unwrap();
+        let before = pool.used_bytes();
+        let r = GrowableSkipList::new(pool.clone(), 64 * 1024).unwrap();
+        for i in 0..200u32 {
+            r.apply(format!("k{i}").as_bytes(), &[0u8; 500], i as u64 + 1, OpKind::Put).unwrap();
+        }
+        assert!(pool.used_bytes() > before);
+        r.release();
+        assert_eq!(pool.used_bytes(), before);
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let pool = PmemPool::new(8 << 20, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new()))
+            .unwrap();
+        let r = GrowableSkipList::new(pool.clone(), 64 * 1024).unwrap();
+        r.apply(b"x", b"1", 1, OpKind::Put).unwrap();
+        r.apply(b"y", b"2", 2, OpKind::Put).unwrap();
+        let (head, chunks, cursor, end, len, bytes) = r.parts();
+        drop(r);
+        let r2 = GrowableSkipList::from_parts(pool, head, 64 * 1024, chunks, cursor, end, len, bytes);
+        assert_eq!(r2.get(b"x").unwrap().value, b"1");
+        assert_eq!(r2.get(b"y").unwrap().value, b"2");
+        assert_eq!(r2.len(), 2);
+        // Can keep growing after reconstruction.
+        r2.apply(b"z", b"3", 3, OpKind::Put).unwrap();
+        assert_eq!(r2.len(), 3);
+    }
+}

@@ -1,0 +1,324 @@
+//! Node layout and the read-only [`SkipList`] view.
+//!
+//! Every node is laid out inside an arena as:
+//!
+//! ```text
+//! offset  field
+//! 0       seq     u64
+//! 8       klen    u32
+//! 12      vlen    u32
+//! 16      height  u16
+//! 18      kind    u8
+//! 19..24  padding
+//! 24      tower   height × u64 link words (pool-global offsets, atomics)
+//! 24+8h   key bytes, then value bytes (8-aligned total)
+//! ```
+//!
+//! Link words hold **pool-global offsets** — the reproduction's equivalent
+//! of absolute pointers at a fixed DAX mapping — so zero-copy compaction
+//! can link nodes of different arenas into one list. Offset `0` is NIL.
+//!
+//! Payload bytes (`seq..key/value`) are written before a node is published
+//! and never mutated afterwards; link words are accessed only through
+//! atomics (release on publish, acquire on traversal).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use miodb_common::types::mv_cmp;
+use miodb_common::{OpKind, SequenceNumber};
+use miodb_pmem::PmemPool;
+
+/// Maximum tower height. Head nodes always have this height.
+pub const MAX_HEIGHT: usize = 16;
+
+/// Byte offset of the tower within a node.
+pub const TOWER_OFFSET: u64 = 24;
+
+/// Size of the fixed node header (before the tower).
+pub const HEADER_BYTES: u64 = TOWER_OFFSET;
+
+/// Modeled bytes touched when a traversal inspects one node (header plus a
+/// cache line of key bytes).
+pub(crate) const VISIT_BYTES: usize = 32;
+
+/// Total size in bytes of a node with the given dimensions, 8-aligned.
+pub fn node_size(height: usize, klen: usize, vlen: usize) -> u64 {
+    let raw = HEADER_BYTES + 8 * height as u64 + klen as u64 + vlen as u64;
+    (raw + 7) & !7
+}
+
+/// Raw field readers. `off` must point at a node previously written in
+/// `pool` (and published, for concurrent use).
+pub(crate) mod raw {
+    use super::*;
+
+    #[inline]
+    pub fn seq(pool: &PmemPool, off: u64) -> SequenceNumber {
+        pool.read_u64(off)
+    }
+
+    #[inline]
+    pub fn klen(pool: &PmemPool, off: u64) -> usize {
+        (pool.read_u64(off + 8) & 0xFFFF_FFFF) as usize
+    }
+
+    #[inline]
+    pub fn vlen(pool: &PmemPool, off: u64) -> usize {
+        (pool.read_u64(off + 8) >> 32) as usize
+    }
+
+    #[inline]
+    pub fn height(pool: &PmemPool, off: u64) -> usize {
+        (pool.read_u64(off + 16) & 0xFFFF) as usize
+    }
+
+    #[inline]
+    pub fn kind(pool: &PmemPool, off: u64) -> OpKind {
+        let b = (pool.read_u64(off + 16) >> 16) as u8;
+        OpKind::from_u8(b).unwrap_or(OpKind::Put)
+    }
+
+    /// Borrows the key bytes of the node.
+    ///
+    /// SAFETY-internal: key bytes are immutable after publication.
+    #[inline]
+    pub fn key(pool: &PmemPool, off: u64) -> &[u8] {
+        let h = height(pool, off) as u64;
+        let k = klen(pool, off);
+        // SAFETY: written before publication, never mutated (crate invariant).
+        unsafe { pool.slice(off + HEADER_BYTES + 8 * h, k) }
+    }
+
+    /// Borrows the value bytes of the node.
+    #[inline]
+    pub fn value(pool: &PmemPool, off: u64) -> &[u8] {
+        let h = height(pool, off) as u64;
+        let k = klen(pool, off) as u64;
+        let v = vlen(pool, off);
+        // SAFETY: as for `key`.
+        unsafe { pool.slice(off + HEADER_BYTES + 8 * h + k, v) }
+    }
+
+    /// Offset of the link word for `level`.
+    #[inline]
+    pub fn tower_slot(off: u64, level: usize) -> u64 {
+        off + TOWER_OFFSET + 8 * level as u64
+    }
+
+    /// Acquire-loads the successor at `level`.
+    #[inline]
+    pub fn next(pool: &PmemPool, off: u64, level: usize) -> u64 {
+        pool.atomic_u64(tower_slot(off, level)).load(Ordering::Acquire)
+    }
+
+    /// Release-stores the successor at `level`, charging one modeled
+    /// 8-byte device write (the paper's "atomic pointer update").
+    #[inline]
+    pub fn set_next(pool: &PmemPool, off: u64, level: usize, target: u64) {
+        pool.atomic_u64(tower_slot(off, level)).store(target, Ordering::Release);
+        pool.charge_write(8);
+    }
+
+    /// Writes the full node header (seq, lens, height, kind) without
+    /// touching the tower.
+    pub fn write_header(
+        pool: &PmemPool,
+        off: u64,
+        seq: SequenceNumber,
+        klen: usize,
+        vlen: usize,
+        height: usize,
+        kind: OpKind,
+    ) {
+        pool.write_u64(off, seq);
+        pool.write_u64(off + 8, (klen as u64) | ((vlen as u64) << 32));
+        pool.write_u64(off + 16, (height as u64) | ((kind as u64) << 16));
+    }
+
+    /// Charges the modeled cost of inspecting one node during traversal.
+    #[inline]
+    pub fn charge_visit(pool: &PmemPool) {
+        pool.charge_read(VISIT_BYTES);
+    }
+}
+
+/// Finds, for every level, the last node strictly before the multi-version
+/// position `(key, seq)` in the list rooted at `head`; returns
+/// `preds[0].next[0]` (the first node `>= (key, seq)`, or 0).
+///
+/// This is the shared descent used by lookups, inserts, zero-copy merges
+/// and the data repository. Each inspected node is charged as one modeled
+/// device read.
+pub(crate) fn find_preds(
+    pool: &PmemPool,
+    head: u64,
+    key: &[u8],
+    seq: SequenceNumber,
+    preds: &mut [u64; MAX_HEIGHT],
+) -> u64 {
+    let mut x = head;
+    // A node peeked once is CPU-cache resident afterwards; count the
+    // modeled NVM read only on first inspection (exact dedup — descents
+    // touch a few dozen nodes, so a linear scan is cheap), and charge the
+    // whole descent in one batched call (same modeled latency per visit,
+    // one spin).
+    let mut seen: smallset::SmallSet = smallset::SmallSet::new();
+    for level in (0..MAX_HEIGHT).rev() {
+        loop {
+            let nxt = raw::next(pool, x, level);
+            if nxt == 0 {
+                break;
+            }
+            seen.insert(nxt);
+            let nk = raw::key(pool, nxt);
+            let ns = raw::seq(pool, nxt);
+            if mv_cmp(nk, ns, key, seq) == std::cmp::Ordering::Less {
+                x = nxt;
+            } else {
+                break;
+            }
+        }
+        preds[level] = x;
+    }
+    pool.charge_read_batch(seen.len() as u64, VISIT_BYTES);
+    raw::next(pool, preds[0], 0)
+}
+
+/// A tiny inline set for deduplicating descent visits.
+mod smallset {
+    pub(super) struct SmallSet {
+        inline: [u64; 48],
+        len: usize,
+        spill: Vec<u64>,
+    }
+
+    impl SmallSet {
+        pub(super) fn new() -> SmallSet {
+            SmallSet { inline: [0; 48], len: 0, spill: Vec::new() }
+        }
+
+        pub(super) fn insert(&mut self, v: u64) {
+            if self.inline[..self.len].contains(&v) || self.spill.contains(&v) {
+                return;
+            }
+            if self.len < self.inline.len() {
+                self.inline[self.len] = v;
+                self.len += 1;
+            } else {
+                self.spill.push(v);
+            }
+        }
+
+        pub(super) fn len(&self) -> usize {
+            self.len + self.spill.len()
+        }
+    }
+}
+
+/// Result of a successful point lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupResult {
+    /// Value bytes (empty for tombstones).
+    pub value: Vec<u8>,
+    /// Sequence number of the found version.
+    pub seq: SequenceNumber,
+    /// Put or tombstone.
+    pub kind: OpKind,
+}
+
+/// A read-only view of a skip list rooted at a head node.
+///
+/// The view is cheap to clone and safe to use from many threads
+/// concurrently with the single designated writer/compactor of the list
+/// (see the crate docs for the synchronization discipline).
+#[derive(Clone)]
+pub struct SkipList {
+    pool: Arc<PmemPool>,
+    head: u64,
+}
+
+impl std::fmt::Debug for SkipList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkipList").field("head", &self.head).finish()
+    }
+}
+
+impl SkipList {
+    /// Wraps an existing head node at `head` inside `pool`.
+    pub fn from_raw(pool: Arc<PmemPool>, head: u64) -> SkipList {
+        SkipList { pool, head }
+    }
+
+    /// Offset of the head node.
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// The pool this list lives in.
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.pool
+    }
+
+    /// Finds predecessors of the multi-version position `(key, seq)` at
+    /// every level, returning the node at `preds[0].next[0]` (the first
+    /// node `>= (key, seq)`, or 0).
+    pub(crate) fn find_geq(&self, key: &[u8], seq: SequenceNumber, preds: &mut [u64; MAX_HEIGHT]) -> u64 {
+        find_preds(&self.pool, self.head, key, seq, preds)
+    }
+
+    /// Returns the newest version of `key` (including tombstones), or
+    /// `None` if the list has no entry for it.
+    pub fn get(&self, key: &[u8]) -> Option<LookupResult> {
+        let mut preds = [0u64; MAX_HEIGHT];
+        let node = self.find_geq(key, miodb_common::MAX_SEQUENCE_NUMBER, &mut preds);
+        if node == 0 {
+            return None;
+        }
+        let pool = &*self.pool;
+        if raw::key(pool, node) != key {
+            return None;
+        }
+        let value = raw::value(pool, node).to_vec();
+        pool.charge_read(value.len());
+        Some(LookupResult {
+            value,
+            seq: raw::seq(pool, node),
+            kind: raw::kind(pool, node),
+        })
+    }
+
+    /// Offset of the first data node (0 when empty).
+    pub fn first(&self) -> u64 {
+        raw::next(&self.pool, self.head, 0)
+    }
+
+    /// Returns `true` if the list has no data nodes.
+    pub fn is_empty(&self) -> bool {
+        self.first() == 0
+    }
+
+    /// Iterates the list in multi-version order from the first node.
+    pub fn iter(&self) -> crate::iter::SkipListIter {
+        crate::iter::SkipListIter::new(self.pool.clone(), self.first())
+    }
+
+    /// Iterates from the first node `>= key` (any version).
+    pub fn iter_from(&self, key: &[u8]) -> crate::iter::SkipListIter {
+        let mut preds = [0u64; MAX_HEIGHT];
+        let start = self.find_geq(key, miodb_common::MAX_SEQUENCE_NUMBER, &mut preds);
+        crate::iter::SkipListIter::new(self.pool.clone(), start)
+    }
+
+    /// Counts data nodes by walking level 0 — O(n), for tests and reports.
+    pub fn count_nodes(&self) -> usize {
+        let pool = &*self.pool;
+        let mut n = 0;
+        let mut cur = self.first();
+        while cur != 0 {
+            n += 1;
+            cur = raw::next(pool, cur, 0);
+        }
+        n
+    }
+}

@@ -1,0 +1,270 @@
+//! Property-based tests: the skip-list stack behaves like a reference
+//! model (a `BTreeMap` keyed by key with the newest version winning) under
+//! arbitrary operation sequences, flushes and merges.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use miodb_common::{OpKind, Stats};
+use miodb_pmem::{DeviceModel, PmemPool};
+use miodb_skiplist::{
+    flush::flush_and_swizzle, zero_copy_merge, GrowableSkipList, InsertionMark, MergeOutcome,
+    SkipListArena,
+};
+use proptest::prelude::*;
+
+fn dram_pool() -> Arc<PmemPool> {
+    PmemPool::new(64 << 20, DeviceModel::dram(), Arc::new(Stats::new())).unwrap()
+}
+
+fn nvm_pool() -> Arc<PmemPool> {
+    PmemPool::new(64 << 20, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new())).unwrap()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, Vec<u8>),
+    Delete(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(k, v)| Op::Put(k % 512, v)),
+        1 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
+    ]
+}
+
+fn key_bytes(k: u16) -> Vec<u8> {
+    format!("key{k:05}").into_bytes()
+}
+
+/// Applies ops to a model map: value of Some(v) for puts, None for
+/// tombstones.
+fn apply_model(model: &mut BTreeMap<u16, Option<Vec<u8>>>, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Put(k, v) => {
+                model.insert(*k, Some(v.clone()));
+            }
+            Op::Delete(k) => {
+                model.insert(*k, None);
+            }
+        }
+    }
+}
+
+fn fill_arena(pool: &Arc<PmemPool>, ops: &[Op], seq_base: u64) -> SkipListArena {
+    let arena = SkipListArena::new(pool.clone(), 8 << 20).unwrap();
+    for (i, op) in ops.iter().enumerate() {
+        let seq = seq_base + i as u64 + 1;
+        match op {
+            Op::Put(k, v) => arena.insert(&key_bytes(*k), v, seq, OpKind::Put).unwrap(),
+            Op::Delete(k) => arena.insert(&key_bytes(*k), b"", seq, OpKind::Delete).unwrap(),
+        }
+    }
+    arena
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// An arena lookup always returns the newest version written.
+    #[test]
+    fn arena_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let pool = dram_pool();
+        let arena = fill_arena(&pool, &ops, 0);
+        let mut model = BTreeMap::new();
+        apply_model(&mut model, &ops);
+        for (k, expected) in &model {
+            let got = arena.list().get(&key_bytes(*k));
+            match expected {
+                Some(v) => {
+                    let r = got.expect("present in model");
+                    prop_assert_eq!(r.kind, OpKind::Put);
+                    prop_assert_eq!(&r.value, v);
+                }
+                None => {
+                    let r = got.expect("tombstone must be stored");
+                    prop_assert_eq!(r.kind, OpKind::Delete);
+                }
+            }
+        }
+    }
+
+    /// Iteration yields keys in sorted order with versions newest-first.
+    #[test]
+    fn arena_iteration_sorted(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let pool = dram_pool();
+        let arena = fill_arena(&pool, &ops, 0);
+        let entries: Vec<_> = arena.list().iter().collect();
+        prop_assert_eq!(entries.len(), ops.len());
+        for w in entries.windows(2) {
+            let ord = miodb_common::types::mv_cmp(&w[0].key, w[0].seq, &w[1].key, w[1].seq);
+            prop_assert_eq!(ord, std::cmp::Ordering::Less, "entries out of order");
+        }
+    }
+
+    /// One-piece flush + swizzle preserves every lookup.
+    #[test]
+    fn flush_preserves_lookups(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let dram = dram_pool();
+        let nvm = nvm_pool();
+        let arena = fill_arena(&dram, &ops, 0);
+        let (list, _) = flush_and_swizzle(&arena, &nvm).unwrap();
+        let mut model = BTreeMap::new();
+        apply_model(&mut model, &ops);
+        for (k, expected) in &model {
+            let got = list.get(&key_bytes(*k)).expect("present after flush");
+            match expected {
+                Some(v) => prop_assert_eq!(&got.value, v),
+                None => prop_assert_eq!(got.kind, OpKind::Delete),
+            }
+        }
+        prop_assert_eq!(list.count_nodes(), ops.len());
+    }
+
+    /// Zero-copy merge of two flushed tables equals the model of "newer
+    /// batch overwrites older batch".
+    #[test]
+    fn merge_matches_model(
+        old_ops in proptest::collection::vec(op_strategy(), 1..120),
+        new_ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        let dram = dram_pool();
+        let nvm = nvm_pool();
+        let old_arena = fill_arena(&dram, &old_ops, 0);
+        let new_arena = fill_arena(&dram, &new_ops, old_ops.len() as u64);
+        let (old_list, _) = flush_and_swizzle(&old_arena, &nvm).unwrap();
+        let (new_list, _) = flush_and_swizzle(&new_arena, &nvm).unwrap();
+
+        let mark = InsertionMark::alloc(&nvm).unwrap();
+        let out = zero_copy_merge(
+            &nvm,
+            new_list.head(),
+            old_list.head(),
+            &mark,
+            miodb_skiplist::merge::MergeLimits::none(),
+        );
+        prop_assert!(matches!(out, MergeOutcome::Complete(_)));
+
+        let mut model = BTreeMap::new();
+        apply_model(&mut model, &old_ops);
+        apply_model(&mut model, &new_ops);
+
+        for (k, expected) in &model {
+            let got = old_list.get(&key_bytes(*k)).expect("merged view lost a key");
+            match expected {
+                Some(v) => {
+                    prop_assert_eq!(got.kind, OpKind::Put);
+                    prop_assert_eq!(&got.value, v);
+                }
+                None => prop_assert_eq!(got.kind, OpKind::Delete),
+            }
+        }
+        // Every key that passed through the merge is deduplicated to one
+        // version; keys only present in the oldtable may legitimately keep
+        // multiple versions (they are collapsed later, by lazy-copy).
+        let nodes = old_list.count_nodes();
+        prop_assert!(nodes >= model.len());
+        prop_assert!(nodes <= old_ops.len() + new_ops.len());
+        let mut new_keys: Vec<Vec<u8>> = new_ops
+            .iter()
+            .map(|op| match op {
+                Op::Put(k, _) | Op::Delete(k) => key_bytes(*k),
+            })
+            .collect();
+        new_keys.sort();
+        new_keys.dedup();
+        for key in &new_keys {
+            let versions = old_list
+                .iter_from(key)
+                .take_while(|e| &e.key == key)
+                .count();
+            prop_assert_eq!(versions, 1, "merged key retained multiple versions");
+        }
+        prop_assert!(new_list.is_empty());
+    }
+
+    /// A zero-copy merge abandoned at an arbitrary pointer-write (crash)
+    /// and then resumed must converge to exactly the model state.
+    #[test]
+    fn merge_crash_resume_matches_model(
+        old_ops in proptest::collection::vec(op_strategy(), 1..60),
+        new_ops in proptest::collection::vec(op_strategy(), 1..60),
+        crash_at in 1u64..400,
+    ) {
+        let dram = dram_pool();
+        let nvm = nvm_pool();
+        let old_arena = fill_arena(&dram, &old_ops, 0);
+        let new_arena = fill_arena(&dram, &new_ops, old_ops.len() as u64);
+        let (old_list, _) = flush_and_swizzle(&old_arena, &nvm).unwrap();
+        let (new_list, _) = flush_and_swizzle(&new_arena, &nvm).unwrap();
+        let mark = InsertionMark::alloc(&nvm).unwrap();
+
+        let out = zero_copy_merge(
+            &nvm,
+            new_list.head(),
+            old_list.head(),
+            &mark,
+            miodb_skiplist::merge::MergeLimits {
+                max_steps: None,
+                abandon_after_link_writes: Some(crash_at),
+            },
+        );
+        if !out.is_complete() {
+            // "Restart" and resume with no limits.
+            let out2 = zero_copy_merge(
+                &nvm,
+                new_list.head(),
+                old_list.head(),
+                &mark,
+                miodb_skiplist::merge::MergeLimits::none(),
+            );
+            prop_assert!(matches!(out2, MergeOutcome::Complete(_)));
+        }
+
+        let mut model = BTreeMap::new();
+        apply_model(&mut model, &old_ops);
+        apply_model(&mut model, &new_ops);
+        for (k, expected) in &model {
+            let got = old_list.get(&key_bytes(*k)).expect("merged view lost a key");
+            match expected {
+                Some(v) => {
+                    prop_assert_eq!(got.kind, OpKind::Put);
+                    prop_assert_eq!(&got.value, v);
+                }
+                None => prop_assert_eq!(got.kind, OpKind::Delete),
+            }
+        }
+        prop_assert!(new_list.is_empty());
+        prop_assert!(mark.load().is_none());
+    }
+
+    /// The repository applies a versioned stream and ends up with exactly
+    /// the live set of the model (no tombstones, one version per key).
+    #[test]
+    fn repository_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let nvm = nvm_pool();
+        let repo = GrowableSkipList::new(nvm, 256 * 1024).unwrap();
+        for (i, op) in ops.iter().enumerate() {
+            let seq = i as u64 + 1;
+            match op {
+                Op::Put(k, v) => { repo.apply(&key_bytes(*k), v, seq, OpKind::Put).unwrap(); }
+                Op::Delete(k) => { repo.apply(&key_bytes(*k), b"", seq, OpKind::Delete).unwrap(); }
+            }
+        }
+        let mut model = BTreeMap::new();
+        apply_model(&mut model, &ops);
+        let live: Vec<_> = model.iter().filter_map(|(k, v)| v.as_ref().map(|v| (*k, v.clone()))).collect();
+        prop_assert_eq!(repo.len(), live.len());
+        for (k, v) in &live {
+            prop_assert_eq!(repo.get(&key_bytes(*k)).expect("live key missing").value, v.clone());
+        }
+        for (k, v) in &model {
+            if v.is_none() {
+                prop_assert!(repo.get(&key_bytes(*k)).is_none(), "tombstoned key visible");
+            }
+        }
+        prop_assert_eq!(repo.list().count_nodes(), live.len());
+    }
+}

@@ -1,0 +1,100 @@
+//! Key and value generation.
+//!
+//! The paper's dataset uses 16-byte keys and 1–64 KiB values. Keys are
+//! fixed-width decimal renderings of an index (so ordinal and lexicographic
+//! order agree); values are cheap pseudorandom bytes seeded by the index so
+//! they can be regenerated for verification.
+
+/// Fixed-width 16-byte keys: `"k" + 15 decimal digits`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KeyGen;
+
+impl KeyGen {
+    /// Renders key `i`.
+    pub fn key(i: u64) -> Vec<u8> {
+        format!("k{i:015}").into_bytes()
+    }
+
+    /// Renders key `i` into a reusable buffer, avoiding allocation in hot
+    /// loops.
+    pub fn key_into(i: u64, buf: &mut Vec<u8>) {
+        buf.clear();
+        use std::io::Write as _;
+        write!(buf, "k{i:015}").expect("write into vec");
+    }
+}
+
+/// Deterministic value generator: `value(i, len)` always returns the same
+/// bytes, so benchmark verification needs no side tables.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueGen {
+    /// Value length in bytes.
+    pub len: usize,
+}
+
+impl ValueGen {
+    /// Creates a generator of `len`-byte values.
+    pub fn new(len: usize) -> ValueGen {
+        ValueGen { len }
+    }
+
+    /// Fills `buf` with the value for index `i`.
+    pub fn value_into(&self, i: u64, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.reserve(self.len);
+        let mut state = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        while buf.len() + 8 <= self.len {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            buf.extend_from_slice(&state.to_le_bytes());
+        }
+        while buf.len() < self.len {
+            buf.push((state >> (buf.len() % 8)) as u8);
+        }
+    }
+
+    /// Returns the value for index `i` as a fresh vector.
+    pub fn value(&self, i: u64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.value_into(i, &mut buf);
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_16_bytes_and_ordered() {
+        assert_eq!(KeyGen::key(0).len(), 16);
+        // Fixed width holds for any realistic index (up to 10^15 keys).
+        assert_eq!(KeyGen::key(999_999_999_999_999).len(), 16);
+        assert!(KeyGen::key(1) < KeyGen::key(2));
+        assert!(KeyGen::key(99) < KeyGen::key(100));
+        assert!(KeyGen::key(999_999) < KeyGen::key(1_000_000));
+    }
+
+    #[test]
+    fn key_into_matches_key() {
+        let mut buf = Vec::new();
+        KeyGen::key_into(12345, &mut buf);
+        assert_eq!(buf, KeyGen::key(12345));
+    }
+
+    #[test]
+    fn values_are_deterministic() {
+        let g = ValueGen::new(1024);
+        assert_eq!(g.value(7), g.value(7));
+        assert_ne!(g.value(7), g.value(8));
+        assert_eq!(g.value(7).len(), 1024);
+    }
+
+    #[test]
+    fn odd_lengths_fill_exactly() {
+        for len in [0, 1, 7, 9, 100, 1001] {
+            assert_eq!(ValueGen::new(len).value(3).len(), len);
+        }
+    }
+}

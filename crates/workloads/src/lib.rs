@@ -1,0 +1,22 @@
+//! Workload generators and drivers for the MioDB evaluation.
+//!
+//! Reproduces the paper's two benchmark families:
+//!
+//! - [`dbbench`]: LevelDB's `db_bench` micro-benchmarks — `fillseq`,
+//!   `fillrandom`, `readseq`, `readrandom` (§5.1, Figures 6, 9–12);
+//! - [`ycsb`]: YCSB core workloads Load and A–F with a zipfian(0.99)
+//!   request distribution (§5.2, Figure 7, Tables 2–3).
+//!
+//! All drivers run against any [`KvEngine`](miodb_common::KvEngine), record
+//! per-operation latencies into [`Histogram`](miodb_common::Histogram)s and
+//! report throughput, so MioDB and every baseline are measured identically.
+
+pub mod dbbench;
+pub mod keygen;
+pub mod ycsb;
+pub mod zipfian;
+
+pub use dbbench::{run_db_bench, BenchKind, BenchResult};
+pub use keygen::{KeyGen, ValueGen};
+pub use ycsb::{run_ycsb, YcsbResult, YcsbSpec, YcsbWorkload};
+pub use zipfian::{Latest, ScrambledZipfian, Uniform, Zipfian};

@@ -1,0 +1,276 @@
+//! Request distributions: zipfian (YCSB's default, θ = 0.99), scrambled
+//! zipfian, latest, and uniform.
+//!
+//! The zipfian generator follows Gray et al.'s rejection-free method as
+//! implemented in YCSB: constants are precomputed for the item count and
+//! each draw costs O(1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of item indices in `[0, n)`.
+pub trait IndexDistribution: Send {
+    /// Draws the next index.
+    fn next_index(&mut self) -> u64;
+}
+
+/// Classic zipfian over `[0, n)`: item 0 is the most popular.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    items: u64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    half_pow_theta: f64,
+    rng: StdRng,
+}
+
+impl Zipfian {
+    /// Creates a zipfian distribution over `items` elements with the YCSB
+    /// default skew θ = 0.99.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is zero.
+    pub fn new(items: u64, seed: u64) -> Zipfian {
+        Zipfian::with_theta(items, 0.99, seed)
+    }
+
+    /// Creates a zipfian with explicit skew `theta` in (0, 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is zero or `theta` outside (0, 1).
+    pub fn with_theta(items: u64, theta: f64, seed: u64) -> Zipfian {
+        assert!(items > 0, "zipfian needs at least one item");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        let zetan = zeta(items, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        let _ = theta;
+        Zipfian {
+            items,
+            alpha,
+            zetan,
+            eta,
+            half_pow_theta: 1.0 + 0.5f64.powf(theta),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Direct summation; called once at construction. For very large n this
+    // uses the standard incremental approximation cut-off.
+    let cap = n.min(10_000_000);
+    let mut sum = 0.0;
+    for i in 1..=cap {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    if n > cap {
+        // Integral tail approximation of the generalized harmonic number.
+        let a = 1.0 - theta;
+        sum += ((n as f64).powf(a) - (cap as f64).powf(a)) / a;
+    }
+    sum
+}
+
+impl IndexDistribution for Zipfian {
+    fn next_index(&mut self) -> u64 {
+        let u: f64 = self.rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < self.half_pow_theta {
+            return 1;
+        }
+        let idx = (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        idx.min(self.items - 1)
+    }
+}
+
+/// Zipfian with the popularity ranking scattered across the keyspace by a
+/// hash, as in YCSB's `ScrambledZipfianGenerator` — hot keys are spread out
+/// rather than clustered at the low end.
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+impl ScrambledZipfian {
+    /// Creates a scrambled zipfian over `items` with θ = 0.99.
+    pub fn new(items: u64, seed: u64) -> ScrambledZipfian {
+        ScrambledZipfian {
+            inner: Zipfian::new(items, seed),
+        }
+    }
+}
+
+impl IndexDistribution for ScrambledZipfian {
+    fn next_index(&mut self) -> u64 {
+        let raw = self.inner.next_index();
+        fnv_hash(raw) % self.inner.items
+    }
+}
+
+fn fnv_hash(v: u64) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// "Latest" distribution (YCSB workload D): skewed toward the most
+/// recently inserted items. The caller advances `max` as inserts happen.
+#[derive(Debug, Clone)]
+pub struct Latest {
+    zipf: Zipfian,
+    max: u64,
+}
+
+impl Latest {
+    /// Creates a latest-skewed distribution with initial item count `max`.
+    pub fn new(max: u64, seed: u64) -> Latest {
+        Latest {
+            zipf: Zipfian::new(max.max(1), seed),
+            max: max.max(1),
+        }
+    }
+
+    /// Records that item `max` now exists (newest).
+    pub fn set_max(&mut self, max: u64) {
+        self.max = max.max(1);
+    }
+}
+
+impl IndexDistribution for Latest {
+    fn next_index(&mut self) -> u64 {
+        let off = self.zipf.next_index() % self.max;
+        self.max - 1 - off
+    }
+}
+
+/// Uniform distribution over `[0, n)`.
+#[derive(Debug, Clone)]
+pub struct Uniform {
+    items: u64,
+    rng: StdRng,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution over `items` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is zero.
+    pub fn new(items: u64, seed: u64) -> Uniform {
+        assert!(items > 0);
+        Uniform {
+            items,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl IndexDistribution for Uniform {
+    fn next_index(&mut self) -> u64 {
+        self.rng.gen_range(0..self.items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn zipfian_stays_in_range() {
+        let mut z = Zipfian::new(1000, 42);
+        for _ in 0..10_000 {
+            assert!(z.next_index() < 1000);
+        }
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let mut z = Zipfian::new(10_000, 7);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let draws = 100_000;
+        for _ in 0..draws {
+            *counts.entry(z.next_index()).or_default() += 1;
+        }
+        // Item 0 should dominate: YCSB zipfian(0.99) gives it several
+        // percent of all accesses.
+        let top = counts.get(&0).copied().unwrap_or(0);
+        assert!(top as f64 > draws as f64 * 0.02, "item 0 drew only {top}");
+        // And the top-1% of items should cover a large share of draws.
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let hot: u64 = freqs.iter().take(100).sum();
+        assert!(hot as f64 > draws as f64 * 0.4, "hot items cover {hot}/{draws}");
+    }
+
+    #[test]
+    fn zipfian_deterministic_per_seed() {
+        let mut a = Zipfian::new(500, 9);
+        let mut b = Zipfian::new(500, 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_index(), b.next_index());
+        }
+    }
+
+    #[test]
+    fn scrambled_spreads_hot_keys() {
+        let mut s = ScrambledZipfian::new(10_000, 3);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(s.next_index()).or_default() += 1;
+        }
+        // The two hottest items should not be adjacent indices.
+        let mut by_count: Vec<(u64, u64)> = counts.into_iter().collect();
+        by_count.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        let gap = by_count[0].0.abs_diff(by_count[1].0);
+        assert!(gap > 1, "hot keys clustered: {:?}", &by_count[..2]);
+    }
+
+    #[test]
+    fn latest_prefers_recent() {
+        let mut l = Latest::new(1000, 5);
+        let mut recent = 0;
+        for _ in 0..10_000 {
+            if l.next_index() >= 900 {
+                recent += 1;
+            }
+        }
+        assert!(recent > 5_000, "only {recent} draws in the newest 10%");
+        l.set_max(2000);
+        for _ in 0..100 {
+            assert!(l.next_index() < 2000);
+        }
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let mut u = Uniform::new(100, 1);
+        let mut seen = [false; 100];
+        for _ in 0..10_000 {
+            seen[u.next_index() as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() > 95);
+    }
+
+    #[test]
+    fn zeta_matches_direct_sum() {
+        let direct: f64 = (1..=1000).map(|i| 1.0 / (i as f64).powf(0.99)).sum();
+        assert!((zeta(1000, 0.99) - direct).abs() < 1e-9);
+    }
+}

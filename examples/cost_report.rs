@@ -1,0 +1,60 @@
+//! Runs the same write/read workload against MioDB and MatrixKV and prints
+//! each engine's full cost report (Table 1's counters, via the
+//! `StatsSnapshot` display) side by side.
+//!
+//! ```text
+//! cargo run --release --example cost_report
+//! ```
+
+use miodb::baselines::{MatrixKv, MatrixKvOptions};
+use miodb::lsm::LsmOptions;
+use miodb::pmem::DeviceModel;
+use miodb::{KvEngine, MioDb, MioOptions, Stats};
+use std::sync::Arc;
+
+fn drive(engine: &dyn KvEngine) -> miodb::Result<()> {
+    let value = vec![0x11u8; 1024];
+    for i in 0..20_000u32 {
+        engine.put(format!("key{i:06}").as_bytes(), &value)?;
+    }
+    engine.wait_idle()?;
+    for i in (0..20_000u32).step_by(13) {
+        engine.get(format!("key{i:06}").as_bytes())?;
+    }
+    Ok(())
+}
+
+fn main() -> miodb::Result<()> {
+    let mio = MioDb::open(MioOptions {
+        memtable_bytes: 128 * 1024,
+        nvm_pool_bytes: 256 << 20,
+        nvm_device: DeviceModel::nvm(),
+        ..MioOptions::small_for_tests()
+    })?;
+    drive(&mio)?;
+    println!("=== {} ===\n{}\n", mio.name(), mio.report().stats);
+
+    let matrix = MatrixKv::open(
+        MatrixKvOptions {
+            memtable_bytes: 128 * 1024,
+            container_bytes: 2 << 20,
+            lsm: LsmOptions {
+                table_bytes: 128 * 1024,
+                level1_max_bytes: 1 << 20,
+                ..LsmOptions::default()
+            },
+            table_device: DeviceModel::nvm(),
+            row_device: DeviceModel::nvm(),
+            ..MatrixKvOptions::default()
+        },
+        Arc::new(Stats::new()),
+    )?;
+    drive(&matrix)?;
+    println!("=== {} ===\n{}", matrix.name(), matrix.report().stats);
+
+    println!("\nNote the contrast the paper's Table 1 highlights: MioDB shows zero");
+    println!("cumulative stalls, zero serialization, and write amplification near");
+    println!("the theoretical 3x bound, while the block-based baseline pays for");
+    println!("serialization and multi-level compaction.");
+    Ok(())
+}

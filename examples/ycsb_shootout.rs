@@ -1,0 +1,70 @@
+//! A miniature of the paper's Figure 7: run YCSB Load + A/B/C against
+//! MioDB, MatrixKV and NoveLSM side by side and print KIOPS.
+//!
+//! ```text
+//! cargo run --release --example ycsb_shootout
+//! ```
+//!
+//! For the full evaluation (all workloads, both value sizes, tail
+//! latencies) use `cargo run --release -p miodb-bench --bin repro -- fig7`.
+
+use miodb::baselines::{MatrixKv, MatrixKvOptions, NoveLsm, NoveLsmOptions};
+use miodb::workloads::{run_ycsb, YcsbSpec, YcsbWorkload};
+use miodb::{KvEngine, MioDb, MioOptions, Stats};
+use std::sync::Arc;
+
+fn engines() -> miodb::Result<Vec<Box<dyn KvEngine>>> {
+    let mut out: Vec<Box<dyn KvEngine>> = vec![Box::new(MioDb::open(MioOptions {
+        memtable_bytes: 256 * 1024,
+        nvm_pool_bytes: 256 << 20,
+        ..MioOptions::small_for_tests()
+    })?) as Box<dyn KvEngine>];
+    out.push(Box::new(MatrixKv::open(
+        MatrixKvOptions {
+            memtable_bytes: 256 * 1024,
+            container_bytes: 4 << 20,
+            table_device: miodb::pmem::DeviceModel::nvm_unthrottled(),
+            row_device: miodb::pmem::DeviceModel::nvm_unthrottled(),
+            ..MatrixKvOptions::default()
+        },
+        Arc::new(Stats::new()),
+    )?));
+    out.push(Box::new(NoveLsm::open(
+        NoveLsmOptions {
+            memtable_bytes: 256 * 1024,
+            nvm_memtable_bytes: 2 << 20,
+            table_device: miodb::pmem::DeviceModel::nvm_unthrottled(),
+            nvm_device: miodb::pmem::DeviceModel::nvm_unthrottled(),
+            nvm_pool_bytes: 128 << 20,
+            ..NoveLsmOptions::default()
+        },
+        Arc::new(Stats::new()),
+    )?));
+    Ok(out)
+}
+
+fn main() -> miodb::Result<()> {
+    let spec = YcsbSpec {
+        records: 20_000,
+        operations: 20_000,
+        value_len: 1024,
+        threads: 2,
+        seed: 42,
+        record_timeline: false,
+        max_scan_len: 50,
+    };
+    println!("{:>14} {:>10} {:>10} {:>10} {:>10}", "engine", "Load", "A", "B", "C");
+    for engine in engines()? {
+        let mut row = format!("{:>14}", engine.name());
+        let load = run_ycsb(engine.as_ref(), YcsbWorkload::Load, &spec)?;
+        row.push_str(&format!(" {:>9.1}k", load.kops()));
+        for w in [YcsbWorkload::A, YcsbWorkload::B, YcsbWorkload::C] {
+            let r = run_ycsb(engine.as_ref(), w, &spec)?;
+            row.push_str(&format!(" {:>9.1}k", r.kops()));
+        }
+        println!("{row}");
+    }
+    println!("\n(unthrottled devices: software-path cost only — run the repro");
+    println!(" binary for device-modeled numbers matching the paper's shape)");
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! MioDB — a reproduction of *"Revisiting Log-Structured Merging for KV
+//! Stores in Hybrid Memory Systems"* (ASPLOS'23).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`MioDb`] / [`MioOptions`]: the engine itself ([`miodb_core`]);
+//! - [`KvEngine`]: the uniform engine trait ([`miodb_common`]);
+//! - [`baselines`]: NoveLSM and MatrixKV reimplementations;
+//! - [`workloads`]: db_bench and YCSB drivers;
+//! - the substrates: [`pmem`] (simulated NVM), [`skiplist`] (PMTables),
+//!   [`bloom`], [`wal`] and [`lsm`] (the LevelDB-model substrate).
+//!
+//! # Examples
+//!
+//! ```
+//! use miodb::{KvEngine, MioDb, MioOptions};
+//!
+//! # fn main() -> miodb::Result<()> {
+//! let db = MioDb::open(MioOptions::small_for_tests())?;
+//! db.put(b"hello", b"hybrid memory")?;
+//! assert_eq!(db.get(b"hello")?.as_deref(), Some(&b"hybrid memory"[..]));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use miodb_baselines as baselines;
+pub use miodb_bloom as bloom;
+pub use miodb_common as common;
+pub use miodb_core as core;
+pub use miodb_lsm as lsm;
+pub use miodb_pmem as pmem;
+pub use miodb_skiplist as skiplist;
+pub use miodb_wal as wal;
+pub use miodb_workloads as workloads;
+
+pub use miodb_common::{Error, KvEngine, Result, ScanEntry, Stats};
+pub use miodb_core::{MioDb, MioOptions, RepositoryMode, WriteBatch};

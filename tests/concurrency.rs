@@ -1,0 +1,172 @@
+//! Concurrency integration tests: lock-free readers and scanners racing
+//! the writer and all background compaction threads.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use miodb::{KvEngine, MioDb, MioOptions};
+
+#[test]
+fn readers_never_miss_acknowledged_writes() {
+    // The writer publishes a watermark after each put; readers may read any
+    // key at or below the watermark and must find it (or a newer value).
+    let db = Arc::new(MioDb::open(MioOptions::small_for_tests()).unwrap());
+    let watermark = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let n = 6_000u64;
+
+    std::thread::scope(|s| {
+        {
+            let db = db.clone();
+            let watermark = watermark.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                for i in 1..=n {
+                    db.put(format!("key{i:08}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+                    watermark.store(i, Ordering::Release);
+                }
+                stop.store(true, Ordering::Release);
+            });
+        }
+        for t in 0..3u64 {
+            let db = db.clone();
+            let watermark = watermark.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                let mut x = 0x9E37 + t;
+                let mut checked = 0u64;
+                while !stop.load(Ordering::Acquire) || checked < 500 {
+                    let hi = watermark.load(Ordering::Acquire);
+                    if hi == 0 {
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let i = 1 + (x % hi);
+                    let got = db
+                        .get(format!("key{i:08}").as_bytes())
+                        .unwrap()
+                        .unwrap_or_else(|| panic!("acknowledged key{i:08} invisible (hi={hi})"));
+                    assert_eq!(got, format!("v{i}").as_bytes());
+                    checked += 1;
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn scans_race_compactions_without_losing_keys() {
+    let db = Arc::new(MioDb::open(MioOptions::small_for_tests()).unwrap());
+    let stop = Arc::new(AtomicBool::new(false));
+    // Preload a stable key set.
+    for i in 0..1_000u32 {
+        db.put(format!("stable{i:05}").as_bytes(), b"base").unwrap();
+    }
+
+    std::thread::scope(|s| {
+        {
+            // Churn writer on a disjoint key range keeps compactions busy.
+            let db = db.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    i += 1;
+                    db.put(format!("churn{:07}", i % 5_000).as_bytes(), &[7u8; 256]).unwrap();
+                }
+            });
+        }
+        for _ in 0..2 {
+            let db = db.clone();
+            s.spawn(move || {
+                for round in 0..30 {
+                    let start = format!("stable{:05}", (round * 31) % 900);
+                    let out = db.scan(start.as_bytes(), 50).unwrap();
+                    // Every stable key in range must appear, in order.
+                    let stable: Vec<&miodb::ScanEntry> =
+                        out.iter().filter(|e| e.key.starts_with(b"stable")).collect();
+                    for w in stable.windows(2) {
+                        assert!(w[0].key < w[1].key, "scan order violated");
+                    }
+                    if let Some(first) = stable.first() {
+                        assert!(first.key.as_slice() >= start.as_bytes());
+                    }
+                }
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        stop.store(true, Ordering::Release);
+    });
+
+    db.wait_idle().unwrap();
+    for i in (0..1_000u32).step_by(83) {
+        assert_eq!(db.get(format!("stable{i:05}").as_bytes()).unwrap().unwrap(), b"base");
+    }
+}
+
+#[test]
+fn concurrent_ycsb_a_on_miodb() {
+    use miodb::workloads::{run_ycsb, YcsbSpec, YcsbWorkload};
+    let db = MioDb::open(MioOptions::small_for_tests()).unwrap();
+    let spec = YcsbSpec {
+        records: 2_000,
+        operations: 6_000,
+        value_len: 256,
+        threads: 4,
+        seed: 3,
+        record_timeline: false,
+        max_scan_len: 20,
+    };
+    run_ycsb(&db, YcsbWorkload::Load, &spec).unwrap();
+    let r = run_ycsb(&db, YcsbWorkload::A, &spec).unwrap();
+    assert_eq!(r.ops, 6_000);
+    assert!(r.latency.count() == 6_000);
+    db.wait_idle().unwrap();
+    assert!(db.get(b"k000000000000001").unwrap().is_some());
+    let report = db.report();
+    assert_eq!(report.stats.gets, r.read_latency.count() + 1, "one extra get above");
+}
+
+#[test]
+fn overlapping_overwrites_keep_newest_under_concurrency() {
+    let db = Arc::new(MioDb::open(MioOptions::small_for_tests()).unwrap());
+    // One writer hammers the same small key set (forces heavy multi-version
+    // merging); readers verify monotonicity: values never go backwards.
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        {
+            let db = db.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                for gen in 0..4_000u32 {
+                    let key = format!("hot{:02}", gen % 16);
+                    db.put(key.as_bytes(), format!("{gen:08}").as_bytes()).unwrap();
+                }
+                stop.store(true, Ordering::Release);
+            });
+        }
+        for _ in 0..2 {
+            let db = db.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                let mut floor = [0u32; 16];
+                while !stop.load(Ordering::Acquire) {
+                    #[allow(clippy::needless_range_loop)]
+                    for k in 0..16usize {
+                        if let Some(v) = db.get(format!("hot{k:02}").as_bytes()).unwrap() {
+                            let gen: u32 =
+                                std::str::from_utf8(&v).unwrap().parse().unwrap();
+                            assert!(
+                                gen >= floor[k],
+                                "hot{k:02} went backwards: {gen} < {}",
+                                floor[k]
+                            );
+                            floor[k] = gen;
+                        }
+                    }
+                }
+            });
+        }
+    });
+}

@@ -1,0 +1,181 @@
+//! Crash-consistency integration tests (paper §4.7): snapshot the NVM
+//! pool at adversarial instants, restore into a fresh "process lifetime",
+//! recover, and verify durability of everything written before the crash.
+
+use std::sync::Arc;
+
+use miodb::pmem::PmemPool;
+use miodb::{KvEngine, MioDb, MioOptions, Stats};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("miodb-it-{}-{name}", std::process::id()))
+}
+
+fn value_for(i: u32) -> Vec<u8> {
+    format!("value-{i}-{}", "x".repeat((i % 200) as usize)).into_bytes()
+}
+
+fn recover_from(path: &std::path::Path, opts: &MioOptions) -> MioDb {
+    let pool =
+        PmemPool::restore_from_file(path, opts.nvm_device, Arc::new(Stats::new())).unwrap();
+    MioDb::recover(pool, opts.clone()).unwrap()
+}
+
+#[test]
+fn crash_after_quiescence_loses_nothing() {
+    let opts = MioOptions::small_for_tests();
+    let path = tmp("quiet");
+    {
+        let db = MioDb::open(opts.clone()).unwrap();
+        for i in 0..2_000u32 {
+            db.put(format!("key{i:06}").as_bytes(), &value_for(i)).unwrap();
+        }
+        db.wait_idle().unwrap();
+        db.snapshot(&path).unwrap();
+    }
+    let db = recover_from(&path, &opts);
+    for i in 0..2_000u32 {
+        assert_eq!(
+            db.get(format!("key{i:06}").as_bytes()).unwrap().unwrap(),
+            value_for(i),
+            "key{i:06}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn crash_mid_load_replays_wal() {
+    let opts = MioOptions::small_for_tests();
+    let path = tmp("midload");
+    {
+        let db = MioDb::open(opts.clone()).unwrap();
+        for i in 0..3_000u32 {
+            db.put(format!("key{i:06}").as_bytes(), &value_for(i)).unwrap();
+        }
+        // No wait_idle: flushes and merges are in full flight.
+        db.snapshot(&path).unwrap();
+    }
+    let db = recover_from(&path, &opts);
+    for i in (0..3_000u32).step_by(7) {
+        assert_eq!(
+            db.get(format!("key{i:06}").as_bytes()).unwrap().unwrap(),
+            value_for(i),
+            "key{i:06} lost in crash"
+        );
+    }
+    // The recovered engine keeps compacting and accepting writes.
+    for i in 3_000..3_500u32 {
+        db.put(format!("key{i:06}").as_bytes(), &value_for(i)).unwrap();
+    }
+    db.wait_idle().unwrap();
+    assert_eq!(
+        db.get(b"key003400").unwrap().unwrap(),
+        value_for(3_400)
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn deletes_survive_crash() {
+    let opts = MioOptions::small_for_tests();
+    let path = tmp("deletes");
+    {
+        let db = MioDb::open(opts.clone()).unwrap();
+        for i in 0..800u32 {
+            db.put(format!("key{i:05}").as_bytes(), &value_for(i)).unwrap();
+        }
+        for i in (0..800u32).step_by(2) {
+            db.delete(format!("key{i:05}").as_bytes()).unwrap();
+        }
+        db.snapshot(&path).unwrap();
+    }
+    let db = recover_from(&path, &opts);
+    for i in 0..800u32 {
+        let got = db.get(format!("key{i:05}").as_bytes()).unwrap();
+        if i % 2 == 0 {
+            assert!(got.is_none(), "deleted key{i:05} resurrected");
+        } else {
+            assert_eq!(got.unwrap(), value_for(i), "key{i:05} lost");
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn repeated_crashes_converge() {
+    let opts = MioOptions::small_for_tests();
+    let path = tmp("repeat");
+    // Lifetime 1: initial data, crash mid-flight.
+    {
+        let db = MioDb::open(opts.clone()).unwrap();
+        for i in 0..1_000u32 {
+            db.put(format!("key{i:05}").as_bytes(), b"gen1").unwrap();
+        }
+        db.snapshot(&path).unwrap();
+    }
+    // Lifetimes 2..4: recover, overwrite a slice, crash again.
+    for gen in 2..5u32 {
+        let db = recover_from(&path, &opts);
+        for i in (0..1_000u32).step_by(gen as usize) {
+            db.put(format!("key{i:05}").as_bytes(), format!("gen{gen}").as_bytes()).unwrap();
+        }
+        db.snapshot(&path).unwrap();
+    }
+    // Final lifetime: every key must hold the newest generation that wrote
+    // it.
+    let db = recover_from(&path, &opts);
+    for i in 0..1_000u32 {
+        let got = db.get(format!("key{i:05}").as_bytes()).unwrap().unwrap();
+        let expected = if i % 4 == 0 {
+            "gen4"
+        } else if i % 3 == 0 {
+            "gen3"
+        } else if i % 2 == 0 {
+            "gen2"
+        } else {
+            "gen1"
+        };
+        assert_eq!(got, expected.as_bytes(), "key{i:05}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn scan_after_recovery_is_sorted_and_complete() {
+    let opts = MioOptions::small_for_tests();
+    let path = tmp("scan");
+    {
+        let db = MioDb::open(opts.clone()).unwrap();
+        for i in 0..1_500u32 {
+            db.put(format!("key{i:05}").as_bytes(), &value_for(i)).unwrap();
+        }
+        db.snapshot(&path).unwrap();
+    }
+    let db = recover_from(&path, &opts);
+    let out = db.scan(b"key00500", 100).unwrap();
+    assert_eq!(out.len(), 100);
+    assert_eq!(out[0].key, b"key00500");
+    for w in out.windows(2) {
+        assert!(w[0].key < w[1].key);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn recovery_rejects_mismatched_level_count() {
+    let opts = MioOptions::small_for_tests();
+    let path = tmp("levels");
+    {
+        let db = MioDb::open(opts.clone()).unwrap();
+        db.put(b"k", b"v").unwrap();
+        db.snapshot(&path).unwrap();
+    }
+    let pool = PmemPool::restore_from_file(&path, opts.nvm_device, Arc::new(Stats::new())).unwrap();
+    let bad = MioOptions {
+        elastic_levels: opts.elastic_levels + 2,
+        ..opts.clone()
+    };
+    assert!(MioDb::recover(pool, bad).is_err(), "level mismatch must be rejected");
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,75 @@
+//! Tests of the bounded range-scan API across all engines.
+
+use std::sync::Arc;
+
+use miodb::baselines::{MatrixKv, MatrixKvOptions};
+use miodb::lsm::LsmOptions;
+use miodb::pmem::DeviceModel;
+use miodb::{KvEngine, MioDb, MioOptions, Stats};
+
+fn engines() -> Vec<Box<dyn KvEngine>> {
+    vec![
+        Box::new(MioDb::open(MioOptions::small_for_tests()).unwrap()),
+        Box::new(
+            MatrixKv::open(
+                MatrixKvOptions {
+                    memtable_bytes: 32 * 1024,
+                    container_bytes: 128 * 1024,
+                    lsm: LsmOptions {
+                        table_bytes: 16 * 1024,
+                        level1_max_bytes: 64 * 1024,
+                        ..LsmOptions::default()
+                    },
+                    table_device: DeviceModel::nvm_unthrottled(),
+                    row_device: DeviceModel::nvm_unthrottled(),
+                    ..MatrixKvOptions::default()
+                },
+                Arc::new(Stats::new()),
+            )
+            .unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn range_respects_bounds_and_limit() {
+    for engine in engines() {
+        for i in 0..500u32 {
+            engine.put(format!("key{i:05}").as_bytes(), b"v").unwrap();
+        }
+        engine.wait_idle().unwrap();
+
+        // Bounded range.
+        let out = engine.scan_range(b"key00100", b"key00110", 100).unwrap();
+        assert_eq!(out.len(), 10, "{}", engine.name());
+        assert_eq!(out[0].key, b"key00100");
+        assert_eq!(out.last().unwrap().key.as_slice(), b"key00109");
+
+        // Limit smaller than the range.
+        let out = engine.scan_range(b"key00100", b"key00400", 5).unwrap();
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[4].key, b"key00104");
+
+        // Empty range.
+        assert!(engine.scan_range(b"key00110", b"key00110", 10).unwrap().is_empty());
+        assert!(engine.scan_range(b"zzz", b"zzzz", 10).unwrap().is_empty());
+
+        // End past the last key returns everything remaining.
+        let out = engine.scan_range(b"key00495", b"zzz", 100).unwrap();
+        assert_eq!(out.len(), 5);
+    }
+}
+
+#[test]
+fn range_excludes_deleted_keys() {
+    let db = MioDb::open(MioOptions::small_for_tests()).unwrap();
+    for i in 0..50u32 {
+        db.put(format!("k{i:03}").as_bytes(), b"v").unwrap();
+    }
+    for i in (0..50u32).step_by(2) {
+        db.delete(format!("k{i:03}").as_bytes()).unwrap();
+    }
+    let out = db.scan_range(b"k000", b"k020", 100).unwrap();
+    let keys: Vec<String> = out.iter().map(|e| String::from_utf8_lossy(&e.key).into_owned()).collect();
+    assert_eq!(keys, vec!["k001", "k003", "k005", "k007", "k009", "k011", "k013", "k015", "k017", "k019"]);
+}

@@ -1,0 +1,88 @@
+//! Miniature sensitivity sweeps wired into the test suite: cheap versions
+//! of Figures 9/10/14 asserting that the *directions* the paper reports
+//! hold on every run (the full sweeps live in the `repro` binary).
+
+use miodb::workloads::{run_db_bench, BenchKind};
+use miodb::{KvEngine, MioDb, MioOptions};
+
+fn load(db: &MioDb, n: u64, vlen: usize) {
+    run_db_bench(db, BenchKind::FillRandom, n, 0, vlen, 7).unwrap();
+    db.wait_idle().unwrap();
+}
+
+#[test]
+fn level_count_does_not_affect_correctness_or_wa() {
+    // Figure 9's configuration axis: any elastic depth must produce the
+    // same data and the same ~3x WA bound.
+    let mut was = Vec::new();
+    for levels in [1usize, 2, 4, 8] {
+        let db = MioDb::open(MioOptions {
+            elastic_levels: levels,
+            ..MioOptions::small_for_tests()
+        })
+        .unwrap();
+        load(&db, 2_000, 512);
+        let r = run_db_bench(&db, BenchKind::ReadRandom, 400, 2_000, 512, 3).unwrap();
+        assert_eq!(r.hits, 400, "levels={levels}: every key must be found");
+        let wa = db.report().stats.write_amplification;
+        assert!(wa < 4.5, "levels={levels}: WA {wa} above the zero-copy bound");
+        was.push(wa);
+    }
+    // Depth must not change WA materially (zero-copy merges are free).
+    let spread = was.iter().cloned().fold(f64::MIN, f64::max)
+        - was.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 1.0, "WA should be depth-insensitive: {was:?}");
+}
+
+#[test]
+fn dataset_growth_keeps_wa_flat() {
+    // Figure 11's direction: MioDB's WA stays at the bound as data grows.
+    let mut was = Vec::new();
+    for n in [500u64, 1_500, 3_000] {
+        let db = MioDb::open(MioOptions::small_for_tests()).unwrap();
+        load(&db, n, 512);
+        was.push(db.report().stats.write_amplification);
+    }
+    for wa in &was {
+        assert!(*wa < 4.5, "WA must stay near 3x: {was:?}");
+    }
+    assert!(
+        (was[2] - was[0]).abs() < 1.0,
+        "WA must not grow with the dataset: {was:?}"
+    );
+}
+
+#[test]
+fn buffer_cap_trades_memory_for_stalls_not_correctness() {
+    // Figure 14's axis: a small elastic cap may slow writes (backpressure)
+    // but never loses data, and the buffer respects the cap once settled.
+    for cap in [192 * 1024u64, 1 << 20] {
+        let db = MioDb::open(MioOptions {
+            elastic_buffer_cap: Some(cap),
+            ..MioOptions::small_for_tests()
+        })
+        .unwrap();
+        load(&db, 2_000, 512);
+        let r = run_db_bench(&db, BenchKind::ReadRandom, 300, 2_000, 512, 9).unwrap();
+        assert_eq!(r.hits, 300, "cap={cap}: data must survive backpressure");
+    }
+}
+
+#[test]
+fn deeper_buffers_grow_bottom_tables() {
+    // The mechanism behind Figure 9's read trade-off: with more levels,
+    // tables compound (2^level MemTables each) before reaching the
+    // repository.
+    let db = MioDb::open(MioOptions {
+        elastic_levels: 6,
+        ..MioOptions::small_for_tests()
+    })
+    .unwrap();
+    load(&db, 3_000, 512);
+    let report = db.report();
+    // At rest, each level holds at most one table (paper §5.4: "only one
+    // PMTable in each level" under light load).
+    for (i, count) in report.tables_per_level.iter().enumerate() {
+        assert!(*count <= 1, "level {i} holds {count} tables at rest: {report:?}");
+    }
+}

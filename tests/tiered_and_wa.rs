@@ -1,0 +1,151 @@
+//! Integration tests of the DRAM-NVM-SSD mode and of the cross-engine
+//! write-amplification ordering the paper reports (Figure 11, Table 1).
+
+use std::sync::Arc;
+
+use miodb::baselines::{MatrixKv, MatrixKvOptions, NoveLsm, NoveLsmOptions};
+use miodb::lsm::LsmOptions;
+use miodb::pmem::DeviceModel;
+use miodb::{KvEngine, MioDb, MioOptions, RepositoryMode, Stats};
+
+fn load(engine: &dyn KvEngine, n: u32, vlen: usize) {
+    let value = vec![0x3Cu8; vlen];
+    for i in 0..n {
+        engine.put(format!("key{i:07}").as_bytes(), &value).unwrap();
+    }
+    engine.wait_idle().unwrap();
+}
+
+#[test]
+fn tiered_miodb_serves_from_buffer_and_ssd() {
+    let opts = MioOptions {
+        repository: RepositoryMode::Ssd {
+            lsm: LsmOptions {
+                table_bytes: 32 * 1024,
+                level1_max_bytes: 128 * 1024,
+                ..LsmOptions::default()
+            },
+            device: DeviceModel::ssd_unthrottled(),
+        },
+        elastic_levels: 3,
+        ..MioOptions::small_for_tests()
+    };
+    let db = MioDb::open(opts).unwrap();
+    load(&db, 3_000, 512);
+    let report = db.report();
+    assert!(report.stats.ssd_bytes_written > 0, "repository must reach SSD");
+    // Everything is still readable from both tiers.
+    for i in (0..3_000u32).step_by(101) {
+        assert!(db.get(format!("key{i:07}").as_bytes()).unwrap().is_some(), "key{i}");
+    }
+    // Scans cross the NVM buffer / SSD LSM boundary seamlessly.
+    let out = db.scan(b"key0001000", 30).unwrap();
+    assert_eq!(out.len(), 30);
+    assert_eq!(out[0].key, b"key0001000");
+}
+
+#[test]
+fn write_amplification_ordering_matches_paper() {
+    // Same workload on all three engines; the paper's ordering must hold:
+    // MioDB (~3x bound) < MatrixKV < NoveLSM-class traditional LSMs.
+    let n = 4_000u32;
+    let vlen = 512usize;
+
+    let mio = MioDb::open(MioOptions::small_for_tests()).unwrap();
+    load(&mio, n, vlen);
+    let wa_mio = mio.report().stats.write_amplification;
+
+    let lsm = LsmOptions {
+        table_bytes: 32 * 1024,
+        level1_max_bytes: 64 * 1024,
+        ..LsmOptions::default()
+    };
+    let matrix = MatrixKv::open(
+        MatrixKvOptions {
+            memtable_bytes: 64 * 1024,
+            container_bytes: 256 * 1024,
+            lsm: lsm.clone(),
+            table_device: DeviceModel::nvm_unthrottled(),
+            row_device: DeviceModel::nvm_unthrottled(),
+            ..MatrixKvOptions::default()
+        },
+        Arc::new(Stats::new()),
+    )
+    .unwrap();
+    load(&matrix, n, vlen);
+    let wa_matrix = matrix.report().stats.write_amplification;
+
+    let nove = NoveLsm::open(
+        NoveLsmOptions {
+            memtable_bytes: 64 * 1024,
+            nvm_memtable_bytes: 256 * 1024,
+            lsm,
+            table_device: DeviceModel::nvm_unthrottled(),
+            nvm_device: DeviceModel::nvm_unthrottled(),
+            nvm_pool_bytes: 128 << 20,
+            ..NoveLsmOptions::default()
+        },
+        Arc::new(Stats::new()),
+    )
+    .unwrap();
+    load(&nove, n, vlen);
+    let wa_nove = nove.report().stats.write_amplification;
+
+    assert!(
+        wa_mio < wa_matrix && wa_mio < wa_nove,
+        "MioDB WA must be lowest: mio={wa_mio:.2} matrix={wa_matrix:.2} nove={wa_nove:.2}"
+    );
+    assert!(wa_mio < 4.5, "MioDB WA should stay near the ~3x bound, got {wa_mio:.2}");
+    assert!(wa_nove > 3.0, "a traditional LSM must amplify, got {wa_nove:.2}");
+}
+
+#[test]
+fn miodb_has_no_serialization_in_memory_mode() {
+    let db = MioDb::open(MioOptions::small_for_tests()).unwrap();
+    load(&db, 2_000, 512);
+    for i in (0..2_000u32).step_by(37) {
+        db.get(format!("key{i:07}").as_bytes()).unwrap();
+    }
+    let s = db.report().stats;
+    assert_eq!(s.serialization_ns, 0, "PMTables never serialize");
+    assert_eq!(s.deserialization_ns, 0, "PMTables never deserialize");
+    assert!(s.zero_copy_compactions > 0);
+}
+
+#[test]
+fn tiered_miodb_does_serialize_at_the_ssd_boundary() {
+    let opts = MioOptions {
+        repository: RepositoryMode::Ssd {
+            lsm: LsmOptions {
+                table_bytes: 32 * 1024,
+                level1_max_bytes: 128 * 1024,
+                ..LsmOptions::default()
+            },
+            device: DeviceModel::ssd_unthrottled(),
+        },
+        elastic_levels: 3,
+        ..MioOptions::small_for_tests()
+    };
+    let db = MioDb::open(opts).unwrap();
+    load(&db, 3_000, 512);
+    let s = db.report().stats;
+    assert!(
+        s.serialization_ns > 0,
+        "lazy-copy into SSD SSTables pays serialization (and only there)"
+    );
+}
+
+#[test]
+fn nvm_usage_reported_in_elastic_buffer() {
+    let db = MioDb::open(MioOptions::small_for_tests()).unwrap();
+    let before = db.elastic_buffer_bytes();
+    for i in 0..2_000u32 {
+        db.put(format!("key{i:07}").as_bytes(), &[1u8; 512]).unwrap();
+    }
+    // Mid-load the buffer holds flushed tables (Figure 14's metric).
+    let during = db.report().nvm_used_bytes;
+    assert!(during > 0);
+    db.wait_idle().unwrap();
+    let after = db.elastic_buffer_bytes();
+    assert!(after >= before, "resting tables may remain");
+}
