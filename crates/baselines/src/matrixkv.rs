@@ -18,7 +18,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use miodb_common::{EngineReport, Error, KvEngine, OpKind, Result, ScanEntry, Stats};
+use miodb_common::{
+    CompactionKind, EngineReport, EngineTelemetry, Error, KvEngine, OpKind, Result, ScanEntry,
+    StallKind, Stats, TelemetryOptions,
+};
 use miodb_lsm::merge_iter::{dedup_newest, KWayMerge};
 use miodb_lsm::sstable::{SsTableBuilder, TableMeta};
 use miodb_lsm::{LsmCore, LsmOptions, TableStore};
@@ -45,6 +48,8 @@ pub struct MatrixKvOptions {
     pub row_device: DeviceModel,
     /// Engine name.
     pub name: String,
+    /// Telemetry collectors (same knob as MioDB's `Options::telemetry`).
+    pub telemetry: TelemetryOptions,
 }
 
 impl Default for MatrixKvOptions {
@@ -57,6 +62,7 @@ impl Default for MatrixKvOptions {
             table_device: DeviceModel::nvm(),
             row_device: DeviceModel::nvm(),
             name: "MatrixKV".to_string(),
+            telemetry: TelemetryOptions::default(),
         }
     }
 }
@@ -101,6 +107,7 @@ struct Inner {
     seq: AtomicU64,
     shutdown: AtomicBool,
     bg_error: Mutex<Option<String>>,
+    telemetry: EngineTelemetry,
 }
 
 /// The MatrixKV baseline engine.
@@ -133,6 +140,8 @@ impl MatrixKv {
         let table_store = TableStore::new(opts.table_device, stats.clone());
         let lsm = LsmCore::new(table_store, opts.lsm.clone());
         let active = Arc::new(SkipListArena::new(dram.clone(), opts.memtable_bytes)?);
+        // Level 0 is the matrix container; deeper levels mirror the LSM.
+        let telemetry = EngineTelemetry::new(1 + lsm.tables_per_level().len(), &opts.telemetry);
         let inner = Arc::new(Inner {
             opts,
             stats,
@@ -148,6 +157,7 @@ impl MatrixKv {
             seq: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             bg_error: Mutex::new(None),
+            telemetry,
         });
         let mut threads = Vec::new();
         {
@@ -180,28 +190,35 @@ impl MatrixKv {
         if let Some(msg) = inner.bg_error.lock().clone() {
             return Err(Error::Background(msg));
         }
+        let op_start = Instant::now();
         let mut guard = inner.write_mutex.lock();
-        inner
-            .stats
-            .user_bytes_written
-            .fetch_add((key.len() + value.len()) as u64, Ordering::Relaxed);
+        Stats::add(
+            &inner.stats.user_bytes_written,
+            (key.len() + value.len()) as u64,
+        );
 
         // Container backpressure: pacing past the soft budget, as MatrixKV
         // does when column compactions fall behind (cumulative stalls).
         let used = self.container_bytes();
         if used > inner.opts.container_bytes {
             let pause = Duration::from_micros(800);
+            inner.telemetry.stall_begin(StallKind::Cumulative);
             std::thread::sleep(pause);
             Stats::add_time(&inner.stats.cumulative_stall_ns, pause);
-            inner.stats.cumulative_stall_count.fetch_add(1, Ordering::Relaxed);
+            Stats::add(&inner.stats.cumulative_stall_count, 1);
+            inner.telemetry.stall_end(StallKind::Cumulative, pause);
         }
 
         // WAL to NVM (modeled append).
-        inner.row_store.stats().nvm_bytes_written.fetch_add(
-            (17 + key.len() + value.len()) as u64,
-            Ordering::Relaxed,
-        );
-        inner.opts.row_device.delay_write(17 + key.len() + value.len());
+        inner
+            .row_store
+            .stats()
+            .nvm_bytes_written
+            .fetch_add((17 + key.len() + value.len()) as u64, Ordering::Relaxed);
+        inner
+            .opts
+            .row_device
+            .delay_write(17 + key.len() + value.len());
 
         let seq = inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
         loop {
@@ -212,23 +229,40 @@ impl MatrixKv {
                 active.insert(key, value, seq, kind)
             };
             match r {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    let h = match kind {
+                        OpKind::Put => &inner.telemetry.put_latency,
+                        OpKind::Delete => &inner.telemetry.delete_latency,
+                    };
+                    h.record(dur_ns(op_start.elapsed()));
+                    return Ok(());
+                }
                 Err(Error::ArenaFull) => {
                     let t0 = Instant::now();
                     let mut stalled = false;
                     while inner.mem.read().imm.is_some() {
-                        stalled = true;
+                        if !stalled {
+                            stalled = true;
+                            inner.telemetry.stall_begin(StallKind::Interval);
+                        }
                         inner.imm_cv.wait_for(&mut guard, Duration::from_millis(5));
                         if inner.shutdown.load(Ordering::Acquire) {
                             return Err(Error::Closed);
                         }
                     }
                     if stalled {
-                        Stats::add_time(&inner.stats.interval_stall_ns, t0.elapsed());
-                        inner.stats.interval_stall_count.fetch_add(1, Ordering::Relaxed);
+                        let waited = t0.elapsed();
+                        Stats::add_time(&inner.stats.interval_stall_ns, waited);
+                        Stats::add(&inner.stats.interval_stall_count, 1);
+                        inner.telemetry.stall_end(StallKind::Interval, waited);
                     }
-                    let fresh =
-                        Arc::new(SkipListArena::new(inner.dram.clone(), inner.opts.memtable_bytes.max(SkipListArena::capacity_for_entry(key.len(), value.len())))?);
+                    let fresh = Arc::new(SkipListArena::new(
+                        inner.dram.clone(),
+                        inner
+                            .opts
+                            .memtable_bytes
+                            .max(SkipListArena::capacity_for_entry(key.len(), value.len())),
+                    )?);
                     {
                         let mut mem = inner.mem.write();
                         let old = std::mem::replace(&mut mem.active, fresh);
@@ -250,16 +284,21 @@ fn flush_worker(inner: Arc<Inner>) {
         {
             let mut flag = inner.flush_flag.lock();
             while !*flag && !inner.shutdown.load(Ordering::Acquire) {
-                inner.flush_cv.wait_for(&mut flag, Duration::from_millis(10));
+                inner
+                    .flush_cv
+                    .wait_for(&mut flag, Duration::from_millis(10));
             }
             *flag = false;
         }
         let imm = inner.mem.read().imm.clone();
         if let Some(imm) = imm {
+            inner.telemetry.flush_begin(imm.used_bytes());
             let t0 = Instant::now();
             let result: Result<()> = (|| {
-                let mut builder =
-                    SsTableBuilder::new(inner.opts.lsm.block_bytes, inner.opts.lsm.bloom_bits_per_key);
+                let mut builder = SsTableBuilder::new(
+                    inner.opts.lsm.block_bytes,
+                    inner.opts.lsm.bloom_bits_per_key,
+                );
                 for e in imm.list().iter() {
                     builder.add(&e.key, &e.value, e.seq, e.kind);
                 }
@@ -278,9 +317,11 @@ fn flush_worker(inner: Arc<Inner>) {
             if let Err(e) = result {
                 *inner.bg_error.lock() = Some(format!("row flush failed: {e}"));
             }
-            Stats::add_time(&inner.stats.flush_ns, t0.elapsed());
-            inner.stats.flush_count.fetch_add(1, Ordering::Relaxed);
-            inner.stats.flush_bytes.fetch_add(imm.used_bytes(), Ordering::Relaxed);
+            let took = t0.elapsed();
+            Stats::add_time(&inner.stats.flush_ns, took);
+            Stats::add(&inner.stats.flush_count, 1);
+            Stats::add(&inner.stats.flush_bytes, imm.used_bytes());
+            inner.telemetry.flush_end(imm.used_bytes(), took);
             {
                 let mut mem = inner.mem.write();
                 mem.imm = None;
@@ -317,12 +358,16 @@ fn column_worker(inner: Arc<Inner>) {
 }
 
 fn run_column_compaction(inner: &Inner) -> Result<()> {
-    let t0 = Instant::now();
     let rows: Vec<Row> = inner.rows.read().clone();
     if rows.is_empty() {
         std::thread::sleep(Duration::from_millis(2));
         return Ok(());
     }
+    // The container is level 0; a column compaction moves data into L1.
+    inner
+        .telemetry
+        .compaction_begin(0, CompactionKind::LazyCopy);
+    let t0 = Instant::now();
     let target_bytes =
         (inner.opts.container_bytes / inner.opts.column_denominator).max(64 * 1024) as usize;
 
@@ -331,7 +376,9 @@ fn run_column_compaction(inner: &Inner) -> Result<()> {
     let mut sources: Vec<Box<dyn Iterator<Item = OwnedEntry> + Send>> = Vec::new();
     for row in &rows {
         let lb = row.lower_bound.clone();
-        sources.push(Box::new(row.meta.reader.iter_from(&lb, inner.stats.clone())));
+        sources.push(Box::new(
+            row.meta.reader.iter_from(&lb, inner.stats.clone()),
+        ));
     }
     let mut merged = KWayMerge::new(sources);
     let mut column: Vec<OwnedEntry> = Vec::new();
@@ -346,6 +393,9 @@ fn run_column_compaction(inner: &Inner) -> Result<()> {
         }
     }
     if column.is_empty() {
+        inner
+            .telemetry
+            .compaction_end(0, CompactionKind::LazyCopy, 0, t0.elapsed());
         return Ok(());
     }
     // Include every remaining version of the split key so no row keeps a
@@ -400,8 +450,12 @@ fn run_column_compaction(inner: &Inner) -> Result<()> {
             inner.row_store.delete(d.meta.id);
         }
     }
-    Stats::add_time(&inner.stats.copy_compaction_ns, t0.elapsed());
-    inner.stats.copy_compactions.fetch_add(1, Ordering::Relaxed);
+    let took = t0.elapsed();
+    Stats::add_time(&inner.stats.copy_compaction_ns, took);
+    Stats::add(&inner.stats.copy_compactions, 1);
+    inner
+        .telemetry
+        .compaction_end(0, CompactionKind::LazyCopy, bytes as u64, took);
     Ok(())
 }
 
@@ -443,76 +497,27 @@ impl KvEngine for MatrixKv {
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        let inner = &*self.inner;
-        inner.stats.gets.fetch_add(1, Ordering::Relaxed);
-        let (active, imm) = {
-            let mem = inner.mem.read();
-            (mem.active.clone(), mem.imm.clone())
-        };
-        if let Some(r) = active.list().get(key) {
-            count_hit(&inner.stats, r.kind);
-            return Ok(resolve_kind(r.kind, r.value));
+        let t0 = Instant::now();
+        let r = self.get_impl(key);
+        if r.is_ok() {
+            self.inner
+                .telemetry
+                .get_latency
+                .record(dur_ns(t0.elapsed()));
         }
-        if let Some(imm) = imm {
-            if let Some(r) = imm.list().get(key) {
-                count_hit(&inner.stats, r.kind);
-                return Ok(resolve_kind(r.kind, r.value));
-            }
-        }
-        // Matrix container rows, newest first.
-        let rows: Vec<Row> = inner.rows.read().clone();
-        for row in &rows {
-            if !row.live(key) || key < row.meta.smallest.as_slice() {
-                continue;
-            }
-            if !row.meta.reader.may_contain(key) {
-                inner.stats.bloom_skips.fetch_add(1, Ordering::Relaxed);
-                continue;
-            }
-            if let Some(e) = row.meta.reader.get(key, &inner.stats)? {
-                count_hit(&inner.stats, e.kind);
-                return Ok(resolve_kind(e.kind, e.value));
-            }
-        }
-        // LSM levels below.
-        if let Some(e) = inner.lsm.get(key)? {
-            return Ok(match e.kind {
-                OpKind::Put => {
-                    inner.stats.get_hits.fetch_add(1, Ordering::Relaxed);
-                    Some(e.value)
-                }
-                OpKind::Delete => None,
-            });
-        }
-        Ok(None)
+        r
     }
 
     fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<ScanEntry>> {
-        let inner = &*self.inner;
-        let (active, imm) = {
-            let mem = inner.mem.read();
-            (mem.active.clone(), mem.imm.clone())
-        };
-        let mut sources: Vec<Box<dyn Iterator<Item = OwnedEntry> + Send>> = Vec::new();
-        sources.push(Box::new(active.list().iter_from(start)));
-        if let Some(imm) = imm {
-            sources.push(Box::new(imm.list().iter_from(start)));
+        let t0 = Instant::now();
+        let r = self.scan_impl(start, limit);
+        if r.is_ok() {
+            self.inner
+                .telemetry
+                .scan_latency
+                .record(dur_ns(t0.elapsed()));
         }
-        let rows: Vec<Row> = inner.rows.read().clone();
-        for row in &rows {
-            let from = if start < row.lower_bound.as_slice() {
-                row.lower_bound.clone()
-            } else {
-                start.to_vec()
-            };
-            sources.push(Box::new(row.meta.reader.iter_from(&from, inner.stats.clone())));
-        }
-        sources.extend(inner.lsm.scan_sources(start));
-        let merged = dedup_newest(KWayMerge::new(sources), true);
-        Ok(merged
-            .take(limit)
-            .map(|e| ScanEntry { key: e.key, value: e.value })
-            .collect())
+        r
     }
 
     fn wait_idle(&self) -> Result<()> {
@@ -547,6 +552,100 @@ impl KvEngine for MatrixKv {
     fn name(&self) -> &str {
         &self.inner.opts.name
     }
+
+    fn telemetry(&self) -> Option<&EngineTelemetry> {
+        Some(&self.inner.telemetry)
+    }
+}
+
+impl MatrixKv {
+    /// The `get` layer walk; [`KvEngine::get`] wraps it with latency
+    /// recording.
+    fn get_impl(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let inner = &*self.inner;
+        Stats::add(&inner.stats.gets, 1);
+        let (active, imm) = {
+            let mem = inner.mem.read();
+            (mem.active.clone(), mem.imm.clone())
+        };
+        if let Some(r) = active.list().get(key) {
+            count_hit(&inner.stats, r.kind);
+            return Ok(resolve_kind(r.kind, r.value));
+        }
+        if let Some(imm) = imm {
+            if let Some(r) = imm.list().get(key) {
+                count_hit(&inner.stats, r.kind);
+                return Ok(resolve_kind(r.kind, r.value));
+            }
+        }
+        // Matrix container rows, newest first.
+        let rows: Vec<Row> = inner.rows.read().clone();
+        for row in &rows {
+            if !row.live(key) || key < row.meta.smallest.as_slice() {
+                continue;
+            }
+            if !row.meta.reader.may_contain(key) {
+                Stats::add(&inner.stats.bloom_skips, 1);
+                inner.telemetry.bloom_skip(0);
+                continue;
+            }
+            if let Some(e) = row.meta.reader.get(key, &inner.stats)? {
+                count_hit(&inner.stats, e.kind);
+                return Ok(resolve_kind(e.kind, e.value));
+            }
+        }
+        // LSM levels below.
+        if let Some(e) = inner.lsm.get(key)? {
+            return Ok(match e.kind {
+                OpKind::Put => {
+                    Stats::add(&inner.stats.get_hits, 1);
+                    Some(e.value)
+                }
+                OpKind::Delete => None,
+            });
+        }
+        Ok(None)
+    }
+
+    /// The `scan` source assembly; [`KvEngine::scan`] wraps it with latency
+    /// recording.
+    fn scan_impl(&self, start: &[u8], limit: usize) -> Result<Vec<ScanEntry>> {
+        let inner = &*self.inner;
+        let (active, imm) = {
+            let mem = inner.mem.read();
+            (mem.active.clone(), mem.imm.clone())
+        };
+        let mut sources: Vec<Box<dyn Iterator<Item = OwnedEntry> + Send>> = Vec::new();
+        sources.push(Box::new(active.list().iter_from(start)));
+        if let Some(imm) = imm {
+            sources.push(Box::new(imm.list().iter_from(start)));
+        }
+        let rows: Vec<Row> = inner.rows.read().clone();
+        for row in &rows {
+            let from = if start < row.lower_bound.as_slice() {
+                row.lower_bound.clone()
+            } else {
+                start.to_vec()
+            };
+            sources.push(Box::new(
+                row.meta.reader.iter_from(&from, inner.stats.clone()),
+            ));
+        }
+        sources.extend(inner.lsm.scan_sources(start));
+        let merged = dedup_newest(KWayMerge::new(sources), true);
+        Ok(merged
+            .take(limit)
+            .map(|e| ScanEntry {
+                key: e.key,
+                value: e.value,
+            })
+            .collect())
+    }
+}
+
+/// Saturating nanosecond count of a duration, for histogram recording.
+fn dur_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
 }
 
 fn resolve_kind(kind: OpKind, value: Vec<u8>) -> Option<Vec<u8>> {
@@ -558,7 +657,7 @@ fn resolve_kind(kind: OpKind, value: Vec<u8>) -> Option<Vec<u8>> {
 
 fn count_hit(stats: &Stats, kind: OpKind) {
     if kind == OpKind::Put {
-        stats.get_hits.fetch_add(1, Ordering::Relaxed);
+        Stats::add(&stats.get_hits, 1);
     }
 }
 
@@ -619,7 +718,11 @@ mod tests {
             d.report().tables_per_level
         );
         for i in (0..3000u32).step_by(271) {
-            assert_eq!(d.get(format!("key{i:06}").as_bytes()).unwrap().unwrap(), value, "key{i}");
+            assert_eq!(
+                d.get(format!("key{i:06}").as_bytes()).unwrap().unwrap(),
+                value,
+                "key{i}"
+            );
         }
     }
 
@@ -638,7 +741,11 @@ mod tests {
         d.wait_idle().unwrap();
         for i in (0..300u32).step_by(23) {
             let v = d.get(format!("key{i:05}").as_bytes()).unwrap().unwrap();
-            assert!(v.starts_with(b"v7-"), "stale: {:?}", String::from_utf8_lossy(&v[..4]));
+            assert!(
+                v.starts_with(b"v7-"),
+                "stale: {:?}",
+                String::from_utf8_lossy(&v[..4])
+            );
         }
     }
 

@@ -20,7 +20,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use miodb_common::{
-    EngineReport, Error, KvEngine, OpKind, Result, ScanEntry, Stats,
+    CompactionKind, EngineReport, EngineTelemetry, Error, KvEngine, OpKind, Result, ScanEntry,
+    StallKind, Stats, TelemetryOptions,
 };
 use miodb_lsm::merge_iter::{dedup_newest, KWayMerge};
 use miodb_lsm::{LsmCore, LsmOptions, TableStore};
@@ -50,6 +51,8 @@ pub struct NoveLsmOptions {
     pub nvm_pool_bytes: usize,
     /// Engine name for reports.
     pub name: String,
+    /// Telemetry collectors (same knob as MioDB's `Options::telemetry`).
+    pub telemetry: TelemetryOptions,
 }
 
 impl Default for NoveLsmOptions {
@@ -63,6 +66,7 @@ impl Default for NoveLsmOptions {
             nvm_device: DeviceModel::nvm(),
             nvm_pool_bytes: 256 << 20,
             name: "NoveLSM".to_string(),
+            telemetry: TelemetryOptions::default(),
         }
     }
 }
@@ -91,6 +95,7 @@ struct Inner {
     seq: AtomicU64,
     shutdown: AtomicBool,
     bg_error: Mutex<Option<String>>,
+    telemetry: EngineTelemetry,
 }
 
 /// The flat-NoveLSM baseline engine.
@@ -123,7 +128,11 @@ impl NoveLsm {
         let store = TableStore::new(opts.table_device, stats.clone());
         let lsm = LsmCore::new(store, opts.lsm.clone());
         let active = Arc::new(SkipListArena::new(dram.clone(), opts.memtable_bytes)?);
-        let nvm_mem = Arc::new(GrowableSkipList::new_keeping_tombstones(nvm.clone(), 1 << 20)?);
+        let nvm_mem = Arc::new(GrowableSkipList::new_keeping_tombstones(
+            nvm.clone(),
+            1 << 20,
+        )?);
+        let telemetry = EngineTelemetry::new(lsm.tables_per_level().len(), &opts.telemetry);
         let inner = Arc::new(Inner {
             opts,
             stats,
@@ -140,6 +149,7 @@ impl NoveLsm {
             seq: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             bg_error: Mutex::new(None),
+            telemetry,
         });
         let mut threads = Vec::new();
         {
@@ -164,20 +174,23 @@ impl NoveLsm {
         if let Some(msg) = inner.bg_error.lock().clone() {
             return Err(Error::Background(msg));
         }
+        let op_start = Instant::now();
         let mut guard = inner.write_mutex.lock();
-        inner
-            .stats
-            .user_bytes_written
-            .fetch_add((key.len() + value.len()) as u64, Ordering::Relaxed);
+        Stats::add(
+            &inner.stats.user_bytes_written,
+            (key.len() + value.len()) as u64,
+        );
 
         // L0 backpressure from the traditional LSM below.
         if !inner.opts.no_sst {
             let l0 = inner.lsm.l0_count();
             if l0 >= inner.opts.lsm.l0_slowdown_trigger {
                 let pause = Duration::from_micros(1000);
+                inner.telemetry.stall_begin(StallKind::Cumulative);
                 std::thread::sleep(pause);
                 Stats::add_time(&inner.stats.cumulative_stall_ns, pause);
-                inner.stats.cumulative_stall_count.fetch_add(1, Ordering::Relaxed);
+                Stats::add(&inner.stats.cumulative_stall_count, 1);
+                inner.telemetry.stall_end(StallKind::Cumulative, pause);
             }
         }
 
@@ -193,23 +206,40 @@ impl NoveLsm {
                 active.insert(key, value, seq, kind)
             };
             match r {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    let h = match kind {
+                        OpKind::Put => &inner.telemetry.put_latency,
+                        OpKind::Delete => &inner.telemetry.delete_latency,
+                    };
+                    h.record(dur_ns(op_start.elapsed()));
+                    return Ok(());
+                }
                 Err(Error::ArenaFull) => {
                     let t0 = Instant::now();
                     let mut stalled = false;
                     while inner.mem.read().imm.is_some() {
-                        stalled = true;
+                        if !stalled {
+                            stalled = true;
+                            inner.telemetry.stall_begin(StallKind::Interval);
+                        }
                         inner.imm_cv.wait_for(&mut guard, Duration::from_millis(5));
                         if inner.shutdown.load(Ordering::Acquire) {
                             return Err(Error::Closed);
                         }
                     }
                     if stalled {
-                        Stats::add_time(&inner.stats.interval_stall_ns, t0.elapsed());
-                        inner.stats.interval_stall_count.fetch_add(1, Ordering::Relaxed);
+                        let waited = t0.elapsed();
+                        Stats::add_time(&inner.stats.interval_stall_ns, waited);
+                        Stats::add(&inner.stats.interval_stall_count, 1);
+                        inner.telemetry.stall_end(StallKind::Interval, waited);
                     }
-                    let fresh =
-                        Arc::new(SkipListArena::new(inner.dram.clone(), inner.opts.memtable_bytes.max(SkipListArena::capacity_for_entry(key.len(), value.len())))?);
+                    let fresh = Arc::new(SkipListArena::new(
+                        inner.dram.clone(),
+                        inner
+                            .opts
+                            .memtable_bytes
+                            .max(SkipListArena::capacity_for_entry(key.len(), value.len())),
+                    )?);
                     {
                         let mut mem = inner.mem.write();
                         let old = std::mem::replace(&mut mem.active, fresh);
@@ -232,12 +262,15 @@ fn drain_worker(inner: Arc<Inner>) {
         {
             let mut flag = inner.drain_flag.lock();
             while !*flag && !inner.shutdown.load(Ordering::Acquire) {
-                inner.drain_cv.wait_for(&mut flag, Duration::from_millis(10));
+                inner
+                    .drain_cv
+                    .wait_for(&mut flag, Duration::from_millis(10));
             }
             *flag = false;
         }
         let imm = inner.mem.read().imm.clone();
         if let Some(imm) = imm {
+            inner.telemetry.flush_begin(imm.used_bytes());
             let t0 = Instant::now();
             let result: Result<()> = (|| {
                 let nvm_mem = inner.nvm_mem.read().clone();
@@ -251,9 +284,11 @@ fn drain_worker(inner: Arc<Inner>) {
             if let Err(e) = result {
                 *inner.bg_error.lock() = Some(format!("nvm-memtable merge failed: {e}"));
             }
-            Stats::add_time(&inner.stats.flush_ns, t0.elapsed());
-            inner.stats.flush_count.fetch_add(1, Ordering::Relaxed);
-            inner.stats.flush_bytes.fetch_add(imm.used_bytes(), Ordering::Relaxed);
+            let took = t0.elapsed();
+            Stats::add_time(&inner.stats.flush_ns, took);
+            Stats::add(&inner.stats.flush_count, 1);
+            Stats::add(&inner.stats.flush_bytes, imm.used_bytes());
+            inner.telemetry.flush_end(imm.used_bytes(), took);
 
             {
                 let mut mem = inner.mem.write();
@@ -286,7 +321,10 @@ fn drain_worker(inner: Arc<Inner>) {
 }
 
 fn flush_big_memtable(inner: &Inner) -> Result<()> {
-    let fresh = Arc::new(GrowableSkipList::new_keeping_tombstones(inner.nvm.clone(), 1 << 20)?);
+    let fresh = Arc::new(GrowableSkipList::new_keeping_tombstones(
+        inner.nvm.clone(),
+        1 << 20,
+    )?);
     let full = {
         let mut nvm_mem = inner.nvm_mem.write();
         std::mem::replace(&mut *nvm_mem, fresh)
@@ -295,8 +333,16 @@ fn flush_big_memtable(inner: &Inner) -> Result<()> {
     // Serialize into SSTables (the deserialization/serialization costs the
     // paper measures stem from here). The immutable list stays readable
     // until its tables are installed in L0.
+    let drained_bytes = full.data_bytes();
+    inner
+        .telemetry
+        .compaction_begin(0, CompactionKind::LazyCopy);
+    let t0 = Instant::now();
     let result = inner.lsm.ingest_sorted_run(full.list().iter());
     *inner.nvm_imm.write() = None;
+    inner
+        .telemetry
+        .compaction_end(0, CompactionKind::LazyCopy, drained_bytes, t0.elapsed());
     result?;
     release_repo_when_unique(full, inner);
     Ok(())
@@ -361,67 +407,27 @@ impl KvEngine for NoveLsm {
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        let inner = &*self.inner;
-        inner.stats.gets.fetch_add(1, Ordering::Relaxed);
-        let (active, imm) = {
-            let mem = inner.mem.read();
-            (mem.active.clone(), mem.imm.clone())
-        };
-        if let Some(r) = active.list().get(key) {
-            return Ok(resolve_counted(&inner.stats, r));
+        let t0 = Instant::now();
+        let r = self.get_impl(key);
+        if r.is_ok() {
+            self.inner
+                .telemetry
+                .get_latency
+                .record(dur_ns(t0.elapsed()));
         }
-        if let Some(imm) = imm {
-            if let Some(r) = imm.list().get(key) {
-                return Ok(resolve_counted(&inner.stats, r));
-            }
-        }
-        let nvm_mem = inner.nvm_mem.read().clone();
-        if let Some(r) = nvm_mem.get(key) {
-            return Ok(resolve_counted(&inner.stats, r));
-        }
-        if let Some(imm) = inner.nvm_imm.read().clone() {
-            if let Some(r) = imm.get(key) {
-                return Ok(resolve_counted(&inner.stats, r));
-            }
-        }
-        if !inner.opts.no_sst {
-            if let Some(e) = inner.lsm.get(key)? {
-                return Ok(match e.kind {
-                    OpKind::Put => {
-                        inner.stats.get_hits.fetch_add(1, Ordering::Relaxed);
-                        Some(e.value)
-                    }
-                    OpKind::Delete => None,
-                });
-            }
-        }
-        Ok(None)
+        r
     }
 
     fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<ScanEntry>> {
-        let inner = &*self.inner;
-        let (active, imm) = {
-            let mem = inner.mem.read();
-            (mem.active.clone(), mem.imm.clone())
-        };
-        let mut sources: Vec<Box<dyn Iterator<Item = OwnedEntry> + Send>> = Vec::new();
-        sources.push(Box::new(active.list().iter_from(start)));
-        if let Some(imm) = imm {
-            sources.push(Box::new(imm.list().iter_from(start)));
+        let t0 = Instant::now();
+        let r = self.scan_impl(start, limit);
+        if r.is_ok() {
+            self.inner
+                .telemetry
+                .scan_latency
+                .record(dur_ns(t0.elapsed()));
         }
-        let nvm_mem = inner.nvm_mem.read().clone();
-        sources.push(Box::new(nvm_mem.list().iter_from(start)));
-        if let Some(nvm_imm) = inner.nvm_imm.read().clone() {
-            sources.push(Box::new(nvm_imm.list().iter_from(start)));
-        }
-        if !inner.opts.no_sst {
-            sources.extend(inner.lsm.scan_sources(start));
-        }
-        let merged = dedup_newest(KWayMerge::new(sources), true);
-        Ok(merged
-            .take(limit)
-            .map(|e| ScanEntry { key: e.key, value: e.value })
-            .collect())
+        r
     }
 
     fn wait_idle(&self) -> Result<()> {
@@ -454,6 +460,88 @@ impl KvEngine for NoveLsm {
     fn name(&self) -> &str {
         &self.inner.opts.name
     }
+
+    fn telemetry(&self) -> Option<&EngineTelemetry> {
+        Some(&self.inner.telemetry)
+    }
+}
+
+impl NoveLsm {
+    /// The `get` layer walk; [`KvEngine::get`] wraps it with latency
+    /// recording.
+    fn get_impl(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let inner = &*self.inner;
+        Stats::add(&inner.stats.gets, 1);
+        let (active, imm) = {
+            let mem = inner.mem.read();
+            (mem.active.clone(), mem.imm.clone())
+        };
+        if let Some(r) = active.list().get(key) {
+            return Ok(resolve_counted(&inner.stats, r));
+        }
+        if let Some(imm) = imm {
+            if let Some(r) = imm.list().get(key) {
+                return Ok(resolve_counted(&inner.stats, r));
+            }
+        }
+        let nvm_mem = inner.nvm_mem.read().clone();
+        if let Some(r) = nvm_mem.get(key) {
+            return Ok(resolve_counted(&inner.stats, r));
+        }
+        if let Some(imm) = inner.nvm_imm.read().clone() {
+            if let Some(r) = imm.get(key) {
+                return Ok(resolve_counted(&inner.stats, r));
+            }
+        }
+        if !inner.opts.no_sst {
+            if let Some(e) = inner.lsm.get(key)? {
+                return Ok(match e.kind {
+                    OpKind::Put => {
+                        Stats::add(&inner.stats.get_hits, 1);
+                        Some(e.value)
+                    }
+                    OpKind::Delete => None,
+                });
+            }
+        }
+        Ok(None)
+    }
+
+    /// The `scan` source assembly; [`KvEngine::scan`] wraps it with latency
+    /// recording.
+    fn scan_impl(&self, start: &[u8], limit: usize) -> Result<Vec<ScanEntry>> {
+        let inner = &*self.inner;
+        let (active, imm) = {
+            let mem = inner.mem.read();
+            (mem.active.clone(), mem.imm.clone())
+        };
+        let mut sources: Vec<Box<dyn Iterator<Item = OwnedEntry> + Send>> = Vec::new();
+        sources.push(Box::new(active.list().iter_from(start)));
+        if let Some(imm) = imm {
+            sources.push(Box::new(imm.list().iter_from(start)));
+        }
+        let nvm_mem = inner.nvm_mem.read().clone();
+        sources.push(Box::new(nvm_mem.list().iter_from(start)));
+        if let Some(nvm_imm) = inner.nvm_imm.read().clone() {
+            sources.push(Box::new(nvm_imm.list().iter_from(start)));
+        }
+        if !inner.opts.no_sst {
+            sources.extend(inner.lsm.scan_sources(start));
+        }
+        let merged = dedup_newest(KWayMerge::new(sources), true);
+        Ok(merged
+            .take(limit)
+            .map(|e| ScanEntry {
+                key: e.key,
+                value: e.value,
+            })
+            .collect())
+    }
+}
+
+/// Saturating nanosecond count of a duration, for histogram recording.
+fn dur_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
 }
 
 fn resolve(r: miodb_skiplist::LookupResult) -> Option<Vec<u8>> {
@@ -465,7 +553,7 @@ fn resolve(r: miodb_skiplist::LookupResult) -> Option<Vec<u8>> {
 
 fn resolve_counted(stats: &Stats, r: miodb_skiplist::LookupResult) -> Option<Vec<u8>> {
     if r.kind == OpKind::Put {
-        stats.get_hits.fetch_add(1, Ordering::Relaxed);
+        Stats::add(&stats.get_hits, 1);
     }
     resolve(r)
 }
@@ -524,7 +612,10 @@ mod tests {
             "big memtable must overflow into SSTables: {report:?}"
         );
         for i in (0..2000u32).step_by(211) {
-            assert_eq!(d.get(format!("key{i:06}").as_bytes()).unwrap().unwrap(), value);
+            assert_eq!(
+                d.get(format!("key{i:06}").as_bytes()).unwrap().unwrap(),
+                value
+            );
         }
     }
 
@@ -546,7 +637,10 @@ mod tests {
         d.wait_idle().unwrap();
         assert_eq!(d.report().tables_per_level.iter().sum::<usize>(), 0);
         for i in (0..1500u32).step_by(97) {
-            assert_eq!(d.get(format!("key{i:06}").as_bytes()).unwrap().unwrap(), value);
+            assert_eq!(
+                d.get(format!("key{i:06}").as_bytes()).unwrap().unwrap(),
+                value
+            );
         }
     }
 
@@ -582,7 +676,11 @@ mod tests {
         d.wait_idle().unwrap();
         for i in (0..200u32).step_by(17) {
             let v = d.get(format!("key{i:05}").as_bytes()).unwrap().unwrap();
-            assert!(v.starts_with(b"v5-"), "stale value {:?}", String::from_utf8_lossy(&v));
+            assert!(
+                v.starts_with(b"v5-"),
+                "stale value {:?}",
+                String::from_utf8_lossy(&v)
+            );
         }
     }
 }

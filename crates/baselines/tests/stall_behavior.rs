@@ -53,7 +53,10 @@ fn novelsm_stalls_under_burst_with_slow_tables() {
     engine.wait_idle().unwrap();
     // Data integrity is unaffected by the stalls.
     for i in (0..2_000u32).step_by(191) {
-        assert!(engine.get(format!("key{i:06}").as_bytes()).unwrap().is_some());
+        assert!(engine
+            .get(format!("key{i:06}").as_bytes())
+            .unwrap()
+            .is_some());
     }
 }
 
@@ -74,10 +77,16 @@ fn matrixkv_pays_cumulative_pacing_when_container_fills() {
     .unwrap();
     burst(&engine, 2_000);
     let s = engine.report().stats;
-    assert!(s.cumulative_stall_ns > 0, "MatrixKV paces writers when behind: {s:?}");
+    assert!(
+        s.cumulative_stall_ns > 0,
+        "MatrixKV paces writers when behind: {s:?}"
+    );
     engine.wait_idle().unwrap();
     for i in (0..2_000u32).step_by(191) {
-        assert!(engine.get(format!("key{i:06}").as_bytes()).unwrap().is_some());
+        assert!(engine
+            .get(format!("key{i:06}").as_bytes())
+            .unwrap()
+            .is_some());
     }
 }
 

@@ -28,7 +28,8 @@ fn opts(bloom: bool, parallel: bool) -> MioOptions {
 fn loaded_db(bloom: bool) -> MioDb {
     let db = MioDb::open(opts(bloom, true)).unwrap();
     for i in 0..8_000u32 {
-        db.put(format!("key{i:06}").as_bytes(), &[5u8; 256]).unwrap();
+        db.put(format!("key{i:06}").as_bytes(), &[5u8; 256])
+            .unwrap();
     }
     // Do not wait for quiescence: the interesting case has tables resting
     // in several levels.
@@ -57,22 +58,31 @@ fn compaction_parallelism_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("compaction_parallelism");
     group.sample_size(10);
     for &parallel in &[true, false] {
-        let label = if parallel { "one_thread_per_level" } else { "single_thread" };
-        group.bench_with_input(BenchmarkId::from_parameter(label), &parallel, |b, &parallel| {
-            b.iter_custom(|iters| {
-                let mut total = Duration::ZERO;
-                for _ in 0..iters {
-                    let db = MioDb::open(opts(true, parallel)).unwrap();
-                    let t0 = Instant::now();
-                    for i in 0..6_000u32 {
-                        db.put(format!("key{i:06}").as_bytes(), &[3u8; 256]).unwrap();
+        let label = if parallel {
+            "one_thread_per_level"
+        } else {
+            "single_thread"
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &parallel,
+            |b, &parallel| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let db = MioDb::open(opts(true, parallel)).unwrap();
+                        let t0 = Instant::now();
+                        for i in 0..6_000u32 {
+                            db.put(format!("key{i:06}").as_bytes(), &[3u8; 256])
+                                .unwrap();
+                        }
+                        db.wait_idle().unwrap();
+                        total += t0.elapsed();
                     }
-                    db.wait_idle().unwrap();
-                    total += t0.elapsed();
-                }
-                total
-            });
-        });
+                    total
+                });
+            },
+        );
     }
     group.finish();
 }

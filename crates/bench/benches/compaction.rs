@@ -42,15 +42,15 @@ fn compaction_ablation(c: &mut Criterion) {
         b.iter_with_setup(
             || {
                 let pool =
-                    PmemPool::new(256 << 20, DeviceModel::nvm(), Arc::new(Stats::new()))
-                        .unwrap();
+                    PmemPool::new(256 << 20, DeviceModel::nvm(), Arc::new(Stats::new())).unwrap();
                 let old = build_table(&pool, 0, entries, vlen);
                 let new = build_table(&pool, 1_000_000, entries, vlen);
                 let mark = InsertionMark::alloc(&pool).unwrap();
                 (pool, old, new, mark)
             },
             |(pool, old, new, mark)| {
-                let out = zero_copy_merge(&pool, new.head(), old.head(), &mark, MergeLimits::none());
+                let out =
+                    zero_copy_merge(&pool, new.head(), old.head(), &mark, MergeLimits::none());
                 assert!(out.is_complete());
             },
         );
@@ -60,8 +60,7 @@ fn compaction_ablation(c: &mut Criterion) {
         b.iter_with_setup(
             || {
                 let pool =
-                    PmemPool::new(256 << 20, DeviceModel::nvm(), Arc::new(Stats::new()))
-                        .unwrap();
+                    PmemPool::new(256 << 20, DeviceModel::nvm(), Arc::new(Stats::new())).unwrap();
                 let old = build_table(&pool, 0, entries, vlen);
                 let new = build_table(&pool, 1_000_000, entries, vlen);
                 (pool, old, new)

@@ -8,17 +8,26 @@ fn engine_put(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_put_1k");
     group.sample_size(20);
     group.throughput(Throughput::Bytes(1024 + 16));
-    for kind in [EngineKind::MioDb, EngineKind::MatrixKv, EngineKind::NoveLsm, EngineKind::LevelDb] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            let scale = Scale::new(32 << 20, 1024);
-            let engine = build_engine(kind, Mode::InMemory, &scale).unwrap();
-            let value = vec![1u8; 1024];
-            let mut i = 0u64;
-            b.iter(|| {
-                i += 1;
-                engine.put(format!("k{i:015}").as_bytes(), &value).unwrap();
-            });
-        });
+    for kind in [
+        EngineKind::MioDb,
+        EngineKind::MatrixKv,
+        EngineKind::NoveLsm,
+        EngineKind::LevelDb,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                let scale = Scale::new(32 << 20, 1024);
+                let engine = build_engine(kind, Mode::InMemory, &scale).unwrap();
+                let value = vec![1u8; 1024];
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    engine.put(format!("k{i:015}").as_bytes(), &value).unwrap();
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -26,22 +35,34 @@ fn engine_put(c: &mut Criterion) {
 fn engine_get(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_get_1k");
     group.sample_size(20);
-    for kind in [EngineKind::MioDb, EngineKind::MatrixKv, EngineKind::NoveLsm, EngineKind::LevelDb] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            let scale = Scale::new(8 << 20, 1024);
-            let engine = build_engine(kind, Mode::InMemory, &scale).unwrap();
-            let value = vec![1u8; 1024];
-            let n = 5_000u64;
-            for i in 0..n {
-                engine.put(format!("k{i:015}").as_bytes(), &value).unwrap();
-            }
-            engine.wait_idle().unwrap();
-            let mut i = 0u64;
-            b.iter(|| {
-                i = (i + 7919) % n;
-                assert!(engine.get(format!("k{i:015}").as_bytes()).unwrap().is_some());
-            });
-        });
+    for kind in [
+        EngineKind::MioDb,
+        EngineKind::MatrixKv,
+        EngineKind::NoveLsm,
+        EngineKind::LevelDb,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                let scale = Scale::new(8 << 20, 1024);
+                let engine = build_engine(kind, Mode::InMemory, &scale).unwrap();
+                let value = vec![1u8; 1024];
+                let n = 5_000u64;
+                for i in 0..n {
+                    engine.put(format!("k{i:015}").as_bytes(), &value).unwrap();
+                }
+                engine.wait_idle().unwrap();
+                let mut i = 0u64;
+                b.iter(|| {
+                    i = (i + 7919) % n;
+                    assert!(engine
+                        .get(format!("k{i:015}").as_bytes())
+                        .unwrap()
+                        .is_some());
+                });
+            },
+        );
     }
     group.finish();
 }

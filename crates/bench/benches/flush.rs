@@ -49,7 +49,13 @@ fn flush_ablation(c: &mut Criterion) {
         // Pre-populate the big list so inserts pay realistic search depths.
         let big = GrowableSkipList::new(nvm.clone(), 8 << 20).unwrap();
         for i in 0..20_000u64 {
-            big.apply(format!("p{i:015}").as_bytes(), &[0u8; 64], i + 1, OpKind::Put).unwrap();
+            big.apply(
+                format!("p{i:015}").as_bytes(),
+                &[0u8; 64],
+                i + 1,
+                OpKind::Put,
+            )
+            .unwrap();
         }
         b.iter(|| {
             for e in mem.list().iter() {

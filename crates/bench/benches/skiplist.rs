@@ -12,25 +12,30 @@ fn insert_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("skiplist_insert");
     for &value_len in &[64usize, 1024, 4096] {
         group.throughput(Throughput::Bytes(value_len as u64 + 16));
-        group.bench_with_input(BenchmarkId::from_parameter(value_len), &value_len, |b, &vlen| {
-            let pool = PmemPool::new(256 << 20, DeviceModel::dram(), Arc::new(Stats::new())).unwrap();
-            let value = vec![7u8; vlen];
-            let mut arena = SkipListArena::new(pool.clone(), 64 << 20).unwrap();
-            let mut i = 0u64;
-            b.iter(|| {
-                if !arena.fits(16, vlen) {
-                    let old = std::mem::replace(
-                        &mut arena,
-                        SkipListArena::new(pool.clone(), 64 << 20).unwrap(),
-                    );
-                    old.release();
-                }
-                i += 1;
-                arena
-                    .insert(format!("k{i:015}").as_bytes(), &value, i, OpKind::Put)
-                    .unwrap();
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(value_len),
+            &value_len,
+            |b, &vlen| {
+                let pool =
+                    PmemPool::new(256 << 20, DeviceModel::dram(), Arc::new(Stats::new())).unwrap();
+                let value = vec![7u8; vlen];
+                let mut arena = SkipListArena::new(pool.clone(), 64 << 20).unwrap();
+                let mut i = 0u64;
+                b.iter(|| {
+                    if !arena.fits(16, vlen) {
+                        let old = std::mem::replace(
+                            &mut arena,
+                            SkipListArena::new(pool.clone(), 64 << 20).unwrap(),
+                        );
+                        old.release();
+                    }
+                    i += 1;
+                    arena
+                        .insert(format!("k{i:015}").as_bytes(), &value, i, OpKind::Put)
+                        .unwrap();
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -41,7 +46,12 @@ fn get_bench(c: &mut Criterion) {
     let n = 100_000u64;
     for i in 0..n {
         arena
-            .insert(format!("k{i:015}").as_bytes(), &[1u8; 64], i + 1, OpKind::Put)
+            .insert(
+                format!("k{i:015}").as_bytes(),
+                &[1u8; 64],
+                i + 1,
+                OpKind::Put,
+            )
             .unwrap();
     }
     let list = arena.list();

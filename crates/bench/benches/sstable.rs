@@ -38,7 +38,12 @@ fn get_bench(c: &mut Criterion) {
     let mut builder = SsTableBuilder::new(4096, 10);
     let n = 10_000u64;
     for i in 0..n {
-        builder.add(format!("k{i:015}").as_bytes(), &[2u8; 1024], i + 1, OpKind::Put);
+        builder.add(
+            format!("k{i:015}").as_bytes(),
+            &[2u8; 1024],
+            i + 1,
+            OpKind::Put,
+        );
     }
     let meta = builder.finish(&store, &stats).unwrap();
     let mut group = c.benchmark_group("sstable_get");
@@ -46,14 +51,22 @@ fn get_bench(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 7919) % n;
-            assert!(meta.reader.get(format!("k{i:015}").as_bytes(), &stats).unwrap().is_some());
+            assert!(meta
+                .reader
+                .get(format!("k{i:015}").as_bytes(), &stats)
+                .unwrap()
+                .is_some());
         });
     });
     group.bench_function("bloom_filtered_miss", |b| {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            assert!(meta.reader.get(format!("x{i:015}").as_bytes(), &stats).unwrap().is_none());
+            assert!(meta
+                .reader
+                .get(format!("x{i:015}").as_bytes(), &stats)
+                .unwrap()
+                .is_none());
         });
     });
     group.finish();

@@ -2,13 +2,16 @@
 //! and verify, looking for rare recovery corruption. Not part of the test
 //! suite (unbounded); run manually: `crash_fuzz [iterations]`.
 
-use std::sync::Arc;
 use miodb_common::{KvEngine, Stats};
 use miodb_core::{MioDb, MioOptions};
 use miodb_pmem::PmemPool;
+use std::sync::Arc;
 
 fn main() {
-    let iters: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let iters: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
     let opts = MioOptions::small_for_tests();
     let path = std::env::temp_dir().join(format!("miodb-fuzz-{}", std::process::id()));
     for round in 0..iters {
@@ -22,23 +25,37 @@ fn main() {
             db.snapshot(&path).unwrap();
         }
         for gen in 2..5u32 {
-            let pool = PmemPool::restore_from_file(&path, opts.nvm_device, Arc::new(Stats::new())).unwrap();
+            let pool = PmemPool::restore_from_file(&path, opts.nvm_device, Arc::new(Stats::new()))
+                .unwrap();
             let db = MioDb::recover(pool, opts.clone()).unwrap();
             for i in (0..1000u32).step_by(gen as usize) {
-                db.put(format!("key{i:05}").as_bytes(), format!("gen{gen}").as_bytes()).unwrap();
+                db.put(
+                    format!("key{i:05}").as_bytes(),
+                    format!("gen{gen}").as_bytes(),
+                )
+                .unwrap();
             }
             // Random extra churn to vary background timing.
             for i in 0..(seed % 400) as u32 {
-                db.put(format!("extra{i:05}").as_bytes(), &[9u8; 128]).unwrap();
+                db.put(format!("extra{i:05}").as_bytes(), &[9u8; 128])
+                    .unwrap();
             }
             db.snapshot(&path).unwrap();
         }
-        let pool = PmemPool::restore_from_file(&path, opts.nvm_device, Arc::new(Stats::new())).unwrap();
+        let pool =
+            PmemPool::restore_from_file(&path, opts.nvm_device, Arc::new(Stats::new())).unwrap();
         let db = MioDb::recover(pool, opts.clone()).unwrap();
         for i in 0..1000u32 {
             let got = db.get(format!("key{i:05}").as_bytes()).unwrap().unwrap();
-            let expected = if i % 4 == 0 { "gen4" } else if i % 3 == 0 { "gen3" }
-                else if i % 2 == 0 { "gen2" } else { "gen1" };
+            let expected = if i % 4 == 0 {
+                "gen4"
+            } else if i % 3 == 0 {
+                "gen3"
+            } else if i % 2 == 0 {
+                "gen2"
+            } else {
+                "gen1"
+            };
             assert_eq!(got, expected.as_bytes(), "round {round} key{i:05}");
         }
         eprint!("\r{round} ok");

@@ -11,9 +11,11 @@ fn main() {
             nvm_pool_bytes: 128 << 20,
             nvm_device: DeviceModel::nvm(),
             ..MioOptions::small_for_tests()
-        }).unwrap();
+        })
+        .unwrap();
         for i in 0..8_000u32 {
-            db.put(format!("key{i:06}").as_bytes(), &[5u8; 256]).unwrap();
+            db.put(format!("key{i:06}").as_bytes(), &[5u8; 256])
+                .unwrap();
         }
         std::thread::sleep(Duration::from_millis(50));
         // Reads while compactions are still running.
@@ -22,7 +24,10 @@ fn main() {
             i = (i + 7919) % 8_000;
             if db.get(format!("key{i:06}").as_bytes()).unwrap().is_none() {
                 eprintln!("ROUND {round}: key{i:06} INVISIBLE at probe {n}");
-                eprintln!("locate: {:?}", db.debug_locate(format!("key{i:06}").as_bytes()));
+                eprintln!(
+                    "locate: {:?}",
+                    db.debug_locate(format!("key{i:06}").as_bytes())
+                );
                 eprintln!("bloom audit: {:?}", db.debug_bloom_audit());
                 eprintln!("report: {:?}", db.report().tables_per_level);
                 // Check again after settling.

@@ -16,10 +16,8 @@ use std::time::Instant;
 use miodb_bench::{
     build_engine, build_engine_with, fmt_bytes, print_header, print_row, EngineKind, Mode, Scale,
 };
-use miodb_common::{KvEngine, Result};
-use miodb_workloads::{
-    run_db_bench, run_ycsb, BenchKind, YcsbSpec, YcsbWorkload,
-};
+use miodb_common::{EventKind, Histogram, KvEngine, Result};
+use miodb_workloads::{run_db_bench, run_ycsb, BenchKind, YcsbSpec, YcsbWorkload};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -74,6 +72,28 @@ fn main() {
     eprintln!("\n[{cmd} done in {:.1}s]", t0.elapsed().as_secs_f64());
 }
 
+/// Merged engine-side op-latency snapshot (put+get+delete+scan), or `None`
+/// when the engine doesn't expose telemetry (plain LevelDB).
+fn engine_latency(engine: &dyn KvEngine) -> Option<Histogram> {
+    let t = engine.telemetry()?;
+    let mut h = t.put_latency.snapshot();
+    h.merge(&t.get_latency.snapshot());
+    h.merge(&t.delete_latency.snapshot());
+    h.merge(&t.scan_latency.snapshot());
+    Some(h)
+}
+
+/// Clears the engine-side op histograms so a measurement phase starts from
+/// zero (drops the load-phase samples).
+fn reset_engine_latency(engine: &dyn KvEngine) {
+    if let Some(t) = engine.telemetry() {
+        t.put_latency.reset();
+        t.get_latency.reset();
+        t.delete_latency.reset();
+        t.scan_latency.reset();
+    }
+}
+
 fn all(dataset: u64, quick: bool) -> Result<()> {
     fig2(dataset)?;
     fig6(dataset, quick)?;
@@ -93,7 +113,14 @@ fn all(dataset: u64, quick: bool) -> Result<()> {
 
 /// Loads the whole dataset with random-order puts and returns the result.
 fn load(engine: &dyn KvEngine, scale: &Scale) -> Result<miodb_workloads::BenchResult> {
-    run_db_bench(engine, BenchKind::FillRandom, scale.keys(), 0, scale.value_len, 7)
+    run_db_bench(
+        engine,
+        BenchKind::FillRandom,
+        scale.keys(),
+        0,
+        scale.value_len,
+        7,
+    )
 }
 
 fn secs(ns: u64) -> f64 {
@@ -104,13 +131,26 @@ fn secs(ns: u64) -> f64 {
 // Figure 2 — motivation: write/read breakdown, flush throughput, WA.
 // ---------------------------------------------------------------------------
 fn fig2(dataset: u64) -> Result<()> {
-    println!("\n== Figure 2: execution breakdown of NoveLSM / MatrixKV (MioDB shown for reference) ==");
+    println!(
+        "\n== Figure 2: execution breakdown of NoveLSM / MatrixKV (MioDB shown for reference) =="
+    );
     println!("   paper: NoveLSM suffers interval+cumulative stalls; MatrixKV eliminates interval");
-    println!("   stalls but keeps ~62% cumulative; deserialization >50% of read time; WA 6.6x/5.6x.");
+    println!(
+        "   stalls but keeps ~62% cumulative; deserialization >50% of read time; WA 6.6x/5.6x."
+    );
     let scale = Scale::new(dataset, 4096);
     let widths = [14usize, 10, 12, 12, 10, 12, 12, 8];
     print_header(
-        &["engine", "write(s)", "interval(s)", "cumul.(s)", "read(ms)", "deser.(ms)", "flush MB/s", "WA"],
+        &[
+            "engine",
+            "write(s)",
+            "interval(s)",
+            "cumul.(s)",
+            "read(ms)",
+            "deser.(ms)",
+            "flush MB/s",
+            "WA",
+        ],
         &widths,
     );
     for kind in [EngineKind::NoveLsm, EngineKind::MatrixKv, EngineKind::MioDb] {
@@ -118,7 +158,14 @@ fn fig2(dataset: u64) -> Result<()> {
         let w = load(engine.as_ref(), &scale)?;
         engine.wait_idle()?;
         let mid = engine.report().stats;
-        let r = run_db_bench(engine.as_ref(), BenchKind::ReadRandom, scale.read_ops, scale.keys(), scale.value_len, 9)?;
+        let r = run_db_bench(
+            engine.as_ref(),
+            BenchKind::ReadRandom,
+            scale.read_ops,
+            scale.keys(),
+            scale.value_len,
+            9,
+        )?;
         let end = engine.report().stats;
         print_row(
             &[
@@ -127,7 +174,10 @@ fn fig2(dataset: u64) -> Result<()> {
                 format!("{:.2}", secs(mid.interval_stall_ns)),
                 format!("{:.2}", secs(mid.cumulative_stall_ns)),
                 format!("{:.1}", r.elapsed_ns as f64 / 1e6),
-                format!("{:.1}", (end.deserialization_ns - mid.deserialization_ns) as f64 / 1e6),
+                format!(
+                    "{:.1}",
+                    (end.deserialization_ns - mid.deserialization_ns) as f64 / 1e6
+                ),
                 format!("{:.1}", mid.flush_throughput_bps() / 1e6),
                 format!("{:.1}x", end.write_amplification),
             ],
@@ -142,13 +192,26 @@ fn fig2(dataset: u64) -> Result<()> {
 // ---------------------------------------------------------------------------
 fn fig6(dataset: u64, quick: bool) -> Result<()> {
     println!("\n== Figure 6: db_bench throughput/latency vs value size (in-memory mode) ==");
-    println!("   paper: MioDB beats MatrixKV/NoveLSM by 2.5x/8.3x random write, 1.3x/4.4x random read.");
-    let sizes: &[usize] = if quick { &[1024, 4096] } else { &[1024, 4096, 16384, 65536] };
+    println!(
+        "   paper: MioDB beats MatrixKV/NoveLSM by 2.5x/8.3x random write, 1.3x/4.4x random read."
+    );
+    let sizes: &[usize] = if quick {
+        &[1024, 4096]
+    } else {
+        &[1024, 4096, 16384, 65536]
+    };
     let widths = [14usize, 9, 12, 12, 12, 12];
     for &value_len in sizes {
         println!("\n-- value size {} --", fmt_bytes(value_len as u64));
         print_header(
-            &["engine", "value", "fillrand MB/s", "fillseq MB/s", "readrand Kops", "readseq Kops"],
+            &[
+                "engine",
+                "value",
+                "fillrand MB/s",
+                "fillseq MB/s",
+                "readrand Kops",
+                "readseq Kops",
+            ],
             &widths,
         );
         for kind in EngineKind::main_three() {
@@ -157,18 +220,43 @@ fn fig6(dataset: u64, quick: bool) -> Result<()> {
             let engine = build_engine(kind, Mode::InMemory, &scale)?;
             let wrand = load(engine.as_ref(), &scale)?;
             engine.wait_idle()?;
-            let rrand = run_db_bench(engine.as_ref(), BenchKind::ReadRandom, scale.read_ops, scale.keys(), value_len, 5)?;
+            let rrand = run_db_bench(
+                engine.as_ref(),
+                BenchKind::ReadRandom,
+                scale.read_ops,
+                scale.keys(),
+                value_len,
+                5,
+            )?;
             if std::env::var_os("MIODB_BENCH_DEBUG").is_some() {
-                eprintln!("  [{} rrand: p50={}us p90={}us p99={}us max={}us]",
+                eprintln!(
+                    "  [{} rrand: p50={}us p90={}us p99={}us max={}us]",
                     kind.name(),
-                    rrand.latency.percentile(50.0)/1000, rrand.latency.percentile(90.0)/1000,
-                    rrand.latency.percentile(99.0)/1000, rrand.latency.max()/1000);
+                    rrand.latency.percentile(50.0) / 1000,
+                    rrand.latency.percentile(90.0) / 1000,
+                    rrand.latency.percentile(99.0) / 1000,
+                    rrand.latency.max() / 1000
+                );
             }
-            let rseq = run_db_bench(engine.as_ref(), BenchKind::ReadSeq, scale.read_ops, scale.keys(), value_len, 5)?;
+            let rseq = run_db_bench(
+                engine.as_ref(),
+                BenchKind::ReadSeq,
+                scale.read_ops,
+                scale.keys(),
+                value_len,
+                5,
+            )?;
             drop(engine);
             // Sequential load on a fresh engine.
             let engine = build_engine(kind, Mode::InMemory, &scale)?;
-            let wseq = run_db_bench(engine.as_ref(), BenchKind::FillSeq, scale.keys(), 0, value_len, 7)?;
+            let wseq = run_db_bench(
+                engine.as_ref(),
+                BenchKind::FillSeq,
+                scale.keys(),
+                0,
+                value_len,
+                7,
+            )?;
             print_row(
                 &[
                     kind.name().to_string(),
@@ -195,14 +283,28 @@ fn table1(dataset: u64) -> Result<()> {
     let scale = Scale::new(dataset, 4096);
     let widths = [14usize, 13, 14, 11, 12, 8];
     print_header(
-        &["engine", "interval(s)", "cumulative(s)", "deser.(s)", "flushing(s)", "WA"],
+        &[
+            "engine",
+            "interval(s)",
+            "cumulative(s)",
+            "deser.(s)",
+            "flushing(s)",
+            "WA",
+        ],
         &widths,
     );
     for kind in [EngineKind::MioDb, EngineKind::MatrixKv, EngineKind::NoveLsm] {
         let engine = build_engine(kind, Mode::InMemory, &scale)?;
         load(engine.as_ref(), &scale)?;
         engine.wait_idle()?;
-        run_db_bench(engine.as_ref(), BenchKind::ReadRandom, scale.read_ops, scale.keys(), 4096, 3)?;
+        run_db_bench(
+            engine.as_ref(),
+            BenchKind::ReadRandom,
+            scale.read_ops,
+            scale.keys(),
+            4096,
+            3,
+        )?;
         let s = engine.report().stats;
         print_row(
             &[
@@ -251,12 +353,19 @@ fn ycsb_suite(engine: &dyn KvEngine, scale: &Scale, ops: u64) -> Result<Vec<(Str
 
 fn fig7(dataset: u64, quick: bool) -> Result<()> {
     println!("\n== Figure 7: YCSB throughput (KIOPS, in-memory mode) ==");
-    println!("   paper: MioDB load 12.1x/2.8x vs NoveLSM/MatrixKV; reads up to 5.1x; E favors NoSST.");
+    println!(
+        "   paper: MioDB load 12.1x/2.8x vs NoveLSM/MatrixKV; reads up to 5.1x; E favors NoSST."
+    );
     let sizes: &[usize] = if quick { &[4096] } else { &[1024, 4096] };
     for &value_len in sizes {
         let scale = Scale::new(dataset, value_len);
         let ops = (scale.keys() / 4).max(2000);
-        println!("\n-- value size {} ({} records, {} ops) --", fmt_bytes(value_len as u64), scale.keys(), ops);
+        println!(
+            "\n-- value size {} ({} records, {} ops) --",
+            fmt_bytes(value_len as u64),
+            scale.keys(),
+            ops
+        );
         let widths = [14usize, 8, 8, 8, 8, 8, 8, 8];
         print_header(&["engine", "Load", "A", "B", "C", "D", "E", "F"], &widths);
         for kind in [
@@ -281,7 +390,17 @@ fn fig7(dataset: u64, quick: bool) -> Result<()> {
 fn tail_table(mode: Mode, dataset: u64, header: &str) -> Result<()> {
     println!("{header}");
     let widths = [8usize, 14, 10, 10, 10, 10];
-    print_header(&["KV size", "engine", "avg(us)", "p90(us)", "p99(us)", "p99.9(us)"], &widths);
+    print_header(
+        &[
+            "KV size",
+            "engine",
+            "avg(us)",
+            "p90(us)",
+            "p99(us)",
+            "p99.9(us)",
+        ],
+        &widths,
+    );
     for value_len in [4096usize, 1024] {
         let scale = Scale::new(dataset, value_len);
         for kind in [EngineKind::NoveLsm, EngineKind::MatrixKv, EngineKind::MioDb] {
@@ -296,15 +415,21 @@ fn tail_table(mode: Mode, dataset: u64, header: &str) -> Result<()> {
                 max_scan_len: 50,
             };
             run_ycsb(engine.as_ref(), YcsbWorkload::Load, &spec)?;
+            reset_engine_latency(engine.as_ref());
             let r = run_ycsb(engine.as_ref(), YcsbWorkload::A, &spec)?;
+            // Tail latencies come from the engine-side concurrent
+            // histograms (what a production deployment would scrape);
+            // the bench-side measurement is the fallback for engines
+            // without telemetry.
+            let lat = engine_latency(engine.as_ref()).unwrap_or(r.latency);
             print_row(
                 &[
                     fmt_bytes(value_len as u64),
                     kind.name().to_string(),
-                    format!("{:.1}", r.latency.mean() / 1000.0),
-                    format!("{:.1}", r.latency.percentile(90.0) as f64 / 1000.0),
-                    format!("{:.1}", r.latency.percentile(99.0) as f64 / 1000.0),
-                    format!("{:.1}", r.latency.percentile(99.9) as f64 / 1000.0),
+                    format!("{:.1}", lat.mean() / 1000.0),
+                    format!("{:.1}", lat.percentile(90.0) as f64 / 1000.0),
+                    format!("{:.1}", lat.percentile(99.0) as f64 / 1000.0),
+                    format!("{:.1}", lat.percentile(99.9) as f64 / 1000.0),
                 ],
                 &widths,
             );
@@ -325,8 +450,12 @@ fn table2(dataset: u64) -> Result<()> {
 // Figure 8 — YCSB-A latency timeline.
 // ---------------------------------------------------------------------------
 fn fig8(dataset: u64) -> Result<()> {
-    println!("\n== Figure 8: YCSB-A latency over time (4 KiB values; 40 buckets of mean/max us) ==");
-    println!("   paper: NoveLSM/MatrixKV show large spikes early (stall bursts); MioDB stays flat.");
+    println!(
+        "\n== Figure 8: YCSB-A latency over time (4 KiB values; 40 buckets of mean/max us) =="
+    );
+    println!(
+        "   paper: NoveLSM/MatrixKV show large spikes early (stall bursts); MioDB stays flat."
+    );
     let scale = Scale::new(dataset, 4096);
     for kind in [EngineKind::NoveLsm, EngineKind::MatrixKv, EngineKind::MioDb] {
         let engine = build_engine(kind, Mode::InMemory, &scale)?;
@@ -340,6 +469,8 @@ fn fig8(dataset: u64) -> Result<()> {
             max_scan_len: 50,
         };
         run_ycsb(engine.as_ref(), YcsbWorkload::Load, &spec)?;
+        reset_engine_latency(engine.as_ref());
+        engine.drain_events(); // discard load-phase events
         let r = run_ycsb(engine.as_ref(), YcsbWorkload::A, &spec)?;
         let buckets = 40.min(r.timeline.len().max(1));
         let per = (r.timeline.len() / buckets).max(1);
@@ -352,8 +483,23 @@ fn fig8(dataset: u64) -> Result<()> {
             let mean = chunk.iter().sum::<u64>() as f64 / chunk.len() as f64 / 1000.0;
             print!("{mean:.0} ");
         }
-        let max = r.timeline.iter().max().copied().unwrap_or(0) as f64 / 1000.0;
-        println!("  [max {max:.0}us]");
+        // Tail figures from the engine-side histograms; the event trace
+        // explains the spikes (stall and compaction activity during A).
+        let lat = engine_latency(engine.as_ref()).unwrap_or(r.latency);
+        let events = engine.drain_events();
+        let stalls = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::StallBegin { .. }))
+            .count();
+        let compactions = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::CompactionBegin { .. }))
+            .count();
+        println!(
+            "  [p99.9 {:.0}us max {:.0}us; {stalls} stalls, {compactions} compactions]",
+            lat.percentile(99.9) as f64 / 1000.0,
+            lat.max() as f64 / 1000.0
+        );
     }
     Ok(())
 }
@@ -366,12 +512,28 @@ fn fig9(dataset: u64) -> Result<()> {
     println!("   paper: write perf flat across levels; read perf peaks at 8 levels.");
     let scale = Scale::new(dataset, 4096);
     let widths = [8usize, 14, 14, 14];
-    print_header(&["levels", "write MB/s", "write avg us", "readrand Kops"], &widths);
+    print_header(
+        &["levels", "write MB/s", "write avg us", "readrand Kops"],
+        &widths,
+    );
     for levels in [2usize, 4, 6, 8, 10] {
-        let engine = build_engine_with(EngineKind::MioDb, Mode::InMemory, &scale, Some(levels), None)?;
+        let engine = build_engine_with(
+            EngineKind::MioDb,
+            Mode::InMemory,
+            &scale,
+            Some(levels),
+            None,
+        )?;
         let w = load(engine.as_ref(), &scale)?;
         engine.wait_idle()?;
-        let r = run_db_bench(engine.as_ref(), BenchKind::ReadRandom, scale.read_ops, scale.keys(), 4096, 23)?;
+        let r = run_db_bench(
+            engine.as_ref(),
+            BenchKind::ReadRandom,
+            scale.read_ops,
+            scale.keys(),
+            4096,
+            23,
+        )?;
         print_row(
             &[
                 levels.to_string(),
@@ -400,7 +562,14 @@ fn fig10(dataset: u64) -> Result<()> {
             let engine = build_engine(kind, Mode::InMemory, &scale)?;
             let w = load(engine.as_ref(), &scale)?;
             engine.wait_idle()?;
-            let r = run_db_bench(engine.as_ref(), BenchKind::ReadRandom, scale.read_ops, scale.keys(), 4096, 29)?;
+            let r = run_db_bench(
+                engine.as_ref(),
+                BenchKind::ReadRandom,
+                scale.read_ops,
+                scale.keys(),
+                4096,
+                29,
+            )?;
             let s = engine.report().stats;
             print_row(
                 &[
@@ -443,7 +612,13 @@ fn fig12(dataset: u64) -> Result<()> {
     println!("   paper: MioDB per-flush latency 37.6x/11.9x below NoveLSM/MatrixKV; totals flat.");
     let widths = [14usize, 10, 16, 16, 12];
     print_header(
-        &["engine", "memtable", "avg flush(ms)", "total flush(s)", "write MB/s"],
+        &[
+            "engine",
+            "memtable",
+            "avg flush(ms)",
+            "total flush(s)",
+            "write MB/s",
+        ],
         &widths,
     );
     for kind in [EngineKind::MioDb, EngineKind::MatrixKv, EngineKind::NoveLsm] {
@@ -480,7 +655,9 @@ fn fig12(dataset: u64) -> Result<()> {
 // ---------------------------------------------------------------------------
 fn fig13(dataset: u64, quick: bool) -> Result<()> {
     println!("\n== Figure 13: DRAM-NVM-SSD mode (4 KiB values) ==");
-    println!("   paper: MioDB random write 10.5x/11.2x vs MatrixKV/NoveLSM; YCSB load 11.8x/12.1x.");
+    println!(
+        "   paper: MioDB random write 10.5x/11.2x vs MatrixKV/NoveLSM; YCSB load 11.8x/12.1x."
+    );
     let scale = Scale::new(dataset, 4096);
     let widths = [14usize, 14, 14];
     print_header(&["engine", "fillrand MB/s", "readrand Kops"], &widths);
@@ -488,7 +665,14 @@ fn fig13(dataset: u64, quick: bool) -> Result<()> {
         let engine = build_engine(kind, Mode::Tiered, &scale)?;
         let w = load(engine.as_ref(), &scale)?;
         engine.wait_idle()?;
-        let r = run_db_bench(engine.as_ref(), BenchKind::ReadRandom, scale.read_ops, scale.keys(), 4096, 31)?;
+        let r = run_db_bench(
+            engine.as_ref(),
+            BenchKind::ReadRandom,
+            scale.read_ops,
+            scale.keys(),
+            4096,
+            31,
+        )?;
         print_row(
             &[
                 kind.name().to_string(),
@@ -531,14 +715,24 @@ fn fig14(dataset: u64) -> Result<()> {
     let scale = Scale::new(dataset, 4096);
     let base_buf = scale.container_bytes();
     let widths = [14usize, 10, 14, 14];
-    print_header(&["engine", "buffer", "write MB/s", "readrand Kops"], &widths);
+    print_header(
+        &["engine", "buffer", "write MB/s", "readrand Kops"],
+        &widths,
+    );
     for kind in EngineKind::main_three() {
         for mult in [1u64, 2, 4, 8] {
             let buf = base_buf * mult / 2;
             let engine = build_engine_with(kind, Mode::Tiered, &scale, None, Some(buf))?;
             let w = load(engine.as_ref(), &scale)?;
             engine.wait_idle()?;
-            let r = run_db_bench(engine.as_ref(), BenchKind::ReadRandom, scale.read_ops, scale.keys(), 4096, 37)?;
+            let r = run_db_bench(
+                engine.as_ref(),
+                BenchKind::ReadRandom,
+                scale.read_ops,
+                scale.keys(),
+                4096,
+                37,
+            )?;
             print_row(
                 &[
                     kind.name().to_string(),

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use miodb_baselines::{MatrixKv, MatrixKvOptions, NoveLsm, NoveLsmOptions};
-use miodb_common::{KvEngine, Result, Stats};
+use miodb_common::{KvEngine, Result, Stats, TelemetryOptions};
 use miodb_core::{MioDb, MioOptions, RepositoryMode};
 use miodb_lsm::{LsmDb, LsmOptions};
 use miodb_pmem::DeviceModel;
@@ -186,6 +186,7 @@ pub fn build_engine_with(
                 bloom_enabled: true,
                 parallel_compaction: true,
                 name: "MioDB".to_string(),
+                telemetry: TelemetryOptions::default(),
             };
             Ok(Box::new(MioDb::open(opts)?))
         }
@@ -200,6 +201,7 @@ pub fn build_engine_with(
                 nvm_device: nvm_dev,
                 nvm_pool_bytes: scale.nvm_pool_bytes(),
                 name: if no_sst { "NoveLSM-NoSST" } else { "NoveLSM" }.to_string(),
+                telemetry: TelemetryOptions::default(),
             };
             Ok(Box::new(NoveLsm::open(opts, stats)?))
         }
@@ -212,6 +214,7 @@ pub fn build_engine_with(
                 table_device,
                 row_device: nvm_dev,
                 name: "MatrixKV".to_string(),
+                telemetry: TelemetryOptions::default(),
             };
             Ok(Box::new(MatrixKv::open(opts, stats)?))
         }
@@ -242,7 +245,10 @@ pub fn print_row(cells: &[String], widths: &[usize]) {
 
 /// Prints a table header and separator.
 pub fn print_header(cells: &[&str], widths: &[usize]) {
-    print_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    print_row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let mut line = String::from("|-");
     for w in widths {
         line.push_str(&"-".repeat(*w));

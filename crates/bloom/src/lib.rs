@@ -200,7 +200,10 @@ mod tests {
             f.insert(format!("key{i}").as_bytes());
         }
         for i in 0..1000u32 {
-            assert!(f.may_contain(format!("key{i}").as_bytes()), "false negative for key{i}");
+            assert!(
+                f.may_contain(format!("key{i}").as_bytes()),
+                "false negative for key{i}"
+            );
         }
     }
 
@@ -276,6 +279,10 @@ mod tests {
                 positions.insert(p);
             }
         }
-        assert!(positions.len() > 950, "only {} distinct positions", positions.len());
+        assert!(
+            positions.len() > 950,
+            "only {} distinct positions",
+            positions.len()
+        );
     }
 }

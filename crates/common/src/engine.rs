@@ -1,7 +1,9 @@
 //! The uniform engine interface driven by workloads and benchmarks.
 
 use crate::error::Result;
+use crate::events::Event;
 use crate::stats::StatsSnapshot;
+use crate::telemetry::EngineTelemetry;
 
 /// One entry returned by a range scan.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,6 +121,34 @@ pub trait KvEngine: Send + Sync {
 
     /// Short engine name for tables/plots.
     fn name(&self) -> &str;
+
+    /// The engine's telemetry collectors, when it has them.
+    ///
+    /// Engines returning `Some` get op-latency summaries, per-level byte
+    /// gauges, compaction breakdowns and the structured event trace in
+    /// their metrics output; the default `None` limits
+    /// [`metrics_text`](KvEngine::metrics_text) to report-derived families.
+    fn telemetry(&self) -> Option<&EngineTelemetry> {
+        None
+    }
+
+    /// Renders current metrics in the Prometheus text exposition format.
+    fn metrics_text(&self) -> String {
+        crate::metrics::engine_registry(&self.report(), self.telemetry()).render_prometheus()
+    }
+
+    /// Renders current metrics as a JSON document.
+    fn metrics_json(&self) -> String {
+        crate::metrics::engine_registry(&self.report(), self.telemetry()).render_json()
+    }
+
+    /// Drains the structured event trace in FIFO order. Engines without
+    /// telemetry return an empty vector.
+    fn drain_events(&self) -> Vec<Event> {
+        self.telemetry()
+            .map(|t| t.drain_events())
+            .unwrap_or_default()
+    }
 }
 
 #[cfg(test)]

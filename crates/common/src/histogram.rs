@@ -13,7 +13,9 @@ const SUB_BUCKETS: usize = 16;
 const SUB_BITS: u32 = 4;
 /// Number of power-of-two major buckets (covers up to 2^40 ns ≈ 18 minutes).
 const MAJOR_BUCKETS: usize = 41;
-const NUM_BUCKETS: usize = MAJOR_BUCKETS * SUB_BUCKETS;
+/// Total bucket count; shared with [`crate::ConcurrentHistogram`] so its
+/// snapshots reuse this exact layout.
+pub(crate) const NUM_BUCKETS: usize = MAJOR_BUCKETS * SUB_BUCKETS;
 
 /// A latency histogram with log-spaced buckets.
 ///
@@ -69,7 +71,21 @@ impl Histogram {
         }
     }
 
-    fn bucket_index(value: u64) -> usize {
+    /// Builds a histogram from raw bucket counts produced by a
+    /// [`crate::ConcurrentHistogram`] snapshot (same bucket layout).
+    pub(crate) fn from_parts(buckets: Vec<u64>, sum: u64, min: u64, max: u64) -> Histogram {
+        debug_assert_eq!(buckets.len(), NUM_BUCKETS);
+        let count = buckets.iter().sum();
+        Histogram {
+            buckets,
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+        }
+    }
+
+    pub(crate) fn bucket_index(value: u64) -> usize {
         if value < SUB_BUCKETS as u64 {
             return value as usize;
         }
@@ -83,7 +99,7 @@ impl Histogram {
     }
 
     /// Inclusive upper bound of a bucket (the value reported for it).
-    fn bucket_value(index: usize) -> u64 {
+    pub(crate) fn bucket_value(index: usize) -> u64 {
         if index < SUB_BUCKETS {
             return index as u64;
         }
@@ -138,7 +154,8 @@ impl Histogram {
     }
 
     /// Value at the given percentile `p` (0–100), approximated to the bucket
-    /// boundary (~6% relative error). Returns 0 when empty.
+    /// boundary (~6% relative error). Returns 0 when empty; `p = 0` returns
+    /// the exact minimum and `p = 100` the exact maximum.
     ///
     /// # Panics
     ///
@@ -147,6 +164,12 @@ impl Histogram {
         assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
         if self.count == 0 {
             return 0;
+        }
+        if p == 0.0 {
+            return self.min();
+        }
+        if p == 100.0 {
+            return self.max;
         }
         let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
@@ -168,6 +191,31 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// Returns the observations recorded since `earlier` was captured, where
+    /// `earlier` must be a previous snapshot of the same histogram.
+    ///
+    /// Interval `min`/`max` are approximated to bucket boundaries (the exact
+    /// extremes of the interval are not recoverable from cumulative state).
+    /// Used to reconstruct latency timelines (Figure 8) from engine-side
+    /// cumulative histograms.
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(earlier.buckets.iter())
+            .map(|(now, then)| now.saturating_sub(*then))
+            .collect();
+        let first = buckets.iter().position(|&c| c > 0);
+        let last = buckets.iter().rposition(|&c| c > 0);
+        Histogram {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: first.map_or(u64::MAX, Self::bucket_value),
+            max: last.map_or(0, Self::bucket_value),
+            buckets,
+        }
     }
 
     /// Clears all recorded observations.
@@ -294,6 +342,71 @@ mod tests {
     #[should_panic(expected = "percentile out of range")]
     fn percentile_out_of_range_panics() {
         Histogram::new().percentile(101.0);
+    }
+
+    #[test]
+    fn percentile_zero_returns_min() {
+        let mut h = Histogram::new();
+        for v in [37u64, 1_000, 2_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 37);
+    }
+
+    #[test]
+    fn percentile_hundred_returns_exact_max() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 3);
+        }
+        assert_eq!(h.percentile(100.0), 30_000);
+    }
+
+    #[test]
+    fn percentile_edges_on_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(100.0), 0);
+    }
+
+    #[test]
+    fn diff_isolates_an_interval() {
+        let mut h = Histogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        let checkpoint = h.clone();
+        for v in 100_000..=101_000u64 {
+            h.record(v);
+        }
+        let interval = h.diff(&checkpoint);
+        assert_eq!(interval.count(), 1_001);
+        assert!(interval.min() >= 90_000, "min = {}", interval.min());
+        let p50 = interval.percentile(50.0) as f64;
+        assert!((p50 - 100_500.0).abs() / 100_500.0 < 0.08, "p50 = {p50}");
+    }
+
+    #[test]
+    fn diff_of_identical_snapshots_is_empty() {
+        let mut h = Histogram::new();
+        h.record(123);
+        let d = h.diff(&h.clone());
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.percentile(50.0), 0);
+        assert_eq!(d.min(), 0);
+    }
+
+    #[test]
+    fn from_parts_round_trips_buckets() {
+        let mut h = Histogram::new();
+        for v in [5u64, 77, 3_000, 1 << 20] {
+            h.record(v);
+        }
+        let rebuilt = Histogram::from_parts(h.buckets.clone(), h.sum(), h.min(), h.max());
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.percentile(50.0), h.percentile(50.0));
+        assert_eq!(rebuilt.min(), h.min());
+        assert_eq!(rebuilt.max(), h.max());
     }
 
     #[test]

@@ -7,19 +7,32 @@
 //! - [`error`]: the workspace-wide [`error::Error`] type,
 //! - [`types`]: keys, values, sequence numbers and operation kinds,
 //! - [`histogram`]: a log-bucketed latency histogram with percentiles,
+//! - [`conc_histogram`]: its lock-free multi-writer counterpart,
 //! - [`stats`]: atomic counters for stalls, flushing and write amplification,
+//! - [`events`]: the bounded lock-free structured event trace,
+//! - [`telemetry`]: per-engine telemetry (op histograms, level metrics,
+//!   event emission) behind the [`telemetry::TelemetryOptions`] knob,
+//! - [`metrics`]: Prometheus/JSON exposition of all of the above,
 //! - [`engine`]: the [`engine::KvEngine`] trait implemented by
 //!   MioDB and every baseline so that workloads can drive them uniformly.
 
+pub mod conc_histogram;
 pub mod crc32;
 pub mod engine;
 pub mod error;
+pub mod events;
 pub mod histogram;
+pub mod metrics;
 pub mod stats;
+pub mod telemetry;
 pub mod types;
 
+pub use conc_histogram::ConcurrentHistogram;
 pub use engine::{EngineReport, KvEngine, ScanEntry};
 pub use error::{Error, Result};
+pub use events::{CompactionKind, Event, EventKind, EventRing, StallKind};
 pub use histogram::Histogram;
+pub use metrics::MetricsRegistry;
 pub use stats::Stats;
+pub use telemetry::{EngineTelemetry, LevelMetrics, TelemetryOptions};
 pub use types::{OpKind, SequenceNumber, MAX_SEQUENCE_NUMBER};

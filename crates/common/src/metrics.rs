@@ -1,0 +1,596 @@
+//! Metrics exposition: Prometheus text format and JSON.
+//!
+//! [`MetricsRegistry`] collects metric families (counters, gauges,
+//! summaries) and renders them in the Prometheus text exposition format or
+//! as a JSON document. [`engine_registry`] assembles the standard family
+//! set for any [`KvEngine`](crate::KvEngine) from its
+//! [`EngineReport`](crate::EngineReport) and optional
+//! [`EngineTelemetry`](crate::EngineTelemetry), which backs the provided
+//! `metrics_text()` / `metrics_json()` trait methods.
+
+use crate::engine::EngineReport;
+use crate::histogram::Histogram;
+use crate::telemetry::EngineTelemetry;
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+
+/// Prometheus metric family type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricType {
+    /// Monotonically increasing value.
+    Counter,
+    /// Value that can go up and down.
+    Gauge,
+    /// Pre-computed quantiles plus `_sum`/`_count`.
+    Summary,
+}
+
+impl MetricType {
+    fn label(&self) -> &'static str {
+        match self {
+            MetricType::Counter => "counter",
+            MetricType::Gauge => "gauge",
+            MetricType::Summary => "summary",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Sample {
+    /// Suffix appended to the family name (`"_sum"`, `"_count"` or empty).
+    suffix: &'static str,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricType,
+    samples: Vec<Sample>,
+}
+
+/// An ordered collection of metric families.
+///
+/// # Examples
+///
+/// ```
+/// use miodb_common::metrics::MetricsRegistry;
+///
+/// let mut r = MetricsRegistry::new();
+/// r.gauge("kv_level_bytes", "Bytes per level", &[("level", "0")], 4096.0);
+/// let text = r.render_prometheus();
+/// assert!(text.contains("# TYPE kv_level_bytes gauge"));
+/// assert!(text.contains("kv_level_bytes{level=\"0\"} 4096"));
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: Vec<Family>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn family(&mut self, name: &str, help: &str, kind: MetricType) -> &mut Family {
+        if let Some(i) = self.families.iter().position(|f| f.name == name) {
+            return &mut self.families[i];
+        }
+        self.families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            samples: Vec::new(),
+        });
+        self.families.last_mut().expect("just pushed")
+    }
+
+    fn push_sample(
+        &mut self,
+        name: &str,
+        help: &str,
+        kind: MetricType,
+        suffix: &'static str,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) {
+        let labels = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        self.family(name, help, kind).samples.push(Sample {
+            suffix,
+            labels,
+            value,
+        });
+    }
+
+    /// Adds one counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.push_sample(name, help, MetricType::Counter, "", labels, value);
+    }
+
+    /// Adds one gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.push_sample(name, help, MetricType::Gauge, "", labels, value);
+    }
+
+    /// Adds a summary rendered from a latency histogram: quantiles 0.5,
+    /// 0.9, 0.99 and 0.999 plus `_sum`/`_count`, with recorded values
+    /// multiplied by `scale` (e.g. `1e-9` to expose nanoseconds as
+    /// seconds).
+    pub fn summary(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: &Histogram,
+        scale: f64,
+    ) {
+        for (q, p) in [
+            ("0.5", 50.0),
+            ("0.9", 90.0),
+            ("0.99", 99.0),
+            ("0.999", 99.9),
+        ] {
+            let mut quantile_labels: Vec<(&str, &str)> = labels.to_vec();
+            quantile_labels.push(("quantile", q));
+            self.push_sample(
+                name,
+                help,
+                MetricType::Summary,
+                "",
+                &quantile_labels,
+                hist.percentile(p) as f64 * scale,
+            );
+        }
+        self.push_sample(
+            name,
+            help,
+            MetricType::Summary,
+            "_sum",
+            labels,
+            hist.sum() as f64 * scale,
+        );
+        self.push_sample(
+            name,
+            help,
+            MetricType::Summary,
+            "_count",
+            labels,
+            hist.count() as f64,
+        );
+    }
+
+    /// Renders the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for f in &self.families {
+            let _ = writeln!(out, "# HELP {} {}", f.name, escape_help(&f.help));
+            let _ = writeln!(out, "# TYPE {} {}", f.name, f.kind.label());
+            for s in &f.samples {
+                out.push_str(&f.name);
+                out.push_str(s.suffix);
+                if !s.labels.is_empty() {
+                    out.push('{');
+                    for (i, (k, v)) in s.labels.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{}=\"{}\"", k, escape_label(v));
+                    }
+                    out.push('}');
+                }
+                let _ = writeln!(out, " {}", format_value(s.value));
+            }
+        }
+        out
+    }
+
+    /// Renders the same families as a JSON document:
+    /// `{"families": [{"name", "type", "help", "samples": [...]}]}`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"families\":[");
+        for (fi, f) in self.families.iter().enumerate() {
+            if fi > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"type\":\"{}\",\"help\":{},\"samples\":[",
+                json_string(&f.name),
+                f.kind.label(),
+                json_string(&f.help)
+            );
+            for (si, s) in f.samples.iter().enumerate() {
+                if si > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"name\":{},\"labels\":{{",
+                    json_string(&format!("{}{}", f.name, s.suffix))
+                );
+                for (li, (k, v)) in s.labels.iter().enumerate() {
+                    if li > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{}:{}", json_string(k), json_string(v));
+                }
+                let _ = write!(out, "}},\"value\":{}}}", json_number(s.value));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Prometheus sample value formatting: integers without a decimal point,
+/// everything else in shortest float form.
+fn format_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// JSON numbers cannot be NaN/inf; map them to null.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format_value(v)
+    } else {
+        "null".to_string()
+    }
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Builds the standard metric family set for an engine.
+///
+/// Families sourced from the [`EngineReport`] (stall totals, device bytes,
+/// flush totals, write amplification, per-level table counts) are present
+/// for every engine; op-latency summaries, per-level byte gauges and
+/// compaction breakdowns additionally require the engine to expose
+/// [`EngineTelemetry`].
+pub fn engine_registry(
+    report: &EngineReport,
+    telemetry: Option<&EngineTelemetry>,
+) -> MetricsRegistry {
+    let mut r = MetricsRegistry::new();
+    r.gauge(
+        "miodb_engine_info",
+        "Constant 1; the engine label identifies the implementation.",
+        &[("engine", &report.name)],
+        1.0,
+    );
+
+    if let Some(t) = telemetry {
+        r.gauge(
+            "miodb_uptime_seconds",
+            "Seconds since the engine was opened.",
+            &[],
+            t.uptime().as_secs_f64(),
+        );
+        for (op, hist) in [
+            ("put", &t.put_latency),
+            ("get", &t.get_latency),
+            ("delete", &t.delete_latency),
+            ("scan", &t.scan_latency),
+        ] {
+            r.summary(
+                "miodb_op_latency_seconds",
+                "Engine-side operation latency quantiles.",
+                &[("op", op)],
+                &hist.snapshot(),
+                1e-9,
+            );
+        }
+        for (i, level) in t.levels().iter().enumerate() {
+            let label = i.to_string();
+            let labels: &[(&str, &str)] = &[("level", &label)];
+            r.gauge(
+                "miodb_level_bytes",
+                "Bytes resident per LSM level.",
+                labels,
+                level.bytes.load(Ordering::Relaxed) as f64,
+            );
+            r.gauge(
+                "miodb_level_pending_compactions",
+                "Compactions queued or running per source level.",
+                labels,
+                level.pending_compactions.load(Ordering::Relaxed) as f64,
+            );
+            for (kind, count, ns) in [
+                (
+                    "zero_copy",
+                    &level.zero_copy_compactions,
+                    &level.zero_copy_ns,
+                ),
+                (
+                    "lazy_copy",
+                    &level.lazy_copy_compactions,
+                    &level.lazy_copy_ns,
+                ),
+            ] {
+                let kind_labels: &[(&str, &str)] = &[("level", &label), ("kind", kind)];
+                r.counter(
+                    "miodb_compactions_total",
+                    "Completed compactions per source level and kind.",
+                    kind_labels,
+                    count.load(Ordering::Relaxed) as f64,
+                );
+                r.counter(
+                    "miodb_compaction_seconds_total",
+                    "Time spent compacting per source level and kind.",
+                    kind_labels,
+                    ns.load(Ordering::Relaxed) as f64 / 1e9,
+                );
+            }
+        }
+        r.counter(
+            "miodb_trace_events_dropped_total",
+            "Structured trace events discarded because the ring was full.",
+            &[],
+            t.events_dropped() as f64,
+        );
+    }
+
+    for (i, &tables) in report.tables_per_level.iter().enumerate() {
+        let label = i.to_string();
+        r.gauge(
+            "miodb_level_tables",
+            "Tables/runs per LSM level.",
+            &[("level", &label)],
+            tables as f64,
+        );
+    }
+
+    let s = &report.stats;
+    for (kind, ns, count) in [
+        ("interval", s.interval_stall_ns, s.interval_stall_count),
+        (
+            "cumulative",
+            s.cumulative_stall_ns,
+            s.cumulative_stall_count,
+        ),
+    ] {
+        r.counter(
+            "miodb_stall_seconds_total",
+            "Time writers were stalled, by stall kind.",
+            &[("kind", kind)],
+            ns as f64 / 1e9,
+        );
+        r.counter(
+            "miodb_stall_events_total",
+            "Number of writer stalls, by stall kind.",
+            &[("kind", kind)],
+            count as f64,
+        );
+    }
+    r.counter(
+        "miodb_user_write_bytes_total",
+        "Bytes of user data accepted by put/delete.",
+        &[],
+        s.user_bytes_written as f64,
+    );
+    for (device, written, read) in [
+        ("nvm", s.nvm_bytes_written, s.nvm_bytes_read),
+        ("ssd", s.ssd_bytes_written, s.ssd_bytes_read),
+    ] {
+        r.counter(
+            "miodb_device_write_bytes_total",
+            "Bytes physically written per device.",
+            &[("device", device)],
+            written as f64,
+        );
+        r.counter(
+            "miodb_device_read_bytes_total",
+            "Bytes physically read per device.",
+            &[("device", device)],
+            read as f64,
+        );
+    }
+    r.gauge(
+        "miodb_write_amplification",
+        "Device bytes written divided by user bytes written.",
+        &[],
+        s.write_amplification,
+    );
+    r.counter(
+        "miodb_flushes_total",
+        "MemTable flushes completed.",
+        &[],
+        s.flush_count as f64,
+    );
+    r.counter(
+        "miodb_flush_seconds_total",
+        "Time spent flushing MemTables.",
+        &[],
+        s.flush_ns as f64 / 1e9,
+    );
+    r.counter(
+        "miodb_flush_bytes_total",
+        "Bytes moved by MemTable flushes.",
+        &[],
+        s.flush_bytes as f64,
+    );
+    r.counter(
+        "miodb_swizzle_seconds_total",
+        "Time spent swizzling pointers after one-piece flushes.",
+        &[],
+        s.swizzle_ns as f64 / 1e9,
+    );
+    r.counter(
+        "miodb_gets_total",
+        "Get operations served.",
+        &[],
+        s.gets as f64,
+    );
+    r.counter(
+        "miodb_get_hits_total",
+        "Get operations that found a value.",
+        &[],
+        s.get_hits as f64,
+    );
+    r.counter(
+        "miodb_bloom_skips_total",
+        "Tables skipped by bloom filters.",
+        &[],
+        s.bloom_skips as f64,
+    );
+    r.counter(
+        "miodb_bloom_false_positives_total",
+        "Bloom filter false positives.",
+        &[],
+        s.bloom_false_positives as f64,
+    );
+    r.gauge(
+        "miodb_nvm_used_bytes",
+        "Bytes currently allocated in the NVM pool.",
+        &[],
+        report.nvm_used_bytes as f64,
+    );
+    r.gauge(
+        "miodb_nvm_peak_bytes",
+        "High-water mark of NVM pool usage.",
+        &[],
+        report.nvm_peak_bytes as f64,
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::TelemetryOptions;
+
+    #[test]
+    fn prometheus_renders_help_type_and_labels() {
+        let mut r = MetricsRegistry::new();
+        r.counter("kv_ops_total", "Total ops.", &[("op", "put")], 3.0);
+        r.counter("kv_ops_total", "Total ops.", &[("op", "get")], 4.0);
+        r.gauge("kv_depth", "Depth.", &[], 1.5);
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP kv_ops_total Total ops."));
+        assert!(text.contains("# TYPE kv_ops_total counter"));
+        assert!(text.contains("kv_ops_total{op=\"put\"} 3"));
+        assert!(text.contains("kv_ops_total{op=\"get\"} 4"));
+        assert!(text.contains("kv_depth 1.5"));
+        // One HELP/TYPE block per family even with multiple samples.
+        assert_eq!(text.matches("# TYPE kv_ops_total").count(), 1);
+    }
+
+    #[test]
+    fn summary_emits_quantiles_sum_and_count() {
+        let mut hist = Histogram::new();
+        for v in 1..=1000u64 {
+            hist.record(v * 1000);
+        }
+        let mut r = MetricsRegistry::new();
+        r.summary("kv_lat_seconds", "Latency.", &[("op", "put")], &hist, 1e-9);
+        let text = r.render_prometheus();
+        for q in ["0.5", "0.9", "0.99", "0.999"] {
+            assert!(
+                text.contains(&format!("quantile=\"{q}\"")),
+                "missing quantile {q} in:\n{text}"
+            );
+        }
+        assert!(text.contains("kv_lat_seconds_count{op=\"put\"} 1000"));
+        assert!(text.contains("kv_lat_seconds_sum{op=\"put\"}"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut r = MetricsRegistry::new();
+        r.gauge("kv_g", "h", &[("name", "a\"b\\c\nd")], 1.0);
+        let text = r.render_prometheus();
+        assert!(text.contains("name=\"a\\\"b\\\\c\\nd\""));
+    }
+
+    #[test]
+    fn json_rendering_is_structured() {
+        let mut r = MetricsRegistry::new();
+        r.gauge("kv_depth", "De\"pth.", &[("level", "0")], 2.0);
+        let json = r.render_json();
+        assert!(json.starts_with("{\"families\":["));
+        assert!(json.contains("\"name\":\"kv_depth\""));
+        assert!(json.contains("\"help\":\"De\\\"pth.\""));
+        assert!(json.contains("\"labels\":{\"level\":\"0\"}"));
+        assert!(json.contains("\"value\":2"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn engine_registry_covers_acceptance_metrics() {
+        let t = EngineTelemetry::new(3, &TelemetryOptions::default());
+        t.put_latency.record(1000);
+        t.get_latency.record(2000);
+        t.level(0).unwrap().set_occupancy(1 << 20, 2);
+        let report = EngineReport {
+            name: "MioDB".to_string(),
+            tables_per_level: vec![2, 1, 0],
+            ..Default::default()
+        };
+        let text = engine_registry(&report, Some(&t)).render_prometheus();
+        for needle in [
+            "miodb_op_latency_seconds{op=\"put\",quantile=\"0.5\"}",
+            "miodb_op_latency_seconds{op=\"get\",quantile=\"0.999\"}",
+            "miodb_level_bytes{level=\"0\"} 1048576",
+            "miodb_level_tables{level=\"1\"} 1",
+            "miodb_compactions_total{level=\"0\",kind=\"zero_copy\"}",
+            "miodb_compaction_seconds_total{level=\"2\",kind=\"lazy_copy\"}",
+            "miodb_stall_seconds_total{kind=\"interval\"}",
+            "miodb_stall_events_total{kind=\"cumulative\"}",
+            "miodb_write_amplification",
+            "miodb_engine_info{engine=\"MioDB\"} 1",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn engine_registry_without_telemetry_still_reports() {
+        let report = EngineReport {
+            name: "LsmDB".to_string(),
+            tables_per_level: vec![4],
+            ..Default::default()
+        };
+        let text = engine_registry(&report, None).render_prometheus();
+        assert!(text.contains("miodb_level_tables{level=\"0\"} 4"));
+        assert!(text.contains("miodb_stall_seconds_total"));
+        assert!(!text.contains("miodb_op_latency_seconds"));
+    }
+}

@@ -80,9 +80,58 @@ impl Stats {
         Stats::default()
     }
 
-    /// Adds a duration to a nanosecond counter.
+    /// Adds `n` to a counter, saturating at `u64::MAX` instead of wrapping.
+    ///
+    /// Long-running engines accumulate nanosecond totals for days; a wrap
+    /// would silently reset write-amplification and stall accounting, so all
+    /// counter bumps go through this helper.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mut cur = counter.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(n);
+            match counter.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Adds a duration to a nanosecond counter (saturating).
     pub fn add_time(counter: &AtomicU64, d: Duration) {
-        counter.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        Self::add(counter, d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Adds every counter of a snapshot into this instance (saturating).
+    ///
+    /// Used to fold per-phase or per-engine snapshots into an aggregate, the
+    /// inverse of [`StatsSnapshot::diff`].
+    pub fn merge(&self, snap: &StatsSnapshot) {
+        Self::add(&self.user_bytes_written, snap.user_bytes_written);
+        Self::add(&self.nvm_bytes_written, snap.nvm_bytes_written);
+        Self::add(&self.ssd_bytes_written, snap.ssd_bytes_written);
+        Self::add(&self.nvm_bytes_read, snap.nvm_bytes_read);
+        Self::add(&self.ssd_bytes_read, snap.ssd_bytes_read);
+        Self::add(&self.interval_stall_ns, snap.interval_stall_ns);
+        Self::add(&self.cumulative_stall_ns, snap.cumulative_stall_ns);
+        Self::add(&self.interval_stall_count, snap.interval_stall_count);
+        Self::add(&self.cumulative_stall_count, snap.cumulative_stall_count);
+        Self::add(&self.flush_ns, snap.flush_ns);
+        Self::add(&self.flush_count, snap.flush_count);
+        Self::add(&self.flush_bytes, snap.flush_bytes);
+        Self::add(&self.serialization_ns, snap.serialization_ns);
+        Self::add(&self.deserialization_ns, snap.deserialization_ns);
+        Self::add(&self.zero_copy_compaction_ns, snap.zero_copy_compaction_ns);
+        Self::add(&self.zero_copy_compactions, snap.zero_copy_compactions);
+        Self::add(&self.copy_compaction_ns, snap.copy_compaction_ns);
+        Self::add(&self.copy_compactions, snap.copy_compactions);
+        Self::add(&self.swizzle_ns, snap.swizzle_ns);
+        Self::add(&self.gets, snap.gets);
+        Self::add(&self.get_hits, snap.get_hits);
+        Self::add(&self.bloom_skips, snap.bloom_skips);
+        Self::add(&self.bloom_false_positives, snap.bloom_false_positives);
     }
 
     /// Current write-amplification ratio: persistent bytes written divided
@@ -159,6 +208,74 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// Counters accumulated since `earlier` was captured (per-field
+    /// saturating subtraction). `write_amplification` is recomputed for the
+    /// interval. Used for phase-by-phase reports; the inverse of
+    /// [`Stats::merge`].
+    pub fn diff(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let user = self
+            .user_bytes_written
+            .saturating_sub(earlier.user_bytes_written);
+        let nvm = self
+            .nvm_bytes_written
+            .saturating_sub(earlier.nvm_bytes_written);
+        let ssd = self
+            .ssd_bytes_written
+            .saturating_sub(earlier.ssd_bytes_written);
+        StatsSnapshot {
+            user_bytes_written: user,
+            nvm_bytes_written: nvm,
+            ssd_bytes_written: ssd,
+            nvm_bytes_read: self.nvm_bytes_read.saturating_sub(earlier.nvm_bytes_read),
+            ssd_bytes_read: self.ssd_bytes_read.saturating_sub(earlier.ssd_bytes_read),
+            interval_stall_ns: self
+                .interval_stall_ns
+                .saturating_sub(earlier.interval_stall_ns),
+            cumulative_stall_ns: self
+                .cumulative_stall_ns
+                .saturating_sub(earlier.cumulative_stall_ns),
+            interval_stall_count: self
+                .interval_stall_count
+                .saturating_sub(earlier.interval_stall_count),
+            cumulative_stall_count: self
+                .cumulative_stall_count
+                .saturating_sub(earlier.cumulative_stall_count),
+            flush_ns: self.flush_ns.saturating_sub(earlier.flush_ns),
+            flush_count: self.flush_count.saturating_sub(earlier.flush_count),
+            flush_bytes: self.flush_bytes.saturating_sub(earlier.flush_bytes),
+            serialization_ns: self
+                .serialization_ns
+                .saturating_sub(earlier.serialization_ns),
+            deserialization_ns: self
+                .deserialization_ns
+                .saturating_sub(earlier.deserialization_ns),
+            zero_copy_compaction_ns: self
+                .zero_copy_compaction_ns
+                .saturating_sub(earlier.zero_copy_compaction_ns),
+            zero_copy_compactions: self
+                .zero_copy_compactions
+                .saturating_sub(earlier.zero_copy_compactions),
+            copy_compaction_ns: self
+                .copy_compaction_ns
+                .saturating_sub(earlier.copy_compaction_ns),
+            copy_compactions: self
+                .copy_compactions
+                .saturating_sub(earlier.copy_compactions),
+            swizzle_ns: self.swizzle_ns.saturating_sub(earlier.swizzle_ns),
+            gets: self.gets.saturating_sub(earlier.gets),
+            get_hits: self.get_hits.saturating_sub(earlier.get_hits),
+            bloom_skips: self.bloom_skips.saturating_sub(earlier.bloom_skips),
+            bloom_false_positives: self
+                .bloom_false_positives
+                .saturating_sub(earlier.bloom_false_positives),
+            write_amplification: if user == 0 {
+                0.0
+            } else {
+                (nvm + ssd) as f64 / user as f64
+            },
+        }
+    }
+
     /// Flush throughput in bytes per second, or 0.0 if no flush happened.
     pub fn flush_throughput_bps(&self) -> f64 {
         if self.flush_ns == 0 {
@@ -267,5 +384,47 @@ mod tests {
     #[test]
     fn flush_throughput_zero_when_no_flush() {
         assert_eq!(StatsSnapshot::default().flush_throughput_bps(), 0.0);
+    }
+
+    #[test]
+    fn add_saturates_at_max() {
+        let s = Stats::new();
+        s.flush_ns.store(u64::MAX - 5, Ordering::Relaxed);
+        Stats::add(&s.flush_ns, 100);
+        assert_eq!(s.flush_ns.load(Ordering::Relaxed), u64::MAX);
+        Stats::add_time(&s.flush_ns, Duration::from_secs(1));
+        assert_eq!(s.flush_ns.load(Ordering::Relaxed), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_interval() {
+        let s = Stats::new();
+        s.user_bytes_written.store(100, Ordering::Relaxed);
+        s.nvm_bytes_written.store(200, Ordering::Relaxed);
+        s.gets.store(10, Ordering::Relaxed);
+        let before = s.snapshot();
+        Stats::add(&s.user_bytes_written, 50);
+        Stats::add(&s.nvm_bytes_written, 150);
+        Stats::add(&s.gets, 7);
+        let d = s.snapshot().diff(&before);
+        assert_eq!(d.user_bytes_written, 50);
+        assert_eq!(d.nvm_bytes_written, 150);
+        assert_eq!(d.gets, 7);
+        // Interval WA uses interval bytes, not cumulative bytes.
+        assert!((d.write_amplification - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_inverse_of_diff() {
+        let s = Stats::new();
+        s.flush_count.store(3, Ordering::Relaxed);
+        s.bloom_skips.store(9, Ordering::Relaxed);
+        let snap = s.snapshot();
+        let agg = Stats::new();
+        agg.merge(&snap);
+        agg.merge(&snap);
+        assert_eq!(agg.flush_count.load(Ordering::Relaxed), 6);
+        assert_eq!(agg.bloom_skips.load(Ordering::Relaxed), 18);
+        assert_eq!(agg.snapshot().diff(&snap).flush_count, 3);
     }
 }

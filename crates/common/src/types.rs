@@ -58,7 +58,12 @@ impl fmt::Display for OpKind {
 /// This is the order used inside PMTables (paper §4.3, Figure 5) and
 /// SSTables, so that the first match for a key during a search is always
 /// its newest version.
-pub fn mv_cmp(a_key: &[u8], a_seq: SequenceNumber, b_key: &[u8], b_seq: SequenceNumber) -> std::cmp::Ordering {
+pub fn mv_cmp(
+    a_key: &[u8],
+    a_seq: SequenceNumber,
+    b_key: &[u8],
+    b_seq: SequenceNumber,
+) -> std::cmp::Ordering {
     a_key.cmp(b_key).then(b_seq.cmp(&a_seq))
 }
 

@@ -26,7 +26,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use miodb_common::{
-    EngineReport, Error, KvEngine, OpKind, Result, ScanEntry, SequenceNumber, Stats,
+    CompactionKind, EngineReport, EngineTelemetry, Error, KvEngine, OpKind, Result, ScanEntry,
+    SequenceNumber, StallKind, Stats,
 };
 use miodb_lsm::merge_iter::{dedup_newest, KWayMerge};
 use miodb_pmem::{DeviceModel, PmemPool, PmemRegion};
@@ -88,6 +89,9 @@ struct Inner {
     /// lazy worker to drain ahead of the normal trigger.
     pressure: AtomicBool,
     bg_error: Mutex<Option<String>>,
+    /// Telemetry collectors: op-latency histograms, per-level gauges and
+    /// the structured event trace (`Options::telemetry` knob).
+    telemetry: EngineTelemetry,
 }
 
 /// The MioDB key-value store. See the [crate docs](crate) for an overview
@@ -183,18 +187,38 @@ impl MioDb {
                     gate: Arc::new(Mutex::new(())),
                 };
                 for ts in &ls.tables {
-                    let t = rebuild_table(&nvm, ts, opts.bloom_bits_per_key, opts.bloom_expected_keys());
+                    let t = rebuild_table(
+                        &nvm,
+                        ts,
+                        opts.bloom_bits_per_key,
+                        opts.bloom_expected_keys(),
+                    );
                     elastic_bytes += t.arena_bytes();
                     level.tables.push_back(t);
                 }
                 if let Some((new_ts, old_ts)) = &ls.merging {
-                    let new_t = rebuild_table(&nvm, new_ts, opts.bloom_bits_per_key, opts.bloom_expected_keys());
-                    let old_t = rebuild_table(&nvm, old_ts, opts.bloom_bits_per_key, opts.bloom_expected_keys());
+                    let new_t = rebuild_table(
+                        &nvm,
+                        new_ts,
+                        opts.bloom_bits_per_key,
+                        opts.bloom_expected_keys(),
+                    );
+                    let old_t = rebuild_table(
+                        &nvm,
+                        old_ts,
+                        opts.bloom_bits_per_key,
+                        opts.bloom_expected_keys(),
+                    );
                     elastic_bytes += new_t.arena_bytes() + old_t.arena_bytes();
                     resumed_merges.push((i, new_t, old_t));
                 }
                 if let Some(ts) = &ls.lazy_draining {
-                    let t = rebuild_table(&nvm, ts, opts.bloom_bits_per_key, opts.bloom_expected_keys());
+                    let t = rebuild_table(
+                        &nvm,
+                        ts,
+                        opts.bloom_bits_per_key,
+                        opts.bloom_expected_keys(),
+                    );
                     elastic_bytes += t.arena_bytes();
                     resumed_drain = Some(t);
                 }
@@ -203,7 +227,11 @@ impl MioDb {
             if let Some(rs) = state.repo {
                 // An interrupted drain may have allocated past the recorded
                 // cursor; burn the chunk tail so no live node is reused.
-                let cursor = if resumed_drain.is_some() { rs.end } else { rs.cursor };
+                let cursor = if resumed_drain.is_some() {
+                    rs.end
+                } else {
+                    rs.cursor
+                };
                 repo = Some(Repository::Pm(GrowableSkipList::from_parts(
                     nvm.clone(),
                     rs.head,
@@ -243,7 +271,13 @@ impl MioDb {
         let mut pending_pushes: Vec<(usize, Arc<PmTable>)> = Vec::new();
         for (i, new_t, old_t) in resumed_merges {
             let level_mark = levels[i].mark.clone();
-            let out = zero_copy_merge(&nvm, new_t.list.head(), old_t.list.head(), &level_mark, MergeLimits::none());
+            let out = zero_copy_merge(
+                &nvm,
+                new_t.list.head(),
+                old_t.list.head(),
+                &level_mark,
+                MergeLimits::none(),
+            );
             let merged = merged_table(&nvm, &new_t, &old_t, out.stats(), opts.bloom_bits_per_key);
             pending_pushes.push((i + 1, merged));
         }
@@ -272,6 +306,7 @@ impl MioDb {
             opts.bloom_expected_keys(),
         )?);
 
+        let telemetry = EngineTelemetry::new(n, &opts.telemetry);
         let inner = Arc::new(Inner {
             opts,
             stats,
@@ -292,6 +327,7 @@ impl MioDb {
             shutdown: AtomicBool::new(false),
             pressure: AtomicBool::new(false),
             bg_error: Mutex::new(None),
+            telemetry,
         });
 
         store_manifest(&inner)?;
@@ -385,17 +421,32 @@ impl MioDb {
 
     fn write(&self, key: &[u8], value: &[u8], kind: OpKind) -> Result<()> {
         self.check_usable()?;
+        let t0 = Instant::now();
         let guard = self.inner.write_mutex.lock();
-        self.inner
-            .stats
-            .user_bytes_written
-            .fetch_add((key.len() + value.len()) as u64, Ordering::Relaxed);
+        Stats::add(
+            &self.inner.stats.user_bytes_written,
+            (key.len() + value.len()) as u64,
+        );
         let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
-        self.insert_with_rotation(guard, key, value, seq, kind)
+        let r = self.insert_with_rotation(guard, key, value, seq, kind);
+        if r.is_ok() {
+            let h = match kind {
+                OpKind::Put => &self.inner.telemetry.put_latency,
+                OpKind::Delete => &self.inner.telemetry.delete_latency,
+            };
+            h.record(dur_ns(t0.elapsed()));
+        }
+        r
     }
 
     /// Insert assuming `write_mutex` is held by the caller (recovery path).
-    fn insert_locked(&self, key: &[u8], value: &[u8], seq: SequenceNumber, kind: OpKind) -> Result<()> {
+    fn insert_locked(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        seq: SequenceNumber,
+        kind: OpKind,
+    ) -> Result<()> {
         let inner = &*self.inner;
         loop {
             // Scope the Arc clone to the attempt: holding it across the
@@ -408,9 +459,7 @@ impl MioDb {
             };
             match r {
                 Ok(()) => return Ok(()),
-                Err(Error::ArenaFull) => {
-                    self.rotate_memtable(None, min_capacity(key, value))?
-                }
+                Err(Error::ArenaFull) => self.rotate_memtable(None, min_capacity(key, value))?,
                 Err(e) => return Err(e),
             }
         }
@@ -457,7 +506,10 @@ impl MioDb {
         match guard {
             Some(guard) => {
                 while inner.mem.read().imm.is_some() {
-                    stalled = true;
+                    if !stalled {
+                        stalled = true;
+                        inner.telemetry.stall_begin(StallKind::Interval);
+                    }
                     inner.imm_cv.wait_for(guard, Duration::from_millis(5));
                     if inner.shutdown.load(Ordering::Acquire) {
                         return Err(Error::Closed);
@@ -469,14 +521,19 @@ impl MioDb {
             }
             None => {
                 while inner.mem.read().imm.is_some() {
-                    stalled = true;
+                    if !stalled {
+                        stalled = true;
+                        inner.telemetry.stall_begin(StallKind::Interval);
+                    }
                     std::thread::sleep(Duration::from_micros(100));
                 }
             }
         }
         if stalled {
-            Stats::add_time(&inner.stats.interval_stall_ns, t0.elapsed());
-            inner.stats.interval_stall_count.fetch_add(1, Ordering::Relaxed);
+            let waited = t0.elapsed();
+            Stats::add_time(&inner.stats.interval_stall_ns, waited);
+            Stats::add(&inner.stats.interval_stall_count, 1);
+            inner.telemetry.stall_end(StallKind::Interval, waited);
         }
         let fresh = Arc::new(MemTable::new(
             &inner.dram,
@@ -593,7 +650,9 @@ impl MioDb {
                     }
                 }
                 if missing > 0 {
-                    bad.push(format!("{label}: {missing}/{total} keys missing from bloom"));
+                    bad.push(format!(
+                        "{label}: {missing}/{total} keys missing from bloom"
+                    ));
                 }
             };
             for (j, t) in tables.iter().enumerate() {
@@ -662,14 +721,9 @@ fn merged_table(
     if bloom.merge(&new_t.bloom).is_err() {
         // Geometry drift (e.g. recovery rebuilt with a different expected
         // size): rebuild from the merged list.
-        bloom = PmTable::rebuild_bloom(
-            &old_t.list,
-            old_t.len + new_t.len,
-            bloom_bits,
-        );
+        bloom = PmTable::rebuild_bloom(&old_t.list, old_t.len + new_t.len, bloom_bits);
     }
-    let len = (old_t.len as u64 + stats.moved)
-        .saturating_sub(stats.bypassed_old) as usize;
+    let len = (old_t.len as u64 + stats.moved).saturating_sub(stats.bypassed_old) as usize;
     Arc::new(PmTable {
         list: SkipList::from_raw(nvm.clone(), old_t.list.head()),
         arenas,
@@ -775,6 +829,15 @@ fn spawn_workers(inner: &Arc<Inner>) -> Vec<std::thread::JoinHandle<()>> {
                 .expect("spawn repo worker"),
         );
     }
+    if let Some(interval) = inner.opts.telemetry.report_interval {
+        let inner = inner.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("miodb-reporter".to_string())
+                .spawn(move || reporter_worker(inner, interval))
+                .expect("spawn reporter"),
+        );
+    }
     threads
 }
 
@@ -791,7 +854,9 @@ fn flush_worker(inner: Arc<Inner>) {
         {
             let mut flag = inner.flush_flag.lock();
             while !*flag && !inner.shutdown.load(Ordering::Acquire) {
-                inner.flush_cv.wait_for(&mut flag, Duration::from_millis(100));
+                inner
+                    .flush_cv
+                    .wait_for(&mut flag, Duration::from_millis(100));
             }
             *flag = false;
         }
@@ -832,6 +897,7 @@ fn flush_one(inner: &Inner, imm: &Arc<MemTable>) -> Result<()> {
     // Backpressure: respect the elastic-buffer cap (Figure 14) and pool
     // capacity; lazy-copy GC frees space.
     let need = imm.arena().used_bytes();
+    let mut throttled_since: Option<Instant> = None;
     loop {
         let used = inner.elastic_bytes.load(Ordering::Relaxed);
         // An empty buffer always accepts one flush, so a cap below the
@@ -849,6 +915,10 @@ fn flush_one(inner: &Inner, imm: &Arc<MemTable>) -> Result<()> {
         if inner.shutdown.load(Ordering::Acquire) {
             return Err(Error::Closed);
         }
+        if throttled_since.is_none() {
+            throttled_since = Some(Instant::now());
+            inner.telemetry.stall_begin(StallKind::Cumulative);
+        }
         // Ask the lazy worker to drain ahead of its trigger.
         inner.pressure.store(true, Ordering::Release);
         {
@@ -857,7 +927,16 @@ fn flush_one(inner: &Inner, imm: &Arc<MemTable>) -> Result<()> {
         }
         std::thread::sleep(Duration::from_micros(200));
     }
+    if let Some(since) = throttled_since {
+        // Elastic-cap backpressure delays the flush pipeline as a whole —
+        // the paper's cumulative (throughput) stall, not an interval stall.
+        let waited = since.elapsed();
+        Stats::add_time(&inner.stats.cumulative_stall_ns, waited);
+        Stats::add(&inner.stats.cumulative_stall_count, 1);
+        inner.telemetry.stall_end(StallKind::Cumulative, waited);
+    }
 
+    inner.telemetry.flush_begin(need);
     let t0 = Instant::now();
     let flushed = loop {
         match one_piece_flush(imm.arena(), &inner.nvm) {
@@ -871,15 +950,19 @@ fn flush_one(inner: &Inner, imm: &Arc<MemTable>) -> Result<()> {
             Err(e) => return Err(e),
         }
     };
-    Stats::add_time(&inner.stats.flush_ns, t0.elapsed());
-    inner.stats.flush_count.fetch_add(1, Ordering::Relaxed);
-    inner.stats.flush_bytes.fetch_add(flushed.bytes, Ordering::Relaxed);
+    let flush_took = t0.elapsed();
+    Stats::add_time(&inner.stats.flush_ns, flush_took);
+    Stats::add(&inner.stats.flush_count, 1);
+    Stats::add(&inner.stats.flush_bytes, flushed.bytes);
+    inner.telemetry.flush_end(flushed.bytes, flush_took);
 
     // Background pointer swizzling: the immutable MemTable keeps serving
     // reads while this runs.
     let t1 = Instant::now();
     swizzle(&inner.nvm, &flushed);
-    Stats::add_time(&inner.stats.swizzle_ns, t1.elapsed());
+    let swizzle_took = t1.elapsed();
+    Stats::add_time(&inner.stats.swizzle_ns, swizzle_took);
+    inner.telemetry.swizzle(swizzle_took);
 
     let table = Arc::new(PmTable {
         list: SkipList::from_raw(inner.nvm.clone(), flushed.head),
@@ -896,10 +979,30 @@ fn flush_one(inner: &Inner, imm: &Arc<MemTable>) -> Result<()> {
     {
         let mut levels = inner.levels.lock();
         levels[0].tables.push_back(table);
+        publish_level_gauges(inner, 0, &levels[0]);
         store_manifest_locked(inner, &levels)?;
         inner.level_cv.notify_all();
     }
     Ok(())
+}
+
+/// Refreshes the telemetry occupancy gauges for level `i`. Counts match
+/// [`KvEngine::report`]: settled tables plus both in-flight merge tables
+/// plus a draining table. Callers hold the levels lock.
+fn publish_level_gauges(inner: &Inner, i: usize, l: &Level) {
+    let mut bytes: u64 = l.tables.iter().map(|t| t.arena_bytes()).sum();
+    let mut tables = l.tables.len() as u64;
+    if let Some((new_t, old_t)) = &l.merging {
+        bytes += new_t.arena_bytes() + old_t.arena_bytes();
+        tables += 2;
+    }
+    if let Some(t) = &l.lazy_draining {
+        bytes += t.arena_bytes();
+        tables += 1;
+    }
+    if let Some(m) = inner.telemetry.level(i) {
+        m.set_occupancy(bytes, tables);
+    }
 }
 
 /// Zero-copy compactor for elastic level `i` (pushes into `i + 1`).
@@ -914,7 +1017,9 @@ fn compactor_worker(inner: Arc<Inner>, i: usize) {
                 if levels[i].tables.len() >= 2 {
                     break;
                 }
-                inner.level_cv.wait_for(&mut levels, Duration::from_millis(100));
+                inner
+                    .level_cv
+                    .wait_for(&mut levels, Duration::from_millis(100));
             }
             let old_t = levels[i].tables.pop_front().unwrap();
             let new_t = levels[i].tables.pop_front().unwrap();
@@ -969,7 +1074,9 @@ fn serial_compactor_worker(inner: Arc<Inner>) {
             if inner.shutdown.load(Ordering::Acquire) {
                 return;
             }
-            inner.level_cv.wait_for(&mut levels, Duration::from_millis(100));
+            inner
+                .level_cv
+                .wait_for(&mut levels, Duration::from_millis(100));
         }
     }
 }
@@ -985,7 +1092,9 @@ fn run_one_zero_copy_merge(
     gate: Arc<Mutex<()>>,
     mark: InsertionMark,
 ) -> bool {
-
+    inner
+        .telemetry
+        .compaction_begin(i, CompactionKind::ZeroCopy);
     let t0 = Instant::now();
     let mut total = miodb_skiplist::MergeStats::default();
     loop {
@@ -1009,16 +1118,33 @@ fn run_one_zero_copy_merge(
             break;
         }
     }
-    Stats::add_time(&inner.stats.zero_copy_compaction_ns, t0.elapsed());
-    inner.stats.zero_copy_compactions.fetch_add(1, Ordering::Relaxed);
+    let took = t0.elapsed();
+    Stats::add_time(&inner.stats.zero_copy_compaction_ns, took);
+    Stats::add(&inner.stats.zero_copy_compactions, 1);
 
-    let merged = merged_table(&inner.nvm, &new_t, &old_t, total, inner.opts.bloom_bits_per_key);
+    let merged = merged_table(
+        &inner.nvm,
+        &new_t,
+        &old_t,
+        total,
+        inner.opts.bloom_bits_per_key,
+    );
+    let merged_bytes = merged.data_bytes;
     drop(new_t);
     drop(old_t);
     {
         let mut levels = inner.levels.lock();
         levels[i].merging = None;
         levels[i + 1].tables.push_back(merged);
+        publish_level_gauges(inner, i, &levels[i]);
+        publish_level_gauges(inner, i + 1, &levels[i + 1]);
+        // Emit the End event while still holding the levels lock: once the
+        // lock drops with `merging` cleared, `wait_idle` may report the
+        // engine idle, and a consumer draining the ring right then must
+        // already see this compaction closed.
+        inner
+            .telemetry
+            .compaction_end(i, CompactionKind::ZeroCopy, merged_bytes, took);
         if let Err(e) = store_manifest_locked(inner, &levels) {
             set_bg_error(inner, format!("manifest store failed: {e}"));
             return false;
@@ -1067,7 +1193,9 @@ fn lazy_worker(inner: Arc<Inner>) {
                         break i;
                     }
                 }
-                inner.level_cv.wait_for(&mut levels, Duration::from_millis(100));
+                inner
+                    .level_cv
+                    .wait_for(&mut levels, Duration::from_millis(100));
             };
             let t = levels[picked].tables.pop_front().unwrap();
             levels[picked].lazy_draining = Some(t.clone());
@@ -1078,7 +1206,11 @@ fn lazy_worker(inner: Arc<Inner>) {
             (t, picked)
         };
         let table = table;
+        let drained_bytes = table.data_bytes;
 
+        inner
+            .telemetry
+            .compaction_begin(level_idx, CompactionKind::LazyCopy);
         let t0 = Instant::now();
         let _w = inner.repo_writer.lock();
         let drained: Result<()> = (|| {
@@ -1100,12 +1232,23 @@ fn lazy_worker(inner: Arc<Inner>) {
             set_bg_error(&inner, format!("lazy-copy failed: {e}"));
             return;
         }
-        Stats::add_time(&inner.stats.copy_compaction_ns, t0.elapsed());
-        inner.stats.copy_compactions.fetch_add(1, Ordering::Relaxed);
+        let took = t0.elapsed();
+        Stats::add_time(&inner.stats.copy_compaction_ns, took);
+        Stats::add(&inner.stats.copy_compactions, 1);
 
         {
             let mut levels = inner.levels.lock();
             levels[level_idx].lazy_draining = None;
+            publish_level_gauges(&inner, level_idx, &levels[level_idx]);
+            // Under the levels lock for the same reason as the zero-copy
+            // merge: `wait_idle` must not observe idle before the End
+            // event is in the ring.
+            inner.telemetry.compaction_end(
+                level_idx,
+                CompactionKind::LazyCopy,
+                drained_bytes,
+                took,
+            );
             if let Err(e) = store_manifest_locked(&inner, &levels) {
                 set_bg_error(&inner, format!("manifest store failed: {e}"));
                 return;
@@ -1133,6 +1276,49 @@ fn lazy_worker(inner: Arc<Inner>) {
                 }
             }
         }
+    }
+}
+
+/// Builds the engine report (shared by [`KvEngine::report`] and the
+/// periodic reporter thread, which only holds the `Inner`).
+fn build_report(inner: &Inner) -> EngineReport {
+    let mut tables: Vec<usize> = {
+        let levels = inner.levels.lock();
+        levels
+            .iter()
+            .map(|l| {
+                l.tables.len()
+                    + l.merging.as_ref().map_or(0, |_| 2)
+                    + l.lazy_draining.as_ref().map_or(0, |_| 1)
+            })
+            .collect()
+    };
+    tables.extend(inner.repo.tables_per_level());
+    EngineReport {
+        name: inner.opts.name.clone(),
+        nvm_used_bytes: inner.nvm.used_bytes(),
+        nvm_peak_bytes: inner.nvm.peak_bytes(),
+        tables_per_level: tables,
+        stats: inner.stats.snapshot(),
+    }
+}
+
+/// Prints the Prometheus rendering to stderr every `interval`
+/// (`TelemetryOptions::report_interval`). Polls shutdown at a short period
+/// so `Drop` joins promptly even for long intervals.
+fn reporter_worker(inner: Arc<Inner>, interval: Duration) {
+    let tick = interval.min(Duration::from_millis(20));
+    let mut next = Instant::now() + interval;
+    while !inner.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(tick);
+        if Instant::now() < next {
+            continue;
+        }
+        next = Instant::now() + interval;
+        let report = build_report(&inner);
+        let text = miodb_common::metrics::engine_registry(&report, Some(&inner.telemetry))
+            .render_prometheus();
+        eprintln!("{text}");
     }
 }
 
@@ -1175,8 +1361,70 @@ impl KvEngine for MioDb {
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let t0 = Instant::now();
+        let r = self.get_impl(key);
+        if r.is_ok() {
+            self.inner
+                .telemetry
+                .get_latency
+                .record(dur_ns(t0.elapsed()));
+        }
+        r
+    }
+
+    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<ScanEntry>> {
+        let t0 = Instant::now();
+        let r = self.scan_impl(start, limit);
+        if r.is_ok() {
+            self.inner
+                .telemetry
+                .scan_latency
+                .record(dur_ns(t0.elapsed()));
+        }
+        r
+    }
+
+    fn wait_idle(&self) -> Result<()> {
         let inner = &*self.inner;
-        inner.stats.gets.fetch_add(1, Ordering::Relaxed);
+        loop {
+            self.check_usable()?;
+            let mem_busy = inner.mem.read().imm.is_some();
+            let levels_busy = {
+                let levels = inner.levels.lock();
+                let n = levels.len();
+                levels.iter().enumerate().any(|(i, l)| {
+                    l.merging.is_some()
+                        || l.lazy_draining.is_some()
+                        || (i + 1 < n && l.tables.len() >= 2)
+                        || (i + 1 == n && l.tables.len() >= inner.opts.lazy_copy_trigger)
+                })
+            };
+            if !mem_busy && !levels_busy && inner.repo.is_quiescent() {
+                return Ok(());
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    fn report(&self) -> EngineReport {
+        build_report(&self.inner)
+    }
+
+    fn name(&self) -> &str {
+        &self.inner.opts.name
+    }
+
+    fn telemetry(&self) -> Option<&EngineTelemetry> {
+        Some(&self.inner.telemetry)
+    }
+}
+
+impl MioDb {
+    /// The `get` visibility walk; [`KvEngine::get`] wraps it with latency
+    /// recording.
+    fn get_impl(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let inner = &*self.inner;
+        Stats::add(&inner.stats.gets, 1);
 
         // 1. DRAM MemTables.
         let (active, imm) = {
@@ -1184,12 +1432,12 @@ impl KvEngine for MioDb {
             (mem.active.clone(), mem.imm.clone())
         };
         if let Some(r) = active.list().get(key) {
-            inner.stats.get_hits.fetch_add(1, Ordering::Relaxed);
+            Stats::add(&inner.stats.get_hits, 1);
             return Ok(Self::resolve(r));
         }
         if let Some(imm) = imm {
             if let Some(r) = imm.list().get(key) {
-                inner.stats.get_hits.fetch_add(1, Ordering::Relaxed);
+                Stats::add(&inner.stats.get_hits, 1);
                 return Ok(Self::resolve(r));
             }
         }
@@ -1210,14 +1458,15 @@ impl KvEngine for MioDb {
             };
             for t in tables.iter().rev() {
                 if inner.opts.bloom_enabled && !t.bloom.may_contain(key) {
-                    inner.stats.bloom_skips.fetch_add(1, Ordering::Relaxed);
+                    Stats::add(&inner.stats.bloom_skips, 1);
+                    inner.telemetry.bloom_skip(i);
                     continue;
                 }
                 if let Some(r) = t.list.get(key) {
-                    inner.stats.get_hits.fetch_add(1, Ordering::Relaxed);
+                    Stats::add(&inner.stats.get_hits, 1);
                     return Ok(Self::resolve(r));
                 }
-                inner.stats.bloom_false_positives.fetch_add(1, Ordering::Relaxed);
+                Stats::add(&inner.stats.bloom_false_positives, 1);
             }
             if let Some((new_t, old_t)) = merging {
                 // newtable -> insertion mark -> oldtable (§4.3). The
@@ -1250,18 +1499,19 @@ impl KvEngine for MioDb {
                         }
                     }
                 } else {
-                    inner.stats.bloom_skips.fetch_add(1, Ordering::Relaxed);
+                    Stats::add(&inner.stats.bloom_skips, 1);
+                    inner.telemetry.bloom_skip(i);
                     mark.read(key)
                 };
                 if let Some(r) = hit {
-                    inner.stats.get_hits.fetch_add(1, Ordering::Relaxed);
+                    Stats::add(&inner.stats.get_hits, 1);
                     return Ok(Self::resolve(r));
                 }
             }
             if let Some(t) = lazy {
                 if !inner.opts.bloom_enabled || t.bloom.may_contain(key) {
                     if let Some(r) = t.list.get(key) {
-                        inner.stats.get_hits.fetch_add(1, Ordering::Relaxed);
+                        Stats::add(&inner.stats.get_hits, 1);
                         return Ok(Self::resolve(r));
                     }
                 }
@@ -1271,14 +1521,16 @@ impl KvEngine for MioDb {
         // 3. Data repository.
         if let Some(r) = inner.repo.get(key)? {
             if r.kind == OpKind::Put {
-                inner.stats.get_hits.fetch_add(1, Ordering::Relaxed);
+                Stats::add(&inner.stats.get_hits, 1);
                 return Ok(Some(r.value));
             }
         }
         Ok(None)
     }
 
-    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<ScanEntry>> {
+    /// The `scan` source assembly and k-way merge; [`KvEngine::scan`]
+    /// wraps it with latency recording.
+    fn scan_impl(&self, start: &[u8], limit: usize) -> Result<Vec<ScanEntry>> {
         let inner = &*self.inner;
         let (active, imm) = {
             let mem = inner.mem.read();
@@ -1327,63 +1579,22 @@ impl KvEngine for MioDb {
         let merged = dedup_newest(KWayMerge::new(sources), true);
         Ok(merged
             .take(limit)
-            .map(|e| ScanEntry { key: e.key, value: e.value })
+            .map(|e| ScanEntry {
+                key: e.key,
+                value: e.value,
+            })
             .collect())
-    }
-
-    fn wait_idle(&self) -> Result<()> {
-        let inner = &*self.inner;
-        loop {
-            self.check_usable()?;
-            let mem_busy = inner.mem.read().imm.is_some();
-            let levels_busy = {
-                let levels = inner.levels.lock();
-                let n = levels.len();
-                levels.iter().enumerate().any(|(i, l)| {
-                    l.merging.is_some()
-                        || l.lazy_draining.is_some()
-                        || (i + 1 < n && l.tables.len() >= 2)
-                        || (i + 1 == n && l.tables.len() >= inner.opts.lazy_copy_trigger)
-                })
-            };
-            if !mem_busy && !levels_busy && inner.repo.is_quiescent() {
-                return Ok(());
-            }
-            std::thread::sleep(Duration::from_millis(1));
-        }
-    }
-
-    fn report(&self) -> EngineReport {
-        let inner = &*self.inner;
-        let mut tables: Vec<usize> = {
-            let levels = inner.levels.lock();
-            levels
-                .iter()
-                .map(|l| {
-                    l.tables.len()
-                        + l.merging.as_ref().map_or(0, |_| 2)
-                        + l.lazy_draining.as_ref().map_or(0, |_| 1)
-                })
-                .collect()
-        };
-        tables.extend(inner.repo.tables_per_level());
-        EngineReport {
-            name: inner.opts.name.clone(),
-            nvm_used_bytes: inner.nvm.used_bytes(),
-            nvm_peak_bytes: inner.nvm.peak_bytes(),
-            tables_per_level: tables,
-            stats: inner.stats.snapshot(),
-        }
-    }
-
-    fn name(&self) -> &str {
-        &self.inner.opts.name
     }
 }
 
 /// MemTable capacity guaranteed to accept the entry being written.
 fn min_capacity(key: &[u8], value: &[u8]) -> usize {
     miodb_skiplist::SkipListArena::capacity_for_entry(key.len(), value.len())
+}
+
+/// Saturating nanosecond count of a duration, for histogram recording.
+fn dur_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
 }
 
 /// An atomic multi-operation write (LevelDB-style `WriteBatch`).
@@ -1466,8 +1677,12 @@ impl MioDb {
         self.check_usable()?;
         let inner = &*self.inner;
         let mut guard = inner.write_mutex.lock();
-        let user_bytes: u64 = batch.ops.iter().map(|(k, v, _)| (k.len() + v.len()) as u64).sum();
-        inner.stats.user_bytes_written.fetch_add(user_bytes, Ordering::Relaxed);
+        let user_bytes: u64 = batch
+            .ops
+            .iter()
+            .map(|(k, v, _)| (k.len() + v.len()) as u64)
+            .sum();
+        Stats::add(&inner.stats.user_bytes_written, user_bytes);
         let n = batch.ops.len() as u64;
         let seq_base = inner.seq.fetch_add(n, Ordering::Relaxed) + 1;
         let need: usize = batch
@@ -1549,7 +1764,10 @@ mod tests {
         d.wait_idle().unwrap();
         let report = d.report();
         assert!(report.stats.flush_count > 1, "several flushes expected");
-        assert!(report.stats.zero_copy_compactions > 0, "zero-copy merges expected");
+        assert!(
+            report.stats.zero_copy_compactions > 0,
+            "zero-copy merges expected"
+        );
         assert!(report.stats.copy_compactions > 0, "lazy-copy expected");
         for i in (0..4000u32).step_by(191) {
             assert_eq!(
@@ -1568,7 +1786,8 @@ mod tests {
         let d = db();
         let value = vec![7u8; 512];
         for i in 0..6000u32 {
-            d.put(format!("key{:06}", i % 1500).as_bytes(), &value).unwrap();
+            d.put(format!("key{:06}", i % 1500).as_bytes(), &value)
+                .unwrap();
         }
         d.wait_idle().unwrap();
         let wa = d.report().stats.write_amplification;
@@ -1618,7 +1837,12 @@ mod tests {
         }
         for e in &out {
             let direct = d.get(&e.key).unwrap().expect("scan returned dead key");
-            assert_eq!(direct, e.value, "scan/get disagree on {:?}", String::from_utf8_lossy(&e.key));
+            assert_eq!(
+                direct,
+                e.value,
+                "scan/get disagree on {:?}",
+                String::from_utf8_lossy(&e.key)
+            );
         }
     }
 
@@ -1639,7 +1863,10 @@ mod tests {
             snap.interval_stall_ns < 100_000_000,
             "interval stalls too large: {snap:?}"
         );
-        assert!(snap.serialization_ns == 0, "MioDB never serializes into NVM");
+        assert!(
+            snap.serialization_ns == 0,
+            "MioDB never serializes into NVM"
+        );
     }
 
     #[test]
@@ -1713,7 +1940,10 @@ mod tests {
         let snap = d.report().stats;
         assert!(snap.ssd_bytes_written > 0, "repository must hit the SSD");
         for i in (0..2000u32).step_by(173) {
-            assert_eq!(d.get(format!("key{i:06}").as_bytes()).unwrap().unwrap(), value);
+            assert_eq!(
+                d.get(format!("key{i:06}").as_bytes()).unwrap().unwrap(),
+                value
+            );
         }
     }
 

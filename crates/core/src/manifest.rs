@@ -175,7 +175,10 @@ impl Manifest {
             if crc32(&payload) != stored_crc {
                 continue;
             }
-            let region = PmemRegion { offset: off, len: region_len };
+            let region = PmemRegion {
+                offset: off,
+                len: region_len,
+            };
             regions[idx] = Some(region);
             candidates.push((version, idx, payload));
         }
@@ -340,7 +343,11 @@ fn decode(buf: &[u8]) -> Result<ManifestState> {
     let mut r = Reader { buf, pos: 0 };
     let seq = r.u64()?;
     let active_wal = r.regions()?;
-    let imm_wal = if r.byte()? == 1 { Some(r.regions()?) } else { None };
+    let imm_wal = if r.byte()? == 1 {
+        Some(r.regions()?)
+    } else {
+        None
+    };
     let n_levels = r.u32()? as usize;
     if n_levels > 64 {
         return Err(Error::Corruption("implausible level count".to_string()));
@@ -348,7 +355,10 @@ fn decode(buf: &[u8]) -> Result<ManifestState> {
     let mut levels = Vec::with_capacity(n_levels);
     for _ in 0..n_levels {
         let mark = if r.byte()? == 1 {
-            Some(PmemRegion { offset: r.u64()?, len: r.u64()? })
+            Some(PmemRegion {
+                offset: r.u64()?,
+                len: r.u64()?,
+            })
         } else {
             None
         };
@@ -357,13 +367,22 @@ fn decode(buf: &[u8]) -> Result<ManifestState> {
         } else {
             None
         };
-        let lazy_draining = if r.byte()? == 1 { Some(r.table()?) } else { None };
+        let lazy_draining = if r.byte()? == 1 {
+            Some(r.table()?)
+        } else {
+            None
+        };
         let n_tables = r.u32()? as usize;
         let mut tables = Vec::with_capacity(n_tables);
         for _ in 0..n_tables {
             tables.push(r.table()?);
         }
-        levels.push(LevelState { mark, merging, lazy_draining, tables });
+        levels.push(LevelState {
+            mark,
+            merging,
+            lazy_draining,
+            tables,
+        });
     }
     let repo = if r.byte()? == 1 {
         Some(RepoState {
@@ -378,7 +397,13 @@ fn decode(buf: &[u8]) -> Result<ManifestState> {
     } else {
         None
     };
-    Ok(ManifestState { seq, active_wal, imm_wal, levels, repo })
+    Ok(ManifestState {
+        seq,
+        active_wal,
+        imm_wal,
+        levels,
+        repo,
+    })
 }
 
 #[cfg(test)]
@@ -388,17 +413,31 @@ mod tests {
     use miodb_pmem::DeviceModel;
 
     fn pool() -> Arc<PmemPool> {
-        PmemPool::new(8 << 20, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new())).unwrap()
+        PmemPool::new(
+            8 << 20,
+            DeviceModel::nvm_unthrottled(),
+            Arc::new(Stats::new()),
+        )
+        .unwrap()
     }
 
     fn sample_state() -> ManifestState {
         ManifestState {
             seq: 42,
-            active_wal: vec![PmemRegion { offset: 65536, len: 4096 }],
-            imm_wal: Some(vec![PmemRegion { offset: 131072, len: 4096 }]),
+            active_wal: vec![PmemRegion {
+                offset: 65536,
+                len: 4096,
+            }],
+            imm_wal: Some(vec![PmemRegion {
+                offset: 131072,
+                len: 4096,
+            }]),
             levels: vec![
                 LevelState {
-                    mark: Some(PmemRegion { offset: 70000, len: 64 }),
+                    mark: Some(PmemRegion {
+                        offset: 70000,
+                        len: 64,
+                    }),
                     merging: None,
                     lazy_draining: None,
                     tables: vec![TableState {
@@ -406,7 +445,10 @@ mod tests {
                         len: 10,
                         data_bytes: 1000,
                         newest_seq: 40,
-                        arenas: vec![PmemRegion { offset: 80000, len: 8192 }],
+                        arenas: vec![PmemRegion {
+                            offset: 80000,
+                            len: 8192,
+                        }],
                     }],
                 },
                 LevelState::default(),
@@ -418,7 +460,10 @@ mod tests {
                 end: 155536,
                 len: 5,
                 data_bytes: 500,
-                chunks: vec![PmemRegion { offset: 90000, len: 65536 }],
+                chunks: vec![PmemRegion {
+                    offset: 90000,
+                    len: 65536,
+                }],
             }),
         }
     }
@@ -490,7 +535,11 @@ mod tests {
         let off = u64::from_le_bytes(slot[8..16].try_into().unwrap());
         p.write_bytes(off, &[0xFF; 8]);
         let (_m2, loaded) = Manifest::load(p).unwrap();
-        assert_eq!(loaded.unwrap().seq, 1, "must fall back to older valid state");
+        assert_eq!(
+            loaded.unwrap().seq,
+            1,
+            "must fall back to older valid state"
+        );
     }
 
     #[test]
@@ -506,6 +555,10 @@ mod tests {
         for _ in 0..100 {
             m.store(&s).unwrap();
         }
-        assert_eq!(p.used_bytes(), baseline, "old manifest regions must be freed");
+        assert_eq!(
+            p.used_bytes(),
+            baseline,
+            "old manifest regions must be freed"
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use miodb_common::TelemetryOptions;
 use miodb_lsm::LsmOptions;
 use miodb_pmem::DeviceModel;
 
@@ -59,6 +60,9 @@ pub struct MioOptions {
     pub parallel_compaction: bool,
     /// Engine name for reports.
     pub name: String,
+    /// Telemetry collectors: op-latency histograms, per-level metrics,
+    /// structured event tracing and the optional periodic reporter thread.
+    pub telemetry: TelemetryOptions,
 }
 
 impl Default for MioOptions {
@@ -78,6 +82,7 @@ impl Default for MioOptions {
             bloom_enabled: true,
             parallel_compaction: true,
             name: "MioDB".to_string(),
+            telemetry: TelemetryOptions::default(),
         }
     }
 }

@@ -77,7 +77,10 @@ impl Repository {
     /// # Errors
     ///
     /// Propagates allocation/build failures.
-    pub fn ingest_run(&self, entries: impl Iterator<Item = OwnedEntry> + Send + 'static) -> Result<()> {
+    pub fn ingest_run(
+        &self,
+        entries: impl Iterator<Item = OwnedEntry> + Send + 'static,
+    ) -> Result<()> {
         match self {
             Repository::Pm(r) => {
                 for e in entries {
@@ -138,10 +141,7 @@ impl Repository {
     pub fn len_estimate(&self) -> usize {
         match self {
             Repository::Pm(r) => r.len(),
-            Repository::Lsm(c) => c
-                .tables_per_level()
-                .iter()
-                .sum::<usize>(),
+            Repository::Lsm(c) => c.tables_per_level().iter().sum::<usize>(),
         }
     }
 
@@ -201,7 +201,8 @@ mod tests {
     #[test]
     fn lsm_repository_tombstones_surface() {
         let stats = Arc::new(Stats::new());
-        let repo = Repository::new_lsm(LsmOptions::default(), DeviceModel::ssd_unthrottled(), stats);
+        let repo =
+            Repository::new_lsm(LsmOptions::default(), DeviceModel::ssd_unthrottled(), stats);
         repo.apply(b"k", b"v", 1, OpKind::Put).unwrap();
         repo.apply(b"k", b"", 2, OpKind::Delete).unwrap();
         let r = repo.get(b"k").unwrap().unwrap();

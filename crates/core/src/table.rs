@@ -40,7 +40,11 @@ impl PmTable {
     }
 
     /// Rebuilds the bloom filter by scanning the list (recovery path).
-    pub fn rebuild_bloom(list: &SkipList, expected_keys: usize, bits_per_key: usize) -> BloomFilter {
+    pub fn rebuild_bloom(
+        list: &SkipList,
+        expected_keys: usize,
+        bits_per_key: usize,
+    ) -> BloomFilter {
         let mut bloom = BloomFilter::with_bits_per_key(expected_keys.max(16), bits_per_key);
         for e in list.iter() {
             bloom.insert(&e.key);
@@ -111,7 +115,13 @@ impl MemTable {
     /// rotated; the WAL record for the failed insert is harmless (its
     /// sequence number is simply replayed into the next MemTable on
     /// recovery — same value, same outcome).
-    pub fn insert(&self, key: &[u8], value: &[u8], seq: SequenceNumber, kind: OpKind) -> Result<()> {
+    pub fn insert(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        seq: SequenceNumber,
+        kind: OpKind,
+    ) -> Result<()> {
         if !self.arena.fits(key.len(), value.len()) {
             return Err(miodb_common::Error::ArenaFull);
         }
@@ -235,7 +245,9 @@ mod tests {
         let (dram, _nvm) = pools();
         let arena = SkipListArena::new(dram, 64 * 1024).unwrap();
         for i in 0..100u32 {
-            arena.insert(format!("k{i}").as_bytes(), b"v", i as u64 + 1, OpKind::Put).unwrap();
+            arena
+                .insert(format!("k{i}").as_bytes(), b"v", i as u64 + 1, OpKind::Put)
+                .unwrap();
         }
         let bloom = PmTable::rebuild_bloom(&arena.list(), 100, 16);
         for i in 0..100u32 {

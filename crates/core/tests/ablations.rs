@@ -50,7 +50,10 @@ fn serial_compaction_is_correct() {
     .unwrap();
     verify_workload(&db);
     let report = db.report();
-    assert!(report.stats.zero_copy_compactions > 0, "serial compactor must run merges");
+    assert!(
+        report.stats.zero_copy_compactions > 0,
+        "serial compactor must run merges"
+    );
     assert!(report.stats.copy_compactions > 0, "lazy copy still drains");
 }
 
@@ -70,11 +73,15 @@ fn serial_and_no_bloom_together() {
 fn bloom_enabled_skips_tables() {
     let db = MioDb::open(MioOptions::small_for_tests()).unwrap();
     for i in 0..3_000u32 {
-        db.put(format!("key{i:05}").as_bytes(), &[1u8; 300]).unwrap();
+        db.put(format!("key{i:05}").as_bytes(), &[1u8; 300])
+            .unwrap();
     }
     db.wait_idle().unwrap();
     for i in 0..500u32 {
         db.get(format!("key{i:05}").as_bytes()).unwrap();
     }
-    assert!(db.report().stats.bloom_skips > 0, "filters should skip resting tables");
+    assert!(
+        db.report().stats.bloom_skips > 0,
+        "filters should skip resting tables"
+    );
 }

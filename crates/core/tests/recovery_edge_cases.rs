@@ -57,14 +57,16 @@ fn sequence_numbers_continue_after_recovery() {
             db.put(b"clash", b"pre-crash").unwrap();
         }
         for i in 0..500u32 {
-            db.put(format!("fill{i:04}").as_bytes(), &[0u8; 200]).unwrap();
+            db.put(format!("fill{i:04}").as_bytes(), &[0u8; 200])
+                .unwrap();
         }
         db.snapshot(&path).unwrap();
     }
     let db = recover(&path, &opts);
     db.put(b"clash", b"post-crash").unwrap();
     for i in 0..2_000u32 {
-        db.put(format!("more{i:05}").as_bytes(), &[1u8; 200]).unwrap();
+        db.put(format!("more{i:05}").as_bytes(), &[1u8; 200])
+            .unwrap();
     }
     db.wait_idle().unwrap();
     assert_eq!(db.get(b"clash").unwrap().unwrap(), b"post-crash");
@@ -125,7 +127,10 @@ fn restore_into_unthrottled_then_throttled_device() {
     let pool = PmemPool::restore_from_file(&path, opts.nvm_device, Arc::new(Stats::new())).unwrap();
     let db = MioDb::recover(pool, opts).unwrap();
     for i in (0..300u32).step_by(37) {
-        assert_eq!(db.get(format!("k{i:04}").as_bytes()).unwrap().unwrap(), b"v");
+        assert_eq!(
+            db.get(format!("k{i:04}").as_bytes()).unwrap().unwrap(),
+            b"v"
+        );
     }
     std::fs::remove_file(&path).ok();
 }

@@ -141,7 +141,10 @@ impl LsmCore {
     /// # Errors
     ///
     /// Propagates build failures; an empty stream is a no-op.
-    pub fn ingest_sorted_run(&self, entries: impl Iterator<Item = OwnedEntry>) -> Result<Vec<Arc<TableMeta>>> {
+    pub fn ingest_sorted_run(
+        &self,
+        entries: impl Iterator<Item = OwnedEntry>,
+    ) -> Result<Vec<Arc<TableMeta>>> {
         let tables = self.build_tables(entries)?;
         let mut levels = self.levels.write();
         for t in tables.iter().rev() {
@@ -152,7 +155,10 @@ impl LsmCore {
 
     /// Serializes an entry stream into size-split tables without
     /// installing them.
-    fn build_tables(&self, entries: impl Iterator<Item = OwnedEntry>) -> Result<Vec<Arc<TableMeta>>> {
+    fn build_tables(
+        &self,
+        entries: impl Iterator<Item = OwnedEntry>,
+    ) -> Result<Vec<Arc<TableMeta>>> {
         let mut out = Vec::new();
         let mut builder: Option<SsTableBuilder> = None;
         for e in entries {
@@ -189,7 +195,9 @@ impl LsmCore {
                         continue;
                     }
                     if !t.reader.may_contain(key) {
-                        self.stats.bloom_skips.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        self.stats
+                            .bloom_skips
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         continue;
                     }
                     if let Some(e) = t.reader.get(key, &self.stats)? {
@@ -211,7 +219,9 @@ impl LsmCore {
                             .bloom_false_positives
                             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     } else {
-                        self.stats.bloom_skips.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        self.stats
+                            .bloom_skips
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     }
                 }
             }
@@ -257,7 +267,12 @@ impl LsmCore {
             return Some(0);
         }
         let mut worst: Option<(usize, f64)> = None;
-        for (i, level) in levels.iter().enumerate().skip(1).take(self.opts.max_levels - 2) {
+        for (i, level) in levels
+            .iter()
+            .enumerate()
+            .skip(1)
+            .take(self.opts.max_levels - 2)
+        {
             let bytes: u64 = level.iter().map(|t| t.bytes).sum();
             let ratio = bytes as f64 / self.opts.level_target_bytes(i) as f64;
             if ratio > 1.0 && worst.is_none_or(|(_, w)| ratio > w) {
@@ -450,7 +465,8 @@ mod tests {
     #[test]
     fn ingest_and_get() {
         let c = core();
-        c.ingest_sorted_run((0..100).map(|i| entry(i, i as u64 + 1))).unwrap();
+        c.ingest_sorted_run((0..100).map(|i| entry(i, i as u64 + 1)))
+            .unwrap();
         assert!(c.l0_count() > 0);
         let e = c.get(b"key000042").unwrap().unwrap();
         assert_eq!(e.seq, 43);
@@ -552,8 +568,10 @@ mod tests {
     #[test]
     fn scan_sources_merge_correctly() {
         let c = core();
-        c.ingest_sorted_run((0..30).map(|i| entry(i * 2, i as u64 + 1))).unwrap();
-        c.ingest_sorted_run((0..30).map(|i| entry(i * 2 + 1, 100 + i as u64))).unwrap();
+        c.ingest_sorted_run((0..30).map(|i| entry(i * 2, i as u64 + 1)))
+            .unwrap();
+        c.ingest_sorted_run((0..30).map(|i| entry(i * 2 + 1, 100 + i as u64)))
+            .unwrap();
         let merged: Vec<OwnedEntry> =
             dedup_newest(KWayMerge::new(c.scan_sources(b"key000010")), true).collect();
         assert_eq!(merged[0].key, b"key000010");
@@ -568,14 +586,18 @@ mod tests {
         let c = core();
         // Seed L1 via a normal compaction.
         for _ in 0..4 {
-            c.ingest_sorted_run((0..50).map(|i| entry(i, i as u64 + 1))).unwrap();
+            c.ingest_sorted_run((0..50).map(|i| entry(i, i as u64 + 1)))
+                .unwrap();
         }
         c.compact_to_quiescence().unwrap();
         let seeded_l1 = c.tables_per_level()[1];
         assert!(seeded_l1 > 0);
         // Column-compact a newer run for the lower half of the keyspace.
         let run: Vec<OwnedEntry> = (0..25)
-            .map(|i| OwnedEntry { value: b"column".to_vec(), ..entry(i, 1000 + i as u64) })
+            .map(|i| OwnedEntry {
+                value: b"column".to_vec(),
+                ..entry(i, 1000 + i as u64)
+            })
             .collect();
         c.ingest_run_to_level(run.into_iter(), 1).unwrap();
         assert_eq!(c.get(b"key000010").unwrap().unwrap().value, b"column");

@@ -200,10 +200,18 @@ impl LsmDb {
                     }
                     if stalled {
                         Stats::add_time(&inner.stats.interval_stall_ns, t0.elapsed());
-                        inner.stats.interval_stall_count.fetch_add(1, Ordering::Relaxed);
+                        inner
+                            .stats
+                            .interval_stall_count
+                            .fetch_add(1, Ordering::Relaxed);
                     }
-                    let new_active =
-                        Arc::new(SkipListArena::new(inner.dram.clone(), inner.opts.memtable_bytes.max(SkipListArena::capacity_for_entry(key.len(), value.len())))?);
+                    let new_active = Arc::new(SkipListArena::new(
+                        inner.dram.clone(),
+                        inner
+                            .opts
+                            .memtable_bytes
+                            .max(SkipListArena::capacity_for_entry(key.len(), value.len())),
+                    )?);
                     {
                         let mut mem = inner.mem.write();
                         let old = std::mem::replace(&mut mem.active, new_active);
@@ -229,11 +237,17 @@ impl LsmDb {
                 std::thread::sleep(Duration::from_micros(200));
             }
             Stats::add_time(&inner.stats.cumulative_stall_ns, t0.elapsed());
-            inner.stats.cumulative_stall_count.fetch_add(1, Ordering::Relaxed);
+            inner
+                .stats
+                .cumulative_stall_count
+                .fetch_add(1, Ordering::Relaxed);
         } else if l0 >= inner.opts.lsm.l0_slowdown_trigger {
             std::thread::sleep(SLOWDOWN_SLEEP);
             Stats::add_time(&inner.stats.cumulative_stall_ns, SLOWDOWN_SLEEP);
-            inner.stats.cumulative_stall_count.fetch_add(1, Ordering::Relaxed);
+            inner
+                .stats
+                .cumulative_stall_count
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -241,8 +255,12 @@ impl LsmDb {
 fn charge_device_write(stats: &Stats, device: &DeviceModel, bytes: usize) {
     use miodb_pmem::DeviceClass;
     match device.class {
-        DeviceClass::Nvm => stats.nvm_bytes_written.fetch_add(bytes as u64, Ordering::Relaxed),
-        DeviceClass::Ssd => stats.ssd_bytes_written.fetch_add(bytes as u64, Ordering::Relaxed),
+        DeviceClass::Nvm => stats
+            .nvm_bytes_written
+            .fetch_add(bytes as u64, Ordering::Relaxed),
+        DeviceClass::Ssd => stats
+            .ssd_bytes_written
+            .fetch_add(bytes as u64, Ordering::Relaxed),
         DeviceClass::Dram => 0,
     };
     device.delay_write(bytes);
@@ -253,7 +271,9 @@ fn flush_worker(inner: Arc<DbInner>) {
         {
             let mut flag = inner.flush_signal.lock();
             while !*flag && !inner.shutdown.load(Ordering::Acquire) {
-                inner.flush_cv.wait_for(&mut flag, Duration::from_millis(100));
+                inner
+                    .flush_cv
+                    .wait_for(&mut flag, Duration::from_millis(100));
             }
             *flag = false;
         }
@@ -374,7 +394,10 @@ impl KvEngine for LsmDb {
         let merged = dedup_newest(KWayMerge::new(sources), true);
         Ok(merged
             .take(limit)
-            .map(|e| ScanEntry { key: e.key, value: e.value })
+            .map(|e| ScanEntry {
+                key: e.key,
+                value: e.value,
+            })
             .collect())
     }
 
@@ -467,7 +490,11 @@ mod tests {
         let report = d.report();
         assert!(report.stats.flush_count > 0, "expected flushes");
         for i in (0..2000u32).step_by(173) {
-            assert_eq!(d.get(format!("key{i:06}").as_bytes()).unwrap().unwrap(), value, "key{i}");
+            assert_eq!(
+                d.get(format!("key{i:06}").as_bytes()).unwrap().unwrap(),
+                value,
+                "key{i}"
+            );
         }
     }
 
@@ -485,7 +512,10 @@ mod tests {
         for i in 0..100u32 {
             d.get(format!("key{i:06}").as_bytes()).unwrap();
         }
-        assert!(d.report().stats.deserialization_ns > 0, "reads must deserialize");
+        assert!(
+            d.report().stats.deserialization_ns > 0,
+            "reads must deserialize"
+        );
     }
 
     #[test]

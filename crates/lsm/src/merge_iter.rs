@@ -39,7 +39,9 @@ impl Iterator for KWayMerge {
     fn next(&mut self) -> Option<OwnedEntry> {
         let mut best: Option<(usize, Vec<u8>, u64)> = None;
         for i in 0..self.sources.len() {
-            let Some(e) = self.sources[i].peek() else { continue };
+            let Some(e) = self.sources[i].peek() else {
+                continue;
+            };
             let replace = match &best {
                 None => true,
                 Some((_, bk, bs)) => {
@@ -98,7 +100,10 @@ mod tests {
     fn merges_disjoint_sources() {
         let m = KWayMerge::new(vec![
             boxed(vec![e("b", "2", 2, OpKind::Put)]),
-            boxed(vec![e("a", "1", 1, OpKind::Put), e("c", "3", 3, OpKind::Put)]),
+            boxed(vec![
+                e("a", "1", 1, OpKind::Put),
+                e("c", "3", 3, OpKind::Put),
+            ]),
         ]);
         let keys: Vec<Vec<u8>> = m.map(|x| x.key).collect();
         assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);

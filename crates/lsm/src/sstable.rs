@@ -145,8 +145,10 @@ impl SsTableBuilder {
         self.largest = Some(key.to_vec());
         self.keys.push(key.to_vec());
 
-        self.data.extend_from_slice(&(key.len() as u32).to_le_bytes());
-        self.data.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        self.data
+            .extend_from_slice(&(key.len() as u32).to_le_bytes());
+        self.data
+            .extend_from_slice(&(value.len() as u32).to_le_bytes());
         self.data.extend_from_slice(&seq.to_le_bytes());
         self.data.push(kind as u8);
         self.data.extend_from_slice(key);
@@ -301,7 +303,11 @@ impl SsTableReader {
             pos += 8;
             let len = u64::from_le_bytes(index_raw[pos..pos + 8].try_into().unwrap());
             pos += 8;
-            index.push(IndexEntry { last_key, offset, len });
+            index.push(IndexEntry {
+                last_key,
+                offset,
+                len,
+            });
         }
 
         let bloom_raw = store.read_blob(&blob, bloom_off, bloom_len)?;
@@ -352,7 +358,9 @@ impl SsTableReader {
             return Ok(None);
         }
         let e = &self.index[block_idx];
-        let raw = self.store.read_blob(&self.blob, e.offset as usize, e.len as usize)?;
+        let raw = self
+            .store
+            .read_blob(&self.blob, e.offset as usize, e.len as usize)?;
         let t0 = Instant::now();
         codec_delay(raw.len());
         let result = scan_block_for(&raw, key);
@@ -373,7 +381,9 @@ impl SsTableReader {
 
     /// Iterates entries starting from the first key `>= start`.
     pub fn iter_from(self: &Arc<Self>, start: &[u8], stats: Arc<Stats>) -> SsTableIter {
-        let block_idx = self.index.partition_point(|e| e.last_key.as_slice() < start);
+        let block_idx = self
+            .index
+            .partition_point(|e| e.last_key.as_slice() < start);
         let mut it = SsTableIter {
             reader: self.clone(),
             stats,
@@ -459,7 +469,11 @@ impl SsTableIter {
             let e = &self.reader.index[self.next_block];
             self.next_block += 1;
             self.block_pos = 0;
-            match self.reader.store.read_blob(&self.reader.blob, e.offset as usize, e.len as usize) {
+            match self
+                .reader
+                .store
+                .read_blob(&self.reader.blob, e.offset as usize, e.len as usize)
+            {
                 Ok(b) => {
                     let t0 = Instant::now();
                     codec_delay(b.len());
@@ -476,7 +490,9 @@ impl SsTableIter {
         if !self.ensure_block() {
             return None;
         }
-        decode_entry(&self.block, self.block_pos).ok().map(|(k, _, _)| k)
+        decode_entry(&self.block, self.block_pos)
+            .ok()
+            .map(|(k, _, _)| k)
     }
 }
 
@@ -502,7 +518,10 @@ mod tests {
 
     fn setup() -> (Arc<TableStore>, Arc<Stats>) {
         let stats = Arc::new(Stats::new());
-        (TableStore::new(DeviceModel::ssd_unthrottled(), stats.clone()), stats)
+        (
+            TableStore::new(DeviceModel::ssd_unthrottled(), stats.clone()),
+            stats,
+        )
     }
 
     fn build(store: &Arc<TableStore>, stats: &Stats, n: u32) -> TableMeta {
@@ -526,12 +545,21 @@ mod tests {
         assert_eq!(meta.smallest, b"key000000");
         assert_eq!(meta.largest, b"key000999");
         for i in (0..1000u32).step_by(97) {
-            let e = meta.reader.get(format!("key{i:06}").as_bytes(), &stats).unwrap().unwrap();
+            let e = meta
+                .reader
+                .get(format!("key{i:06}").as_bytes(), &stats)
+                .unwrap()
+                .unwrap();
             assert_eq!(e.value, format!("value-{i}").as_bytes());
             assert_eq!(e.seq, i as u64 + 1);
         }
         assert!(meta.reader.get(b"missing", &stats).unwrap().is_none());
-        assert!(stats.serialization_ns.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        assert!(
+            stats
+                .serialization_ns
+                .load(std::sync::atomic::Ordering::Relaxed)
+                > 0
+        );
     }
 
     #[test]
@@ -540,9 +568,16 @@ mod tests {
         let meta = build(&store, &stats, 500);
         // Probe keys that pass the bloom filter.
         for i in 0..500u32 {
-            meta.reader.get(format!("key{i:06}").as_bytes(), &stats).unwrap();
+            meta.reader
+                .get(format!("key{i:06}").as_bytes(), &stats)
+                .unwrap();
         }
-        assert!(stats.deserialization_ns.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        assert!(
+            stats
+                .deserialization_ns
+                .load(std::sync::atomic::Ordering::Relaxed)
+                > 0
+        );
     }
 
     #[test]
@@ -573,11 +608,23 @@ mod tests {
     fn iter_from_seeks() {
         let (store, stats) = setup();
         let meta = build(&store, &stats, 100);
-        let first = meta.reader.iter_from(b"key000050", stats.clone()).next().unwrap();
+        let first = meta
+            .reader
+            .iter_from(b"key000050", stats.clone())
+            .next()
+            .unwrap();
         assert_eq!(first.key, b"key000050");
-        let first = meta.reader.iter_from(b"key0000505", stats.clone()).next().unwrap();
+        let first = meta
+            .reader
+            .iter_from(b"key0000505", stats.clone())
+            .next()
+            .unwrap();
         assert_eq!(first.key, b"key000051");
-        assert!(meta.reader.iter_from(b"zzz", stats.clone()).next().is_none());
+        assert!(meta
+            .reader
+            .iter_from(b"zzz", stats.clone())
+            .next()
+            .is_none());
     }
 
     #[test]
@@ -615,11 +662,20 @@ mod tests {
         let mut b = SsTableBuilder::new(4096, 10);
         let big = vec![0x5Au8; 20_000];
         for i in 0..20u32 {
-            b.add(format!("k{i:02}").as_bytes(), &big, i as u64 + 1, OpKind::Put);
+            b.add(
+                format!("k{i:02}").as_bytes(),
+                &big,
+                i as u64 + 1,
+                OpKind::Put,
+            );
         }
         let meta = b.finish(&store, &stats).unwrap();
         for i in 0..20u32 {
-            let e = meta.reader.get(format!("k{i:02}").as_bytes(), &stats).unwrap().unwrap();
+            let e = meta
+                .reader
+                .get(format!("k{i:02}").as_bytes(), &stats)
+                .unwrap()
+                .unwrap();
             assert_eq!(e.value.len(), 20_000);
         }
     }

@@ -62,8 +62,14 @@ impl TableStore {
 
     fn charge_write(&self, bytes: usize) {
         match self.device.class {
-            DeviceClass::Nvm => self.stats.nvm_bytes_written.fetch_add(bytes as u64, Ordering::Relaxed),
-            DeviceClass::Ssd => self.stats.ssd_bytes_written.fetch_add(bytes as u64, Ordering::Relaxed),
+            DeviceClass::Nvm => self
+                .stats
+                .nvm_bytes_written
+                .fetch_add(bytes as u64, Ordering::Relaxed),
+            DeviceClass::Ssd => self
+                .stats
+                .ssd_bytes_written
+                .fetch_add(bytes as u64, Ordering::Relaxed),
             DeviceClass::Dram => 0,
         };
         self.device.delay_write(bytes);
@@ -71,8 +77,14 @@ impl TableStore {
 
     fn charge_read(&self, bytes: usize) {
         match self.device.class {
-            DeviceClass::Nvm => self.stats.nvm_bytes_read.fetch_add(bytes as u64, Ordering::Relaxed),
-            DeviceClass::Ssd => self.stats.ssd_bytes_read.fetch_add(bytes as u64, Ordering::Relaxed),
+            DeviceClass::Nvm => self
+                .stats
+                .nvm_bytes_read
+                .fetch_add(bytes as u64, Ordering::Relaxed),
+            DeviceClass::Ssd => self
+                .stats
+                .ssd_bytes_read
+                .fetch_add(bytes as u64, Ordering::Relaxed),
             DeviceClass::Dram => 0,
         };
         self.device.delay_read(bytes);
@@ -82,7 +94,8 @@ impl TableStore {
     pub fn put_table(&self, data: Vec<u8>) -> TableId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.charge_write(data.len());
-        self.total_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.total_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.files.write().insert(id, Arc::new(data));
         id
     }
@@ -145,7 +158,8 @@ impl TableStore {
     /// Deletes a table (space is reclaimed immediately).
     pub fn delete(&self, id: TableId) {
         if let Some(f) = self.files.write().remove(&id) {
-            self.total_bytes.fetch_sub(f.len() as u64, Ordering::Relaxed);
+            self.total_bytes
+                .fetch_sub(f.len() as u64, Ordering::Relaxed);
         }
     }
 

@@ -14,11 +14,18 @@ use proptest::prelude::*;
 
 fn store() -> (Arc<TableStore>, Arc<Stats>) {
     let stats = Arc::new(Stats::new());
-    (TableStore::new(DeviceModel::ssd_unthrottled(), stats.clone()), stats)
+    (
+        TableStore::new(DeviceModel::ssd_unthrottled(), stats.clone()),
+        stats,
+    )
 }
 
 fn entry_strategy() -> impl Strategy<Value = (u16, Vec<u8>, bool)> {
-    (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..300), any::<bool>())
+    (
+        any::<u16>(),
+        proptest::collection::vec(any::<u8>(), 0..300),
+        any::<bool>(),
+    )
 }
 
 fn to_sorted_run(raw: &[(u16, Vec<u8>, bool)], seq_base: u64) -> Vec<OwnedEntry> {

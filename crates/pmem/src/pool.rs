@@ -91,7 +91,8 @@ impl FreeList {
         let idx = self.holes.partition_point(|&(o, _)| o < off);
         self.holes.insert(idx, (off, len));
         // Coalesce with successor then predecessor.
-        if idx + 1 < self.holes.len() && self.holes[idx].0 + self.holes[idx].1 == self.holes[idx + 1].0
+        if idx + 1 < self.holes.len()
+            && self.holes[idx].0 + self.holes[idx].1 == self.holes[idx + 1].0
         {
             self.holes[idx].1 += self.holes[idx + 1].1;
             self.holes.remove(idx + 1);
@@ -270,12 +271,14 @@ impl PmemPool {
     #[inline]
     pub fn charge_read(&self, bytes: usize) {
         match self.device.class {
-            DeviceClass::Nvm => {
-                self.stats.nvm_bytes_read.fetch_add(bytes as u64, Ordering::Relaxed)
-            }
-            DeviceClass::Ssd => {
-                self.stats.ssd_bytes_read.fetch_add(bytes as u64, Ordering::Relaxed)
-            }
+            DeviceClass::Nvm => self
+                .stats
+                .nvm_bytes_read
+                .fetch_add(bytes as u64, Ordering::Relaxed),
+            DeviceClass::Ssd => self
+                .stats
+                .ssd_bytes_read
+                .fetch_add(bytes as u64, Ordering::Relaxed),
             DeviceClass::Dram => 0,
         };
         self.device.delay_read(bytes);
@@ -295,8 +298,14 @@ impl PmemPool {
         }
         let total = count * bytes_each as u64;
         match self.device.class {
-            DeviceClass::Nvm => self.stats.nvm_bytes_read.fetch_add(total, Ordering::Relaxed),
-            DeviceClass::Ssd => self.stats.ssd_bytes_read.fetch_add(total, Ordering::Relaxed),
+            DeviceClass::Nvm => self
+                .stats
+                .nvm_bytes_read
+                .fetch_add(total, Ordering::Relaxed),
+            DeviceClass::Ssd => self
+                .stats
+                .ssd_bytes_read
+                .fetch_add(total, Ordering::Relaxed),
             DeviceClass::Dram => 0,
         };
         let ns = count * self.device.read_delay_ns(bytes_each);
@@ -308,12 +317,14 @@ impl PmemPool {
     #[inline]
     pub fn charge_write(&self, bytes: usize) {
         match self.device.class {
-            DeviceClass::Nvm => {
-                self.stats.nvm_bytes_written.fetch_add(bytes as u64, Ordering::Relaxed)
-            }
-            DeviceClass::Ssd => {
-                self.stats.ssd_bytes_written.fetch_add(bytes as u64, Ordering::Relaxed)
-            }
+            DeviceClass::Nvm => self
+                .stats
+                .nvm_bytes_written
+                .fetch_add(bytes as u64, Ordering::Relaxed),
+            DeviceClass::Ssd => self
+                .stats
+                .ssd_bytes_written
+                .fetch_add(bytes as u64, Ordering::Relaxed),
             DeviceClass::Dram => 0,
         };
         self.device.delay_write(bytes);
@@ -464,7 +475,10 @@ mod tests {
         let p = pool(256 * 1024);
         let err = p.alloc(10 << 20).unwrap_err();
         match err {
-            Error::PoolExhausted { requested, available } => {
+            Error::PoolExhausted {
+                requested,
+                available,
+            } => {
                 assert_eq!(requested, 10 << 20);
                 assert!(available > 0);
             }
@@ -553,7 +567,8 @@ mod tests {
         let dram_stats = Arc::new(Stats::new());
         let nvm_stats = Arc::new(Stats::new());
         let dram = PmemPool::new(1 << 20, DeviceModel::dram(), dram_stats).unwrap();
-        let nvm = PmemPool::new(1 << 20, DeviceModel::nvm_unthrottled(), nvm_stats.clone()).unwrap();
+        let nvm =
+            PmemPool::new(1 << 20, DeviceModel::nvm_unthrottled(), nvm_stats.clone()).unwrap();
         let s = dram.alloc(4096).unwrap();
         let d = nvm.alloc(4096).unwrap();
         dram.write_bytes(s.offset, &[42u8; 4096]);

@@ -81,11 +81,15 @@ impl PmemPool {
         let capacity = read_u64(&mut r)? as usize;
         let high_water = read_u64(&mut r)?;
         if high_water > capacity as u64 {
-            return Err(Error::Corruption("high-water mark beyond capacity".to_string()));
+            return Err(Error::Corruption(
+                "high-water mark beyond capacity".to_string(),
+            ));
         }
         let n_holes = read_u64(&mut r)? as usize;
         if n_holes > capacity / 16 {
-            return Err(Error::Corruption("implausible free-list length".to_string()));
+            return Err(Error::Corruption(
+                "implausible free-list length".to_string(),
+            ));
         }
         let mut holes = Vec::with_capacity(n_holes);
         for _ in 0..n_holes {
@@ -131,8 +135,12 @@ mod tests {
 
     #[test]
     fn snapshot_restore_round_trip() {
-        let pool =
-            PmemPool::new(1 << 20, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new())).unwrap();
+        let pool = PmemPool::new(
+            1 << 20,
+            DeviceModel::nvm_unthrottled(),
+            Arc::new(Stats::new()),
+        )
+        .unwrap();
         let r1 = pool.alloc(4096).unwrap();
         let r2 = pool.alloc(4096).unwrap();
         pool.write_bytes(r1.offset, b"alpha");
@@ -142,9 +150,12 @@ mod tests {
         let path = tmp("roundtrip");
         pool.snapshot_to_file(&path).unwrap();
 
-        let restored =
-            PmemPool::restore_from_file(&path, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new()))
-                .unwrap();
+        let restored = PmemPool::restore_from_file(
+            &path,
+            DeviceModel::nvm_unthrottled(),
+            Arc::new(Stats::new()),
+        )
+        .unwrap();
         let mut out = [0u8; 5];
         restored.read_bytes(r1.offset, &mut out);
         assert_eq!(&out, b"alpha");
@@ -158,15 +169,22 @@ mod tests {
 
     #[test]
     fn atomic_words_survive_snapshot() {
-        let pool =
-            PmemPool::new(1 << 20, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new())).unwrap();
+        let pool = PmemPool::new(
+            1 << 20,
+            DeviceModel::nvm_unthrottled(),
+            Arc::new(Stats::new()),
+        )
+        .unwrap();
         let r = pool.alloc(64).unwrap();
         pool.atomic_u64(r.offset).store(12345, Ordering::Release);
         let path = tmp("atomic");
         pool.snapshot_to_file(&path).unwrap();
-        let restored =
-            PmemPool::restore_from_file(&path, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new()))
-                .unwrap();
+        let restored = PmemPool::restore_from_file(
+            &path,
+            DeviceModel::nvm_unthrottled(),
+            Arc::new(Stats::new()),
+        )
+        .unwrap();
         assert_eq!(restored.atomic_u64(r.offset).load(Ordering::Acquire), 12345);
         std::fs::remove_file(&path).ok();
     }
@@ -187,8 +205,12 @@ mod tests {
 
     #[test]
     fn truncated_snapshot_rejected() {
-        let pool =
-            PmemPool::new(1 << 20, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new())).unwrap();
+        let pool = PmemPool::new(
+            1 << 20,
+            DeviceModel::nvm_unthrottled(),
+            Arc::new(Stats::new()),
+        )
+        .unwrap();
         let r = pool.alloc(4096).unwrap();
         pool.write_bytes(r.offset, &[9u8; 4096]);
         let path = tmp("trunc");

@@ -86,7 +86,8 @@ impl SkipListArena {
         raw::write_header(&pool, head, 0, 0, 0, MAX_HEIGHT, OpKind::Put);
         // Zero the head tower explicitly: the region may be recycled memory.
         for level in 0..MAX_HEIGHT {
-            pool.atomic_u64(raw::tower_slot(head, level)).store(0, Ordering::Relaxed);
+            pool.atomic_u64(raw::tower_slot(head, level))
+                .store(0, Ordering::Relaxed);
         }
         pool.charge_write(head_size as usize);
         Ok(SkipListArena {
@@ -181,7 +182,13 @@ impl SkipListArena {
     ///
     /// Returns [`Error::ArenaFull`] when the arena cannot fit the node —
     /// the caller should seal this table and open a new one.
-    pub fn insert(&self, key: &[u8], value: &[u8], seq: SequenceNumber, kind: OpKind) -> Result<()> {
+    pub fn insert(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        seq: SequenceNumber,
+        kind: OpKind,
+    ) -> Result<()> {
         if key.len() > u32::MAX as usize || value.len() > u32::MAX as usize {
             return Err(Error::InvalidArgument("key/value too large".to_string()));
         }
@@ -211,7 +218,8 @@ impl SkipListArena {
         #[allow(clippy::needless_range_loop)] // level indexes preds AND towers
         for level in 0..height {
             let succ = raw::next(pool, preds[level], level);
-            pool.atomic_u64(raw::tower_slot(off, level)).store(succ, Ordering::Relaxed);
+            pool.atomic_u64(raw::tower_slot(off, level))
+                .store(succ, Ordering::Relaxed);
             raw::set_next(pool, preds[level], level, off);
         }
         self.len.fetch_add(1, Ordering::Release);
@@ -300,7 +308,9 @@ mod tests {
     #[test]
     fn ordered_iteration() {
         let t = arena(1 << 20);
-        let mut keys: Vec<Vec<u8>> = (0..200u32).map(|i| format!("key{i:05}").into_bytes()).collect();
+        let mut keys: Vec<Vec<u8>> = (0..200u32)
+            .map(|i| format!("key{i:05}").into_bytes())
+            .collect();
         // Insert shuffled.
         let mut shuffled = keys.clone();
         let mut state = 12345u64;
@@ -355,7 +365,13 @@ mod tests {
     fn iter_from_seeks_correctly() {
         let t = arena(1 << 20);
         for i in 0..50u32 {
-            t.insert(format!("k{i:03}").as_bytes(), b"v", i as u64 + 1, OpKind::Put).unwrap();
+            t.insert(
+                format!("k{i:03}").as_bytes(),
+                b"v",
+                i as u64 + 1,
+                OpKind::Put,
+            )
+            .unwrap();
         }
         let first = t.list().iter_from(b"k025").next().unwrap();
         assert_eq!(first.key, b"k025");

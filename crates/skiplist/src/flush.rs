@@ -101,12 +101,14 @@ pub fn swizzle(pool: &PmemPool, table: &FlushedTable) -> u64 {
 /// # Errors
 ///
 /// Same as [`one_piece_flush`].
-pub fn flush_and_swizzle(src: &SkipListArena, dst: &Arc<PmemPool>) -> Result<(SkipList, FlushedTable)> {
+pub fn flush_and_swizzle(
+    src: &SkipListArena,
+    dst: &Arc<PmemPool>,
+) -> Result<(SkipList, FlushedTable)> {
     let table = one_piece_flush(src, dst)?;
     swizzle(dst, &table);
     Ok((SkipList::from_raw(dst.clone(), table.head), table))
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -150,7 +152,13 @@ mod tests {
         let (dram, nvm, stats) = pools();
         let mem = SkipListArena::new(dram, 256 * 1024).unwrap();
         for i in 0..50u32 {
-            mem.insert(format!("k{i}").as_bytes(), &[7u8; 128], i as u64 + 1, OpKind::Put).unwrap();
+            mem.insert(
+                format!("k{i}").as_bytes(),
+                &[7u8; 128],
+                i as u64 + 1,
+                OpKind::Put,
+            )
+            .unwrap();
         }
         let before = stats.nvm_bytes_written.load(Ordering::Relaxed);
         let table = one_piece_flush(&mem, &nvm).unwrap();
@@ -166,7 +174,13 @@ mod tests {
         let mem = SkipListArena::new(dram, 256 * 1024).unwrap();
         let mut expected_words = 0u64;
         for i in 0..100u32 {
-            mem.insert(format!("k{i:03}").as_bytes(), b"v", i as u64 + 1, OpKind::Put).unwrap();
+            mem.insert(
+                format!("k{i:03}").as_bytes(),
+                b"v",
+                i as u64 + 1,
+                OpKind::Put,
+            )
+            .unwrap();
         }
         // Count words by walking the source list.
         {

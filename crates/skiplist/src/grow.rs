@@ -92,7 +92,10 @@ impl GrowableSkipList {
     /// Like [`GrowableSkipList::new`], but tombstones are stored as
     /// regular entries instead of removing keys — required when the list
     /// sits *above* other persistent data (NoveLSM's big NVM MemTable).
-    pub fn new_keeping_tombstones(pool: Arc<PmemPool>, chunk_size: usize) -> Result<GrowableSkipList> {
+    pub fn new_keeping_tombstones(
+        pool: Arc<PmemPool>,
+        chunk_size: usize,
+    ) -> Result<GrowableSkipList> {
         Self::with_tombstone_mode(pool, chunk_size, true)
     }
 
@@ -111,7 +114,8 @@ impl GrowableSkipList {
         let head = first.offset;
         raw::write_header(&pool, head, 0, 0, 0, MAX_HEIGHT, OpKind::Put);
         for level in 0..MAX_HEIGHT {
-            pool.atomic_u64(raw::tower_slot(head, level)).store(0, Ordering::Relaxed);
+            pool.atomic_u64(raw::tower_slot(head, level))
+                .store(0, Ordering::Relaxed);
         }
         pool.charge_write(head_size as usize);
         Ok(GrowableSkipList {
@@ -148,7 +152,11 @@ impl GrowableSkipList {
             head,
             chunk_size,
             keep_tombstones: false,
-            state: Mutex::new(GrowState { chunks, cursor, end }),
+            state: Mutex::new(GrowState {
+                chunks,
+                cursor,
+                end,
+            }),
             len: AtomicU64::new(len),
             data_bytes: AtomicU64::new(data_bytes),
         }
@@ -234,10 +242,22 @@ impl GrowableSkipList {
     /// # Errors
     ///
     /// Returns [`Error::PoolExhausted`] if a new chunk cannot be allocated.
-    pub fn apply(&self, key: &[u8], value: &[u8], seq: SequenceNumber, kind: OpKind) -> Result<ApplyOutcome> {
+    pub fn apply(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        seq: SequenceNumber,
+        kind: OpKind,
+    ) -> Result<ApplyOutcome> {
         let pool = &*self.pool;
         let mut preds = [0u64; MAX_HEIGHT];
-        let existing = find_preds(pool, self.head, key, miodb_common::MAX_SEQUENCE_NUMBER, &mut preds);
+        let existing = find_preds(
+            pool,
+            self.head,
+            key,
+            miodb_common::MAX_SEQUENCE_NUMBER,
+            &mut preds,
+        );
         let existing = if existing != 0 && raw::key(pool, existing) == key {
             existing
         } else {
@@ -275,7 +295,8 @@ impl GrowableSkipList {
         #[allow(clippy::needless_range_loop)] // level indexes preds AND towers
         for level in 0..height {
             let succ = raw::next(pool, preds[level], level);
-            pool.atomic_u64(raw::tower_slot(off, level)).store(succ, Ordering::Relaxed);
+            pool.atomic_u64(raw::tower_slot(off, level))
+                .store(succ, Ordering::Relaxed);
             raw::set_next(pool, preds[level], level, off);
         }
 
@@ -351,17 +372,27 @@ mod tests {
     use miodb_pmem::DeviceModel;
 
     fn repo() -> GrowableSkipList {
-        let pool = PmemPool::new(32 << 20, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new()))
-            .unwrap();
+        let pool = PmemPool::new(
+            32 << 20,
+            DeviceModel::nvm_unthrottled(),
+            Arc::new(Stats::new()),
+        )
+        .unwrap();
         GrowableSkipList::new(pool, 64 * 1024).unwrap()
     }
 
     #[test]
     fn insert_update_get() {
         let r = repo();
-        assert_eq!(r.apply(b"k", b"v1", 1, OpKind::Put).unwrap(), ApplyOutcome::Inserted);
+        assert_eq!(
+            r.apply(b"k", b"v1", 1, OpKind::Put).unwrap(),
+            ApplyOutcome::Inserted
+        );
         assert_eq!(r.get(b"k").unwrap().value, b"v1");
-        assert_eq!(r.apply(b"k", b"v2", 2, OpKind::Put).unwrap(), ApplyOutcome::Updated);
+        assert_eq!(
+            r.apply(b"k", b"v2", 2, OpKind::Put).unwrap(),
+            ApplyOutcome::Updated
+        );
         assert_eq!(r.get(b"k").unwrap().value, b"v2");
         assert_eq!(r.len(), 1);
         assert_eq!(r.list().count_nodes(), 1, "old node bypassed");
@@ -371,7 +402,10 @@ mod tests {
     fn superseded_entries_discarded() {
         let r = repo();
         r.apply(b"k", b"new", 10, OpKind::Put).unwrap();
-        assert_eq!(r.apply(b"k", b"old", 5, OpKind::Put).unwrap(), ApplyOutcome::Superseded);
+        assert_eq!(
+            r.apply(b"k", b"old", 5, OpKind::Put).unwrap(),
+            ApplyOutcome::Superseded
+        );
         assert_eq!(r.get(b"k").unwrap().value, b"new");
         assert_eq!(r.len(), 1);
     }
@@ -380,7 +414,10 @@ mod tests {
     fn tombstone_removes_key() {
         let r = repo();
         r.apply(b"k", b"v", 1, OpKind::Put).unwrap();
-        assert_eq!(r.apply(b"k", b"", 2, OpKind::Delete).unwrap(), ApplyOutcome::Deleted);
+        assert_eq!(
+            r.apply(b"k", b"", 2, OpKind::Delete).unwrap(),
+            ApplyOutcome::Deleted
+        );
         assert!(r.get(b"k").is_none());
         assert_eq!(r.len(), 0);
         assert_eq!(r.list().count_nodes(), 0);
@@ -389,7 +426,10 @@ mod tests {
     #[test]
     fn tombstone_for_absent_key() {
         let r = repo();
-        assert_eq!(r.apply(b"ghost", b"", 1, OpKind::Delete).unwrap(), ApplyOutcome::DeletedAbsent);
+        assert_eq!(
+            r.apply(b"ghost", b"", 1, OpKind::Delete).unwrap(),
+            ApplyOutcome::DeletedAbsent
+        );
     }
 
     #[test]
@@ -398,7 +438,13 @@ mod tests {
         let value = vec![0xABu8; 1000];
         // 64 KiB chunks, ~1 KiB nodes: forces many chunk allocations.
         for i in 0..500u32 {
-            r.apply(format!("key{i:05}").as_bytes(), &value, i as u64 + 1, OpKind::Put).unwrap();
+            r.apply(
+                format!("key{i:05}").as_bytes(),
+                &value,
+                i as u64 + 1,
+                OpKind::Put,
+            )
+            .unwrap();
         }
         assert_eq!(r.len(), 500);
         assert!(r.state.lock().chunks.len() > 3, "expected multiple chunks");
@@ -433,12 +479,22 @@ mod tests {
 
     #[test]
     fn release_frees_all_chunks() {
-        let pool = PmemPool::new(8 << 20, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new()))
-            .unwrap();
+        let pool = PmemPool::new(
+            8 << 20,
+            DeviceModel::nvm_unthrottled(),
+            Arc::new(Stats::new()),
+        )
+        .unwrap();
         let before = pool.used_bytes();
         let r = GrowableSkipList::new(pool.clone(), 64 * 1024).unwrap();
         for i in 0..200u32 {
-            r.apply(format!("k{i}").as_bytes(), &[0u8; 500], i as u64 + 1, OpKind::Put).unwrap();
+            r.apply(
+                format!("k{i}").as_bytes(),
+                &[0u8; 500],
+                i as u64 + 1,
+                OpKind::Put,
+            )
+            .unwrap();
         }
         assert!(pool.used_bytes() > before);
         r.release();
@@ -447,14 +503,19 @@ mod tests {
 
     #[test]
     fn parts_round_trip() {
-        let pool = PmemPool::new(8 << 20, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new()))
-            .unwrap();
+        let pool = PmemPool::new(
+            8 << 20,
+            DeviceModel::nvm_unthrottled(),
+            Arc::new(Stats::new()),
+        )
+        .unwrap();
         let r = GrowableSkipList::new(pool.clone(), 64 * 1024).unwrap();
         r.apply(b"x", b"1", 1, OpKind::Put).unwrap();
         r.apply(b"y", b"2", 2, OpKind::Put).unwrap();
         let (head, chunks, cursor, end, len, bytes) = r.parts();
         drop(r);
-        let r2 = GrowableSkipList::from_parts(pool, head, 64 * 1024, chunks, cursor, end, len, bytes);
+        let r2 =
+            GrowableSkipList::from_parts(pool, head, 64 * 1024, chunks, cursor, end, len, bytes);
         assert_eq!(r2.get(b"x").unwrap().value, b"1");
         assert_eq!(r2.get(b"y").unwrap().value, b"2");
         assert_eq!(r2.len(), 2);

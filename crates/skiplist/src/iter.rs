@@ -32,7 +32,9 @@ pub struct SkipListIter {
 
 impl std::fmt::Debug for SkipListIter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SkipListIter").field("cur", &self.cur).finish()
+        f.debug_struct("SkipListIter")
+            .field("cur", &self.cur)
+            .finish()
     }
 }
 
@@ -80,8 +82,13 @@ mod tests {
         let pool = PmemPool::new(1 << 20, DeviceModel::dram(), Arc::new(Stats::new())).unwrap();
         let t = SkipListArena::new(pool, 256 * 1024).unwrap();
         for i in [5u32, 1, 9, 3, 7] {
-            t.insert(format!("k{i}").as_bytes(), format!("v{i}").as_bytes(), i as u64, OpKind::Put)
-                .unwrap();
+            t.insert(
+                format!("k{i}").as_bytes(),
+                format!("v{i}").as_bytes(),
+                i as u64,
+                OpKind::Put,
+            )
+            .unwrap();
         }
         let entries: Vec<OwnedEntry> = t.list().iter().collect();
         let keys: Vec<&[u8]> = entries.iter().map(|e| e.key.as_slice()).collect();

@@ -93,7 +93,9 @@ impl InsertionMark {
     }
 
     fn load_raw(&self) -> u64 {
-        self.pool.atomic_u64(self.region.offset).load(Ordering::Acquire)
+        self.pool
+            .atomic_u64(self.region.offset)
+            .load(Ordering::Acquire)
     }
 
     /// Current marked node and phase, if a merge step is in flight.
@@ -102,7 +104,11 @@ impl InsertionMark {
         if v == 0 {
             None
         } else {
-            let phase = if v & 1 == 0 { MergePhase::Unlink } else { MergePhase::Splice };
+            let phase = if v & 1 == 0 {
+                MergePhase::Unlink
+            } else {
+                MergePhase::Splice
+            };
             Some((v & !7, phase))
         }
     }
@@ -116,7 +122,9 @@ impl InsertionMark {
     }
 
     fn clear(&self) {
-        self.pool.atomic_u64(self.region.offset).store(0, Ordering::Release);
+        self.pool
+            .atomic_u64(self.region.offset)
+            .store(0, Ordering::Release);
         // Bump the step counter (second word of the slot): readers use it
         // to detect that a merge step completed during their descent.
         self.pool
@@ -127,7 +135,9 @@ impl InsertionMark {
 
     /// Number of completed merge steps through this mark (monotonic).
     pub fn step_count(&self) -> u64 {
-        self.pool.atomic_u64(self.region.offset + 8).load(Ordering::Acquire)
+        self.pool
+            .atomic_u64(self.region.offset + 8)
+            .load(Ordering::Acquire)
     }
 
     /// Checks whether the in-flight node (if any) matches `key`, returning
@@ -245,7 +255,13 @@ impl<'a> Ctx<'a> {
         true
     }
 
-    fn find_preds(&self, head: u64, key: &[u8], seq: SequenceNumber, preds: &mut [u64; MAX_HEIGHT]) {
+    fn find_preds(
+        &self,
+        head: u64,
+        key: &[u8],
+        seq: SequenceNumber,
+        preds: &mut [u64; MAX_HEIGHT],
+    ) {
         crate::node::find_preds(self.pool, head, key, seq, preds);
     }
 
@@ -515,7 +531,12 @@ mod tests {
     use miodb_pmem::{DeviceModel, PmemPool};
 
     fn pool() -> Arc<PmemPool> {
-        PmemPool::new(16 << 20, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new())).unwrap()
+        PmemPool::new(
+            16 << 20,
+            DeviceModel::nvm_unthrottled(),
+            Arc::new(Stats::new()),
+        )
+        .unwrap()
     }
 
     fn table(pool: &Arc<PmemPool>, entries: &[(&[u8], &[u8], u64)]) -> SkipListArena {
@@ -542,7 +563,10 @@ mod tests {
         assert_eq!(out.stats().dropped_new, 0);
         let m = merged_view(&p, &old);
         let keys: Vec<Vec<u8>> = m.iter().map(|e| e.key).collect();
-        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+        assert_eq!(
+            keys,
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]
+        );
         assert!(SkipList::from_raw(p.clone(), new.head()).is_empty());
         assert!(mark.load().is_none());
     }
@@ -552,7 +576,14 @@ mod tests {
         let p = pool();
         // Newtable strictly newer.
         let new = table(&p, &[(b"a", b"new-a", 10), (b"b", b"new-b", 11)]);
-        let old = table(&p, &[(b"a", b"old-a", 1), (b"b", b"old-b", 2), (b"c", b"old-c", 3)]);
+        let old = table(
+            &p,
+            &[
+                (b"a", b"old-a", 1),
+                (b"b", b"old-b", 2),
+                (b"c", b"old-c", 3),
+            ],
+        );
         let mark = InsertionMark::alloc(&p).unwrap();
         let out = zero_copy_merge(&p, new.head(), old.head(), &mark, MergeLimits::none());
         let stats = out.stats();
@@ -618,10 +649,19 @@ mod tests {
     #[test]
     fn paused_merge_resumes_cleanly() {
         let p = pool();
-        let entries: Vec<(Vec<u8>, Vec<u8>, u64)> =
-            (0..100u32).map(|i| (format!("k{i:03}").into_bytes(), b"v".to_vec(), 100 + i as u64)).collect();
-        let refs: Vec<(&[u8], &[u8], u64)> =
-            entries.iter().map(|(k, v, s)| (k.as_slice(), v.as_slice(), *s)).collect();
+        let entries: Vec<(Vec<u8>, Vec<u8>, u64)> = (0..100u32)
+            .map(|i| {
+                (
+                    format!("k{i:03}").into_bytes(),
+                    b"v".to_vec(),
+                    100 + i as u64,
+                )
+            })
+            .collect();
+        let refs: Vec<(&[u8], &[u8], u64)> = entries
+            .iter()
+            .map(|(k, v, s)| (k.as_slice(), v.as_slice(), *s))
+            .collect();
         let new = table(&p, &refs);
         let old = table(&p, &[(b"k050x", b"mid", 1)]);
         let mark = InsertionMark::alloc(&p).unwrap();
@@ -633,7 +673,10 @@ mod tests {
                 new.head(),
                 old.head(),
                 &mark,
-                MergeLimits { max_steps: Some(7), abandon_after_link_writes: None },
+                MergeLimits {
+                    max_steps: Some(7),
+                    abandon_after_link_writes: None,
+                },
             );
             total_moved += out.stats().moved;
             rounds += 1;
@@ -646,7 +689,10 @@ mod tests {
         let m = merged_view(&p, &old);
         assert_eq!(m.count_nodes(), 101);
         for i in 0..100u32 {
-            assert!(m.get(format!("k{i:03}").as_bytes()).is_some(), "k{i:03} lost");
+            assert!(
+                m.get(format!("k{i:03}").as_bytes()).is_some(),
+                "k{i:03} lost"
+            );
         }
     }
 
@@ -658,7 +704,12 @@ mod tests {
             let p = pool();
             let new = table(
                 &p,
-                &[(b"a", b"na", 10), (b"b", b"nb", 11), (b"c", b"nc", 12), (b"d", b"nd", 13)],
+                &[
+                    (b"a", b"na", 10),
+                    (b"b", b"nb", 11),
+                    (b"c", b"nc", 12),
+                    (b"d", b"nd", 13),
+                ],
             );
             let old = table(&p, &[(b"a", b"oa", 1), (b"c", b"oc", 2), (b"e", b"oe", 3)]);
             let mark = InsertionMark::alloc(&p).unwrap();
@@ -667,14 +718,16 @@ mod tests {
                 new.head(),
                 old.head(),
                 &mark,
-                MergeLimits { max_steps: None, abandon_after_link_writes: Some(crash_at) },
+                MergeLimits {
+                    max_steps: None,
+                    abandon_after_link_writes: Some(crash_at),
+                },
             );
             if out.is_complete() {
                 // crash_at beyond total writes: nothing to resume.
             } else {
                 // "Restart": resume with no limits.
-                let out2 =
-                    zero_copy_merge(&p, new.head(), old.head(), &mark, MergeLimits::none());
+                let out2 = zero_copy_merge(&p, new.head(), old.head(), &mark, MergeLimits::none());
                 assert!(out2.is_complete(), "crash_at={crash_at}");
             }
             let m = merged_view(&p, &old);
@@ -702,7 +755,10 @@ mod tests {
             new.head(),
             old.head(),
             &mark,
-            MergeLimits { max_steps: None, abandon_after_link_writes: Some(1) },
+            MergeLimits {
+                max_steps: None,
+                abandon_after_link_writes: Some(1),
+            },
         );
         assert!(!out.is_complete());
         // Reader protocol: newtable -> mark -> oldtable.
@@ -723,18 +779,28 @@ mod tests {
         let p = pool();
         let n = 400u32;
         let entries: Vec<(Vec<u8>, Vec<u8>, u64)> = (0..n)
-            .map(|i| (format!("k{i:04}").into_bytes(), format!("new{i}").into_bytes(), 1000 + i as u64))
+            .map(|i| {
+                (
+                    format!("k{i:04}").into_bytes(),
+                    format!("new{i}").into_bytes(),
+                    1000 + i as u64,
+                )
+            })
             .collect();
-        let refs: Vec<(&[u8], &[u8], u64)> =
-            entries.iter().map(|(k, v, s)| (k.as_slice(), v.as_slice(), *s)).collect();
+        let refs: Vec<(&[u8], &[u8], u64)> = entries
+            .iter()
+            .map(|(k, v, s)| (k.as_slice(), v.as_slice(), *s))
+            .collect();
         let new = table(&p, &refs);
         // Old table holds older versions of the even keys.
         let old_entries: Vec<(Vec<u8>, Vec<u8>, u64)> = (0..n)
             .step_by(2)
             .map(|i| (format!("k{i:04}").into_bytes(), b"old".to_vec(), i as u64))
             .collect();
-        let old_refs: Vec<(&[u8], &[u8], u64)> =
-            old_entries.iter().map(|(k, v, s)| (k.as_slice(), v.as_slice(), *s)).collect();
+        let old_refs: Vec<(&[u8], &[u8], u64)> = old_entries
+            .iter()
+            .map(|(k, v, s)| (k.as_slice(), v.as_slice(), *s))
+            .collect();
         let old = table(&p, &old_refs);
         let mark = InsertionMark::alloc(&p).unwrap();
 

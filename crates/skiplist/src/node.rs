@@ -109,14 +109,16 @@ pub(crate) mod raw {
     /// Acquire-loads the successor at `level`.
     #[inline]
     pub fn next(pool: &PmemPool, off: u64, level: usize) -> u64 {
-        pool.atomic_u64(tower_slot(off, level)).load(Ordering::Acquire)
+        pool.atomic_u64(tower_slot(off, level))
+            .load(Ordering::Acquire)
     }
 
     /// Release-stores the successor at `level`, charging one modeled
     /// 8-byte device write (the paper's "atomic pointer update").
     #[inline]
     pub fn set_next(pool: &PmemPool, off: u64, level: usize, target: u64) {
-        pool.atomic_u64(tower_slot(off, level)).store(target, Ordering::Release);
+        pool.atomic_u64(tower_slot(off, level))
+            .store(target, Ordering::Release);
         pool.charge_write(8);
     }
 
@@ -195,7 +197,11 @@ mod smallset {
 
     impl SmallSet {
         pub(super) fn new() -> SmallSet {
-            SmallSet { inline: [0; 48], len: 0, spill: Vec::new() }
+            SmallSet {
+                inline: [0; 48],
+                len: 0,
+                spill: Vec::new(),
+            }
         }
 
         pub(super) fn insert(&mut self, v: u64) {
@@ -240,7 +246,9 @@ pub struct SkipList {
 
 impl std::fmt::Debug for SkipList {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SkipList").field("head", &self.head).finish()
+        f.debug_struct("SkipList")
+            .field("head", &self.head)
+            .finish()
     }
 }
 
@@ -263,7 +271,12 @@ impl SkipList {
     /// Finds predecessors of the multi-version position `(key, seq)` at
     /// every level, returning the node at `preds[0].next[0]` (the first
     /// node `>= (key, seq)`, or 0).
-    pub(crate) fn find_geq(&self, key: &[u8], seq: SequenceNumber, preds: &mut [u64; MAX_HEIGHT]) -> u64 {
+    pub(crate) fn find_geq(
+        &self,
+        key: &[u8],
+        seq: SequenceNumber,
+        preds: &mut [u64; MAX_HEIGHT],
+    ) -> u64 {
         find_preds(&self.pool, self.head, key, seq, preds)
     }
 

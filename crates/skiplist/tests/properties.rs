@@ -18,7 +18,12 @@ fn dram_pool() -> Arc<PmemPool> {
 }
 
 fn nvm_pool() -> Arc<PmemPool> {
-    PmemPool::new(64 << 20, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new())).unwrap()
+    PmemPool::new(
+        64 << 20,
+        DeviceModel::nvm_unthrottled(),
+        Arc::new(Stats::new()),
+    )
+    .unwrap()
 }
 
 #[derive(Debug, Clone)]
@@ -59,7 +64,9 @@ fn fill_arena(pool: &Arc<PmemPool>, ops: &[Op], seq_base: u64) -> SkipListArena 
         let seq = seq_base + i as u64 + 1;
         match op {
             Op::Put(k, v) => arena.insert(&key_bytes(*k), v, seq, OpKind::Put).unwrap(),
-            Op::Delete(k) => arena.insert(&key_bytes(*k), b"", seq, OpKind::Delete).unwrap(),
+            Op::Delete(k) => arena
+                .insert(&key_bytes(*k), b"", seq, OpKind::Delete)
+                .unwrap(),
         }
     }
     arena

@@ -109,9 +109,17 @@ impl WriteAheadLog {
     /// Returns [`Error::PoolExhausted`] when a new segment is needed and
     /// the pool is full, and [`Error::InvalidArgument`] for oversized keys
     /// or values.
-    pub fn append(&self, key: &[u8], value: &[u8], seq: SequenceNumber, kind: OpKind) -> Result<()> {
+    pub fn append(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        seq: SequenceNumber,
+        kind: OpKind,
+    ) -> Result<()> {
         if key.len() > u32::MAX as usize || value.len() > u32::MAX as usize {
-            return Err(Error::InvalidArgument("key/value too large for wal".to_string()));
+            return Err(Error::InvalidArgument(
+                "key/value too large for wal".to_string(),
+            ));
         }
         let mut payload = Vec::with_capacity(PAYLOAD_FIXED + key.len() + value.len());
         payload.extend_from_slice(&seq.to_le_bytes());
@@ -143,7 +151,9 @@ impl WriteAheadLog {
         payload.extend_from_slice(&(entries.len() as u32).to_le_bytes());
         for (key, value, kind) in entries {
             if key.len() > u32::MAX as usize || value.len() > u32::MAX as usize {
-                return Err(Error::InvalidArgument("key/value too large for wal".to_string()));
+                return Err(Error::InvalidArgument(
+                    "key/value too large for wal".to_string(),
+                ));
             }
             payload.push(*kind as u8);
             payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
@@ -168,12 +178,15 @@ impl WriteAheadLog {
         let mut s = self.state.lock();
         // Leave room for a zero header terminator at the segment tail.
         if s.cursor + (total + RECORD_HEADER) as u64 > s.end {
-            let seg_len = self.segment_size.max(total + RECORD_HEADER + SEGMENT_HEADER);
+            let seg_len = self
+                .segment_size
+                .max(total + RECORD_HEADER + SEGMENT_HEADER);
             let seg = self.pool.alloc(seg_len)?;
             // Initialize the new segment fully, then link it from the
             // current segment's chain header — replay never observes a
             // half-initialized segment.
-            self.pool.write_bytes(seg.offset, &[0u8; SEGMENT_HEADER + RECORD_HEADER]);
+            self.pool
+                .write_bytes(seg.offset, &[0u8; SEGMENT_HEADER + RECORD_HEADER]);
             let prev = *s.segments.last().unwrap();
             let mut link = [0u8; SEGMENT_HEADER];
             link[0..8].copy_from_slice(&seg.offset.to_le_bytes());
@@ -188,7 +201,8 @@ impl WriteAheadLog {
         // Terminator for torn-tail detection, then the record itself. The
         // record's first bytes (the crc) are written last-ish by virtue of
         // being part of one bulk write; a torn write is caught by the crc.
-        self.pool.write_bytes(off + total as u64, &[0u8; RECORD_HEADER]);
+        self.pool
+            .write_bytes(off + total as u64, &[0u8; RECORD_HEADER]);
         self.pool.write_bytes(off, &buf);
         Ok(())
     }
@@ -196,7 +210,10 @@ impl WriteAheadLog {
     /// Total bytes appended so far (all segments).
     pub fn bytes_written(&self) -> u64 {
         let s = self.state.lock();
-        let full: u64 = s.segments[..s.segments.len() - 1].iter().map(|r| r.len).sum();
+        let full: u64 = s.segments[..s.segments.len() - 1]
+            .iter()
+            .map(|r| r.len)
+            .sum();
         full + (s.cursor - s.segments.last().unwrap().offset) - SEGMENT_HEADER as u64
     }
 
@@ -244,9 +261,14 @@ impl WriteAheadLog {
                 break;
             }
             if next_off + next_len > pool.capacity() as u64 {
-                return Err(Error::Corruption("wal chain points outside pool".to_string()));
+                return Err(Error::Corruption(
+                    "wal chain points outside pool".to_string(),
+                ));
             }
-            seg = PmemRegion { offset: next_off, len: next_len };
+            seg = PmemRegion {
+                offset: next_off,
+                len: next_len,
+            };
         }
         let records = Self::replay(pool, &segments)?;
         Ok((records, segments))
@@ -365,7 +387,12 @@ mod tests {
     use miodb_pmem::DeviceModel;
 
     fn pool() -> Arc<PmemPool> {
-        PmemPool::new(8 << 20, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new())).unwrap()
+        PmemPool::new(
+            8 << 20,
+            DeviceModel::nvm_unthrottled(),
+            Arc::new(Stats::new()),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -377,7 +404,15 @@ mod tests {
         wal.append(b"c", b"333", 3, OpKind::Put).unwrap();
         let records = WriteAheadLog::replay(&p, &wal.segments()).unwrap();
         assert_eq!(records.len(), 3);
-        assert_eq!(records[0], WalRecord { key: b"a".to_vec(), value: b"1".to_vec(), seq: 1, kind: OpKind::Put });
+        assert_eq!(
+            records[0],
+            WalRecord {
+                key: b"a".to_vec(),
+                value: b"1".to_vec(),
+                seq: 1,
+                kind: OpKind::Put
+            }
+        );
         assert_eq!(records[1].kind, OpKind::Delete);
         assert_eq!(records[2].value, b"333");
     }
@@ -386,7 +421,9 @@ mod tests {
     fn empty_log_replays_empty() {
         let p = pool();
         let wal = WriteAheadLog::new(p.clone(), 64 * 1024).unwrap();
-        assert!(WriteAheadLog::replay(&p, &wal.segments()).unwrap().is_empty());
+        assert!(WriteAheadLog::replay(&p, &wal.segments())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -395,7 +432,13 @@ mod tests {
         let wal = WriteAheadLog::new(p.clone(), 4096).unwrap();
         let value = vec![9u8; 500];
         for i in 0..100u32 {
-            wal.append(format!("key{i:04}").as_bytes(), &value, i as u64 + 1, OpKind::Put).unwrap();
+            wal.append(
+                format!("key{i:04}").as_bytes(),
+                &value,
+                i as u64 + 1,
+                OpKind::Put,
+            )
+            .unwrap();
         }
         assert!(wal.segments().len() > 5);
         let records = WriteAheadLog::replay(&p, &wal.segments()).unwrap();
@@ -430,7 +473,8 @@ mod tests {
         let before = p.used_bytes();
         let wal = WriteAheadLog::new(p.clone(), 4096).unwrap();
         for i in 0..50u32 {
-            wal.append(&i.to_le_bytes(), &[0u8; 300], i as u64, OpKind::Put).unwrap();
+            wal.append(&i.to_le_bytes(), &[0u8; 300], i as u64, OpKind::Put)
+                .unwrap();
         }
         assert!(p.used_bytes() > before);
         wal.release();
@@ -515,9 +559,12 @@ mod tests {
         let mut path = std::env::temp_dir();
         path.push(format!("miodb-wal-snap-{}", std::process::id()));
         p.snapshot_to_file(&path).unwrap();
-        let restored =
-            PmemPool::restore_from_file(&path, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new()))
-                .unwrap();
+        let restored = PmemPool::restore_from_file(
+            &path,
+            DeviceModel::nvm_unthrottled(),
+            Arc::new(Stats::new()),
+        )
+        .unwrap();
         let records = WriteAheadLog::replay(&restored, &segs).unwrap();
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].key, b"persisted");

@@ -9,7 +9,12 @@ use miodb_wal::WriteAheadLog;
 use proptest::prelude::*;
 
 fn pool() -> Arc<PmemPool> {
-    PmemPool::new(16 << 20, DeviceModel::nvm_unthrottled(), Arc::new(Stats::new())).unwrap()
+    PmemPool::new(
+        16 << 20,
+        DeviceModel::nvm_unthrottled(),
+        Arc::new(Stats::new()),
+    )
+    .unwrap()
 }
 
 #[derive(Debug, Clone)]

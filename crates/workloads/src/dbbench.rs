@@ -98,9 +98,7 @@ fn permuted(i: u64, n: u64) -> u64 {
         let mut l = (x >> half) & mask;
         let mut r = x & mask;
         for round in 0..4u64 {
-            let f = r
-                .wrapping_add(round)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let f = r.wrapping_add(round).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             let f = (f ^ (f >> 29)) & mask;
             let next_l = r;
             r = l ^ f;
@@ -221,7 +219,10 @@ mod tests {
                 .lock()
                 .range(start.to_vec()..)
                 .take(limit)
-                .map(|(k, v)| ScanEntry { key: k.clone(), value: v.clone() })
+                .map(|(k, v)| ScanEntry {
+                    key: k.clone(),
+                    value: v.clone(),
+                })
                 .collect())
         }
         fn wait_idle(&self) -> Result<()> {
@@ -241,7 +242,10 @@ mod tests {
         run_db_bench(&e, BenchKind::FillRandom, 500, 0, 32, 1).unwrap();
         assert_eq!(e.map.lock().len(), 500);
         for i in 0..500u64 {
-            assert!(e.map.lock().contains_key(&KeyGen::key(i)), "key {i} missing");
+            assert!(
+                e.map.lock().contains_key(&KeyGen::key(i)),
+                "key {i} missing"
+            );
         }
     }
 

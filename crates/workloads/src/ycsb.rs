@@ -178,7 +178,11 @@ fn pick_op(workload: YcsbWorkload, roll: f64) -> Op {
 /// # Errors
 ///
 /// Propagates the first engine error.
-pub fn run_ycsb(engine: &dyn KvEngine, workload: YcsbWorkload, spec: &YcsbSpec) -> Result<YcsbResult> {
+pub fn run_ycsb(
+    engine: &dyn KvEngine,
+    workload: YcsbWorkload,
+    spec: &YcsbSpec,
+) -> Result<YcsbResult> {
     let vg = ValueGen::new(spec.value_len);
     let insert_counter = AtomicU64::new(spec.records);
     let total_ops = if workload == YcsbWorkload::Load {
@@ -298,7 +302,10 @@ pub fn run_ycsb(engine: &dyn KvEngine, workload: YcsbWorkload, spec: &YcsbSpec) 
                 out
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("ycsb thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ycsb thread"))
+            .collect()
     });
     let elapsed_ns = start.elapsed().as_nanos() as u64;
 
@@ -356,7 +363,10 @@ mod tests {
                 .lock()
                 .range(start.to_vec()..)
                 .take(limit)
-                .map(|(k, v)| ScanEntry { key: k.clone(), value: v.clone() })
+                .map(|(k, v)| ScanEntry {
+                    key: k.clone(),
+                    value: v.clone(),
+                })
                 .collect())
         }
         fn wait_idle(&self) -> Result<()> {

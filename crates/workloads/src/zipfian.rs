@@ -216,7 +216,10 @@ mod tests {
         let mut freqs: Vec<u64> = counts.values().copied().collect();
         freqs.sort_unstable_by(|a, b| b.cmp(a));
         let hot: u64 = freqs.iter().take(100).sum();
-        assert!(hot as f64 > draws as f64 * 0.4, "hot items cover {hot}/{draws}");
+        assert!(
+            hot as f64 > draws as f64 * 0.4,
+            "hot items cover {hot}/{draws}"
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@ fn main() -> miodb::Result<()> {
     {
         let db = MioDb::open(opts.clone())?;
         for i in 0..5_000u32 {
-            db.put(format!("key{i:06}").as_bytes(), format!("value-{i}").as_bytes())?;
+            db.put(
+                format!("key{i:06}").as_bytes(),
+                format!("value-{i}").as_bytes(),
+            )?;
         }
         db.delete(b"key000100")?;
         // Snapshot while background flushing/compaction may be mid-flight —
@@ -46,7 +49,10 @@ fn main() -> miodb::Result<()> {
         // recovery must restore all of them (minus the explicit delete).
         println!("phase 2: {present}/5000 records present (1 deliberately deleted)");
         assert_eq!(present, 4_999);
-        assert!(db.get(b"key000100")?.is_none(), "tombstone must survive recovery");
+        assert!(
+            db.get(b"key000100")?.is_none(),
+            "tombstone must survive recovery"
+        );
 
         // The recovered database keeps working.
         db.put(b"post-crash", b"still alive")?;

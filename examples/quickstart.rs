@@ -25,14 +25,22 @@ fn main() -> miodb::Result<()> {
     // Point lookups search MemTables, then each elastic level (bloom
     // filters skip most tables), then the bottom data repository.
     let v = db.get(b"user004242")?.expect("present");
-    println!("user004242 -> {} bytes (id {})", v.len(), u32::from_le_bytes(v[..4].try_into().unwrap()));
+    println!(
+        "user004242 -> {} bytes (id {})",
+        v.len(),
+        u32::from_le_bytes(v[..4].try_into().unwrap())
+    );
 
     // Range scans merge every layer and skip deleted keys.
     db.delete(b"user000001")?;
     let page = db.scan(b"user000000", 3)?;
     println!("first three users after deleting user000001:");
     for e in &page {
-        println!("  {} ({} bytes)", String::from_utf8_lossy(&e.key), e.value.len());
+        println!(
+            "  {} ({} bytes)",
+            String::from_utf8_lossy(&e.key),
+            e.value.len()
+        );
     }
     assert_eq!(page[1].key, b"user000002");
 
@@ -48,6 +56,9 @@ fn main() -> miodb::Result<()> {
     println!("  zero-copy merges: {}", report.stats.zero_copy_compactions);
     println!("  lazy copies:      {}", report.stats.copy_compactions);
     println!("  interval stalls:  {}", report.stats.interval_stall_count);
-    println!("  write amp:        {:.2}x", report.stats.write_amplification);
+    println!(
+        "  write amp:        {:.2}x",
+        report.stats.write_amplification
+    );
     Ok(())
 }

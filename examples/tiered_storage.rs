@@ -43,10 +43,16 @@ fn main() -> miodb::Result<()> {
     db.wait_idle()?;
     let report = db.report();
     println!("\nafter settling:");
-    println!("  tables per level (elastic buffer + SSD LSM): {:?}", report.tables_per_level);
+    println!(
+        "  tables per level (elastic buffer + SSD LSM): {:?}",
+        report.tables_per_level
+    );
     println!("  NVM bytes in use:  {}", report.nvm_used_bytes);
     println!("  SSD bytes written: {}", report.stats.ssd_bytes_written);
-    println!("  write amp:         {:.2}x", report.stats.write_amplification);
+    println!(
+        "  write amp:         {:.2}x",
+        report.stats.write_amplification
+    );
     println!("  interval stalls:   {}", report.stats.interval_stall_count);
 
     // Reads hit the elastic buffer first; cold keys go to the SSD LSM.

@@ -53,7 +53,10 @@ fn main() -> miodb::Result<()> {
         record_timeline: false,
         max_scan_len: 50,
     };
-    println!("{:>14} {:>10} {:>10} {:>10} {:>10}", "engine", "Load", "A", "B", "C");
+    println!(
+        "{:>14} {:>10} {:>10} {:>10} {:>10}",
+        "engine", "Load", "A", "B", "C"
+    );
     for engine in engines()? {
         let mut row = format!("{:>14}", engine.name());
         let load = run_ycsb(engine.as_ref(), YcsbWorkload::Load, &spec)?;

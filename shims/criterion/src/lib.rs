@@ -1,0 +1,306 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace ships
+//! a minimal benchmark harness exposing the subset of criterion's API the
+//! `crates/bench` benchmarks use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`]/[`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`]/[`Bencher::iter_custom`]/[`Bencher::iter_with_setup`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark runs a short warm-up, then
+//! `sample_size` timed samples (auto-scaled iteration counts), and prints
+//! the median per-iteration time plus throughput when configured. There
+//! are no statistical comparisons, plots or saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample throughput metadata.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times the routine under measurement.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count,
+        }
+    }
+
+    /// Times `routine`, auto-scaling iterations per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up also calibrates how many iterations fit in ~2ms.
+        let calib = Instant::now();
+        black_box(routine());
+        let once = calib.elapsed().max(Duration::from_nanos(50));
+        self.iters_per_sample =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine(iters)` where the routine reports its own elapsed time.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        self.iters_per_sample = 1;
+        black_box(routine(1)); // warm-up
+        for _ in 0..self.sample_count {
+            self.samples.push(routine(1));
+        }
+    }
+
+    /// Times `routine(input)` with untimed per-iteration `setup`.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.iters_per_sample = 1;
+        black_box(routine(setup())); // warm-up
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn median_ns(&self) -> u128 {
+        let mut per_iter: Vec<u128> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() / self.iters_per_sample.max(1) as u128)
+            .collect();
+        per_iter.sort_unstable();
+        per_iter.get(per_iter.len() / 2).copied().unwrap_or(0)
+    }
+}
+
+fn human_time(ns: u128) -> String {
+    match ns {
+        0..=999 => format!("{ns} ns"),
+        1_000..=999_999 => format!("{:.2} µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2} ms", ns as f64 / 1e6),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Runs a benchmark receiving `input` by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Finishes the group (printing is immediate; kept for API parity).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let ns = b.median_ns();
+        let mut line = format!("{}/{:<28} time: {:>12}", self.name, id, human_time(ns));
+        if let Some(tp) = self.throughput {
+            let per_sec = |units: u64| units as f64 * 1e9 / ns.max(1) as f64;
+            match tp {
+                Throughput::Bytes(bytes) => {
+                    line.push_str(&format!(
+                        "   thrpt: {:.2} MiB/s",
+                        per_sec(bytes) / (1 << 20) as f64
+                    ));
+                }
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("   thrpt: {:.0} elem/s", per_sec(n)));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Benchmark manager handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Creates a manager; `--test` (cargo test over benches) runs one
+    /// sample per benchmark.
+    pub fn new() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.test_mode { 1 } else { 10 };
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("", f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_samples() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).throughput(Throughput::Bytes(64));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.bench_with_input(BenchmarkId::new("custom", 1), &(), |b, ()| {
+            b.iter_custom(|iters| {
+                let t0 = std::time::Instant::now();
+                for _ in 0..iters {
+                    black_box(0u64);
+                }
+                t0.elapsed()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("setup", 1), &(), |b, ()| {
+            b.iter_with_setup(|| vec![0u8; 16], |v| black_box(v.len()))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("a", 3).to_string(), "a/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn human_time_units() {
+        assert_eq!(human_time(12), "12 ns");
+        assert!(human_time(1_500).contains("µs"));
+        assert!(human_time(2_000_000).contains("ms"));
+    }
+}

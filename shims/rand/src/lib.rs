@@ -1,0 +1,216 @@
+//! Offline shim for the `rand` crate.
+//!
+//! Provides the subset the workspace uses — [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen`], [`Rng::gen_range`] and
+//! [`Rng::fill_bytes`] — backed by the SplitMix64/xoshiro256** generators.
+//! Not cryptographically secure and not stream-compatible with the real
+//! crate; only statistical quality suitable for tests and benchmarks.
+
+/// Seeding constructor trait (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers (subset of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` (see [`Random`]).
+    fn gen<T: Random>(&mut self) -> T {
+        T::random(self.next_u64())
+    }
+
+    /// Samples uniformly from `range` (half-open).
+    fn gen_range<T: UniformRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(range, self.next_u64())
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// Samples `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Types constructible from 64 random bits.
+pub trait Random {
+    /// Builds a uniformly distributed value from raw bits.
+    fn random(bits: u64) -> Self;
+}
+
+impl Random for f64 {
+    fn random(bits: u64) -> f64 {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for u64 {
+    fn random(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Random for u32 {
+    fn random(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl Random for bool {
+    fn random(bits: u64) -> bool {
+        bits & (1 << 63) != 0
+    }
+}
+
+impl Random for u8 {
+    fn random(bits: u64) -> u8 {
+        (bits >> 56) as u8
+    }
+}
+
+/// Integer types uniformly sampleable over a half-open range.
+pub trait UniformRange: Sized {
+    /// Samples from `range` given raw bits.
+    fn sample(range: std::ops::Range<Self>, bits: u64) -> Self;
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty),*) => {$(
+        impl UniformRange for $t {
+            fn sample(range: std::ops::Range<Self>, bits: u64) -> Self {
+                let span = (range.end - range.start) as u128;
+                assert!(span > 0, "empty range");
+                // Multiply-shift keeps the modulo bias negligible for the
+                // spans used in tests/benchmarks.
+                range.start + ((bits as u128 * span) >> 64) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform!(u64, u32, u16, u8, usize);
+
+impl UniformRange for i64 {
+    fn sample(range: std::ops::Range<Self>, bits: u64) -> Self {
+        let span = (range.end as i128 - range.start as i128) as u128;
+        assert!(span > 0, "empty range");
+        (range.start as i128 + ((bits as u128 * span) >> 64) as i128) as i64
+    }
+}
+
+/// Generator namespace mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256** seeded via SplitMix64 — the shim's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Re-export so `use rand::prelude::*` works.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen_low = false;
+        for _ in 0..10_000 {
+            let x = r.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            seen_low |= x == 10;
+        }
+        assert!(seen_low, "range sampling should reach the low end");
+    }
+
+    #[test]
+    fn fill_bytes_covers_buffer() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 37];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut r = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+}

@@ -22,7 +22,8 @@ fn readers_never_miss_acknowledged_writes() {
             let stop = stop.clone();
             s.spawn(move || {
                 for i in 1..=n {
-                    db.put(format!("key{i:08}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+                    db.put(format!("key{i:08}").as_bytes(), format!("v{i}").as_bytes())
+                        .unwrap();
                     watermark.store(i, Ordering::Release);
                 }
                 stop.store(true, Ordering::Release);
@@ -41,7 +42,9 @@ fn readers_never_miss_acknowledged_writes() {
                         std::hint::spin_loop();
                         continue;
                     }
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let i = 1 + (x % hi);
                     let got = db
                         .get(format!("key{i:08}").as_bytes())
@@ -73,7 +76,8 @@ fn scans_race_compactions_without_losing_keys() {
                 let mut i = 0u64;
                 while !stop.load(Ordering::Acquire) {
                     i += 1;
-                    db.put(format!("churn{:07}", i % 5_000).as_bytes(), &[7u8; 256]).unwrap();
+                    db.put(format!("churn{:07}", i % 5_000).as_bytes(), &[7u8; 256])
+                        .unwrap();
                 }
             });
         }
@@ -84,8 +88,10 @@ fn scans_race_compactions_without_losing_keys() {
                     let start = format!("stable{:05}", (round * 31) % 900);
                     let out = db.scan(start.as_bytes(), 50).unwrap();
                     // Every stable key in range must appear, in order.
-                    let stable: Vec<&miodb::ScanEntry> =
-                        out.iter().filter(|e| e.key.starts_with(b"stable")).collect();
+                    let stable: Vec<&miodb::ScanEntry> = out
+                        .iter()
+                        .filter(|e| e.key.starts_with(b"stable"))
+                        .collect();
                     for w in stable.windows(2) {
                         assert!(w[0].key < w[1].key, "scan order violated");
                     }
@@ -101,7 +107,10 @@ fn scans_race_compactions_without_losing_keys() {
 
     db.wait_idle().unwrap();
     for i in (0..1_000u32).step_by(83) {
-        assert_eq!(db.get(format!("stable{i:05}").as_bytes()).unwrap().unwrap(), b"base");
+        assert_eq!(
+            db.get(format!("stable{i:05}").as_bytes()).unwrap().unwrap(),
+            b"base"
+        );
     }
 }
 
@@ -125,7 +134,11 @@ fn concurrent_ycsb_a_on_miodb() {
     db.wait_idle().unwrap();
     assert!(db.get(b"k000000000000001").unwrap().is_some());
     let report = db.report();
-    assert_eq!(report.stats.gets, r.read_latency.count() + 1, "one extra get above");
+    assert_eq!(
+        report.stats.gets,
+        r.read_latency.count() + 1,
+        "one extra get above"
+    );
 }
 
 #[test]
@@ -141,7 +154,8 @@ fn overlapping_overwrites_keep_newest_under_concurrency() {
             s.spawn(move || {
                 for gen in 0..4_000u32 {
                     let key = format!("hot{:02}", gen % 16);
-                    db.put(key.as_bytes(), format!("{gen:08}").as_bytes()).unwrap();
+                    db.put(key.as_bytes(), format!("{gen:08}").as_bytes())
+                        .unwrap();
                 }
                 stop.store(true, Ordering::Release);
             });
@@ -155,8 +169,7 @@ fn overlapping_overwrites_keep_newest_under_concurrency() {
                     #[allow(clippy::needless_range_loop)]
                     for k in 0..16usize {
                         if let Some(v) = db.get(format!("hot{k:02}").as_bytes()).unwrap() {
-                            let gen: u32 =
-                                std::str::from_utf8(&v).unwrap().parse().unwrap();
+                            let gen: u32 = std::str::from_utf8(&v).unwrap().parse().unwrap();
                             assert!(
                                 gen >= floor[k],
                                 "hot{k:02} went backwards: {gen} < {}",

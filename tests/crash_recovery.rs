@@ -16,8 +16,7 @@ fn value_for(i: u32) -> Vec<u8> {
 }
 
 fn recover_from(path: &std::path::Path, opts: &MioOptions) -> MioDb {
-    let pool =
-        PmemPool::restore_from_file(path, opts.nvm_device, Arc::new(Stats::new())).unwrap();
+    let pool = PmemPool::restore_from_file(path, opts.nvm_device, Arc::new(Stats::new())).unwrap();
     MioDb::recover(pool, opts.clone()).unwrap()
 }
 
@@ -28,7 +27,8 @@ fn crash_after_quiescence_loses_nothing() {
     {
         let db = MioDb::open(opts.clone()).unwrap();
         for i in 0..2_000u32 {
-            db.put(format!("key{i:06}").as_bytes(), &value_for(i)).unwrap();
+            db.put(format!("key{i:06}").as_bytes(), &value_for(i))
+                .unwrap();
         }
         db.wait_idle().unwrap();
         db.snapshot(&path).unwrap();
@@ -51,7 +51,8 @@ fn crash_mid_load_replays_wal() {
     {
         let db = MioDb::open(opts.clone()).unwrap();
         for i in 0..3_000u32 {
-            db.put(format!("key{i:06}").as_bytes(), &value_for(i)).unwrap();
+            db.put(format!("key{i:06}").as_bytes(), &value_for(i))
+                .unwrap();
         }
         // No wait_idle: flushes and merges are in full flight.
         db.snapshot(&path).unwrap();
@@ -66,13 +67,11 @@ fn crash_mid_load_replays_wal() {
     }
     // The recovered engine keeps compacting and accepting writes.
     for i in 3_000..3_500u32 {
-        db.put(format!("key{i:06}").as_bytes(), &value_for(i)).unwrap();
+        db.put(format!("key{i:06}").as_bytes(), &value_for(i))
+            .unwrap();
     }
     db.wait_idle().unwrap();
-    assert_eq!(
-        db.get(b"key003400").unwrap().unwrap(),
-        value_for(3_400)
-    );
+    assert_eq!(db.get(b"key003400").unwrap().unwrap(), value_for(3_400));
     std::fs::remove_file(&path).ok();
 }
 
@@ -83,7 +82,8 @@ fn deletes_survive_crash() {
     {
         let db = MioDb::open(opts.clone()).unwrap();
         for i in 0..800u32 {
-            db.put(format!("key{i:05}").as_bytes(), &value_for(i)).unwrap();
+            db.put(format!("key{i:05}").as_bytes(), &value_for(i))
+                .unwrap();
         }
         for i in (0..800u32).step_by(2) {
             db.delete(format!("key{i:05}").as_bytes()).unwrap();
@@ -118,7 +118,11 @@ fn repeated_crashes_converge() {
     for gen in 2..5u32 {
         let db = recover_from(&path, &opts);
         for i in (0..1_000u32).step_by(gen as usize) {
-            db.put(format!("key{i:05}").as_bytes(), format!("gen{gen}").as_bytes()).unwrap();
+            db.put(
+                format!("key{i:05}").as_bytes(),
+                format!("gen{gen}").as_bytes(),
+            )
+            .unwrap();
         }
         db.snapshot(&path).unwrap();
     }
@@ -148,7 +152,8 @@ fn scan_after_recovery_is_sorted_and_complete() {
     {
         let db = MioDb::open(opts.clone()).unwrap();
         for i in 0..1_500u32 {
-            db.put(format!("key{i:05}").as_bytes(), &value_for(i)).unwrap();
+            db.put(format!("key{i:05}").as_bytes(), &value_for(i))
+                .unwrap();
         }
         db.snapshot(&path).unwrap();
     }
@@ -176,6 +181,9 @@ fn recovery_rejects_mismatched_level_count() {
         elastic_levels: opts.elastic_levels + 2,
         ..opts.clone()
     };
-    assert!(MioDb::recover(pool, bad).is_err(), "level mismatch must be rejected");
+    assert!(
+        MioDb::recover(pool, bad).is_err(),
+        "level mismatch must be rejected"
+    );
     std::fs::remove_file(&path).ok();
 }

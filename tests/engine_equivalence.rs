@@ -44,6 +44,7 @@ fn engines() -> Vec<Box<dyn KvEngine>> {
                     nvm_device: DeviceModel::nvm_unthrottled(),
                     nvm_pool_bytes: 64 << 20,
                     name: "NoveLSM-NoSST".to_string(),
+                    ..NoveLsmOptions::default()
                 },
                 Arc::new(Stats::new()),
             )
@@ -128,7 +129,12 @@ fn all_engines_match_reference_model() {
         for key in 0..400u32 {
             let k = format!("key{key:06}");
             let got = engine.get(k.as_bytes()).unwrap();
-            assert_eq!(got.as_ref(), model.get(&key), "{}: key {key}", engine.name());
+            assert_eq!(
+                got.as_ref(),
+                model.get(&key),
+                "{}: key {key}",
+                engine.name()
+            );
         }
         // Scan equivalence over a window.
         let got = engine.scan(b"key000100", 50).unwrap();
@@ -148,10 +154,22 @@ fn all_engines_match_reference_model() {
 #[test]
 fn empty_and_missing_keys() {
     for engine in engines() {
-        assert!(engine.get(b"never-written").unwrap().is_none(), "{}", engine.name());
-        assert!(engine.scan(b"", 10).unwrap().is_empty(), "{}", engine.name());
+        assert!(
+            engine.get(b"never-written").unwrap().is_none(),
+            "{}",
+            engine.name()
+        );
+        assert!(
+            engine.scan(b"", 10).unwrap().is_empty(),
+            "{}",
+            engine.name()
+        );
         engine.delete(b"never-written").unwrap(); // deleting absent is fine
-        assert!(engine.get(b"never-written").unwrap().is_none(), "{}", engine.name());
+        assert!(
+            engine.get(b"never-written").unwrap().is_none(),
+            "{}",
+            engine.name()
+        );
     }
 }
 
@@ -160,8 +178,18 @@ fn large_values_round_trip() {
     for engine in engines() {
         let big = vec![0xA5u8; 300 * 1024];
         engine.put(b"jumbo", &big).unwrap();
-        assert_eq!(engine.get(b"jumbo").unwrap().unwrap(), big, "{}", engine.name());
+        assert_eq!(
+            engine.get(b"jumbo").unwrap().unwrap(),
+            big,
+            "{}",
+            engine.name()
+        );
         engine.wait_idle().unwrap();
-        assert_eq!(engine.get(b"jumbo").unwrap().unwrap(), big, "{}", engine.name());
+        assert_eq!(
+            engine.get(b"jumbo").unwrap().unwrap(),
+            big,
+            "{}",
+            engine.name()
+        );
     }
 }

@@ -51,7 +51,10 @@ fn range_respects_bounds_and_limit() {
         assert_eq!(out[4].key, b"key00104");
 
         // Empty range.
-        assert!(engine.scan_range(b"key00110", b"key00110", 10).unwrap().is_empty());
+        assert!(engine
+            .scan_range(b"key00110", b"key00110", 10)
+            .unwrap()
+            .is_empty());
         assert!(engine.scan_range(b"zzz", b"zzzz", 10).unwrap().is_empty());
 
         // End past the last key returns everything remaining.
@@ -70,6 +73,12 @@ fn range_excludes_deleted_keys() {
         db.delete(format!("k{i:03}").as_bytes()).unwrap();
     }
     let out = db.scan_range(b"k000", b"k020", 100).unwrap();
-    let keys: Vec<String> = out.iter().map(|e| String::from_utf8_lossy(&e.key).into_owned()).collect();
-    assert_eq!(keys, vec!["k001", "k003", "k005", "k007", "k009", "k011", "k013", "k015", "k017", "k019"]);
+    let keys: Vec<String> = out
+        .iter()
+        .map(|e| String::from_utf8_lossy(&e.key).into_owned())
+        .collect();
+    assert_eq!(
+        keys,
+        vec!["k001", "k003", "k005", "k007", "k009", "k011", "k013", "k015", "k017", "k019"]
+    );
 }

@@ -25,12 +25,15 @@ fn level_count_does_not_affect_correctness_or_wa() {
         let r = run_db_bench(&db, BenchKind::ReadRandom, 400, 2_000, 512, 3).unwrap();
         assert_eq!(r.hits, 400, "levels={levels}: every key must be found");
         let wa = db.report().stats.write_amplification;
-        assert!(wa < 4.5, "levels={levels}: WA {wa} above the zero-copy bound");
+        assert!(
+            wa < 4.5,
+            "levels={levels}: WA {wa} above the zero-copy bound"
+        );
         was.push(wa);
     }
     // Depth must not change WA materially (zero-copy merges are free).
-    let spread = was.iter().cloned().fold(f64::MIN, f64::max)
-        - was.iter().cloned().fold(f64::MAX, f64::min);
+    let spread =
+        was.iter().cloned().fold(f64::MIN, f64::max) - was.iter().cloned().fold(f64::MAX, f64::min);
     assert!(spread < 1.0, "WA should be depth-insensitive: {was:?}");
 }
 
@@ -83,6 +86,9 @@ fn deeper_buffers_grow_bottom_tables() {
     // At rest, each level holds at most one table (paper §5.4: "only one
     // PMTable in each level" under light load).
     for (i, count) in report.tables_per_level.iter().enumerate() {
-        assert!(*count <= 1, "level {i} holds {count} tables at rest: {report:?}");
+        assert!(
+            *count <= 1,
+            "level {i} holds {count} tables at rest: {report:?}"
+        );
     }
 }

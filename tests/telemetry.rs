@@ -1,0 +1,202 @@
+//! Integration tests for the engine telemetry subsystem: event-trace
+//! well-formedness, engine-side vs bench-side histogram agreement, and
+//! live Prometheus exposition.
+
+use miodb::common::{CompactionKind, EventKind, StallKind, TelemetryOptions};
+use miodb::workloads::{run_ycsb, YcsbSpec, YcsbWorkload};
+use miodb::{KvEngine, MioDb, MioOptions};
+
+fn opts_with_tracing() -> MioOptions {
+    MioOptions {
+        telemetry: TelemetryOptions {
+            event_capacity: 1 << 15,
+            ..TelemetryOptions::default()
+        },
+        ..MioOptions::small_for_tests()
+    }
+}
+
+/// Drives enough writes through a small MioDB to force several flushes
+/// and at least one zero-copy merge, then checks the drained event trace
+/// is well formed: monotonic timestamps, balanced begin/end pairs, and
+/// sane payloads.
+#[test]
+fn drain_events_yields_well_formed_flush_compaction_sequence() {
+    let db = MioDb::open(opts_with_tracing()).unwrap();
+    let value = vec![0xA5u8; 256];
+    for i in 0..3000u32 {
+        db.put(format!("key{i:06}").as_bytes(), &value).unwrap();
+    }
+    for i in 0..100u32 {
+        db.delete(format!("key{i:06}").as_bytes()).unwrap();
+    }
+    db.wait_idle().unwrap();
+    let events = db.drain_events();
+    assert!(!events.is_empty(), "no events traced");
+    assert_eq!(
+        db.telemetry().unwrap().events_dropped(),
+        0,
+        "ring overflowed; balance checks below would be vacuous"
+    );
+
+    // Timestamps are non-decreasing in drain order, modulo the tiny race
+    // where two worker threads stamp an event and then claim ring slots
+    // in the opposite order — allow 1ms of inversion, no more.
+    for w in events.windows(2) {
+        assert!(
+            w[1].ts_ns + 1_000_000 >= w[0].ts_ns,
+            "timestamps out of order by more than 1ms"
+        );
+    }
+
+    let mut flush_depth: i64 = 0;
+    let mut flushes = 0u64;
+    // Compaction begin/end pairing tracked per (level, kind).
+    let mut compaction_depth: std::collections::HashMap<(u32, bool), i64> =
+        std::collections::HashMap::new();
+    let mut compactions = 0u64;
+    let mut stall_depth: i64 = 0;
+    for e in &events {
+        match e.kind {
+            EventKind::FlushBegin { bytes } => {
+                assert!(bytes > 0, "flush of an empty memtable");
+                flush_depth += 1;
+                flushes += 1;
+            }
+            EventKind::FlushEnd { bytes, .. } => {
+                assert!(bytes > 0);
+                flush_depth -= 1;
+                assert!(flush_depth >= 0, "FlushEnd without FlushBegin");
+            }
+            EventKind::CompactionBegin { level, kind } => {
+                let d = compaction_depth
+                    .entry((level, kind == CompactionKind::ZeroCopy))
+                    .or_insert(0);
+                *d += 1;
+                compactions += 1;
+            }
+            EventKind::CompactionEnd { level, kind, .. } => {
+                let d = compaction_depth
+                    .entry((level, kind == CompactionKind::ZeroCopy))
+                    .or_insert(0);
+                *d -= 1;
+                assert!(
+                    *d >= 0,
+                    "CompactionEnd without matching Begin at level {level}"
+                );
+            }
+            EventKind::StallBegin { .. } => stall_depth += 1,
+            EventKind::StallEnd { kind, .. } => {
+                stall_depth -= 1;
+                assert!(stall_depth >= 0, "StallEnd without StallBegin");
+                // Both stall kinds exist; just type-check the payload here.
+                let _ = matches!(kind, StallKind::Interval | StallKind::Cumulative);
+            }
+            EventKind::Swizzle { .. } | EventKind::BloomSkip { .. } => {}
+        }
+    }
+    assert!(flushes >= 2, "expected several flushes, saw {flushes}");
+    assert!(compactions >= 1, "expected at least one compaction");
+    // The engine is idle and the ring never overflowed, so every Begin
+    // must have its End.
+    assert_eq!(flush_depth, 0, "unbalanced flush events");
+    assert_eq!(stall_depth, 0, "unbalanced stall events");
+    for ((level, zero_copy), d) in &compaction_depth {
+        assert_eq!(
+            *d, 0,
+            "unbalanced compaction events at level {level} (zero_copy={zero_copy})"
+        );
+    }
+}
+
+/// Engine-side concurrent histograms must agree with the bench driver's
+/// own measurement on a YCSB-A run: identical op counts and percentiles
+/// within log-bucket error (the driver measures just outside the engine
+/// call, so each sample lands in the same or an adjacent bucket).
+#[test]
+fn engine_histograms_agree_with_bench_on_ycsb_a() {
+    let db = MioDb::open(opts_with_tracing()).unwrap();
+    let spec = YcsbSpec {
+        records: 2000,
+        operations: 4000,
+        value_len: 256,
+        threads: 2,
+        seed: 42,
+        record_timeline: false,
+        max_scan_len: 20,
+    };
+    run_ycsb(&db, YcsbWorkload::Load, &spec).unwrap();
+    let t = db.telemetry().unwrap();
+    t.put_latency.reset();
+    t.get_latency.reset();
+    let r = run_ycsb(&db, YcsbWorkload::A, &spec).unwrap();
+
+    let put = t.put_latency.snapshot();
+    let get = t.get_latency.snapshot();
+    assert_eq!(
+        put.count(),
+        r.write_latency.count(),
+        "engine saw a different number of updates than the driver issued"
+    );
+    assert_eq!(
+        get.count(),
+        r.read_latency.count(),
+        "engine saw a different number of reads than the driver issued"
+    );
+
+    // Within bucket error: the log-bucket layout doubles per bucket and
+    // the driver adds call overhead, so allow a two-bucket (4x) band plus
+    // a small absolute floor for sub-microsecond values.
+    let close = |engine_ns: u64, bench_ns: u64| {
+        engine_ns <= bench_ns.saturating_mul(4) + 2_000
+            && bench_ns <= engine_ns.saturating_mul(4) + 2_000
+    };
+    for p in [50.0, 90.0, 99.0] {
+        assert!(
+            close(put.percentile(p), r.write_latency.percentile(p)),
+            "put p{p} disagrees: engine={}ns bench={}ns",
+            put.percentile(p),
+            r.write_latency.percentile(p)
+        );
+        assert!(
+            close(get.percentile(p), r.read_latency.percentile(p)),
+            "get p{p} disagrees: engine={}ns bench={}ns",
+            get.percentile(p),
+            r.read_latency.percentile(p)
+        );
+    }
+}
+
+/// `metrics_text()` on a live engine after real traffic carries the key
+/// series: op-latency quantiles for put and get, per-level occupancy,
+/// per-level compaction counters and stall totals.
+#[test]
+fn live_engine_metrics_text_has_key_series() {
+    let db = MioDb::open(opts_with_tracing()).unwrap();
+    let value = vec![0x5Au8; 256];
+    for i in 0..2000u32 {
+        db.put(format!("key{i:06}").as_bytes(), &value).unwrap();
+    }
+    for i in 0..2000u32 {
+        db.get(format!("key{i:06}").as_bytes()).unwrap();
+    }
+    db.wait_idle().unwrap();
+    let text = db.metrics_text();
+    for needle in [
+        "miodb_op_latency_seconds{op=\"put\",quantile=\"0.5\"}",
+        "miodb_op_latency_seconds{op=\"put\",quantile=\"0.999\"}",
+        "miodb_op_latency_seconds{op=\"get\",quantile=\"0.99\"}",
+        "miodb_level_bytes{level=\"0\"}",
+        "miodb_level_tables{level=\"0\"}",
+        "miodb_compactions_total{level=\"0\",kind=\"zero_copy\"}",
+        "miodb_stall_seconds_total{kind=\"interval\"}",
+        "miodb_flushes_total",
+    ] {
+        assert!(
+            text.contains(needle),
+            "missing series `{needle}` in:\n{text}"
+        );
+    }
+    let json = db.metrics_json();
+    assert!(json.contains("\"miodb_op_latency_seconds\""));
+}

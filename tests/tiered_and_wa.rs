@@ -33,10 +33,16 @@ fn tiered_miodb_serves_from_buffer_and_ssd() {
     let db = MioDb::open(opts).unwrap();
     load(&db, 3_000, 512);
     let report = db.report();
-    assert!(report.stats.ssd_bytes_written > 0, "repository must reach SSD");
+    assert!(
+        report.stats.ssd_bytes_written > 0,
+        "repository must reach SSD"
+    );
     // Everything is still readable from both tiers.
     for i in (0..3_000u32).step_by(101) {
-        assert!(db.get(format!("key{i:07}").as_bytes()).unwrap().is_some(), "key{i}");
+        assert!(
+            db.get(format!("key{i:07}").as_bytes()).unwrap().is_some(),
+            "key{i}"
+        );
     }
     // Scans cross the NVM buffer / SSD LSM boundary seamlessly.
     let out = db.scan(b"key0001000", 30).unwrap();
@@ -95,8 +101,14 @@ fn write_amplification_ordering_matches_paper() {
         wa_mio < wa_matrix && wa_mio < wa_nove,
         "MioDB WA must be lowest: mio={wa_mio:.2} matrix={wa_matrix:.2} nove={wa_nove:.2}"
     );
-    assert!(wa_mio < 4.5, "MioDB WA should stay near the ~3x bound, got {wa_mio:.2}");
-    assert!(wa_nove > 3.0, "a traditional LSM must amplify, got {wa_nove:.2}");
+    assert!(
+        wa_mio < 4.5,
+        "MioDB WA should stay near the ~3x bound, got {wa_mio:.2}"
+    );
+    assert!(
+        wa_nove > 3.0,
+        "a traditional LSM must amplify, got {wa_nove:.2}"
+    );
 }
 
 #[test]
@@ -140,7 +152,8 @@ fn nvm_usage_reported_in_elastic_buffer() {
     let db = MioDb::open(MioOptions::small_for_tests()).unwrap();
     let before = db.elastic_buffer_bytes();
     for i in 0..2_000u32 {
-        db.put(format!("key{i:07}").as_bytes(), &[1u8; 512]).unwrap();
+        db.put(format!("key{i:07}").as_bytes(), &[1u8; 512])
+            .unwrap();
     }
     // Mid-load the buffer holds flushed tables (Figure 14's metric).
     let during = db.report().nvm_used_bytes;

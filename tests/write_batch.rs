@@ -17,7 +17,10 @@ fn batch_applies_all_operations() {
     db.put(b"stale", b"old").unwrap();
     let mut b = WriteBatch::new();
     for i in 0..100u32 {
-        b.put(format!("batch{i:03}").as_bytes(), format!("v{i}").as_bytes());
+        b.put(
+            format!("batch{i:03}").as_bytes(),
+            format!("v{i}").as_bytes(),
+        );
     }
     b.delete(b"stale");
     assert_eq!(b.len(), 101);
@@ -53,7 +56,10 @@ fn batch_larger_than_memtable_rotates() {
     db.write_batch(b).unwrap();
     db.wait_idle().unwrap();
     for i in 0..50u32 {
-        assert_eq!(db.get(format!("big{i:03}").as_bytes()).unwrap().unwrap(), vec![7u8; 4096]);
+        assert_eq!(
+            db.get(format!("big{i:03}").as_bytes()).unwrap().unwrap(),
+            vec![7u8; 4096]
+        );
     }
 }
 
