@@ -4,7 +4,11 @@ use miodb_pmem::DeviceModel;
 use std::time::Duration;
 
 fn main() {
-    for round in 0..200 {
+    let rounds: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    for round in 0..rounds {
         let db = MioDb::open(MioOptions {
             memtable_bytes: 64 * 1024,
             elastic_levels: 6,
@@ -41,5 +45,5 @@ fn main() {
         }
         eprint!("\r{round} ok");
     }
-    eprintln!("\nno race in 200 rounds");
+    eprintln!("\nno race in {rounds} rounds");
 }

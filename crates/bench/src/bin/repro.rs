@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--scale-mb N] [--quick] <experiment>
 //!   experiments: fig2 fig6 table1 fig7 table2 fig8 fig9 fig10 fig11
-//!                fig12 fig13 table3 fig14 all
+//!                fig12 fig13 table3 fig14 scaling all
 //! ```
 //!
 //! Absolute numbers differ from the paper (simulated devices, scaled
@@ -17,7 +17,9 @@ use miodb_bench::{
     build_engine, build_engine_with, fmt_bytes, print_header, print_row, EngineKind, Mode, Scale,
 };
 use miodb_common::{EventKind, Histogram, KvEngine, Result};
-use miodb_workloads::{run_db_bench, run_ycsb, BenchKind, YcsbSpec, YcsbWorkload};
+use miodb_workloads::{
+    run_db_bench, run_fill_concurrent, run_ycsb, BenchKind, YcsbSpec, YcsbWorkload,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,7 +43,7 @@ fn main() {
     }
     let dataset = scale_mb << 20;
     if cmd.is_empty() {
-        eprintln!("usage: repro [--scale-mb N] [--quick] <fig2|fig6|table1|fig7|table2|fig8|fig9|fig10|fig11|fig12|fig13|table3|fig14|all>");
+        eprintln!("usage: repro [--scale-mb N] [--quick] <fig2|fig6|table1|fig7|table2|fig8|fig9|fig10|fig11|fig12|fig13|table3|fig14|scaling|all>");
         std::process::exit(2);
     }
     let t0 = Instant::now();
@@ -59,6 +61,7 @@ fn main() {
         "fig13" => fig13(dataset, quick),
         "table3" => table3(dataset),
         "fig14" => fig14(dataset),
+        "scaling" => scaling(dataset, quick),
         "all" => all(dataset, quick),
         other => {
             eprintln!("unknown experiment: {other}");
@@ -108,6 +111,7 @@ fn all(dataset: u64, quick: bool) -> Result<()> {
     fig13(dataset, quick)?;
     table3(dataset)?;
     fig14(dataset)?;
+    scaling(dataset, quick)?;
     Ok(())
 }
 
@@ -744,5 +748,90 @@ fn fig14(dataset: u64) -> Result<()> {
             );
         }
     }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Scaling — concurrent-writer sweep for the group-commit write pipeline.
+// ---------------------------------------------------------------------------
+fn scaling(dataset: u64, quick: bool) -> Result<()> {
+    println!("\n== Scaling: fillrandom throughput vs writer threads (1 KiB values) ==");
+    println!("   group-commit pipeline: one WAL append per group, concurrent MemTable inserts;");
+    println!("   expect MioDB >=2x at 4 threads vs 1 and ~parity single-thread vs MioDB-single.");
+    let value_len = 1024usize;
+    let mut scale = Scale::new(
+        if quick {
+            dataset.min(12 << 20)
+        } else {
+            dataset
+        },
+        value_len,
+    );
+    // The sweep measures the write path, not rotation: keep MemTables
+    // large enough that flush handoffs are rare at every thread count.
+    scale.memtable_bytes = scale.memtable_bytes.max(2 << 20);
+    let threads: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < *threads.iter().max().unwrap() {
+        println!("   NOTE: host has {cores} core(s) — writer threads cannot overlap, so the sweep");
+        println!("   measures pipeline overhead, not parallel speedup; expect flat scaling.");
+    }
+    let widths = [14usize, 8, 12, 12, 12, 12];
+    print_header(
+        &["engine", "threads", "Kops", "MB/s", "speedup", "avg group"],
+        &widths,
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+    for (label, kind, pipeline) in [
+        ("MioDB", Some(EngineKind::MioDb), true),
+        ("MioDB-single", None, false),
+        ("MatrixKV", Some(EngineKind::MatrixKv), true),
+        ("NoveLSM", Some(EngineKind::NoveLsm), true),
+    ] {
+        let mut base_kops = 0.0f64;
+        for &t in threads {
+            let engine: Box<dyn KvEngine> = match kind {
+                Some(EngineKind::MioDb) | None => {
+                    miodb_bench::build_miodb_pipeline(&scale, pipeline)?
+                }
+                Some(k) => build_engine(k, Mode::InMemory, &scale)?,
+            };
+            let r = run_fill_concurrent(engine.as_ref(), scale.keys(), value_len, t)?;
+            let kops = r.kops();
+            if t == threads[0] {
+                base_kops = kops;
+            }
+            let group_mean = engine
+                .telemetry()
+                .map(|tel| tel.write_group_size.snapshot().mean())
+                .filter(|m| *m > 0.0);
+            print_row(
+                &[
+                    label.to_string(),
+                    t.to_string(),
+                    format!("{kops:.1}"),
+                    format!("{:.1}", r.mib_per_sec(value_len)),
+                    format!("{:.2}x", kops / base_kops.max(1e-9)),
+                    group_mean.map_or("-".to_string(), |m| format!("{m:.1}")),
+                ],
+                &widths,
+            );
+            json_rows.push(format!(
+                "{{\"engine\":\"{label}\",\"threads\":{t},\"kops\":{kops:.3},\"mib_per_sec\":{:.3},\"elapsed_ns\":{},\"mean_group_size\":{:.3}}}",
+                r.mib_per_sec(value_len),
+                r.elapsed_ns,
+                group_mean.unwrap_or(0.0),
+            ));
+            engine.wait_idle()?;
+        }
+    }
+    let json = format!(
+        "{{\"experiment\":\"scaling\",\"value_len\":{value_len},\"dataset_bytes\":{},\"keys\":{},\"host_cores\":{cores},\"results\":[\n  {}\n]}}\n",
+        scale.dataset_bytes,
+        scale.keys(),
+        json_rows.join(",\n  "),
+    );
+    std::fs::write("BENCH_scaling.json", json).map_err(miodb_common::Error::Io)?;
+    eprintln!("[scaling results written to BENCH_scaling.json]");
     Ok(())
 }

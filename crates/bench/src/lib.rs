@@ -132,6 +132,55 @@ impl Scale {
     }
 }
 
+/// MioDB options matching the repro harness geometry at `scale`.
+fn mio_options(
+    mode: Mode,
+    scale: &Scale,
+    mio_levels: Option<usize>,
+    nvm_buffer_cap: Option<u64>,
+) -> MioOptions {
+    let repository = match mode {
+        Mode::InMemory => RepositoryMode::HugePmTable,
+        Mode::Tiered => RepositoryMode::Ssd {
+            lsm: scale.lsm_options(),
+            device: DeviceModel::ssd(),
+        },
+    };
+    MioOptions {
+        memtable_bytes: scale.memtable_bytes,
+        elastic_levels: mio_levels.unwrap_or(8),
+        bloom_bits_per_key: 16,
+        nvm_pool_bytes: scale.nvm_pool_bytes(),
+        dram_pool_bytes: (scale.memtable_bytes * 10).max(16 << 20),
+        nvm_device: DeviceModel::nvm(),
+        elastic_buffer_cap: nvm_buffer_cap,
+        wal_segment_bytes: scale.memtable_bytes,
+        repo_chunk_bytes: (scale.memtable_bytes * 2).max(1 << 20),
+        lazy_copy_trigger: 2,
+        repository,
+        bloom_enabled: true,
+        parallel_compaction: true,
+        write_pipeline: true,
+        name: "MioDB".to_string(),
+        telemetry: TelemetryOptions::default(),
+    }
+}
+
+/// Builds MioDB at `scale` with the group-commit write pipeline toggled —
+/// the `repro scaling` experiment's pipeline-on/off comparison.
+///
+/// # Errors
+///
+/// Propagates pool-allocation failures.
+pub fn build_miodb_pipeline(scale: &Scale, write_pipeline: bool) -> Result<Box<dyn KvEngine>> {
+    let mut opts = mio_options(Mode::InMemory, scale, None, None);
+    opts.write_pipeline = write_pipeline;
+    if !write_pipeline {
+        opts.name = "MioDB-single".to_string();
+    }
+    Ok(Box::new(MioDb::open(opts)?))
+}
+
 /// Builds an engine for `kind` under `mode` at `scale`. Devices are
 /// throttled (the timing model is the measurement substrate).
 ///
@@ -164,30 +213,7 @@ pub fn build_engine_with(
     let stats = Arc::new(Stats::new());
     match kind {
         EngineKind::MioDb => {
-            let repository = match mode {
-                Mode::InMemory => RepositoryMode::HugePmTable,
-                Mode::Tiered => RepositoryMode::Ssd {
-                    lsm: scale.lsm_options(),
-                    device: ssd_dev,
-                },
-            };
-            let opts = MioOptions {
-                memtable_bytes: scale.memtable_bytes,
-                elastic_levels: mio_levels.unwrap_or(8),
-                bloom_bits_per_key: 16,
-                nvm_pool_bytes: scale.nvm_pool_bytes(),
-                dram_pool_bytes: (scale.memtable_bytes * 10).max(16 << 20),
-                nvm_device: nvm_dev,
-                elastic_buffer_cap: nvm_buffer_cap,
-                wal_segment_bytes: scale.memtable_bytes,
-                repo_chunk_bytes: (scale.memtable_bytes * 2).max(1 << 20),
-                lazy_copy_trigger: 2,
-                repository,
-                bloom_enabled: true,
-                parallel_compaction: true,
-                name: "MioDB".to_string(),
-                telemetry: TelemetryOptions::default(),
-            };
+            let opts = mio_options(mode, scale, mio_levels, nvm_buffer_cap);
             Ok(Box::new(MioDb::open(opts)?))
         }
         EngineKind::NoveLsm | EngineKind::NoveLsmNoSst => {

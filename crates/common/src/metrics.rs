@@ -360,6 +360,22 @@ pub fn engine_registry(
                 );
             }
         }
+        let groups = t.write_group_size.snapshot();
+        if groups.count() > 0 {
+            r.summary(
+                "miodb_write_group_size",
+                "Operations coalesced per committed write group.",
+                &[],
+                &groups,
+                1.0,
+            );
+        }
+        r.gauge(
+            "miodb_commit_queue_depth",
+            "Writers currently enqueued on the commit queue.",
+            &[],
+            t.commit_queue_depth() as f64,
+        );
         r.counter(
             "miodb_trace_events_dropped_total",
             "Structured trace events discarded because the ring was full.",
@@ -558,6 +574,8 @@ mod tests {
         let t = EngineTelemetry::new(3, &TelemetryOptions::default());
         t.put_latency.record(1000);
         t.get_latency.record(2000);
+        t.write_group_size.record(4);
+        t.set_commit_queue_depth(2);
         t.level(0).unwrap().set_occupancy(1 << 20, 2);
         let report = EngineReport {
             name: "MioDB".to_string(),
@@ -576,6 +594,8 @@ mod tests {
             "miodb_stall_events_total{kind=\"cumulative\"}",
             "miodb_write_amplification",
             "miodb_engine_info{engine=\"MioDB\"} 1",
+            "miodb_write_group_size{quantile=\"0.5\"}",
+            "miodb_commit_queue_depth 2",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

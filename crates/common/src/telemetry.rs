@@ -121,6 +121,11 @@ pub struct EngineTelemetry {
     pub delete_latency: ConcurrentHistogram,
     /// `scan` latency in nanoseconds.
     pub scan_latency: ConcurrentHistogram,
+    /// Operations coalesced per committed write group (group-commit
+    /// pipeline; single-writer engines never record here).
+    pub write_group_size: ConcurrentHistogram,
+    /// Writers currently enqueued on the commit queue (gauge).
+    commit_queue_depth: AtomicU64,
     levels: Vec<LevelMetrics>,
     events: Option<EventRing>,
     trace_reads: AtomicBool,
@@ -147,6 +152,8 @@ impl EngineTelemetry {
             get_latency: ConcurrentHistogram::new(),
             delete_latency: ConcurrentHistogram::new(),
             scan_latency: ConcurrentHistogram::new(),
+            write_group_size: ConcurrentHistogram::new(),
+            commit_queue_depth: AtomicU64::new(0),
             levels: (0..num_levels).map(|_| LevelMetrics::default()).collect(),
             events: (opts.event_capacity > 0)
                 .then(|| EventRing::with_capacity(opts.event_capacity)),
@@ -157,10 +164,21 @@ impl EngineTelemetry {
             &t.get_latency,
             &t.delete_latency,
             &t.scan_latency,
+            &t.write_group_size,
         ] {
             h.set_enabled(opts.histograms);
         }
         t
+    }
+
+    /// Sets the commit-queue depth gauge (writers currently enqueued).
+    pub fn set_commit_queue_depth(&self, depth: u64) {
+        self.commit_queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Current commit-queue depth gauge value.
+    pub fn commit_queue_depth(&self) -> u64 {
+        self.commit_queue_depth.load(Ordering::Relaxed)
     }
 
     /// Nanoseconds since this engine's telemetry epoch (engine start).

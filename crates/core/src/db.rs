@@ -21,7 +21,7 @@
 //! repository.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -49,6 +49,109 @@ use crate::table::{MemTable, PmTable};
 /// can be blocked by a zero-copy merge.
 const MERGE_STEPS_PER_GATE: usize = 128;
 
+/// Cap on operations coalesced into one write group.
+const MAX_GROUP_OPS: usize = 256;
+
+/// Cap on worst-case arena bytes reserved by one write group (LevelDB caps
+/// group payloads at 1 MB for the same latency-fairness reason).
+const MAX_GROUP_BYTES: u64 = 1 << 20;
+
+/// Extra MemTable capacity requested when a rotation is forced by a group
+/// (head node + allocator slack), mirroring the legacy batch path.
+const GROUP_ROTATE_SLACK: usize = 4096;
+
+/// Spin iterations before a group participant parks on the commit
+/// condvar. Group handoffs are sub-microsecond (the WAL append is the only
+/// serialized device work), so parking immediately would put condvar
+/// wakeup latency — microseconds — on the critical path of every group.
+const COMMIT_SPINS: u32 = 4096;
+
+/// Yield iterations between spinning and parking: on a preempted or
+/// single-core host, yielding hands the CPU to the leader, which usually
+/// completes the handoff without paying a full park/unpark.
+const COMMIT_YIELDS: u32 = 64;
+
+/// Effective spin budget: busy-spinning burns the core the group leader
+/// needs to make progress, so hosts without spare parallelism skip the
+/// spin phase and go straight to yielding.
+fn commit_spins() -> u32 {
+    static SPINS: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *SPINS.get_or_init(|| match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => COMMIT_SPINS,
+        _ => 0,
+    })
+}
+
+/// Commit-queue writer phases (see [`PendingWrite::phase`]).
+const PH_WAITING: u8 = 0;
+const PH_INSERT: u8 = 1;
+const PH_INSERTED: u8 = 2;
+const PH_DONE: u8 = 3;
+
+/// One writer's pending operations on the commit queue.
+///
+/// Lifecycle: the owning thread enqueues it (`PH_WAITING`), a group leader
+/// logs its ops and hands it an insert task (`PH_INSERT`), the owning
+/// thread applies the inserts (`PH_INSERTED`), and the leader publishes
+/// the result and pops it from the queue (`PH_DONE`).
+struct PendingWrite {
+    ops: Vec<(Vec<u8>, Vec<u8>, OpKind)>,
+    /// Worst-case arena bytes for all ops (leader capacity reservation).
+    need: u64,
+    /// User key+value bytes (stats accounting, charged once per group).
+    user_bytes: u64,
+    phase: AtomicU8,
+    /// First sequence number of this writer's dense range, set by the
+    /// leader before `PH_INSERT`.
+    seq_base: AtomicU64,
+    /// MemTable + group sync handed over by the leader before `PH_INSERT`.
+    task: Mutex<Option<GroupTask>>,
+    /// Failure published to the owning writer (leader abort or its own
+    /// insert error).
+    err: Mutex<Option<Error>>,
+}
+
+/// What a group member needs to apply its inserts.
+struct GroupTask {
+    table: Arc<MemTable>,
+    sync: Arc<GroupSync>,
+}
+
+/// Countdown of group members whose MemTable inserts are outstanding; the
+/// leader drains it to zero before releasing the writer mutex.
+struct GroupSync {
+    remaining: AtomicUsize,
+}
+
+/// The commit queue: concurrent writers enqueue, the front writer leads.
+struct CommitQueue {
+    queue: Mutex<VecDeque<Arc<PendingWrite>>>,
+    /// Wakes parked writers on group handoff, group completion and leader
+    /// promotion.
+    cv: Condvar,
+}
+
+/// Duplicates an error for fan-out to every member of an aborted group
+/// (`Error` holds `std::io::Error` and cannot be `Clone`).
+fn clone_error(e: &Error) -> Error {
+    match e {
+        Error::Io(err) => Error::Background(format!("i/o error: {err}")),
+        Error::Corruption(s) => Error::Corruption(s.clone()),
+        Error::PoolExhausted {
+            requested,
+            available,
+        } => Error::PoolExhausted {
+            requested: *requested,
+            available: *available,
+        },
+        Error::ArenaFull => Error::ArenaFull,
+        Error::InvalidArgument(s) => Error::InvalidArgument(s.clone()),
+        Error::Closed => Error::Closed,
+        Error::Background(s) => Error::Background(s.clone()),
+        other => Error::Background(other.to_string()),
+    }
+}
+
 struct Level {
     /// Settled tables, oldest at the front.
     tables: VecDeque<Arc<PmTable>>,
@@ -75,6 +178,9 @@ struct Inner {
     seq: AtomicU64,
     mem: RwLock<MemState>,
     write_mutex: Mutex<()>,
+    /// Group-commit queue (`opts.write_pipeline`); writers coordinate here
+    /// before the leader takes `write_mutex` on the whole group's behalf.
+    commit: CommitQueue,
     imm_cv: Condvar,
     flush_flag: Mutex<bool>,
     flush_cv: Condvar,
@@ -315,6 +421,10 @@ impl MioDb {
             seq: AtomicU64::new(seq0),
             mem: RwLock::new(MemState { active, imm: None }),
             write_mutex: Mutex::new(()),
+            commit: CommitQueue {
+                queue: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            },
             imm_cv: Condvar::new(),
             flush_flag: Mutex::new(false),
             flush_cv: Condvar::new(),
@@ -422,13 +532,23 @@ impl MioDb {
     fn write(&self, key: &[u8], value: &[u8], kind: OpKind) -> Result<()> {
         self.check_usable()?;
         let t0 = Instant::now();
-        let guard = self.inner.write_mutex.lock();
-        Stats::add(
-            &self.inner.stats.user_bytes_written,
-            (key.len() + value.len()) as u64,
-        );
-        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
-        let r = self.insert_with_rotation(guard, key, value, seq, kind);
+        let r = if self.inner.opts.write_pipeline {
+            if key.len() > u32::MAX as usize || value.len() > u32::MAX as usize {
+                return Err(Error::InvalidArgument("key/value too large".to_string()));
+            }
+            match self.try_write_uncontended(key, value, kind) {
+                Some(r) => r,
+                None => self.write_grouped(vec![(key.to_vec(), value.to_vec(), kind)]),
+            }
+        } else {
+            let guard = self.inner.write_mutex.lock();
+            Stats::add(
+                &self.inner.stats.user_bytes_written,
+                (key.len() + value.len()) as u64,
+            );
+            let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
+            self.insert_with_rotation(guard, key, value, seq, kind)
+        };
         if r.is_ok() {
             let h = match kind {
                 OpKind::Put => &self.inner.telemetry.put_latency,
@@ -437,6 +557,275 @@ impl MioDb {
             h.record(dur_ns(t0.elapsed()));
         }
         r
+    }
+
+    /// Uncontended fast path for the pipeline: with no writers queued and
+    /// the writer mutex immediately available, grouping can only add
+    /// overhead (allocation, key/value copies, queue churn), so the write
+    /// runs the legacy single-writer protocol — the same mutex, the same
+    /// WAL-then-insert order, so every pipeline invariant holds. Returns
+    /// `None` when contended; the caller falls back to the commit queue,
+    /// which is exactly the regime where grouping wins.
+    fn try_write_uncontended(&self, key: &[u8], value: &[u8], kind: OpKind) -> Option<Result<()>> {
+        if !self.inner.commit.queue.lock().is_empty() {
+            return None;
+        }
+        let guard = self.inner.write_mutex.try_lock()?;
+        Stats::add(
+            &self.inner.stats.user_bytes_written,
+            (key.len() + value.len()) as u64,
+        );
+        self.inner.telemetry.write_group_size.record(1);
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        Some(self.insert_with_rotation(guard, key, value, seq, kind))
+    }
+
+    /// The group-commit write path: enqueue on the commit queue, then
+    /// either lead a group (if we reach the queue front) or follow (apply
+    /// our MemTable inserts when the leader releases us).
+    ///
+    /// Callers must have validated op sizes: a `write_grouped` op can only
+    /// fail on systemic errors, which abort the whole group, never on
+    /// per-op argument errors that would punish innocent group members.
+    fn write_grouped(&self, ops: Vec<(Vec<u8>, Vec<u8>, OpKind)>) -> Result<()> {
+        let inner = &*self.inner;
+        let need: u64 = ops
+            .iter()
+            .map(|(k, v, _)| miodb_skiplist::node_size_upper(k.len(), v.len()))
+            .sum();
+        let user_bytes: u64 = ops.iter().map(|(k, v, _)| (k.len() + v.len()) as u64).sum();
+        let w = Arc::new(PendingWrite {
+            ops,
+            need,
+            user_bytes,
+            phase: AtomicU8::new(PH_WAITING),
+            seq_base: AtomicU64::new(0),
+            task: Mutex::new(None),
+            err: Mutex::new(None),
+        });
+        {
+            let mut q = inner.commit.queue.lock();
+            q.push_back(w.clone());
+            inner.telemetry.set_commit_queue_depth(q.len() as u64);
+        }
+        let mut spun = 0u32;
+        loop {
+            match w.phase.load(Ordering::Acquire) {
+                PH_DONE => {
+                    return match w.err.lock().take() {
+                        Some(e) => Err(e),
+                        None => Ok(()),
+                    };
+                }
+                PH_INSERT => {
+                    self.run_group_insert(&w);
+                    spun = 0;
+                    continue;
+                }
+                PH_WAITING => {
+                    // The queue front is popped only when its group
+                    // completes, so being front while still WAITING means
+                    // no group is in flight: we are the leader.
+                    let am_front = {
+                        let q = inner.commit.queue.lock();
+                        q.front().is_some_and(|f| Arc::ptr_eq(f, &w))
+                    };
+                    if am_front && w.phase.load(Ordering::Acquire) == PH_WAITING {
+                        self.lead_group(&w);
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            // Spin briefly — group handoffs are sub-microsecond — then
+            // yield, then park until the leader wakes us.
+            let spins = commit_spins();
+            if spun < spins {
+                spun += 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            if spun < spins + COMMIT_YIELDS {
+                spun += 1;
+                std::thread::yield_now();
+                continue;
+            }
+            let mut q = inner.commit.queue.lock();
+            let ph = w.phase.load(Ordering::Acquire);
+            let is_front = q.front().is_some_and(|f| Arc::ptr_eq(f, &w));
+            if (ph == PH_WAITING && !is_front) || ph == PH_INSERTED {
+                inner.commit.cv.wait_for(&mut q, Duration::from_micros(500));
+            }
+        }
+    }
+
+    /// Applies one group member's MemTable inserts (CAS splicing, runs
+    /// concurrently with the other members) and counts it off the group.
+    fn run_group_insert(&self, w: &PendingWrite) {
+        let inner = &*self.inner;
+        let task = w.task.lock().take().expect("insert phase without task");
+        let seq_base = w.seq_base.load(Ordering::Acquire);
+        for (i, (key, value, kind)) in w.ops.iter().enumerate() {
+            if let Err(e) = task
+                .table
+                .insert_concurrent(key, value, seq_base + i as u64, *kind)
+            {
+                *w.err.lock() = Some(e);
+                break;
+            }
+        }
+        w.phase.store(PH_INSERTED, Ordering::Release);
+        if task.sync.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last insert of the group: wake the draining leader.
+            // Lock-then-notify closes its check-then-park window.
+            drop(inner.commit.queue.lock());
+            inner.commit.cv.notify_all();
+        }
+    }
+
+    /// Leads one write group: seals a queue prefix, reserves MemTable
+    /// capacity (rotating if needed), allocates one dense sequence range,
+    /// appends **one** combined WAL record, releases the members to insert
+    /// in parallel, drains them, and publishes the results.
+    ///
+    /// The writer mutex is held from capacity reservation until the last
+    /// member's insert lands, so rotation and snapshots never observe a
+    /// half-applied group — the same quiescence point the single-writer
+    /// path provides, now at group granularity.
+    fn lead_group(&self, lw: &Arc<PendingWrite>) {
+        let inner = &*self.inner;
+        // Seal the group: a prefix of the queue, bounded so one group
+        // cannot starve later arrivals or overrun a MemTable.
+        let group: Vec<Arc<PendingWrite>> = {
+            let q = inner.commit.queue.lock();
+            let mut g: Vec<Arc<PendingWrite>> = Vec::new();
+            let mut ops = 0usize;
+            let mut bytes = 0u64;
+            for w in q.iter() {
+                if !g.is_empty()
+                    && (ops + w.ops.len() > MAX_GROUP_OPS || bytes + w.need > MAX_GROUP_BYTES)
+                {
+                    break;
+                }
+                ops += w.ops.len();
+                bytes += w.need;
+                g.push(w.clone());
+            }
+            g
+        };
+        debug_assert!(Arc::ptr_eq(&group[0], lw), "leader must be queue front");
+        let total_ops: u64 = group.iter().map(|w| w.ops.len() as u64).sum();
+        let total_need: u64 = group.iter().map(|w| w.need).sum();
+        let total_user: u64 = group.iter().map(|w| w.user_bytes).sum();
+
+        let commit_res: Result<()> = (|| {
+            let mut guard = inner.write_mutex.lock();
+            // Reserve worst-case capacity for the whole group up front so
+            // no member can hit ArenaFull mid-flight.
+            loop {
+                {
+                    let active = inner.mem.read().active.clone();
+                    if active.arena().remaining_bytes() >= total_need {
+                        break;
+                    }
+                }
+                self.rotate_memtable(Some(&mut guard), total_need as usize + GROUP_ROTATE_SLACK)?;
+            }
+            let active = inner.mem.read().active.clone();
+            // One dense sequence range, one combined WAL record: the
+            // group's single modeled NVM append.
+            let seq_base = inner.seq.fetch_add(total_ops, Ordering::Relaxed) + 1;
+            let mut gops = Vec::with_capacity(total_ops as usize);
+            for w in &group {
+                for (key, value, kind) in &w.ops {
+                    gops.push(miodb_wal::GroupOp {
+                        key,
+                        value,
+                        kind: *kind,
+                    });
+                }
+            }
+            active.log_group(&gops, seq_base)?;
+            Stats::add(&inner.stats.user_bytes_written, total_user);
+            inner.telemetry.write_group_size.record(total_ops);
+
+            // Hand out the insert tasks. With spare cores the members
+            // splice into the MemTable in parallel (the leader's own
+            // inserts run on this thread); without them — a single-core
+            // host — waking a follower just to insert costs two context
+            // switches per member, so the leader applies every member's
+            // ops itself and followers wake once, at completion.
+            let leader_applies = commit_spins() == 0;
+            let sync = Arc::new(GroupSync {
+                remaining: AtomicUsize::new(group.len()),
+            });
+            let mut next_seq = seq_base;
+            for w in &group {
+                w.seq_base.store(next_seq, Ordering::Relaxed);
+                next_seq += w.ops.len() as u64;
+                *w.task.lock() = Some(GroupTask {
+                    table: active.clone(),
+                    sync: sync.clone(),
+                });
+                if !leader_applies && !Arc::ptr_eq(w, lw) {
+                    w.phase.store(PH_INSERT, Ordering::Release);
+                }
+            }
+            if leader_applies {
+                for w in &group {
+                    self.run_group_insert(w);
+                }
+            } else {
+                if group.len() > 1 {
+                    drop(inner.commit.queue.lock());
+                    inner.commit.cv.notify_all();
+                }
+                self.run_group_insert(lw);
+            }
+
+            // Drain the group before releasing the writer mutex.
+            let mut spun = 0u32;
+            let spins = commit_spins();
+            while sync.remaining.load(Ordering::Acquire) > 0 {
+                if spun < spins {
+                    spun += 1;
+                    std::hint::spin_loop();
+                    continue;
+                }
+                if spun < spins + COMMIT_YIELDS {
+                    spun += 1;
+                    std::thread::yield_now();
+                    continue;
+                }
+                let mut q = inner.commit.queue.lock();
+                if sync.remaining.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                inner.commit.cv.wait_for(&mut q, Duration::from_micros(500));
+            }
+            drop(guard);
+            Ok(())
+        })();
+
+        // Publish results, pop the group, promote the next leader.
+        let mut q = inner.commit.queue.lock();
+        for w in &group {
+            let front = q.pop_front().expect("group member missing from queue");
+            debug_assert!(Arc::ptr_eq(&front, w));
+            if let Err(e) = &commit_res {
+                *w.err.lock() = Some(clone_error(e));
+            }
+            w.phase.store(PH_DONE, Ordering::Release);
+        }
+        inner.telemetry.set_commit_queue_depth(q.len() as u64);
+        drop(q);
+        inner.commit.cv.notify_all();
+    }
+
+    /// Highest sequence number allocated so far (dense-sequence test
+    /// support and diagnostics).
+    pub fn last_sequence(&self) -> SequenceNumber {
+        self.inner.seq.load(Ordering::Acquire)
     }
 
     /// Insert assuming `write_mutex` is held by the caller (recovery path).
@@ -1676,17 +2065,44 @@ impl MioDb {
         }
         self.check_usable()?;
         let inner = &*self.inner;
-        let mut guard = inner.write_mutex.lock();
-        let user_bytes: u64 = batch
-            .ops
-            .iter()
-            .map(|(k, v, _)| (k.len() + v.len()) as u64)
-            .sum();
+        if inner.opts.write_pipeline {
+            for (k, v, _) in &batch.ops {
+                if k.len() > u32::MAX as usize || v.len() > u32::MAX as usize {
+                    return Err(Error::InvalidArgument("key/value too large".to_string()));
+                }
+            }
+            // Uncontended bypass, as in `write`: no queue, mutex free —
+            // the legacy batch protocol is strictly cheaper.
+            if inner.commit.queue.lock().is_empty() {
+                if let Some(guard) = inner.write_mutex.try_lock() {
+                    inner
+                        .telemetry
+                        .write_group_size
+                        .record(batch.ops.len() as u64);
+                    return self.write_batch_locked(guard, &batch.ops);
+                }
+            }
+            // A group record is all-or-nothing on replay — at least as
+            // strong as the legacy per-batch atomicity.
+            return self.write_grouped(batch.ops);
+        }
+        let guard = inner.write_mutex.lock();
+        self.write_batch_locked(guard, &batch.ops)
+    }
+
+    /// Applies a batch under an already-held writer mutex: one WAL record,
+    /// consecutive sequence numbers, rotating until the batch fits.
+    fn write_batch_locked(
+        &self,
+        mut guard: parking_lot::MutexGuard<'_, ()>,
+        ops: &[(Vec<u8>, Vec<u8>, OpKind)],
+    ) -> Result<()> {
+        let inner = &*self.inner;
+        let user_bytes: u64 = ops.iter().map(|(k, v, _)| (k.len() + v.len()) as u64).sum();
         Stats::add(&inner.stats.user_bytes_written, user_bytes);
-        let n = batch.ops.len() as u64;
+        let n = ops.len() as u64;
         let seq_base = inner.seq.fetch_add(n, Ordering::Relaxed) + 1;
-        let need: usize = batch
-            .ops
+        let need: usize = ops
             .iter()
             .map(|(k, v, _)| miodb_skiplist::node_size_upper(k.len(), v.len()) as usize)
             .sum::<usize>()
@@ -1694,7 +2110,7 @@ impl MioDb {
         loop {
             let r = {
                 let active = inner.mem.read().active.clone();
-                active.insert_batch(&batch.ops, seq_base)
+                active.insert_batch(ops, seq_base)
             };
             match r {
                 Ok(()) => return Ok(()),

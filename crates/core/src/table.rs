@@ -161,6 +161,43 @@ impl MemTable {
         Ok(())
     }
 
+    /// Logs a whole write group as **one** WAL record with consecutive
+    /// sequence numbers from `seq_base` — the group leader's single
+    /// modeled NVM append on behalf of every writer in the group. Indexing
+    /// happens afterwards via [`MemTable::insert_concurrent`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL allocation failures; nothing is logged on error.
+    pub fn log_group(
+        &self,
+        ops: &[miodb_wal::GroupOp<'_>],
+        seq_base: SequenceNumber,
+    ) -> Result<()> {
+        self.wal.append_group(ops, seq_base)
+    }
+
+    /// Inserts one already-logged entry concurrently with other group
+    /// members (CAS skip-list splicing; the bloom update takes a short
+    /// mutex).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`miodb_common::Error::ArenaFull`] if the arena cannot fit
+    /// the node — the group leader reserves worst-case capacity up front,
+    /// so this indicates a leader bug, but it is handled gracefully.
+    pub fn insert_concurrent(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        seq: SequenceNumber,
+        kind: OpKind,
+    ) -> Result<()> {
+        self.arena.insert_concurrent(key, value, seq, kind)?;
+        self.bloom.lock().insert(key);
+        Ok(())
+    }
+
     /// The underlying arena (flush path).
     pub fn arena(&self) -> &SkipListArena {
         &self.arena

@@ -10,13 +10,21 @@
 //!
 //! [`SkipListArena::insert`] takes `&self` so the arena can be shared, but
 //! callers must serialize writers externally (MioDB has a single foreground
-//! writer per MemTable, like LevelDB). Concurrent **readers** are safe at
-//! all times: nodes are fully written before the release-store that
-//! publishes them.
+//! writer per MemTable, like LevelDB). [`SkipListArena::insert_concurrent`]
+//! lifts that restriction: allocation becomes an atomic bump
+//! (`fetch_add`) and link splicing a per-level compare-and-swap with
+//! retry, so the members of one write group can insert in parallel
+//! (RocksDB's `allow_concurrent_memtable_write`). The two insert paths
+//! must not run at the same time on one arena — the engine guarantees
+//! this by holding the writer mutex for the duration of a group.
+//! Concurrent **readers** are safe at all times: nodes are fully written
+//! before the release/CAS that publishes them, and offsets are never
+//! reused within an arena so traversals cannot observe ABA.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use miodb_common::types::mv_cmp;
 use miodb_common::{Error, OpKind, Result, SequenceNumber};
 use miodb_pmem::{PmemPool, PmemRegion};
 
@@ -115,14 +123,18 @@ impl SkipListArena {
         self.region.offset
     }
 
-    /// Bytes consumed so far (head node included).
+    /// Bytes consumed so far (head node included). Clamped to the region
+    /// length: a failed concurrent reservation may leave the cursor past
+    /// the end, and flush copies exactly `used_bytes()`.
     pub fn used_bytes(&self) -> u64 {
-        self.cursor.load(Ordering::Acquire) - self.region.offset
+        (self.cursor.load(Ordering::Acquire) - self.region.offset).min(self.region.len)
     }
 
-    /// Bytes still available for nodes.
+    /// Bytes still available for nodes (0 once the cursor overshoots).
     pub fn remaining_bytes(&self) -> u64 {
-        self.region.end() - self.cursor.load(Ordering::Acquire)
+        self.region
+            .end()
+            .saturating_sub(self.cursor.load(Ordering::Acquire))
     }
 
     /// Number of data nodes.
@@ -158,18 +170,53 @@ impl SkipListArena {
     }
 
     fn random_height(&self) -> usize {
-        let mut s = self.rng.load(Ordering::Relaxed);
-        s ^= s << 13;
-        s ^= s >> 7;
-        s ^= s << 17;
-        self.rng.store(s, Ordering::Relaxed);
+        // Weyl increment + splitmix64 finish: `fetch_add` keeps the
+        // sequence collision-free under concurrent callers (a racy
+        // xorshift load/store would let two threads draw the same state).
+        let s = self.rng.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let mut bits = z ^ (z >> 31);
         let mut h = 1;
-        let mut bits = s;
         while h < MAX_HEIGHT && bits.is_multiple_of(BRANCH) {
             h += 1;
             bits /= BRANCH;
         }
         h
+    }
+
+    /// Reserves `size` bytes with an atomic bump, returning the node
+    /// offset. On exhaustion the cursor may be left past the region end —
+    /// `used_bytes`/`remaining_bytes` clamp for that — which is fine
+    /// because callers seal the table on [`Error::ArenaFull`].
+    fn alloc_node(&self, size: u64) -> Result<u64> {
+        let off = self.cursor.fetch_add(size, Ordering::AcqRel);
+        if off + size > self.region.end() {
+            return Err(Error::ArenaFull);
+        }
+        Ok(off)
+    }
+
+    /// Writes the node payload (header, key, value) at `off`, leaving the
+    /// tower unlinked. Shared by both insert paths.
+    fn write_node(
+        &self,
+        off: u64,
+        key: &[u8],
+        value: &[u8],
+        seq: SequenceNumber,
+        kind: OpKind,
+        height: usize,
+    ) {
+        let pool = &*self.pool;
+        raw::write_header(pool, off, seq, key.len(), value.len(), height, kind);
+        let kv_off = off + node::HEADER_BYTES + 8 * height as u64;
+        pool.write_bytes(kv_off, key);
+        if !value.is_empty() {
+            pool.write_bytes(kv_off + key.len() as u64, value);
+        }
+        pool.charge_write((node::HEADER_BYTES + 8 * height as u64) as usize);
     }
 
     /// Inserts a version of `key`. Multiple versions of the same key may
@@ -194,22 +241,11 @@ impl SkipListArena {
         }
         let height = self.random_height();
         let size = node_size(height, key.len(), value.len());
-        let cur = self.cursor.load(Ordering::Relaxed);
-        if cur + size > self.region.end() {
-            return Err(Error::ArenaFull);
-        }
-        self.cursor.store(cur + size, Ordering::Release);
-        let off = cur;
+        let off = self.alloc_node(size)?;
         let pool = &*self.pool;
 
         // Write the node fully before publication.
-        raw::write_header(pool, off, seq, key.len(), value.len(), height, kind);
-        let kv_off = off + node::HEADER_BYTES + 8 * height as u64;
-        pool.write_bytes(kv_off, key);
-        if !value.is_empty() {
-            pool.write_bytes(kv_off + key.len() as u64, value);
-        }
-        pool.charge_write((node::HEADER_BYTES + 8 * height as u64) as usize);
+        self.write_node(off, key, value, seq, kind, height);
 
         // Find predecessors and link bottom-up with release stores.
         let mut preds = [0u64; MAX_HEIGHT];
@@ -221,6 +257,75 @@ impl SkipListArena {
             pool.atomic_u64(raw::tower_slot(off, level))
                 .store(succ, Ordering::Relaxed);
             raw::set_next(pool, preds[level], level, off);
+        }
+        self.len.fetch_add(1, Ordering::Release);
+        self.data_bytes
+            .fetch_add((key.len() + value.len()) as u64, Ordering::Release);
+        Ok(())
+    }
+
+    /// Inserts a version of `key` concurrently with other
+    /// `insert_concurrent` callers on the same arena: allocation is an
+    /// atomic bump, and each tower level is spliced with a
+    /// compare-and-swap that retries after re-locating predecessors.
+    ///
+    /// Correctness notes:
+    /// - `(key, seq)` positions are unique (the engine allocates unique
+    ///   sequence numbers), so no two inserts compete for the same slot.
+    /// - The level-0 CAS uses release ordering, publishing the fully
+    ///   written node to acquire-side readers exactly like the
+    ///   single-writer path.
+    /// - Offsets are never recycled inside an arena, so a CAS cannot
+    ///   succeed against a stale-but-reallocated successor (no ABA).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ArenaFull`] when the arena cannot fit the node.
+    pub fn insert_concurrent(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        seq: SequenceNumber,
+        kind: OpKind,
+    ) -> Result<()> {
+        if key.len() > u32::MAX as usize || value.len() > u32::MAX as usize {
+            return Err(Error::InvalidArgument("key/value too large".to_string()));
+        }
+        let height = self.random_height();
+        let size = node_size(height, key.len(), value.len());
+        let off = self.alloc_node(size)?;
+        let pool = &*self.pool;
+
+        // Write the node fully before publication.
+        self.write_node(off, key, value, seq, kind, height);
+
+        let list = SkipList::from_raw(self.pool.clone(), self.region.offset);
+        let mut preds = [0u64; MAX_HEIGHT];
+        let _ = list.find_geq(key, seq, &mut preds);
+        for level in 0..height {
+            loop {
+                let pred = preds[level];
+                let succ = raw::next(pool, pred, level);
+                if succ != 0 {
+                    let sk = raw::key(pool, succ);
+                    let ss = raw::seq(pool, succ);
+                    if mv_cmp(sk, ss, key, seq) == std::cmp::Ordering::Less {
+                        // A racing insert landed between pred and us; the
+                        // cached predecessor is stale. Re-descend.
+                        let _ = list.find_geq(key, seq, &mut preds);
+                        continue;
+                    }
+                }
+                // Point our tower at the observed successor first; the
+                // successful CAS (release) then publishes node + link in
+                // one step.
+                pool.atomic_u64(raw::tower_slot(off, level))
+                    .store(succ, Ordering::Relaxed);
+                if raw::cas_next(pool, pred, level, succ, off) {
+                    break;
+                }
+                let _ = list.find_geq(key, seq, &mut preds);
+            }
         }
         self.len.fetch_add(1, Ordering::Release);
         self.data_bytes
@@ -380,6 +485,115 @@ mod tests {
         assert_eq!(first.key, b"k026");
         // Seeking past the end yields nothing.
         assert!(t.list().iter_from(b"z").next().is_none());
+    }
+
+    #[test]
+    fn concurrent_inserts_preserve_order_and_visibility() {
+        let t = Arc::new(arena(4 << 20));
+        let threads = 8usize;
+        let per = 1_500u64;
+        std::thread::scope(|s| {
+            for tid in 0..threads as u64 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        let k = format!("key{:06}", i * threads as u64 + tid);
+                        let v = format!("val{tid}-{i}");
+                        let seq = tid * per + i + 1;
+                        t.insert_concurrent(k.as_bytes(), v.as_bytes(), seq, OpKind::Put)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), threads * per as usize);
+        // Every key readable with the value written by its owner thread.
+        for tid in 0..threads as u64 {
+            for i in (0..per).step_by(97) {
+                let k = format!("key{:06}", i * threads as u64 + tid);
+                let r = t.list().get(k.as_bytes()).unwrap();
+                assert_eq!(r.value, format!("val{tid}-{i}").into_bytes());
+            }
+        }
+        // Level-0 walk is fully sorted and complete.
+        let mut n = 0usize;
+        let mut prev: Option<(Vec<u8>, u64)> = None;
+        for e in t.list().iter() {
+            if let Some((pk, ps)) = &prev {
+                assert!(
+                    mv_cmp(pk, *ps, &e.key, e.seq) == std::cmp::Ordering::Less,
+                    "order violated at {:?}",
+                    e.key
+                );
+            }
+            prev = Some((e.key.clone(), e.seq));
+            n += 1;
+        }
+        assert_eq!(n, threads * per as usize, "level-0 chain lost nodes");
+    }
+
+    #[test]
+    fn concurrent_inserts_on_same_key_keep_all_versions() {
+        let t = Arc::new(arena(4 << 20));
+        let threads = 6u64;
+        let per = 500u64;
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        let seq = tid * per + i + 1;
+                        t.insert_concurrent(b"hot", format!("{seq}").as_bytes(), seq, OpKind::Put)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(t.list().count_nodes(), (threads * per) as usize);
+        let r = t.list().get(b"hot").unwrap();
+        assert_eq!(r.seq, threads * per, "newest version must win");
+        // Versions iterate newest-first with no duplicates.
+        let seqs: Vec<u64> = t.list().iter().map(|e| e.seq).collect();
+        let want: Vec<u64> = (1..=threads * per).rev().collect();
+        assert_eq!(seqs, want);
+    }
+
+    #[test]
+    fn concurrent_arena_full_leaves_list_consistent() {
+        let t = Arc::new(arena(32 * 1024));
+        let full = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for tid in 0..4u64 {
+                let t = t.clone();
+                let full = full.clone();
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let k = format!("k{tid}-{i:04}");
+                        match t.insert_concurrent(
+                            k.as_bytes(),
+                            &[7u8; 128],
+                            tid * 200 + i + 1,
+                            OpKind::Put,
+                        ) {
+                            Ok(()) => {}
+                            Err(Error::ArenaFull) => {
+                                full.store(true, Ordering::Release);
+                                break;
+                            }
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                });
+            }
+        });
+        assert!(full.load(Ordering::Acquire), "arena was sized to overflow");
+        assert!(
+            t.used_bytes() <= t.region.len,
+            "used_bytes must stay clamped"
+        );
+        assert_eq!(t.remaining_bytes(), 0);
+        // Everything that was acknowledged is readable and ordered.
+        assert_eq!(t.list().count_nodes(), t.len());
     }
 
     #[test]

@@ -122,6 +122,23 @@ pub(crate) mod raw {
         pool.charge_write(8);
     }
 
+    /// Compare-and-swaps the successor at `level` from `current` to
+    /// `target`. Success publishes `target` with release ordering (all
+    /// prior stores to the new node become visible to acquire traversals)
+    /// and charges one modeled 8-byte device write; failure charges
+    /// nothing and the caller must re-locate its predecessors.
+    #[inline]
+    pub fn cas_next(pool: &PmemPool, off: u64, level: usize, current: u64, target: u64) -> bool {
+        let ok = pool
+            .atomic_u64(tower_slot(off, level))
+            .compare_exchange(current, target, Ordering::Release, Ordering::Relaxed)
+            .is_ok();
+        if ok {
+            pool.charge_write(8);
+        }
+        ok
+    }
+
     /// Writes the full node header (seq, lens, height, kind) without
     /// touching the tower.
     pub fn write_header(

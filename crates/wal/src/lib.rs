@@ -40,6 +40,19 @@ const SEGMENT_HEADER: usize = 16;
 /// Record kind byte marking a multi-operation batch payload.
 const BATCH_KIND: u8 = 2;
 
+/// One operation of a write group, borrowing the caller's buffers (the
+/// group leader logs on behalf of writers that are still parked, so no
+/// copy is taken).
+#[derive(Debug, Clone, Copy)]
+pub struct GroupOp<'a> {
+    /// User key.
+    pub key: &'a [u8],
+    /// Value (empty for tombstones).
+    pub value: &'a [u8],
+    /// Put or tombstone.
+    pub kind: OpKind,
+}
+
 /// One decoded log record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WalRecord {
@@ -121,14 +134,17 @@ impl WriteAheadLog {
                 "key/value too large for wal".to_string(),
             ));
         }
-        let mut payload = Vec::with_capacity(PAYLOAD_FIXED + key.len() + value.len());
-        payload.extend_from_slice(&seq.to_le_bytes());
-        payload.push(kind as u8);
-        payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
-        payload.extend_from_slice(&(value.len() as u32).to_le_bytes());
-        payload.extend_from_slice(key);
-        payload.extend_from_slice(value);
-        self.append_frame(payload)
+        let payload_len = PAYLOAD_FIXED + key.len() + value.len();
+        let mut buf = Vec::with_capacity(RECORD_HEADER + payload_len);
+        buf.extend_from_slice(&[0u8; 4]); // crc placeholder
+        buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        buf.extend_from_slice(&seq.to_le_bytes());
+        buf.push(kind as u8);
+        buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        buf.extend_from_slice(key);
+        buf.extend_from_slice(value);
+        self.append_record(buf)
     }
 
     /// Appends a whole batch as **one** crc-framed record: after a crash,
@@ -144,33 +160,60 @@ impl WriteAheadLog {
         entries: &[(Vec<u8>, Vec<u8>, OpKind)],
         seq_base: SequenceNumber,
     ) -> Result<()> {
-        let body: usize = entries.iter().map(|(k, v, _)| 9 + k.len() + v.len()).sum();
-        let mut payload = Vec::with_capacity(8 + 1 + 4 + body);
-        payload.extend_from_slice(&seq_base.to_le_bytes());
-        payload.push(BATCH_KIND);
-        payload.extend_from_slice(&(entries.len() as u32).to_le_bytes());
-        for (key, value, kind) in entries {
-            if key.len() > u32::MAX as usize || value.len() > u32::MAX as usize {
+        let ops: Vec<GroupOp<'_>> = entries
+            .iter()
+            .map(|(key, value, kind)| GroupOp {
+                key,
+                value,
+                kind: *kind,
+            })
+            .collect();
+        self.append_group(&ops, seq_base)
+    }
+
+    /// Appends a whole **write group** as one crc-framed record — the
+    /// group-commit fast path: one record header, one modeled NVM append
+    /// for every operation of every writer in the group. Operations
+    /// receive consecutive sequence numbers starting at `seq_base`, in
+    /// slice order, and replay all-or-nothing like a batch.
+    ///
+    /// The encode buffer is sized exactly from the group's byte length up
+    /// front, so large groups never reallocate mid-encode.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`WriteAheadLog::append`].
+    pub fn append_group(&self, ops: &[GroupOp<'_>], seq_base: SequenceNumber) -> Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let body: usize = ops.iter().map(|op| 9 + op.key.len() + op.value.len()).sum();
+        let payload_len = 8 + 1 + 4 + body;
+        let mut buf = Vec::with_capacity(RECORD_HEADER + payload_len);
+        buf.extend_from_slice(&[0u8; 4]); // crc placeholder
+        buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        buf.extend_from_slice(&seq_base.to_le_bytes());
+        buf.push(BATCH_KIND);
+        buf.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+        for op in ops {
+            if op.key.len() > u32::MAX as usize || op.value.len() > u32::MAX as usize {
                 return Err(Error::InvalidArgument(
                     "key/value too large for wal".to_string(),
                 ));
             }
-            payload.push(*kind as u8);
-            payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
-            payload.extend_from_slice(&(value.len() as u32).to_le_bytes());
-            payload.extend_from_slice(key);
-            payload.extend_from_slice(value);
+            buf.push(op.kind as u8);
+            buf.extend_from_slice(&(op.key.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&(op.value.len() as u32).to_le_bytes());
+            buf.extend_from_slice(op.key);
+            buf.extend_from_slice(op.value);
         }
-        self.append_frame(payload)
+        self.append_record(buf)
     }
 
-    fn append_frame(&self, payload: Vec<u8>) -> Result<()> {
-        let payload_len = payload.len();
-        let total = RECORD_HEADER + payload_len;
-        let mut buf = Vec::with_capacity(total);
-        buf.extend_from_slice(&[0u8; 4]); // crc placeholder
-        buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
-        buf.extend_from_slice(&payload);
+    /// Appends one fully framed record (`crc-placeholder | len | payload`),
+    /// patching the crc in place.
+    fn append_record(&self, mut buf: Vec<u8>) -> Result<()> {
+        let total = buf.len();
         let mut crc = Crc32::new();
         crc.update(&buf[4..]);
         buf[..4].copy_from_slice(&crc.finish().to_le_bytes());
@@ -523,6 +566,53 @@ mod tests {
         assert_eq!(records[1].key, b"b1");
         assert_eq!(records[2].kind, OpKind::Delete);
         assert_eq!(records[4].key, b"single2");
+    }
+
+    #[test]
+    fn group_append_replays_every_writer_in_order() {
+        let p = pool();
+        let wal = WriteAheadLog::new(p.clone(), 64 * 1024).unwrap();
+        // Three writers' ops coalesced into one group record.
+        let (k1, v1) = (b"w1-key".to_vec(), b"w1-val".to_vec());
+        let (k2, v2) = (b"w2-key".to_vec(), Vec::new());
+        let (k3, v3) = (b"w3-key".to_vec(), vec![9u8; 300]);
+        let ops = [
+            GroupOp {
+                key: &k1,
+                value: &v1,
+                kind: OpKind::Put,
+            },
+            GroupOp {
+                key: &k2,
+                value: &v2,
+                kind: OpKind::Delete,
+            },
+            GroupOp {
+                key: &k3,
+                value: &v3,
+                kind: OpKind::Put,
+            },
+        ];
+        let before = wal.bytes_written();
+        wal.append_group(&ops, 10).unwrap();
+        // One record for the whole group: framing overhead is a single
+        // header + batch prefix, not one header per op.
+        let body: usize = ops.iter().map(|op| 9 + op.key.len() + op.value.len()).sum();
+        assert_eq!(
+            wal.bytes_written() - before,
+            (RECORD_HEADER + 8 + 1 + 4 + body) as u64
+        );
+        let records = WriteAheadLog::replay(&p, &wal.segments()).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![10, 11, 12]
+        );
+        assert_eq!(records[1].kind, OpKind::Delete);
+        assert_eq!(records[2].value, v3);
+        // Empty groups are a no-op.
+        wal.append_group(&[], 13).unwrap();
+        assert_eq!(WriteAheadLog::replay(&p, &wal.segments()).unwrap().len(), 3);
     }
 
     #[test]

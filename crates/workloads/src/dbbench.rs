@@ -188,6 +188,62 @@ pub fn run_db_bench(
     })
 }
 
+/// Multi-threaded `fillrandom`: `threads` writers insert `n` unique keys
+/// concurrently (thread `t` takes permutation indices `i ≡ t mod threads`,
+/// so the union is exactly the `fillrandom` keyset with no duplicates).
+/// `elapsed_ns` is wall-clock across the whole storm, which is what
+/// `busy_ns` picks for overlapping clients, so `kops()` reports aggregate
+/// throughput.
+///
+/// # Errors
+///
+/// Propagates the first engine error from any writer thread.
+pub fn run_fill_concurrent(
+    engine: &dyn KvEngine,
+    n: u64,
+    value_len: usize,
+    threads: usize,
+) -> Result<BenchResult> {
+    let threads = threads.max(1);
+    let start = Instant::now();
+    let per_thread: Vec<Result<Histogram>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || -> Result<Histogram> {
+                    let vg = ValueGen::new(value_len);
+                    let mut latency = Histogram::new();
+                    let mut key_buf = Vec::with_capacity(16);
+                    let mut val_buf = Vec::with_capacity(value_len);
+                    let mut i = t as u64;
+                    while i < n {
+                        let k = permuted(i, n);
+                        KeyGen::key_into(k, &mut key_buf);
+                        vg.value_into(k, &mut val_buf);
+                        let t0 = Instant::now();
+                        engine.put(&key_buf, &val_buf)?;
+                        latency.record(t0.elapsed().as_nanos() as u64);
+                        i += threads as u64;
+                    }
+                    Ok(latency)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    let mut latency = Histogram::new();
+    for r in per_thread {
+        latency.merge(&r?);
+    }
+    Ok(BenchResult {
+        kind: BenchKind::FillRandom,
+        ops: n,
+        elapsed_ns,
+        latency,
+        hits: 0,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +336,25 @@ mod tests {
         run_db_bench(&e, BenchKind::FillSeq, 200, 0, 16, 1).unwrap();
         let r = run_db_bench(&e, BenchKind::SeekRandom, 100, 200, 16, 3).unwrap();
         assert_eq!(r.hits, 100, "every seek inside the keyspace finds a run");
+    }
+
+    #[test]
+    fn concurrent_fill_writes_every_key_once() {
+        let e = MapEngine::default();
+        let r = run_fill_concurrent(&e, 1000, 32, 4).unwrap();
+        assert_eq!(r.ops, 1000);
+        assert_eq!(r.latency.count(), 1000);
+        assert_eq!(
+            e.map.lock().len(),
+            1000,
+            "threads must partition the keyset"
+        );
+        for i in 0..1000u64 {
+            assert!(
+                e.map.lock().contains_key(&KeyGen::key(i)),
+                "key {i} missing"
+            );
+        }
     }
 
     #[test]

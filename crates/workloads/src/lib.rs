@@ -16,7 +16,7 @@ pub mod keygen;
 pub mod ycsb;
 pub mod zipfian;
 
-pub use dbbench::{run_db_bench, BenchKind, BenchResult};
+pub use dbbench::{run_db_bench, run_fill_concurrent, BenchKind, BenchResult};
 pub use keygen::{KeyGen, ValueGen};
 pub use ycsb::{run_ycsb, YcsbResult, YcsbSpec, YcsbWorkload};
 pub use zipfian::{Latest, ScrambledZipfian, Uniform, Zipfian};
