@@ -1,0 +1,432 @@
+//! Closed-loop network benchmark for the sharded service layer.
+//!
+//! ```text
+//! netbench [--shards N] [--connections N] [--seconds F] [--records N]
+//!          [--value-len N] [--pipeline-depth N] [--throttled]
+//! ```
+//!
+//! Starts an in-process [`KvServer`] over a [`ShardRouter`] of MioDB
+//! instances on an ephemeral localhost port, then drives it with N
+//! closed-loop client connections: a fill phase loading `--records` keys,
+//! followed by `--seconds` of a YCSB-A-style 50/50 read/update mix over
+//! uniformly random keys. Each connection keeps `--pipeline-depth`
+//! requests in flight, which is where wire throughput comes from.
+//!
+//! Prints a summary table and writes `BENCH_server.json` with throughput
+//! and client-observed p50/p99/p99.9 latency per opcode and phase. Exits
+//! nonzero if either phase completes zero operations, so CI can use a
+//! short run as a smoke test.
+
+use std::collections::VecDeque;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use miodb_bench::{print_header, print_row};
+use miodb_client::KvClient;
+use miodb_common::{Histogram, Opcode, Request, Response, Result};
+use miodb_core::MioOptions;
+use miodb_pmem::DeviceModel;
+use miodb_server::{KvServer, ServerOptions, ShardRouter};
+
+#[derive(Clone)]
+struct Config {
+    shards: usize,
+    connections: usize,
+    seconds: f64,
+    records: u64,
+    value_len: usize,
+    pipeline_depth: usize,
+    throttled: bool,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            shards: 4,
+            connections: 4,
+            seconds: 10.0,
+            records: 20_000,
+            value_len: 256,
+            pipeline_depth: 32,
+            throttled: false,
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("bad or missing value for {flag}");
+        std::process::exit(2)
+    })
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--shards" => {
+                i += 1;
+                cfg.shards = parse_num(flag, args.get(i));
+            }
+            "--connections" => {
+                i += 1;
+                cfg.connections = parse_num(flag, args.get(i));
+            }
+            "--seconds" => {
+                i += 1;
+                cfg.seconds = parse_num(flag, args.get(i));
+            }
+            "--records" => {
+                i += 1;
+                cfg.records = parse_num(flag, args.get(i));
+            }
+            "--value-len" => {
+                i += 1;
+                cfg.value_len = parse_num(flag, args.get(i));
+            }
+            "--pipeline-depth" => {
+                i += 1;
+                cfg.pipeline_depth = parse_num(flag, args.get(i));
+            }
+            "--throttled" => cfg.throttled = true,
+            other => {
+                eprintln!(
+                    "unknown flag: {other}\nusage: netbench [--shards N] [--connections N] \
+                     [--seconds F] [--records N] [--value-len N] [--pipeline-depth N] [--throttled]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    cfg.shards = cfg.shards.max(1);
+    cfg.connections = cfg.connections.max(1);
+    cfg.records = cfg.records.max(1);
+    cfg.pipeline_depth = cfg.pipeline_depth.max(1);
+    cfg
+}
+
+fn main() {
+    let cfg = parse_args();
+    if let Err(e) = run(&cfg) {
+        eprintln!("netbench failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// One phase's client-side measurements for a single connection.
+struct ConnResult {
+    ops: u64,
+    get_lat: Histogram,
+    put_lat: Histogram,
+}
+
+impl ConnResult {
+    fn new() -> ConnResult {
+        ConnResult {
+            ops: 0,
+            get_lat: Histogram::new(),
+            put_lat: Histogram::new(),
+        }
+    }
+}
+
+/// Tiny deterministic PRNG (xorshift64*) so the benchmark needs no
+/// external randomness source and runs are reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn key_bytes(k: u64) -> Vec<u8> {
+    format!("user{k:016}").into_bytes()
+}
+
+/// Drives one connection closed-loop: keeps `depth` requests in flight,
+/// records the wall-clock send→receive latency of every response, and
+/// stops once `make_req` returns `None` and all in-flight responses have
+/// drained.
+fn drive(
+    addr: SocketAddr,
+    depth: usize,
+    mut make_req: impl FnMut() -> Option<Request>,
+    result: &mut ConnResult,
+) -> Result<()> {
+    let mut client = KvClient::connect(addr)?;
+    let mut inflight: VecDeque<(Opcode, Instant)> = VecDeque::with_capacity(depth);
+    loop {
+        while inflight.len() < depth {
+            match make_req() {
+                Some(req) => {
+                    let op = req.opcode();
+                    client.send(&req)?;
+                    inflight.push_back((op, Instant::now()));
+                }
+                None => break,
+            }
+        }
+        if inflight.is_empty() {
+            break;
+        }
+        client.flush()?;
+        // Drain one response (blocking) plus everything else already
+        // buffered, so the next refill sends a batch — not one frame.
+        loop {
+            let (_, resp) = client.recv()?;
+            let (op, sent) = inflight.pop_front().expect("response matches a send");
+            let ns = sent.elapsed().as_nanos() as u64;
+            match op {
+                Opcode::Get => result.get_lat.record(ns),
+                _ => result.put_lat.record(ns),
+            }
+            if let Response::Err(msg) = resp {
+                return Err(miodb_common::Error::Background(format!(
+                    "server error: {msg}"
+                )));
+            }
+            result.ops += 1;
+            if inflight.is_empty() || client.buffered() == 0 {
+                break;
+            }
+        }
+    }
+    client.close()
+}
+
+struct PhaseSummary {
+    name: &'static str,
+    ops: u64,
+    elapsed: Duration,
+    get_lat: Histogram,
+    put_lat: Histogram,
+}
+
+impl PhaseSummary {
+    fn kops(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9) / 1e3
+    }
+}
+
+/// Runs `per_conn` closures on one thread per connection and aggregates.
+fn run_phase(
+    name: &'static str,
+    addr: SocketAddr,
+    cfg: &Config,
+    per_conn: impl Fn(usize) -> Box<dyn FnMut() -> Option<Request> + Send>,
+) -> Result<PhaseSummary> {
+    let started = Instant::now();
+    let results: Vec<Result<ConnResult>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.connections)
+            .map(|c| {
+                let mut make_req = per_conn(c);
+                let depth = cfg.pipeline_depth;
+                s.spawn(move || {
+                    let mut r = ConnResult::new();
+                    drive(addr, depth, &mut make_req, &mut r)?;
+                    Ok(r)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("driver thread panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let mut ops = 0;
+    let mut get_lat = Histogram::new();
+    let mut put_lat = Histogram::new();
+    for r in results {
+        let r = r?;
+        ops += r.ops;
+        get_lat.merge(&r.get_lat);
+        put_lat.merge(&r.put_lat);
+    }
+    Ok(PhaseSummary {
+        name,
+        ops,
+        elapsed,
+        get_lat,
+        put_lat,
+    })
+}
+
+fn lat_json(label: &str, h: &Histogram) -> String {
+    format!(
+        "\"{label}\":{{\"count\":{},\"mean_us\":{:.2},\"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1}}}",
+        h.count(),
+        h.mean() / 1e3,
+        h.percentile(50.0) as f64 / 1e3,
+        h.percentile(99.0) as f64 / 1e3,
+        h.percentile(99.9) as f64 / 1e3,
+    )
+}
+
+fn print_phase(p: &PhaseSummary) {
+    let widths = [8usize, 10, 10, 8, 10, 10, 10];
+    for (op, h) in [("put", &p.put_lat), ("get", &p.get_lat)] {
+        if h.count() == 0 {
+            continue;
+        }
+        print_row(
+            &[
+                p.name.to_string(),
+                op.to_string(),
+                format!("{}", h.count()),
+                format!("{:.1}", p.kops()),
+                format!("{:.1}", h.percentile(50.0) as f64 / 1e3),
+                format!("{:.1}", h.percentile(99.0) as f64 / 1e3),
+                format!("{:.1}", h.percentile(99.9) as f64 / 1e3),
+            ],
+            &widths,
+        );
+    }
+}
+
+fn run(cfg: &Config) -> Result<()> {
+    // Server side: a shard router over `--shards` MioDB instances. The
+    // device model is unthrottled by default — netbench measures the
+    // service layer; `--throttled` adds the NVM timing model back.
+    let mut opts = MioOptions {
+        memtable_bytes: 1 << 20,
+        nvm_pool_bytes: 1 << 30,
+        dram_pool_bytes: 64 << 20,
+        name: "MioDB-net".to_string(),
+        ..MioOptions::default()
+    };
+    if !cfg.throttled {
+        opts.nvm_device = DeviceModel::nvm_unthrottled();
+    }
+    let router = Arc::new(ShardRouter::open_miodb(&opts, cfg.shards)?);
+    let server = KvServer::start(
+        "127.0.0.1:0",
+        Arc::clone(&router) as Arc<dyn miodb_common::KvEngine>,
+        ServerOptions::default(),
+    )?;
+    let addr = server.local_addr();
+    eprintln!(
+        "[netbench] serving {} shards on {addr}; {} connections, depth {}, {} records, {}s run",
+        cfg.shards, cfg.connections, cfg.pipeline_depth, cfg.records, cfg.seconds
+    );
+
+    // Phase 1: fill. Connections split the keyspace into contiguous
+    // stripes so every record is written exactly once.
+    let records = cfg.records;
+    let connections = cfg.connections as u64;
+    let value_len = cfg.value_len;
+    let fill = run_phase("fill", addr, cfg, |c| {
+        let lo = records * c as u64 / connections;
+        let hi = records * (c as u64 + 1) / connections;
+        let mut next = lo;
+        Box::new(move || {
+            if next >= hi {
+                return None;
+            }
+            let k = next;
+            next += 1;
+            Some(Request::Put {
+                key: key_bytes(k),
+                value: vec![b'x'; value_len],
+            })
+        })
+    })?;
+
+    // Phase 2: YCSB-A-style 50/50 read/update over uniform random keys,
+    // bounded by wall-clock time.
+    let deadline = Instant::now() + Duration::from_secs_f64(cfg.seconds);
+    let ycsb = run_phase("ycsb-a", addr, cfg, |c| {
+        let mut rng = Rng(0x9E37_79B9_7F4A_7C15 ^ (c as u64 + 1));
+        Box::new(move || {
+            if Instant::now() >= deadline {
+                return None;
+            }
+            let k = rng.next() % records;
+            if rng.next().is_multiple_of(2) {
+                Some(Request::Get { key: key_bytes(k) })
+            } else {
+                Some(Request::Put {
+                    key: key_bytes(k),
+                    value: vec![b'y'; value_len],
+                })
+            }
+        })
+    })?;
+
+    // Server-side view: scrape STATS over the wire like a client would.
+    let mut probe = KvClient::connect(addr)?;
+    let stats_text = probe.stats()?;
+    probe.close()?;
+    let served = server.telemetry().requests_total();
+
+    println!(
+        "\n== netbench: {} shards, {} connections, depth {} ==",
+        cfg.shards, cfg.connections, cfg.pipeline_depth
+    );
+    let widths = [8usize, 10, 10, 8, 10, 10, 10];
+    print_header(
+        &[
+            "phase",
+            "op",
+            "count",
+            "Kops",
+            "p50(us)",
+            "p99(us)",
+            "p99.9(us)",
+        ],
+        &widths,
+    );
+    print_phase(&fill);
+    print_phase(&ycsb);
+    for line in stats_text
+        .lines()
+        .filter(|l| l.starts_with("miodb_server_"))
+        .take(6)
+    {
+        eprintln!("  [server] {line}");
+    }
+
+    server.shutdown();
+    router.close()?;
+
+    let json = format!(
+        "{{\"experiment\":\"netbench\",\"shards\":{},\"connections\":{},\"pipeline_depth\":{},\"value_len\":{},\"records\":{},\"throttled\":{},\"requests_served\":{served},\"phases\":[\n  {},\n  {}\n]}}\n",
+        cfg.shards,
+        cfg.connections,
+        cfg.pipeline_depth,
+        cfg.value_len,
+        cfg.records,
+        cfg.throttled,
+        phase_json(&fill),
+        phase_json(&ycsb),
+    );
+    std::fs::write("BENCH_server.json", json).map_err(miodb_common::Error::Io)?;
+    eprintln!("[netbench results written to BENCH_server.json]");
+
+    if fill.ops == 0 || ycsb.ops == 0 {
+        eprintln!("netbench: a phase completed zero operations");
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+fn phase_json(p: &PhaseSummary) -> String {
+    format!(
+        "{{\"phase\":\"{}\",\"ops\":{},\"elapsed_ns\":{},\"kops\":{:.2},{},{}}}",
+        p.name,
+        p.ops,
+        p.elapsed.as_nanos(),
+        p.kops(),
+        lat_json("put", &p.put_lat),
+        lat_json("get", &p.get_lat),
+    )
+}

@@ -21,6 +21,47 @@ use miodb_workloads::{
     run_db_bench, run_fill_concurrent, run_ycsb, BenchKind, YcsbSpec, YcsbWorkload,
 };
 
+/// Every experiment with the paper artifact it reproduces, for `--list`
+/// and the no-argument usage message.
+const EXPERIMENTS: &[(&str, &str)] = &[
+    (
+        "fig2",
+        "motivation: stall/read breakdown, flush throughput, WA",
+    ),
+    ("fig6", "db_bench write/read throughput vs value size"),
+    (
+        "table1",
+        "cost analysis: stalls, deserialization, flushing, WA",
+    ),
+    ("fig7", "YCSB throughput (Load, A-F)"),
+    ("table2", "YCSB-A tail latencies, in-memory mode"),
+    ("fig8", "YCSB-A latency timeline (stall spikes)"),
+    ("fig9", "performance vs elastic-level count"),
+    ("fig10", "write/read throughput vs dataset size"),
+    ("fig11", "write amplification vs dataset size"),
+    ("fig12", "flushing latency/throughput vs MemTable size"),
+    ("fig13", "DRAM-NVM-SSD mode throughput + YCSB"),
+    ("table3", "YCSB-A tail latencies, DRAM-NVM-SSD mode"),
+    ("fig14", "throughput vs NVM buffer size, tiered mode"),
+    (
+        "scaling",
+        "fillrandom vs writer threads (group-commit pipeline)",
+    ),
+    ("all", "every experiment above, in order"),
+];
+
+fn print_experiments(mut out: impl std::io::Write) {
+    let _ = writeln!(out, "usage: repro [--scale-mb N] [--quick] <experiment>\n");
+    let _ = writeln!(out, "experiments:");
+    for (name, what) in EXPERIMENTS {
+        let _ = writeln!(out, "  {name:<8} {what}");
+    }
+    let _ = writeln!(
+        out,
+        "\n  --scale-mb N  dataset size in MiB (default 48)\n  --quick       shrink datasets and sweeps for a fast pass\n  --list        print this summary and exit"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale_mb: u64 = 48;
@@ -34,6 +75,10 @@ fn main() {
                 scale_mb = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(48);
             }
             "--quick" => quick = true,
+            "--list" | "--help" | "-h" => {
+                print_experiments(std::io::stdout());
+                return;
+            }
             other => cmd = other.to_string(),
         }
         i += 1;
@@ -43,7 +88,7 @@ fn main() {
     }
     let dataset = scale_mb << 20;
     if cmd.is_empty() {
-        eprintln!("usage: repro [--scale-mb N] [--quick] <fig2|fig6|table1|fig7|table2|fig8|fig9|fig10|fig11|fig12|fig13|table3|fig14|scaling|all>");
+        print_experiments(std::io::stderr());
         std::process::exit(2);
     }
     let t0 = Instant::now();
@@ -64,7 +109,8 @@ fn main() {
         "scaling" => scaling(dataset, quick),
         "all" => all(dataset, quick),
         other => {
-            eprintln!("unknown experiment: {other}");
+            eprintln!("unknown experiment: {other}\n");
+            print_experiments(std::io::stderr());
             std::process::exit(2);
         }
     };

@@ -1,0 +1,246 @@
+//! Blocking TCP client for the MioDB wire protocol.
+//!
+//! [`KvClient`] wraps one connection with buffered reads and writes. The
+//! convenience methods ([`put`](KvClient::put), [`get`](KvClient::get), …)
+//! are strict request/response round trips; the pipelining primitives
+//! ([`send`](KvClient::send) / [`flush`](KvClient::flush) /
+//! [`recv`](KvClient::recv), or [`pipeline`](KvClient::pipeline)) keep many
+//! requests in flight on one connection, which is where the protocol's
+//! throughput comes from — the server answers strictly in request order,
+//! so responses match sends positionally.
+//!
+//! ```no_run
+//! use miodb_client::KvClient;
+//!
+//! let mut c = KvClient::connect("127.0.0.1:7878").unwrap();
+//! c.put(b"k", b"v").unwrap();
+//! assert_eq!(c.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
+//! ```
+
+#![deny(missing_docs)]
+
+use miodb_common::proto::{self, Request, Response};
+use miodb_common::{Error, OpKind, Result, ScanEntry};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+
+/// One blocking connection to a MioDB server.
+#[derive(Debug)]
+pub struct KvClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u32,
+}
+
+impl KvClient {
+    /// Connects and disables Nagle (the protocol already batches via
+    /// explicit flushes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the connection fails.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<KvClient> {
+        let stream = TcpStream::connect(addr).map_err(Error::Io)?;
+        stream.set_nodelay(true).map_err(Error::Io)?;
+        let read_half = stream.try_clone().map_err(Error::Io)?;
+        Ok(KvClient {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            next_id: 1,
+        })
+    }
+
+    // ----- pipelining primitives -------------------------------------
+
+    /// Buffers one request; returns the id its response will echo. Call
+    /// [`flush`](KvClient::flush) to put buffered requests on the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on write failure.
+    pub fn send(&mut self, req: &Request) -> Result<u32> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        proto::write_request(&mut self.writer, id, req).map_err(Error::Io)?;
+        Ok(id)
+    }
+
+    /// Flushes buffered requests to the socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on write failure.
+    pub fn flush(&mut self) -> Result<()> {
+        self.writer.flush().map_err(Error::Io)
+    }
+
+    /// Reads the next response frame (blocking). Responses arrive in
+    /// request order; the returned id echoes the matching [`send`].
+    ///
+    /// An in-band server error decodes as [`Response::Err`] — it is *not*
+    /// turned into `Err(_)` here, because in a pipeline the caller must
+    /// still pair it with its request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on transport failure (including the server
+    /// closing the connection) and [`Error::Corruption`] for frames that
+    /// fail CRC or decoding.
+    ///
+    /// [`send`]: KvClient::send
+    pub fn recv(&mut self) -> Result<(u32, Response)> {
+        match proto::read_frame(&mut self.reader)? {
+            None => Err(Error::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+            Some(frame) => {
+                let resp = Response::decode(frame.opcode, &frame.body)?;
+                Ok((frame.id, resp))
+            }
+        }
+    }
+
+    /// Bytes already buffered on the read side. Nonzero means at least
+    /// part of a response frame has arrived, so a [`recv`](KvClient::recv)
+    /// will return promptly — closed-loop drivers use this to drain every
+    /// available response before refilling the pipeline, keeping requests
+    /// and responses batched instead of degenerating into one-frame
+    /// ping-pong.
+    pub fn buffered(&self) -> usize {
+        self.reader.buffer().len()
+    }
+
+    /// Sends `reqs` back to back with one flush, then collects their
+    /// responses in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first transport or decode error; in-band
+    /// [`Response::Err`] values are returned in the vector.
+    pub fn pipeline(&mut self, reqs: &[Request]) -> Result<Vec<Response>> {
+        for req in reqs {
+            self.send(req)?;
+        }
+        self.flush()?;
+        let mut out = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            out.push(self.recv()?.1);
+        }
+        Ok(out)
+    }
+
+    // ----- one-shot convenience calls --------------------------------
+
+    fn round_trip(&mut self, req: &Request) -> Result<Response> {
+        let id = self.send(req)?;
+        self.flush()?;
+        let (got_id, resp) = self.recv()?;
+        // Err first: out-of-band refusals (connection limit) carry id 0.
+        if let Response::Err(msg) = resp {
+            return Err(Error::Background(msg));
+        }
+        if got_id != id {
+            return Err(Error::Corruption(format!(
+                "response id {got_id} does not match request id {id}"
+            )));
+        }
+        Ok(resp)
+    }
+
+    /// Inserts or overwrites `key`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`Error::Background`] carrying the server's
+    /// error message.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        match self.round_trip(&Request::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("PUT", &other)),
+        }
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`KvClient::put`].
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        match self.round_trip(&Request::Get { key: key.to_vec() })? {
+            Response::Value(v) => Ok(v),
+            other => Err(unexpected("GET", &other)),
+        }
+    }
+
+    /// Deletes `key`.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`KvClient::put`].
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        match self.round_trip(&Request::Delete { key: key.to_vec() })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("DELETE", &other)),
+        }
+    }
+
+    /// Returns up to `limit` entries with keys `>= start`, ascending,
+    /// merged across the server's shards.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`KvClient::put`].
+    pub fn scan(&mut self, start: &[u8], limit: u32) -> Result<Vec<ScanEntry>> {
+        match self.round_trip(&Request::Scan {
+            start: start.to_vec(),
+            limit,
+        })? {
+            Response::Entries(entries) => Ok(entries),
+            other => Err(unexpected("SCAN", &other)),
+        }
+    }
+
+    /// Applies `(key, value, kind)` operations in order as one request.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`KvClient::put`].
+    pub fn batch(&mut self, ops: Vec<(Vec<u8>, Vec<u8>, OpKind)>) -> Result<()> {
+        match self.round_trip(&Request::Batch { ops })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("BATCH", &other)),
+        }
+    }
+
+    /// Fetches the server's metrics in Prometheus text exposition format
+    /// (engine families plus `miodb_server_*` service families).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`KvClient::put`].
+    pub fn stats(&mut self) -> Result<String> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(text) => Ok(text),
+            other => Err(unexpected("STATS", &other)),
+        }
+    }
+
+    /// Flushes outstanding writes and shuts the connection down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the final flush fails.
+    pub fn close(mut self) -> Result<()> {
+        self.writer.flush().map_err(Error::Io)?;
+        let _ = self.writer.get_ref().shutdown(Shutdown::Both);
+        Ok(())
+    }
+}
+
+fn unexpected(what: &str, resp: &Response) -> Error {
+    Error::Corruption(format!("unexpected {what} response: {resp:?}"))
+}

@@ -13,6 +13,10 @@
 //! - [`telemetry`]: per-engine telemetry (op histograms, level metrics,
 //!   event emission) behind the [`telemetry::TelemetryOptions`] knob,
 //! - [`metrics`]: Prometheus/JSON exposition of all of the above,
+//! - [`proto`]: the length-prefixed CRC-protected network wire protocol
+//!   spoken by `miodb-server` and `miodb-client`,
+//! - [`service`]: connection gauges and per-opcode request histograms for
+//!   the network service layer,
 //! - [`engine`]: the [`engine::KvEngine`] trait implemented by
 //!   MioDB and every baseline so that workloads can drive them uniformly.
 
@@ -23,6 +27,8 @@ pub mod error;
 pub mod events;
 pub mod histogram;
 pub mod metrics;
+pub mod proto;
+pub mod service;
 pub mod stats;
 pub mod telemetry;
 pub mod types;
@@ -33,6 +39,8 @@ pub use error::{Error, Result};
 pub use events::{CompactionKind, Event, EventKind, EventRing, StallKind};
 pub use histogram::Histogram;
 pub use metrics::MetricsRegistry;
+pub use proto::{Opcode, Request, Response};
+pub use service::ServiceTelemetry;
 pub use stats::Stats;
 pub use telemetry::{EngineTelemetry, LevelMetrics, TelemetryOptions};
 pub use types::{OpKind, SequenceNumber, MAX_SEQUENCE_NUMBER};

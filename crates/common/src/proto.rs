@@ -1,0 +1,630 @@
+//! The network wire protocol shared by `miodb-server` and `miodb-client`.
+//!
+//! Frames are length-prefixed and CRC-protected so a stream can be parsed
+//! incrementally and corruption is detected before any payload is trusted:
+//!
+//! ```text
+//! [u32 len][u8 version][u8 opcode][u32 request_id][body ...][u32 crc32]
+//!  ^len counts everything after itself (header + body + crc)
+//!  ^crc32 covers version..body (everything between len and crc)
+//! ```
+//!
+//! All integers are little-endian. `request_id` is chosen by the client and
+//! echoed verbatim in the response so pipelined requests can be matched to
+//! their answers (the server always responds in request order; the id is a
+//! cross-check, not a reordering mechanism). Responses set the high bit of
+//! the request's opcode; errors use the dedicated [`OP_ERR`] opcode.
+
+use crate::crc32::crc32;
+use crate::engine::ScanEntry;
+use crate::error::{Error, Result};
+use crate::types::OpKind;
+use std::io::{Read, Write};
+
+/// Protocol version carried in every frame header.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Largest accepted frame body: bounds allocation from untrusted input.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Response frames set this bit on the request's opcode.
+pub const RESPONSE_BIT: u8 = 0x80;
+
+/// Error-response opcode (any request can fail).
+pub const OP_ERR: u8 = 0x7F;
+
+/// Fixed header bytes after the length prefix (version + opcode + id).
+const HEADER_BYTES: usize = 6;
+
+/// Request opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Point lookup.
+    Get = 1,
+    /// Insert/overwrite.
+    Put = 2,
+    /// Tombstone write.
+    Delete = 3,
+    /// Ordered range read from a start key.
+    Scan = 4,
+    /// Multiple put/delete operations in one frame.
+    Batch = 5,
+    /// Engine + service metrics in Prometheus text format.
+    Stats = 6,
+}
+
+impl Opcode {
+    /// All opcodes, for per-opcode metric tables.
+    pub const ALL: [Opcode; 6] = [
+        Opcode::Get,
+        Opcode::Put,
+        Opcode::Delete,
+        Opcode::Scan,
+        Opcode::Batch,
+        Opcode::Stats,
+    ];
+
+    /// Parses a wire opcode byte (without the response bit).
+    pub fn from_u8(b: u8) -> Option<Opcode> {
+        match b {
+            1 => Some(Opcode::Get),
+            2 => Some(Opcode::Put),
+            3 => Some(Opcode::Delete),
+            4 => Some(Opcode::Scan),
+            5 => Some(Opcode::Batch),
+            6 => Some(Opcode::Stats),
+            _ => None,
+        }
+    }
+
+    /// Lower-case label for metrics and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Opcode::Get => "get",
+            Opcode::Put => "put",
+            Opcode::Delete => "delete",
+            Opcode::Scan => "scan",
+            Opcode::Batch => "batch",
+            Opcode::Stats => "stats",
+        }
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Point lookup.
+    Get {
+        /// Key to look up.
+        key: Vec<u8>,
+    },
+    /// Insert/overwrite.
+    Put {
+        /// Key to write.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Tombstone write.
+    Delete {
+        /// Key to delete.
+        key: Vec<u8>,
+    },
+    /// Up to `limit` entries with keys `>= start`, ascending.
+    Scan {
+        /// First candidate key.
+        start: Vec<u8>,
+        /// Maximum entries returned.
+        limit: u32,
+    },
+    /// Multiple put/delete operations applied in order.
+    Batch {
+        /// `(key, value, kind)` triples; `value` is empty for deletes.
+        ops: Vec<(Vec<u8>, Vec<u8>, OpKind)>,
+    },
+    /// Metrics snapshot request.
+    Stats,
+}
+
+impl Request {
+    /// The request's wire opcode.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Request::Get { .. } => Opcode::Get,
+            Request::Put { .. } => Opcode::Put,
+            Request::Delete { .. } => Opcode::Delete,
+            Request::Scan { .. } => Opcode::Scan,
+            Request::Batch { .. } => Opcode::Batch,
+            Request::Stats => Opcode::Stats,
+        }
+    }
+
+    /// Serializes the body (everything between the header and the CRC).
+    pub fn encode_body(&self, buf: &mut Vec<u8>) {
+        match self {
+            Request::Get { key } | Request::Delete { key } => put_bytes(buf, key),
+            Request::Put { key, value } => {
+                put_bytes(buf, key);
+                put_bytes(buf, value);
+            }
+            Request::Scan { start, limit } => {
+                put_bytes(buf, start);
+                buf.extend_from_slice(&limit.to_le_bytes());
+            }
+            Request::Batch { ops } => {
+                buf.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+                for (key, value, kind) in ops {
+                    buf.push(match kind {
+                        OpKind::Put => 0,
+                        OpKind::Delete => 1,
+                    });
+                    put_bytes(buf, key);
+                    put_bytes(buf, value);
+                }
+            }
+            Request::Stats => {}
+        }
+    }
+
+    /// Parses a request from an opcode and body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] for truncated or malformed bodies.
+    pub fn decode(opcode: u8, body: &[u8]) -> Result<Request> {
+        let op = Opcode::from_u8(opcode)
+            .ok_or_else(|| Error::Corruption(format!("unknown opcode {opcode:#x}")))?;
+        let mut c = Cursor { buf: body, pos: 0 };
+        let req = match op {
+            Opcode::Get => Request::Get {
+                key: c.take_bytes()?,
+            },
+            Opcode::Put => Request::Put {
+                key: c.take_bytes()?,
+                value: c.take_bytes()?,
+            },
+            Opcode::Delete => Request::Delete {
+                key: c.take_bytes()?,
+            },
+            Opcode::Scan => Request::Scan {
+                start: c.take_bytes()?,
+                limit: c.take_u32()?,
+            },
+            Opcode::Batch => {
+                let n = c.take_u32()? as usize;
+                let mut ops = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let kind = match c.take_u8()? {
+                        0 => OpKind::Put,
+                        1 => OpKind::Delete,
+                        other => {
+                            return Err(Error::Corruption(format!("bad batch op kind {other}")))
+                        }
+                    };
+                    let key = c.take_bytes()?;
+                    let value = c.take_bytes()?;
+                    ops.push((key, value, kind));
+                }
+                Request::Batch { ops }
+            }
+            Opcode::Stats => Request::Stats,
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// GET result: `Some(value)` or `None` for absent/deleted keys.
+    Value(Option<Vec<u8>>),
+    /// PUT/DELETE/BATCH acknowledgement: the write is logged and durable.
+    Ok,
+    /// SCAN result, ascending by key.
+    Entries(Vec<ScanEntry>),
+    /// STATS result: Prometheus text exposition.
+    Stats(String),
+    /// The request failed server-side.
+    Err(String),
+}
+
+impl Response {
+    /// The wire opcode for this response to a request with `req_op`.
+    pub fn opcode(&self, req_op: Opcode) -> u8 {
+        match self {
+            Response::Err(_) => OP_ERR | RESPONSE_BIT,
+            _ => req_op as u8 | RESPONSE_BIT,
+        }
+    }
+
+    /// Serializes the body.
+    pub fn encode_body(&self, buf: &mut Vec<u8>) {
+        match self {
+            Response::Value(v) => match v {
+                Some(v) => {
+                    buf.push(1);
+                    put_bytes(buf, v);
+                }
+                None => buf.push(0),
+            },
+            Response::Ok => {}
+            Response::Entries(entries) => {
+                buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for e in entries {
+                    put_bytes(buf, &e.key);
+                    put_bytes(buf, &e.value);
+                }
+            }
+            Response::Stats(text) => put_bytes(buf, text.as_bytes()),
+            Response::Err(msg) => put_bytes(buf, msg.as_bytes()),
+        }
+    }
+
+    /// Parses a response frame's body given its wire opcode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] for truncated or malformed bodies.
+    pub fn decode(opcode: u8, body: &[u8]) -> Result<Response> {
+        if opcode & RESPONSE_BIT == 0 {
+            return Err(Error::Corruption(format!(
+                "response frame without response bit: {opcode:#x}"
+            )));
+        }
+        let base = opcode & !RESPONSE_BIT;
+        let mut c = Cursor { buf: body, pos: 0 };
+        let resp = if base == OP_ERR {
+            Response::Err(String::from_utf8_lossy(&c.take_bytes()?).into_owned())
+        } else {
+            let op = Opcode::from_u8(base)
+                .ok_or_else(|| Error::Corruption(format!("unknown response opcode {base:#x}")))?;
+            match op {
+                Opcode::Get => match c.take_u8()? {
+                    0 => Response::Value(None),
+                    1 => Response::Value(Some(c.take_bytes()?)),
+                    other => {
+                        return Err(Error::Corruption(format!("bad GET presence byte {other}")))
+                    }
+                },
+                Opcode::Put | Opcode::Delete | Opcode::Batch => Response::Ok,
+                Opcode::Scan => {
+                    let n = c.take_u32()? as usize;
+                    let mut entries = Vec::with_capacity(n.min(1 << 16));
+                    for _ in 0..n {
+                        let key = c.take_bytes()?;
+                        let value = c.take_bytes()?;
+                        entries.push(ScanEntry { key, value });
+                    }
+                    Response::Entries(entries)
+                }
+                Opcode::Stats => {
+                    Response::Stats(String::from_utf8_lossy(&c.take_bytes()?).into_owned())
+                }
+            }
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Writes one frame (`len | version | opcode | id | body | crc`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_frame<W: Write>(w: &mut W, opcode: u8, id: u32, body: &[u8]) -> std::io::Result<()> {
+    let mut head = [0u8; 4 + HEADER_BYTES];
+    let len = (HEADER_BYTES + body.len() + 4) as u32;
+    head[0..4].copy_from_slice(&len.to_le_bytes());
+    head[4] = PROTO_VERSION;
+    head[5] = opcode;
+    head[6..10].copy_from_slice(&id.to_le_bytes());
+    let mut crc = crate::crc32::Crc32::new();
+    crc.update(&head[4..]);
+    crc.update(body);
+    w.write_all(&head)?;
+    w.write_all(body)?;
+    w.write_all(&crc.finish().to_le_bytes())
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Wire opcode (response bit included for responses).
+    pub opcode: u8,
+    /// Client-chosen request id, echoed in responses.
+    pub id: u32,
+    /// Frame body (between header and CRC).
+    pub body: Vec<u8>,
+}
+
+/// Reads one frame; `Ok(None)` means the peer closed the stream cleanly
+/// (EOF at a frame boundary).
+///
+/// A read timeout (`WouldBlock`/`TimedOut`) **before the first byte** of a
+/// frame surfaces as [`Error::Io`], letting servers poll a shutdown flag
+/// between frames; once any byte of a frame has been consumed the read
+/// retries through timeouts, because abandoning a half-read frame would
+/// desynchronize the stream.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] for transport failures and [`Error::Corruption`]
+/// for CRC mismatches, bad versions and oversized or truncated frames.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>> {
+    let mut len_buf = [0u8; 4];
+    if !read_exact_or_eof(r, &mut len_buf)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len < HEADER_BYTES + 4 {
+        return Err(Error::Corruption(format!("frame too short: {len} bytes")));
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(Error::Corruption(format!("frame too large: {len} bytes")));
+    }
+    let mut rest = vec![0u8; len];
+    read_exact_retry(r, &mut rest)?;
+    let (payload, crc_bytes) = rest.split_at(len - 4);
+    let want = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte crc"));
+    if crc32(payload) != want {
+        return Err(Error::Corruption("frame crc mismatch".to_string()));
+    }
+    if payload[0] != PROTO_VERSION {
+        return Err(Error::Corruption(format!(
+            "unsupported protocol version {}",
+            payload[0]
+        )));
+    }
+    let opcode = payload[1];
+    let id = u32::from_le_bytes(payload[2..6].try_into().expect("4-byte id"));
+    Ok(Some(Frame {
+        opcode,
+        id,
+        body: payload[HEADER_BYTES..].to_vec(),
+    }))
+}
+
+/// Serializes and writes one request frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_request<W: Write>(w: &mut W, id: u32, req: &Request) -> std::io::Result<()> {
+    let mut body = Vec::new();
+    req.encode_body(&mut body);
+    write_frame(w, req.opcode() as u8, id, &body)
+}
+
+/// Serializes and writes one response frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    id: u32,
+    req_op: Opcode,
+    resp: &Response,
+) -> std::io::Result<()> {
+    let mut body = Vec::new();
+    resp.encode_body(&mut body);
+    write_frame(w, resp.opcode(req_op), id, &body)
+}
+
+/// Reads to fill `buf`; returns `false` on EOF before the first byte.
+/// Timeouts before the first byte propagate (poll point); after it they
+/// retry, as the frame is already partially consumed.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => return Err(Error::Corruption("connection closed mid-frame".to_string())),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if filled > 0 && is_timeout(&e) => {}
+            Err(e) => return Err(Error::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Fills `buf`, retrying through timeouts (used past the length prefix,
+/// where the frame is committed).
+fn read_exact_retry<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(Error::Corruption("connection closed mid-frame".to_string())),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted || is_timeout(&e) => {}
+            Err(e) => return Err(Error::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Is this a read-timeout error (`WouldBlock` on Unix, `TimedOut` on
+/// Windows)?
+pub fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    buf.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    buf.extend_from_slice(b);
+}
+
+/// Bounds-checked reader over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take_u8(&mut self) -> Result<u8> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| Error::Corruption("truncated frame body".to_string()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take_u32(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| Error::Corruption("truncated frame body".to_string()))?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    fn take_bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.take_u32()? as usize;
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| Error::Corruption("truncated frame body".to_string()))?;
+        let out = self.buf[self.pos..end].to_vec();
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn finish(&self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(Error::Corruption(format!(
+                "{} trailing bytes in frame body",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let mut wire = Vec::new();
+        write_request(&mut wire, 7, &req).unwrap();
+        let frame = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(frame.id, 7);
+        assert_eq!(Request::decode(frame.opcode, &frame.body).unwrap(), req);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Get { key: b"k".to_vec() });
+        round_trip_request(Request::Put {
+            key: b"k".to_vec(),
+            value: vec![0xAB; 300],
+        });
+        round_trip_request(Request::Delete { key: Vec::new() });
+        round_trip_request(Request::Scan {
+            start: b"a".to_vec(),
+            limit: 99,
+        });
+        round_trip_request(Request::Batch {
+            ops: vec![
+                (b"a".to_vec(), b"1".to_vec(), OpKind::Put),
+                (b"b".to_vec(), Vec::new(), OpKind::Delete),
+            ],
+        });
+        round_trip_request(Request::Stats);
+    }
+
+    fn round_trip_response(req_op: Opcode, resp: Response) {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 3, req_op, &resp).unwrap();
+        let frame = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(frame.id, 3);
+        assert_eq!(Response::decode(frame.opcode, &frame.body).unwrap(), resp);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Opcode::Get, Response::Value(Some(b"v".to_vec())));
+        round_trip_response(Opcode::Get, Response::Value(None));
+        round_trip_response(Opcode::Put, Response::Ok);
+        round_trip_response(
+            Opcode::Scan,
+            Response::Entries(vec![ScanEntry {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            }]),
+        );
+        round_trip_response(Opcode::Stats, Response::Stats("# HELP x\n".to_string()));
+        round_trip_response(Opcode::Put, Response::Err("boom".to_string()));
+    }
+
+    #[test]
+    fn eof_at_boundary_is_clean() {
+        assert!(read_frame(&mut (&[] as &[u8])).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_mid_frame_is_corruption() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, 1, &Request::Stats).unwrap();
+        wire.truncate(wire.len() - 2);
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
+    fn crc_flip_detected() {
+        let mut wire = Vec::new();
+        write_request(
+            &mut wire,
+            1,
+            &Request::Put {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            },
+        )
+        .unwrap();
+        let mid = wire.len() / 2;
+        wire[mid] ^= 0x40;
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, 1, &Request::Stats).unwrap();
+        // Rewrite the version byte and fix up the CRC.
+        wire[4] = 9;
+        let len = u32::from_le_bytes(wire[0..4].try_into().unwrap()) as usize;
+        let crc = crc32(&wire[4..4 + len - 4]);
+        let at = 4 + len - 4;
+        wire[at..at + 4].copy_from_slice(&crc.to_le_bytes());
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut body = Vec::new();
+        Request::Get { key: b"k".to_vec() }.encode_body(&mut body);
+        body.push(0);
+        assert!(Request::decode(Opcode::Get as u8, &body).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Service-layer telemetry: connection gauges and per-opcode request
+//! latency histograms for the network front end.
+//!
+//! The server owns one [`ServiceTelemetry`]; handlers bump the gauges on
+//! connection open/close and around each request, and record wall-clock
+//! request latency into the per-opcode [`ConcurrentHistogram`]s. STATS
+//! responses append [`ServiceTelemetry::render_into`]'s families to the
+//! engine's own metrics, so one scrape covers both layers.
+
+use crate::conc_histogram::ConcurrentHistogram;
+use crate::metrics::MetricsRegistry;
+use crate::proto::Opcode;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Gauges and histograms for one server instance.
+#[derive(Debug)]
+pub struct ServiceTelemetry {
+    /// Currently open client connections.
+    active_connections: AtomicU64,
+    /// Connections accepted since start.
+    connections_total: AtomicU64,
+    /// Connections refused by the connection limit.
+    connections_refused: AtomicU64,
+    /// Requests currently being executed (decoded but not yet answered).
+    requests_inflight: AtomicU64,
+    /// Malformed frames that tore down a connection.
+    protocol_errors: AtomicU64,
+    /// Per-opcode request latency in nanoseconds, indexed by
+    /// [`Opcode::ALL`] order.
+    latency: [ConcurrentHistogram; 6],
+}
+
+impl Default for ServiceTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceTelemetry {
+    /// Creates zeroed telemetry with all histograms enabled.
+    pub fn new() -> ServiceTelemetry {
+        ServiceTelemetry {
+            active_connections: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            connections_refused: AtomicU64::new(0),
+            requests_inflight: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| ConcurrentHistogram::new()),
+        }
+    }
+
+    /// The latency histogram for `op`.
+    pub fn latency(&self, op: Opcode) -> &ConcurrentHistogram {
+        let idx = Opcode::ALL
+            .iter()
+            .position(|o| *o == op)
+            .expect("opcode in ALL");
+        &self.latency[idx]
+    }
+
+    /// Marks a connection accepted; returns the new active count.
+    pub fn conn_opened(&self) -> u64 {
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+        self.active_connections.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Marks a connection closed.
+    pub fn conn_closed(&self) {
+        self.active_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Marks a connection refused by the limit.
+    pub fn conn_refused(&self) {
+        self.connections_refused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one request as started.
+    pub fn request_begin(&self) {
+        self.requests_inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one request finished and records its latency.
+    pub fn request_end(&self, op: Opcode, ns: u64) {
+        self.requests_inflight.fetch_sub(1, Ordering::Relaxed);
+        self.latency(op).record(ns);
+    }
+
+    /// Counts a malformed frame.
+    pub fn protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Currently open connections.
+    pub fn active_connections(&self) -> u64 {
+        self.active_connections.load(Ordering::Relaxed)
+    }
+
+    /// Requests currently in flight.
+    pub fn requests_inflight(&self) -> u64 {
+        self.requests_inflight.load(Ordering::Relaxed)
+    }
+
+    /// Requests served since start (all opcodes).
+    pub fn requests_total(&self) -> u64 {
+        self.latency.iter().map(ConcurrentHistogram::count).sum()
+    }
+
+    /// Appends the service metric families to `reg` (Prometheus names are
+    /// prefixed `miodb_server_`).
+    pub fn render_into(&self, reg: &mut MetricsRegistry) {
+        reg.gauge(
+            "miodb_server_active_connections",
+            "Currently open client connections",
+            &[],
+            self.active_connections.load(Ordering::Relaxed) as f64,
+        );
+        reg.counter(
+            "miodb_server_connections_total",
+            "Connections accepted since start",
+            &[],
+            self.connections_total.load(Ordering::Relaxed) as f64,
+        );
+        reg.counter(
+            "miodb_server_connections_refused_total",
+            "Connections refused by the connection limit",
+            &[],
+            self.connections_refused.load(Ordering::Relaxed) as f64,
+        );
+        reg.gauge(
+            "miodb_server_requests_inflight",
+            "Requests currently being executed",
+            &[],
+            self.requests_inflight.load(Ordering::Relaxed) as f64,
+        );
+        reg.counter(
+            "miodb_server_protocol_errors_total",
+            "Malformed frames that tore down a connection",
+            &[],
+            self.protocol_errors.load(Ordering::Relaxed) as f64,
+        );
+        for op in Opcode::ALL {
+            let h = self.latency(op).snapshot();
+            if h.count() == 0 {
+                continue;
+            }
+            reg.summary(
+                "miodb_server_request_latency_seconds",
+                "Server-side request latency by opcode",
+                &[("op", op.label())],
+                &h,
+                1e-9,
+            );
+        }
+    }
+
+    /// Renders only the service families as Prometheus text.
+    pub fn render_prometheus(&self) -> String {
+        let mut reg = MetricsRegistry::new();
+        self.render_into(&mut reg);
+        reg.render_prometheus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauges_track_connection_lifecycle() {
+        let t = ServiceTelemetry::new();
+        assert_eq!(t.conn_opened(), 1);
+        assert_eq!(t.conn_opened(), 2);
+        t.conn_closed();
+        assert_eq!(t.active_connections(), 1);
+        t.conn_refused();
+        t.request_begin();
+        assert_eq!(t.requests_inflight(), 1);
+        t.request_end(Opcode::Put, 1_000);
+        assert_eq!(t.requests_inflight(), 0);
+        assert_eq!(t.requests_total(), 1);
+        assert_eq!(t.latency(Opcode::Put).count(), 1);
+        assert_eq!(t.latency(Opcode::Get).count(), 0);
+    }
+
+    #[test]
+    fn render_includes_gauges_and_summaries() {
+        let t = ServiceTelemetry::new();
+        t.conn_opened();
+        t.request_begin();
+        t.request_end(Opcode::Get, 5_000);
+        let text = t.render_prometheus();
+        assert!(text.contains("miodb_server_active_connections 1"));
+        assert!(text.contains("miodb_server_requests_inflight 0"));
+        assert!(text.contains("miodb_server_request_latency_seconds{op=\"get\""));
+        // Opcodes with no samples are omitted.
+        assert!(!text.contains("op=\"batch\""));
+    }
+}

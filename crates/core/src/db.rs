@@ -191,6 +191,12 @@ struct Inner {
     elastic_bytes: AtomicU64,
     manifest: Manifest,
     shutdown: AtomicBool,
+    /// Set by [`MioDb::close`] before the final flush: refuses new writes
+    /// while the in-flight commit-queue groups and MemTables drain.
+    closing: AtomicBool,
+    /// WAL records replayed when this instance was opened (0 after
+    /// recovering from a cleanly closed database).
+    recovered_wal_records: AtomicU64,
     /// Set while a flush is blocked on the elastic-buffer cap; tells the
     /// lazy worker to drain ahead of the normal trigger.
     pressure: AtomicBool,
@@ -435,6 +441,8 @@ impl MioDb {
             elastic_bytes: AtomicU64::new(elastic_bytes),
             manifest,
             shutdown: AtomicBool::new(false),
+            closing: AtomicBool::new(false),
+            recovered_wal_records: AtomicU64::new(0),
             pressure: AtomicBool::new(false),
             bg_error: Mutex::new(None),
             telemetry,
@@ -461,6 +469,9 @@ impl MioDb {
             }
         }
         records.sort_by_key(|r| r.seq);
+        db.inner
+            .recovered_wal_records
+            .store(records.len() as u64, Ordering::Relaxed);
         let guard = db.inner.write_mutex.lock();
         for r in &records {
             db.inner.seq.fetch_max(r.seq, Ordering::Relaxed);
@@ -520,7 +531,8 @@ impl MioDb {
     }
 
     fn check_usable(&self) -> Result<()> {
-        if self.inner.shutdown.load(Ordering::Acquire) {
+        if self.inner.shutdown.load(Ordering::Acquire) || self.inner.closing.load(Ordering::Acquire)
+        {
             return Err(Error::Closed);
         }
         if let Some(msg) = self.inner.bg_error.lock().clone() {
@@ -826,6 +838,108 @@ impl MioDb {
     /// support and diagnostics).
     pub fn last_sequence(&self) -> SequenceNumber {
         self.inner.seq.load(Ordering::Acquire)
+    }
+
+    /// WAL records replayed when this instance was opened. A database
+    /// recovered from a [`MioDb::close`]d state reports 0: clean shutdown
+    /// flushes everything into PMTables and never relies on WAL replay.
+    pub fn recovered_wal_records(&self) -> u64 {
+        self.inner.recovered_wal_records.load(Ordering::Relaxed)
+    }
+
+    /// Gracefully shuts the engine down: refuses new writes, drains every
+    /// in-flight commit-queue group through the write pipeline, seals and
+    /// flushes the active MemTable, persists the manifest and joins the
+    /// background threads.
+    ///
+    /// After `close`, a [`MioDb::recover`] of the same pool finds every
+    /// acknowledged write in flushed PMTables — it replays zero WAL
+    /// records ([`MioDb::recovered_wal_records`]). Dropping the handle
+    /// without calling `close` performs the same drain best-effort.
+    ///
+    /// Idempotent: concurrent and repeated calls wait for the first
+    /// closer to finish and return `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Returns background-thread failures observed while draining; the
+    /// engine still shuts down.
+    pub fn close(&self) -> Result<()> {
+        let inner = &*self.inner;
+        if inner.closing.swap(true, Ordering::AcqRel) {
+            // Another closer (or a prior close) owns the drain; wait for
+            // the handoff point where background work is stopped.
+            while !inner.shutdown.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            for t in self.threads.lock().drain(..) {
+                let _ = t.join();
+            }
+            return Ok(());
+        }
+        let drained = self.drain_for_close();
+        inner.shutdown.store(true, Ordering::Release);
+        inner.flush_cv.notify_all();
+        {
+            let _writers = inner.write_mutex.lock();
+            inner.imm_cv.notify_all();
+        }
+        {
+            let _levels = inner.levels.lock();
+            inner.level_cv.notify_all();
+        }
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+        drained
+    }
+
+    /// The close-time drain: waits out the commit queue, flushes the
+    /// MemTables and stores a final manifest. Runs with `closing` set, so
+    /// the queue and MemTable can only shrink once the last pre-close
+    /// writer finishes.
+    fn drain_for_close(&self) -> Result<()> {
+        let inner = &*self.inner;
+        let bg_failed = |inner: &Inner| -> Result<()> {
+            match inner.bg_error.lock().clone() {
+                Some(msg) => Err(Error::Background(msg)),
+                None => Ok(()),
+            }
+        };
+        loop {
+            // In-flight groups: leaders hold the writer mutex until the
+            // whole group's WAL record and MemTable inserts land, so an
+            // empty queue means every acknowledged grouped write is
+            // applied.
+            while !inner.commit.queue.lock().is_empty() {
+                bg_failed(inner)?;
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            // Let the flush worker finish any sealed MemTable.
+            while inner.mem.read().imm.is_some() {
+                bg_failed(inner)?;
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            {
+                let mut guard = inner.write_mutex.lock();
+                let active_empty = {
+                    let mem = inner.mem.read();
+                    mem.active.list().iter().next().is_none() && mem.imm.is_none()
+                };
+                if active_empty {
+                    // Nothing pending under the writer mutex; a writer
+                    // that raced past `closing` would have needed this
+                    // mutex, so the engine is quiesced.
+                    if inner.commit.queue.lock().is_empty() {
+                        drop(guard);
+                        break;
+                    }
+                } else {
+                    self.rotate_memtable(Some(&mut guard), 0)?;
+                }
+            }
+        }
+        store_manifest(inner)
     }
 
     /// Insert assuming `write_mutex` is held by the caller (recovery path).
@@ -2133,6 +2247,11 @@ fn mark_entry(mark: &InsertionMark) -> Option<OwnedEntry> {
 
 impl Drop for MioDb {
     fn drop(&mut self) {
+        // The same graceful drain as `close`: flush in-flight commit
+        // groups and the active MemTable so even a drop-only shutdown
+        // leaves nothing that depends on WAL replay. Errors are ignored —
+        // the fallthrough still stops and joins every worker.
+        let _ = self.close();
         self.inner.shutdown.store(true, Ordering::Release);
         self.inner.flush_cv.notify_all();
         self.inner.imm_cv.notify_all();

@@ -122,6 +122,22 @@ impl MioOptions {
             .min(1_000_000)
     }
 
+    /// Derives the options for shard `index` of `count` when the keyspace
+    /// is hash-partitioned across independent engines (the network
+    /// service layer's `ShardRouter`): pools shrink proportionally (with
+    /// floors that keep [`MioOptions::validate`] happy) and the engine
+    /// name gains a shard suffix so reports and metrics stay
+    /// distinguishable.
+    pub fn shard(&self, index: usize, count: usize) -> MioOptions {
+        let count = count.max(1);
+        MioOptions {
+            nvm_pool_bytes: (self.nvm_pool_bytes / count).max(self.memtable_bytes * 4),
+            dram_pool_bytes: (self.dram_pool_bytes / count).max(self.memtable_bytes * 2),
+            name: format!("{}-shard{index}", self.name),
+            ..self.clone()
+        }
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors

@@ -1,0 +1,17 @@
+//! Sharded network service layer for MioDB.
+//!
+//! Turns the in-process [`KvEngine`](miodb_common::KvEngine) crates into a
+//! network service: [`ShardRouter`] hash-partitions the keyspace across N
+//! independent engine instances (one commit queue, WAL and compactor set
+//! each), and [`KvServer`] fronts any engine with the length-prefixed,
+//! CRC-protected wire protocol from `miodb_common::proto` — thread per
+//! connection, in-order pipelining, connection limits and graceful drain
+//! on shutdown. See DESIGN.md §9.
+
+#![deny(missing_docs)]
+
+mod server;
+mod shard;
+
+pub use server::{KvServer, ServerOptions};
+pub use shard::ShardRouter;

@@ -1,0 +1,272 @@
+//! Thread-per-connection TCP server speaking the MioDB wire protocol.
+//!
+//! Design (§9 of DESIGN.md):
+//!
+//! - **Thread per connection.** The engine's write pipeline already batches
+//!   concurrent writers into group commits, so handler threads map directly
+//!   onto the concurrency the engine wants — no user-space scheduler.
+//! - **Pipelining.** A handler decodes frames as fast as they arrive and
+//!   answers strictly in order. Responses accumulate in a per-connection
+//!   `BufWriter` and are flushed only when the read side has no buffered
+//!   frame left, so a burst of N pipelined requests costs one syscall out.
+//! - **Shutdown.** Handlers block in `read_frame` with a short read
+//!   timeout; a timeout *between* frames is the poll point for the shutdown
+//!   flag. In-flight requests always finish and their responses are flushed
+//!   before the handler exits — [`KvServer::shutdown`] then joins every
+//!   thread, so it returns only once the connection set has drained.
+//! - **Backpressure.** Past `max_connections`, an accept is answered with a
+//!   single `Err` frame and closed; clients retry elsewhere or back off.
+
+use miodb_common::proto::{self, Frame, Opcode, Request, Response};
+use miodb_common::{Error, KvEngine, OpKind, Result, ServiceTelemetry};
+use parking_lot::Mutex;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Maximum simultaneously open client connections; further accepts are
+    /// refused with an `Err` frame.
+    pub max_connections: usize,
+    /// Read timeout used as the shutdown poll interval between frames.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            max_connections: 64,
+            read_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+struct Shared {
+    engine: Arc<dyn KvEngine>,
+    telemetry: ServiceTelemetry,
+    shutdown: AtomicBool,
+    opts: ServerOptions,
+}
+
+/// A running TCP front end over any [`KvEngine`] (a single engine, a
+/// [`ShardRouter`](crate::ShardRouter), or a baseline).
+pub struct KvServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl KvServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the listener cannot bind.
+    pub fn start<A: ToSocketAddrs>(
+        addr: A,
+        engine: Arc<dyn KvEngine>,
+        opts: ServerOptions,
+    ) -> Result<KvServer> {
+        let listener = TcpListener::bind(addr).map_err(Error::Io)?;
+        listener.set_nonblocking(true).map_err(Error::Io)?;
+        let local_addr = listener.local_addr().map_err(Error::Io)?;
+        let shared = Arc::new(Shared {
+            engine,
+            telemetry: ServiceTelemetry::new(),
+            shutdown: AtomicBool::new(false),
+            opts,
+        });
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_shared = Arc::clone(&shared);
+        let accept_handlers = Arc::clone(&handlers);
+        let accept_thread = std::thread::Builder::new()
+            .name("miodb-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared, &accept_handlers))
+            .map_err(Error::Io)?;
+        Ok(KvServer {
+            shared,
+            local_addr,
+            accept_thread: Mutex::new(Some(accept_thread)),
+            handlers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connection gauges and per-opcode latency histograms.
+    pub fn telemetry(&self) -> &ServiceTelemetry {
+        &self.shared.telemetry
+    }
+
+    /// The served engine.
+    pub fn engine(&self) -> &Arc<dyn KvEngine> {
+        &self.shared.engine
+    }
+
+    /// Stops accepting, lets every handler finish its in-flight requests,
+    /// and joins all server threads. Responses for requests already read
+    /// are written and flushed before their connections close. Idempotent.
+    ///
+    /// Closing the engine (draining the commit queue and flushing
+    /// MemTables) is the owner's job afterwards — e.g.
+    /// [`ShardRouter::close`](crate::ShardRouter::close).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.lock().take() {
+            let _ = t.join();
+        }
+        let drained: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handlers.lock());
+        for t in drained {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for KvServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    handlers: &Mutex<Vec<JoinHandle<()>>>,
+) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.telemetry.active_connections() >= shared.opts.max_connections as u64 {
+                    refuse(stream, shared);
+                    continue;
+                }
+                shared.telemetry.conn_opened();
+                let conn_shared = Arc::clone(shared);
+                match std::thread::Builder::new()
+                    .name("miodb-conn".to_string())
+                    .spawn(move || {
+                        handle_connection(stream, &conn_shared);
+                        conn_shared.telemetry.conn_closed();
+                    }) {
+                    Ok(t) => handlers.lock().push(t),
+                    Err(_) => shared.telemetry.conn_closed(),
+                }
+            }
+            Err(e) if proto::is_timeout(&e) => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. fd exhaustion): back off.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Answers an over-limit connection with one `Err` frame and drops it.
+fn refuse(stream: TcpStream, shared: &Shared) {
+    shared.telemetry.conn_refused();
+    let mut w = BufWriter::new(stream);
+    let resp = Response::Err("server at connection limit".to_string());
+    let _ = proto::write_response(&mut w, 0, Opcode::Get, &resp);
+    let _ = w.flush();
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.opts.read_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        match proto::read_frame(&mut reader) {
+            Ok(None) => break, // clean EOF
+            Ok(Some(frame)) => {
+                if !serve_frame(&frame, shared, &mut writer) {
+                    break;
+                }
+                // Pipelining: only pay the flush syscall once the client
+                // has no further buffered frame waiting.
+                if reader.buffer().is_empty() && writer.flush().is_err() {
+                    break;
+                }
+            }
+            // Idle between frames: flush anything pending, poll shutdown.
+            Err(Error::Io(ref e)) if proto::is_timeout(e) => {
+                if writer.flush().is_err() || shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            Err(Error::Io(_)) => break,
+            // Corruption (bad CRC/version/length): the stream can no
+            // longer be trusted to be frame-aligned — report and close.
+            Err(e) => {
+                shared.telemetry.protocol_error();
+                let resp = Response::Err(format!("protocol error: {e}"));
+                let _ = proto::write_response(&mut writer, 0, Opcode::Get, &resp);
+                break;
+            }
+        }
+    }
+    let _ = writer.flush();
+}
+
+/// Decodes and executes one frame; returns `false` if the connection must
+/// close (decode failure after a structurally valid frame keeps it open —
+/// framing is still aligned).
+fn serve_frame<W: Write>(frame: &Frame, shared: &Shared, writer: &mut W) -> bool {
+    let started = Instant::now();
+    shared.telemetry.request_begin();
+    let (op, resp) = match Request::decode(frame.opcode, &frame.body) {
+        Ok(req) => {
+            let op = req.opcode();
+            (op, execute(&req, shared))
+        }
+        Err(e) => {
+            shared.telemetry.protocol_error();
+            (Opcode::Get, Response::Err(format!("bad request: {e}")))
+        }
+    };
+    shared
+        .telemetry
+        .request_end(op, started.elapsed().as_nanos() as u64);
+    proto::write_response(writer, frame.id, op, &resp).is_ok()
+}
+
+fn execute(req: &Request, shared: &Shared) -> Response {
+    let engine = &shared.engine;
+    let result = match req {
+        Request::Get { key } => engine.get(key).map(Response::Value),
+        Request::Put { key, value } => engine.put(key, value).map(|()| Response::Ok),
+        Request::Delete { key } => engine.delete(key).map(|()| Response::Ok),
+        Request::Scan { start, limit } => {
+            engine.scan(start, *limit as usize).map(Response::Entries)
+        }
+        Request::Batch { ops } => ops
+            .iter()
+            .try_for_each(|(key, value, kind)| match kind {
+                OpKind::Put => engine.put(key, value),
+                OpKind::Delete => engine.delete(key),
+            })
+            .map(|()| Response::Ok),
+        Request::Stats => {
+            let mut text = engine.metrics_text();
+            text.push_str(&shared.telemetry.render_prometheus());
+            Ok(Response::Stats(text))
+        }
+    };
+    result.unwrap_or_else(|e| Response::Err(e.to_string()))
+}

@@ -7,6 +7,8 @@
 //! - [`KvEngine`]: the uniform engine trait ([`miodb_common`]);
 //! - [`baselines`]: NoveLSM and MatrixKV reimplementations;
 //! - [`workloads`]: db_bench and YCSB drivers;
+//! - [`server`] / [`client`]: the sharded TCP service layer
+//!   ([`KvServer`], [`ShardRouter`], [`KvClient`]);
 //! - the substrates: [`pmem`] (simulated NVM), [`skiplist`] (PMTables),
 //!   [`bloom`], [`wal`] and [`lsm`] (the LevelDB-model substrate).
 //!
@@ -25,13 +27,17 @@
 
 pub use miodb_baselines as baselines;
 pub use miodb_bloom as bloom;
+pub use miodb_client as client;
 pub use miodb_common as common;
 pub use miodb_core as core;
 pub use miodb_lsm as lsm;
 pub use miodb_pmem as pmem;
+pub use miodb_server as server;
 pub use miodb_skiplist as skiplist;
 pub use miodb_wal as wal;
 pub use miodb_workloads as workloads;
 
+pub use miodb_client::KvClient;
 pub use miodb_common::{Error, KvEngine, Result, ScanEntry, Stats};
 pub use miodb_core::{MioDb, MioOptions, RepositoryMode, WriteBatch};
+pub use miodb_server::{KvServer, ServerOptions, ShardRouter};

@@ -1,0 +1,324 @@
+//! Integration tests for the sharded network service layer: wire round
+//! trips, cross-shard scan merging, visibility of delete/re-put through
+//! the server path, durability of acknowledged writes across a simulated
+//! server kill, and the clean-shutdown guarantee that no acknowledged
+//! write relies on WAL replay.
+
+use std::sync::Arc;
+
+use miodb::pmem::PmemPool;
+use miodb::{KvClient, KvEngine, KvServer, MioDb, MioOptions, ServerOptions, ShardRouter, Stats};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("miodb-srv-{}-{name}", std::process::id()))
+}
+
+fn test_opts() -> MioOptions {
+    MioOptions {
+        name: "MioDB-test".to_string(),
+        ..MioOptions::small_for_tests()
+    }
+}
+
+/// Starts a server over `shards` MioDB instances; returns both handles
+/// (the router stays accessible for snapshots and close).
+fn start_server(shards: usize) -> (KvServer, Arc<ShardRouter<MioDb>>) {
+    let router = Arc::new(ShardRouter::open_miodb(&test_opts(), shards).unwrap());
+    let server = KvServer::start(
+        "127.0.0.1:0",
+        Arc::clone(&router) as Arc<dyn KvEngine>,
+        ServerOptions::default(),
+    )
+    .unwrap();
+    (server, router)
+}
+
+fn recover_shard(path: &std::path::Path, opts: &MioOptions) -> MioDb {
+    let pool = PmemPool::restore_from_file(path, opts.nvm_device, Arc::new(Stats::new())).unwrap();
+    MioDb::recover(pool, opts.clone()).unwrap()
+}
+
+#[test]
+fn round_trip_and_stats_over_wire() {
+    let (server, router) = start_server(2);
+    let mut c = KvClient::connect(server.local_addr()).unwrap();
+    c.put(b"alpha", b"1").unwrap();
+    c.put(b"beta", b"2").unwrap();
+    assert_eq!(c.get(b"alpha").unwrap().unwrap(), b"1");
+    assert_eq!(c.get(b"missing").unwrap(), None);
+    c.delete(b"alpha").unwrap();
+    assert_eq!(c.get(b"alpha").unwrap(), None);
+    c.batch(vec![
+        (b"gamma".to_vec(), b"3".to_vec(), miodb::common::OpKind::Put),
+        (b"beta".to_vec(), Vec::new(), miodb::common::OpKind::Delete),
+    ])
+    .unwrap();
+    assert_eq!(c.get(b"gamma").unwrap().unwrap(), b"3");
+    assert_eq!(c.get(b"beta").unwrap(), None);
+    // STATS carries both engine and service families in one scrape.
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("miodb_server_active_connections"));
+    assert!(stats.contains("miodb_server_request_latency_seconds"));
+    c.close().unwrap();
+    server.shutdown();
+    router.close().unwrap();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let (server, router) = start_server(2);
+    let mut c = KvClient::connect(server.local_addr()).unwrap();
+    let puts: Vec<miodb::common::Request> = (0..100u32)
+        .map(|i| miodb::common::Request::Put {
+            key: format!("pipe{i:03}").into_bytes(),
+            value: format!("v{i}").into_bytes(),
+        })
+        .collect();
+    for resp in c.pipeline(&puts).unwrap() {
+        assert_eq!(resp, miodb::common::Response::Ok);
+    }
+    let gets: Vec<miodb::common::Request> = (0..100u32)
+        .map(|i| miodb::common::Request::Get {
+            key: format!("pipe{i:03}").into_bytes(),
+        })
+        .collect();
+    let resps = c.pipeline(&gets).unwrap();
+    for (i, resp) in resps.iter().enumerate() {
+        assert_eq!(
+            *resp,
+            miodb::common::Response::Value(Some(format!("v{i}").into_bytes())),
+            "response {i} out of order"
+        );
+    }
+    c.close().unwrap();
+    server.shutdown();
+    router.close().unwrap();
+}
+
+#[test]
+fn cross_shard_scan_merges_in_global_order() {
+    let (server, router) = start_server(4);
+    let mut c = KvClient::connect(server.local_addr()).unwrap();
+    for i in 0..400u32 {
+        c.put(format!("key{i:05}").as_bytes(), format!("v{i}").as_bytes())
+            .unwrap();
+    }
+    // Keys hash across all four shards; the scan must come back globally
+    // sorted and complete regardless.
+    {
+        let hit: std::collections::HashSet<usize> = (0..400u32)
+            .map(|i| router.shard_of(format!("key{i:05}").as_bytes()))
+            .collect();
+        assert_eq!(hit.len(), 4, "keys must spread across all shards");
+    }
+    let out = c.scan(b"key00100", 150).unwrap();
+    assert_eq!(out.len(), 150);
+    for (j, e) in out.iter().enumerate() {
+        assert_eq!(e.key, format!("key{:05}", 100 + j).into_bytes());
+        assert_eq!(e.value, format!("v{}", 100 + j).into_bytes());
+    }
+    // Tail scan past the end of the keyspace.
+    let tail = c.scan(b"key00390", 100).unwrap();
+    assert_eq!(tail.len(), 10);
+    assert_eq!(tail.last().unwrap().key, b"key00399");
+    c.close().unwrap();
+    server.shutdown();
+    router.close().unwrap();
+}
+
+#[test]
+fn delete_then_reput_is_visible_through_server() {
+    let (server, router) = start_server(3);
+    let mut c = KvClient::connect(server.local_addr()).unwrap();
+    c.put(b"churn", b"first").unwrap();
+    c.delete(b"churn").unwrap();
+    assert_eq!(c.get(b"churn").unwrap(), None, "tombstone must hide value");
+    let scan = c.scan(b"churn", 1).unwrap();
+    assert!(
+        scan.is_empty() || scan[0].key != b"churn",
+        "deleted key must not surface in scans"
+    );
+    c.put(b"churn", b"second").unwrap();
+    assert_eq!(
+        c.get(b"churn").unwrap().unwrap(),
+        b"second",
+        "re-put after delete must be visible"
+    );
+    let scan = c.scan(b"churn", 1).unwrap();
+    assert_eq!(scan.len(), 1);
+    assert_eq!(scan[0].key, b"churn");
+    assert_eq!(scan[0].value, b"second");
+    c.close().unwrap();
+    server.shutdown();
+    router.close().unwrap();
+}
+
+#[test]
+fn connection_limit_refuses_with_error_frame() {
+    let router = Arc::new(ShardRouter::open_miodb(&test_opts(), 1).unwrap());
+    let server = KvServer::start(
+        "127.0.0.1:0",
+        Arc::clone(&router) as Arc<dyn KvEngine>,
+        ServerOptions {
+            max_connections: 1,
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let mut c1 = KvClient::connect(server.local_addr()).unwrap();
+    c1.put(b"k", b"v").unwrap(); // guarantees c1 is accepted and counted
+    let mut c2 = KvClient::connect(server.local_addr()).unwrap();
+    let err = c2.get(b"k").expect_err("second connection must be refused");
+    assert!(
+        err.to_string().contains("connection limit"),
+        "unexpected refusal error: {err}"
+    );
+    assert_eq!(server.telemetry().active_connections(), 1);
+    c1.close().unwrap();
+    server.shutdown();
+    router.close().unwrap();
+}
+
+/// Kill the server mid-load: every write the client saw acknowledged must
+/// survive into a recovered engine. The "kill" is the repo's crash idiom —
+/// snapshot each shard's NVM pool with flushes still in flight (no
+/// `wait_idle`, no close) and recover from the copies; acknowledged writes
+/// land via WAL replay when their MemTables never flushed.
+#[test]
+fn killed_server_loses_no_acknowledged_writes() {
+    const SHARDS: usize = 2;
+    const KEYS: u32 = 2_000;
+    let opts = test_opts();
+    let (server, router) = start_server(SHARDS);
+    let mut c = KvClient::connect(server.local_addr()).unwrap();
+    for i in 0..KEYS {
+        // Each put is acknowledged before the next is sent.
+        c.put(format!("ack{i:06}").as_bytes(), format!("v{i}").as_bytes())
+            .unwrap();
+    }
+    let paths: Vec<_> = (0..SHARDS).map(|s| tmp(&format!("kill{s}"))).collect();
+    for (s, path) in paths.iter().enumerate() {
+        router.shards()[s].snapshot(path).unwrap();
+    }
+    drop(c);
+    server.shutdown();
+    drop(router); // the "killed" process is gone
+
+    let recovered: Vec<MioDb> = paths
+        .iter()
+        .enumerate()
+        .map(|(s, p)| recover_shard(p, &opts.shard(s, SHARDS)))
+        .collect();
+    let replayed: u64 = recovered.iter().map(MioDb::recovered_wal_records).sum();
+    let router = ShardRouter::new(recovered);
+    for i in 0..KEYS {
+        assert_eq!(
+            router
+                .get(format!("ack{i:06}").as_bytes())
+                .unwrap()
+                .as_deref(),
+            Some(format!("v{i}").as_bytes()),
+            "acknowledged key ack{i:06} lost in server kill (WAL replayed {replayed} records)"
+        );
+    }
+    router.close().unwrap();
+    for p in &paths {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// Clean shutdown is the opposite guarantee: after `close()` drains the
+/// commit queue and flushes MemTables, recovery must replay **zero** WAL
+/// records — durability of a clean exit never depends on the log.
+#[test]
+fn clean_close_needs_no_wal_replay() {
+    const SHARDS: usize = 2;
+    let opts = test_opts();
+    let (server, router) = start_server(SHARDS);
+
+    // Concurrent connections so writes actually form commit groups.
+    let addr = server.local_addr();
+    std::thread::scope(|s| {
+        for t in 0..4u32 {
+            s.spawn(move || {
+                let mut c = KvClient::connect(addr).unwrap();
+                for i in 0..300u32 {
+                    c.put(
+                        format!("clean-{t}-{i:04}").as_bytes(),
+                        format!("v{t}-{i}").as_bytes(),
+                    )
+                    .unwrap();
+                }
+                c.close().unwrap();
+            });
+        }
+    });
+    server.shutdown();
+    router.close().unwrap();
+
+    let paths: Vec<_> = (0..SHARDS).map(|s| tmp(&format!("clean{s}"))).collect();
+    for (s, path) in paths.iter().enumerate() {
+        router.shards()[s].snapshot(path).unwrap();
+    }
+    let recovered: Vec<MioDb> = paths
+        .iter()
+        .enumerate()
+        .map(|(s, p)| recover_shard(p, &opts.shard(s, SHARDS)))
+        .collect();
+    for db in &recovered {
+        assert_eq!(
+            db.recovered_wal_records(),
+            0,
+            "clean close must not leave WAL records to replay"
+        );
+    }
+    let recovered = ShardRouter::new(recovered);
+    for t in 0..4u32 {
+        for i in 0..300u32 {
+            assert_eq!(
+                recovered
+                    .get(format!("clean-{t}-{i:04}").as_bytes())
+                    .unwrap()
+                    .as_deref(),
+                Some(format!("v{t}-{i}").as_bytes()),
+                "clean-{t}-{i:04} lost across clean shutdown"
+            );
+        }
+    }
+    recovered.close().unwrap();
+    for p in &paths {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// Graceful shutdown drains in-flight pipelined requests: responses for
+/// everything already sent arrive before the connection closes.
+#[test]
+fn shutdown_drains_inflight_pipeline() {
+    let (server, router) = start_server(2);
+    let mut c = KvClient::connect(server.local_addr()).unwrap();
+    // One round trip first: `connect` returns at TCP-handshake time, and
+    // the drain guarantee covers *accepted* connections.
+    c.put(b"warmup", b"w").unwrap();
+    let reqs: Vec<miodb::common::Request> = (0..200u32)
+        .map(|i| miodb::common::Request::Put {
+            key: format!("drain{i:04}").into_bytes(),
+            value: vec![b'd'; 64],
+        })
+        .collect();
+    for req in &reqs {
+        c.send(req).unwrap();
+    }
+    c.flush().unwrap();
+    server.shutdown(); // returns only after handlers drained + responded
+    let mut acked = 0;
+    for _ in &reqs {
+        match c.recv() {
+            Ok((_, miodb::common::Response::Ok)) => acked += 1,
+            Ok((_, other)) => panic!("unexpected response {other:?}"),
+            Err(_) => break, // connection closed after drain
+        }
+    }
+    assert_eq!(acked, reqs.len(), "all pipelined requests must be answered");
+    router.close().unwrap();
+}
