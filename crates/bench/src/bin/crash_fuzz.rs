@@ -1,65 +1,169 @@
 //! Crash-recovery fuzzer: repeatedly snapshot MioDB mid-operation, recover
 //! and verify, looking for rare recovery corruption. Not part of the test
-//! suite (unbounded); run manually: `crash_fuzz [iterations]`.
+//! suite (unbounded); run manually:
+//!
+//! ```text
+//! crash_fuzz [iterations]              # sequential lifetimes (original mode)
+//! crash_fuzz [iterations] --concurrent # snapshot from a second thread while
+//!                                      # writers run (mid-flush/mid-merge)
+//! ```
+//!
+//! A bounded fixed-seed variant of the concurrent mode runs in tier-1 as
+//! `tests/crash_recovery.rs::concurrent_snapshot_while_writers_run`.
 
 use miodb_common::{KvEngine, Stats};
 use miodb_core::{MioDb, MioOptions};
 use miodb_pmem::PmemPool;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+fn recover(path: &std::path::Path, opts: &MioOptions) -> MioDb {
+    let pool = PmemPool::restore_from_file(path, opts.nvm_device, Arc::new(Stats::new())).unwrap();
+    MioDb::recover(pool, opts.clone()).unwrap()
+}
+
+/// One adversarial-timing round: the snapshot races live writers, so it
+/// lands mid-flush / mid-merge. Base keys (quiesced before the race) must
+/// survive exactly; churn keys are present-or-absent but never torn.
+fn concurrent_round(opts: &MioOptions, path: &std::path::Path, seed: u64) {
+    const WRITERS: u32 = 2;
+    const CHURN_SLOTS: u64 = 400;
+    let db = Arc::new(MioDb::open(opts.clone()).unwrap());
+    for i in 0..800u32 {
+        db.put(format!("base{i:05}").as_bytes(), b"base-value")
+            .unwrap();
+    }
+    db.wait_idle().unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let k = format!("churn{t:02}-{:05}", n % CHURN_SLOTS);
+                    let v = format!("churnval-{t:02}-{n:08}");
+                    db.put(k.as_bytes(), v.as_bytes()).unwrap();
+                    n += 1;
+                }
+            })
+        })
+        .collect();
+
+    // Seed-varied delay so successive rounds freeze different instants of
+    // the flush/merge pipeline.
+    std::thread::sleep(Duration::from_millis(2 + seed % 25));
+    db.snapshot(path).unwrap();
+    stop.store(true, Ordering::Release);
+    for w in writers {
+        w.join().unwrap();
+    }
+    db.close().unwrap();
+    drop(db);
+
+    let db = recover(path, opts);
+    for i in 0..800u32 {
+        assert_eq!(
+            db.get(format!("base{i:05}").as_bytes()).unwrap().unwrap(),
+            b"base-value",
+            "seed {seed}: base{i:05} lost"
+        );
+    }
+    for t in 0..WRITERS {
+        for j in 0..CHURN_SLOTS {
+            let k = format!("churn{t:02}-{j:05}");
+            if let Some(v) = db.get(k.as_bytes()).unwrap() {
+                let prefix = format!("churnval-{t:02}-");
+                assert!(
+                    v.starts_with(prefix.as_bytes()) && v.len() == prefix.len() + 8,
+                    "seed {seed}: torn churn value for {k}: {:?}",
+                    String::from_utf8_lossy(&v)
+                );
+            }
+        }
+    }
+    // The recovered engine keeps accepting writes.
+    db.put(b"post-recovery-probe", b"ok").unwrap();
+    assert_eq!(
+        db.get(b"post-recovery-probe").unwrap().unwrap(),
+        b"ok",
+        "seed {seed}"
+    );
+    db.close().unwrap();
+}
+
+fn sequential_round(opts: &MioOptions, path: &std::path::Path, round: u32) {
+    let seed = round as u64;
+    // Lifetime 1
+    {
+        let db = MioDb::open(opts.clone()).unwrap();
+        for i in 0..1000u32 {
+            db.put(format!("key{i:05}").as_bytes(), b"gen1").unwrap();
+        }
+        db.snapshot(path).unwrap();
+    }
+    for gen in 2..5u32 {
+        let db = recover(path, opts);
+        for i in (0..1000u32).step_by(gen as usize) {
+            db.put(
+                format!("key{i:05}").as_bytes(),
+                format!("gen{gen}").as_bytes(),
+            )
+            .unwrap();
+        }
+        // Random extra churn to vary background timing.
+        for i in 0..(seed % 400) as u32 {
+            db.put(format!("extra{i:05}").as_bytes(), &[9u8; 128])
+                .unwrap();
+        }
+        db.snapshot(path).unwrap();
+    }
+    let db = recover(path, opts);
+    for i in 0..1000u32 {
+        let got = db.get(format!("key{i:05}").as_bytes()).unwrap().unwrap();
+        let expected = if i % 4 == 0 {
+            "gen4"
+        } else if i % 3 == 0 {
+            "gen3"
+        } else if i % 2 == 0 {
+            "gen2"
+        } else {
+            "gen1"
+        };
+        assert_eq!(got, expected.as_bytes(), "round {round} key{i:05}");
+    }
+}
 
 fn main() {
-    let iters: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(50);
+    let mut iters: u32 = 50;
+    let mut concurrent = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--concurrent" {
+            concurrent = true;
+        } else if let Ok(n) = arg.parse() {
+            iters = n;
+        }
+    }
     let opts = MioOptions::small_for_tests();
     let path = std::env::temp_dir().join(format!("miodb-fuzz-{}", std::process::id()));
     for round in 0..iters {
-        let seed = round as u64;
-        // Lifetime 1
-        {
-            let db = MioDb::open(opts.clone()).unwrap();
-            for i in 0..1000u32 {
-                db.put(format!("key{i:05}").as_bytes(), b"gen1").unwrap();
-            }
-            db.snapshot(&path).unwrap();
-        }
-        for gen in 2..5u32 {
-            let pool = PmemPool::restore_from_file(&path, opts.nvm_device, Arc::new(Stats::new()))
-                .unwrap();
-            let db = MioDb::recover(pool, opts.clone()).unwrap();
-            for i in (0..1000u32).step_by(gen as usize) {
-                db.put(
-                    format!("key{i:05}").as_bytes(),
-                    format!("gen{gen}").as_bytes(),
-                )
-                .unwrap();
-            }
-            // Random extra churn to vary background timing.
-            for i in 0..(seed % 400) as u32 {
-                db.put(format!("extra{i:05}").as_bytes(), &[9u8; 128])
-                    .unwrap();
-            }
-            db.snapshot(&path).unwrap();
-        }
-        let pool =
-            PmemPool::restore_from_file(&path, opts.nvm_device, Arc::new(Stats::new())).unwrap();
-        let db = MioDb::recover(pool, opts.clone()).unwrap();
-        for i in 0..1000u32 {
-            let got = db.get(format!("key{i:05}").as_bytes()).unwrap().unwrap();
-            let expected = if i % 4 == 0 {
-                "gen4"
-            } else if i % 3 == 0 {
-                "gen3"
-            } else if i % 2 == 0 {
-                "gen2"
-            } else {
-                "gen1"
-            };
-            assert_eq!(got, expected.as_bytes(), "round {round} key{i:05}");
+        if concurrent {
+            concurrent_round(&opts, &path, round as u64);
+        } else {
+            sequential_round(&opts, &path, round);
         }
         eprint!("\r{round} ok");
     }
-    eprintln!("\nall rounds passed");
+    eprintln!(
+        "\nall {} rounds passed",
+        if concurrent {
+            "concurrent"
+        } else {
+            "sequential"
+        }
+    );
     std::fs::remove_file(&path).ok();
 }

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use miodb_bench::{print_header, print_row};
-use miodb_client::KvClient;
+use miodb_client::{ClientCounters, ClientOptions, KvClient};
 use miodb_common::{Histogram, Opcode, Request, Response, Result};
 use miodb_core::MioOptions;
 use miodb_pmem::DeviceModel;
@@ -118,11 +118,22 @@ fn main() {
     }
 }
 
+/// Client socket timeouts for every benchmark connection: a wedged server
+/// surfaces as a timeout error instead of hanging the run.
+fn client_options() -> ClientOptions {
+    ClientOptions {
+        read_timeout: Some(Duration::from_secs(2)),
+        write_timeout: Some(Duration::from_secs(2)),
+        ..ClientOptions::default()
+    }
+}
+
 /// One phase's client-side measurements for a single connection.
 struct ConnResult {
     ops: u64,
     get_lat: Histogram,
     put_lat: Histogram,
+    counters: ClientCounters,
 }
 
 impl ConnResult {
@@ -131,6 +142,7 @@ impl ConnResult {
             ops: 0,
             get_lat: Histogram::new(),
             put_lat: Histogram::new(),
+            counters: ClientCounters::default(),
         }
     }
 }
@@ -162,7 +174,7 @@ fn drive(
     mut make_req: impl FnMut() -> Option<Request>,
     result: &mut ConnResult,
 ) -> Result<()> {
-    let mut client = KvClient::connect(addr)?;
+    let mut client = KvClient::connect_with(addr, client_options())?;
     let mut inflight: VecDeque<(Opcode, Instant)> = VecDeque::with_capacity(depth);
     loop {
         while inflight.len() < depth {
@@ -200,6 +212,7 @@ fn drive(
             }
         }
     }
+    result.counters = client.counters();
     client.close()
 }
 
@@ -209,6 +222,7 @@ struct PhaseSummary {
     elapsed: Duration,
     get_lat: Histogram,
     put_lat: Histogram,
+    counters: ClientCounters,
 }
 
 impl PhaseSummary {
@@ -246,11 +260,16 @@ fn run_phase(
     let mut ops = 0;
     let mut get_lat = Histogram::new();
     let mut put_lat = Histogram::new();
+    let mut counters = ClientCounters::default();
     for r in results {
         let r = r?;
         ops += r.ops;
         get_lat.merge(&r.get_lat);
         put_lat.merge(&r.put_lat);
+        counters.retries += r.counters.retries;
+        counters.timeouts += r.counters.timeouts;
+        counters.reconnects += r.counters.reconnects;
+        counters.ambiguous += r.counters.ambiguous;
     }
     Ok(PhaseSummary {
         name,
@@ -258,6 +277,7 @@ fn run_phase(
         elapsed,
         get_lat,
         put_lat,
+        counters,
     })
 }
 
@@ -363,7 +383,7 @@ fn run(cfg: &Config) -> Result<()> {
     })?;
 
     // Server-side view: scrape STATS over the wire like a client would.
-    let mut probe = KvClient::connect(addr)?;
+    let mut probe = KvClient::connect_with(addr, client_options())?;
     let stats_text = probe.stats()?;
     probe.close()?;
     let served = server.telemetry().requests_total();
@@ -421,11 +441,15 @@ fn run(cfg: &Config) -> Result<()> {
 
 fn phase_json(p: &PhaseSummary) -> String {
     format!(
-        "{{\"phase\":\"{}\",\"ops\":{},\"elapsed_ns\":{},\"kops\":{:.2},{},{}}}",
+        "{{\"phase\":\"{}\",\"ops\":{},\"elapsed_ns\":{},\"kops\":{:.2},\"timeouts\":{},\"retries\":{},\"reconnects\":{},\"ambiguous\":{},{},{}}}",
         p.name,
         p.ops,
         p.elapsed.as_nanos(),
         p.kops(),
+        p.counters.timeouts,
+        p.counters.retries,
+        p.counters.reconnects,
+        p.counters.ambiguous,
         lat_json("put", &p.put_lat),
         lat_json("get", &p.get_lat),
     )

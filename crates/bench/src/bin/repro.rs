@@ -47,6 +47,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "scaling",
         "fillrandom vs writer threads (group-commit pipeline)",
     ),
+    (
+        "faults",
+        "fault matrix: seeds x fault points, typed-error-or-full-recovery",
+    ),
     ("all", "every experiment above, in order"),
 ];
 
@@ -107,6 +111,7 @@ fn main() {
         "table3" => table3(dataset),
         "fig14" => fig14(dataset),
         "scaling" => scaling(dataset, quick),
+        "faults" => faults(quick),
         "all" => all(dataset, quick),
         other => {
             eprintln!("unknown experiment: {other}\n");
@@ -158,6 +163,7 @@ fn all(dataset: u64, quick: bool) -> Result<()> {
     table3(dataset)?;
     fig14(dataset)?;
     scaling(dataset, quick)?;
+    faults(quick)?;
     Ok(())
 }
 
@@ -792,6 +798,109 @@ fn fig14(dataset: u64) -> Result<()> {
                 ],
                 &widths,
             );
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Faults — deterministic fault-injection matrix (DESIGN.md §10).
+// ---------------------------------------------------------------------------
+fn faults(quick: bool) -> Result<()> {
+    use miodb_common::fault::{self, FaultPolicy};
+    use miodb_core::{MioDb, MioOptions};
+
+    println!("\n== Fault matrix: seeds x fault points (typed-error-or-full-recovery) ==");
+    println!("   contract: every injected failure surfaces as a typed error or is absorbed");
+    println!("   by retry; acknowledged writes are never lost; the engine ends healthy.");
+    let keys: u32 = if quick { 1_500 } else { 4_000 };
+    let points = [
+        fault::points::ENGINE_FLUSH,
+        fault::points::ENGINE_COMPACTION,
+        fault::points::ENGINE_LAZY,
+        fault::points::WAL_APPEND_PRE_CRC,
+        fault::points::PMEM_ALLOC,
+    ];
+    let widths = [22usize, 8, 8, 10, 8, 8, 12];
+    print_header(
+        &[
+            "point",
+            "seed",
+            "hits",
+            "triggered",
+            "acked",
+            "failed",
+            "outcome",
+        ],
+        &widths,
+    );
+    // Serialize against any other fault user in this process and guarantee
+    // everything is disarmed afterwards, even on early return.
+    let _guard = fault::exclusive();
+    for seed in [11u64, 23, 47] {
+        for point in points {
+            fault::arm(
+                point,
+                FaultPolicy::FailProbability {
+                    num: 1,
+                    den: 48,
+                    seed,
+                },
+            );
+            let opts = MioOptions {
+                lazy_copy_trigger: 1,
+                ..MioOptions::small_for_tests()
+            };
+            let db = MioDb::open(opts)?;
+            let mut acked: Vec<u32> = Vec::new();
+            let mut failed = 0u64;
+            for i in 0..keys {
+                match db.put(format!("key{i:06}").as_bytes(), &[7u8; 256]) {
+                    Ok(()) => acked.push(i),
+                    Err(_) => failed += 1, // typed error while armed: allowed
+                }
+            }
+            let row = fault::snapshot();
+            let (hits, triggered) = row
+                .iter()
+                .find(|(n, _, _)| n == point)
+                .map_or((0, 0), |(_, h, t)| (*h, *t));
+            fault::disarm(point);
+            db.wait_idle()?;
+            let outcome = if let Some(msg) = db.background_error() {
+                format!("DEGRADED: {msg}")
+            } else {
+                let mut lost = 0u64;
+                for i in &acked {
+                    if db.get(format!("key{i:06}").as_bytes())?.is_none() {
+                        lost += 1;
+                    }
+                }
+                if lost == 0 {
+                    "recovered".to_string()
+                } else {
+                    format!("LOST {lost}")
+                }
+            };
+            db.close()?;
+            let failed_outcome = outcome != "recovered";
+            print_row(
+                &[
+                    point.to_string(),
+                    seed.to_string(),
+                    hits.to_string(),
+                    triggered.to_string(),
+                    acked.len().to_string(),
+                    failed.to_string(),
+                    outcome,
+                ],
+                &widths,
+            );
+            if failed_outcome {
+                return Err(miodb_common::Error::Corruption(format!(
+                    "fault matrix violation at point {point} seed {seed}"
+                )));
+            }
         }
     }
     Ok(())

@@ -9,6 +9,26 @@
 //! throughput comes from — the server answers strictly in request order,
 //! so responses match sends positionally.
 //!
+//! # Failure handling
+//!
+//! Every socket carries the read/write timeouts from [`ClientOptions`]. On
+//! a transport failure the client drops the dead connection and reconnects
+//! lazily with exponential backoff plus jitter. What the caller sees
+//! depends on the operation:
+//!
+//! - **Idempotent requests** (GET / SCAN / STATS) are retried transparently
+//!   up to [`ClientOptions::max_retries`] times — re-asking a question the
+//!   server may already have answered is harmless.
+//! - **Mutations** (PUT / DELETE / BATCH) that fail after any part of the
+//!   request may have reached the server return
+//!   [`Error::MaybeApplied`]: the operation might have been applied, and a
+//!   blind resend could apply it twice. The caller decides (read back, or
+//!   resend if its writes are idempotent at the application level). The
+//!   connection is still re-established for subsequent operations.
+//! - The raw pipelining primitives never retry — positional response
+//!   matching makes retry a caller-level decision — but they do mark the
+//!   connection dead so the next operation reconnects.
+//!
 //! ```no_run
 //! use miodb_client::KvClient;
 //!
@@ -21,33 +41,176 @@
 
 use miodb_common::proto::{self, Request, Response};
 use miodb_common::{Error, OpKind, Result, ScanEntry};
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hasher};
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
-/// One blocking connection to a MioDB server.
+/// Client resilience tunables.
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// Socket read timeout; `None` blocks forever. A recv that times out
+    /// surfaces as [`Error::Io`] (and [`Error::MaybeApplied`] for
+    /// mutations) rather than hanging the caller.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout; `None` blocks forever.
+    pub write_timeout: Option<Duration>,
+    /// Retry budget for idempotent requests and reconnect attempts.
+    pub max_retries: u32,
+    /// First backoff delay; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling (before jitter).
+    pub backoff_max: Duration,
+}
+
+impl Default for ClientOptions {
+    fn default() -> ClientOptions {
+        ClientOptions {
+            read_timeout: Some(Duration::from_secs(5)),
+            write_timeout: Some(Duration::from_secs(5)),
+            max_retries: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Transport-failure counters, cheap to copy out for benchmark reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientCounters {
+    /// Requests retried after a transport failure (idempotent ops only).
+    pub retries: u64,
+    /// Socket read/write timeouts observed.
+    pub timeouts: u64,
+    /// Connections re-established after a failure.
+    pub reconnects: u64,
+    /// Mutations whose outcome was reported as [`Error::MaybeApplied`].
+    pub ambiguous: u64,
+}
+
 #[derive(Debug)]
-pub struct KvClient {
+struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+}
+
+/// One blocking connection to a MioDB server, with automatic reconnect.
+#[derive(Debug)]
+pub struct KvClient {
+    conn: Option<Conn>,
+    addrs: Vec<SocketAddr>,
+    opts: ClientOptions,
     next_id: u32,
+    counters: ClientCounters,
+    jitter: u64,
 }
 
 impl KvClient {
-    /// Connects and disables Nagle (the protocol already batches via
-    /// explicit flushes).
+    /// Connects with [`ClientOptions::default`] and disables Nagle (the
+    /// protocol already batches via explicit flushes).
     ///
     /// # Errors
     ///
     /// Returns [`Error::Io`] if the connection fails.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<KvClient> {
-        let stream = TcpStream::connect(addr).map_err(Error::Io)?;
-        stream.set_nodelay(true).map_err(Error::Io)?;
-        let read_half = stream.try_clone().map_err(Error::Io)?;
+        KvClient::connect_with(addr, ClientOptions::default())
+    }
+
+    /// Connects with explicit [`ClientOptions`]. The resolved addresses are
+    /// kept for automatic reconnects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if resolution yields no address or every
+    /// address refuses the connection.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, opts: ClientOptions) -> Result<KvClient> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs().map_err(Error::Io)?.collect();
+        if addrs.is_empty() {
+            return Err(Error::Io(std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                "address resolved to nothing",
+            )));
+        }
+        let conn = dial(&addrs, &opts)?;
+        // Seed the backoff jitter from a per-process random hasher: clients
+        // that fail together then retry spread out instead of stampeding.
+        let jitter = RandomState::new().build_hasher().finish() | 1;
         Ok(KvClient {
-            reader: BufReader::new(read_half),
-            writer: BufWriter::new(stream),
+            conn: Some(conn),
+            addrs,
+            opts,
             next_id: 1,
+            counters: ClientCounters::default(),
+            jitter,
         })
+    }
+
+    /// Transport-failure counters accumulated over this client's lifetime.
+    pub fn counters(&self) -> ClientCounters {
+        self.counters
+    }
+
+    /// True while a live connection is held (a failed operation drops it;
+    /// the next operation reconnects).
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    // ----- connection management -------------------------------------
+
+    /// Ensures a live connection, dialing with exponential backoff plus
+    /// jitter after failures. Counts a reconnect when a new connection had
+    /// to be made.
+    fn ensure_connected(&mut self) -> Result<&mut Conn> {
+        if self.conn.is_none() {
+            let mut attempt = 0u32;
+            let conn = loop {
+                match dial(&self.addrs, &self.opts) {
+                    Ok(c) => break c,
+                    Err(e) => {
+                        if attempt >= self.opts.max_retries {
+                            return Err(e);
+                        }
+                        attempt += 1;
+                        std::thread::sleep(self.backoff_delay(attempt));
+                    }
+                }
+            };
+            self.conn = Some(conn);
+            // Request ids are per-connection; the server never sees the old
+            // stream again, so restarting avoids id-space drift.
+            self.next_id = 1;
+            self.counters.reconnects += 1;
+        }
+        // Invariant: just populated above if it was None.
+        Ok(self.conn.as_mut().unwrap())
+    }
+
+    /// Exponential backoff for `attempt` (1-based) with up to +50% jitter.
+    fn backoff_delay(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .opts
+            .backoff_base
+            .saturating_mul(1u32 << attempt.min(16).saturating_sub(1))
+            .min(self.opts.backoff_max);
+        // xorshift64*: cheap deterministic stream per client.
+        self.jitter ^= self.jitter << 13;
+        self.jitter ^= self.jitter >> 7;
+        self.jitter ^= self.jitter << 17;
+        let frac = (self.jitter % 512) as u32; // 0..512 -> 0..50% of exp
+        exp + exp.saturating_mul(frac) / 1024
+    }
+
+    /// Drops the connection after a transport failure and classifies the
+    /// error for the counters.
+    fn note_transport_failure(&mut self, e: &std::io::Error) {
+        if proto::is_timeout(e) {
+            self.counters.timeouts += 1;
+        }
+        if let Some(conn) = self.conn.take() {
+            let _ = conn.writer.get_ref().shutdown(Shutdown::Both);
+        }
     }
 
     // ----- pipelining primitives -------------------------------------
@@ -55,14 +218,28 @@ impl KvClient {
     /// Buffers one request; returns the id its response will echo. Call
     /// [`flush`](KvClient::flush) to put buffered requests on the wire.
     ///
+    /// Never retries (see the module docs); a failure marks the connection
+    /// dead so the next operation reconnects.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::Io`] on write failure.
     pub fn send(&mut self, req: &Request) -> Result<u32> {
+        self.ensure_connected()?;
+        // Read the id only after a possible reconnect reset it.
         let id = self.next_id;
-        self.next_id = self.next_id.wrapping_add(1);
-        proto::write_request(&mut self.writer, id, req).map_err(Error::Io)?;
-        Ok(id)
+        // Invariant: `ensure_connected` just succeeded.
+        let conn = self.conn.as_mut().unwrap();
+        match proto::write_request(&mut conn.writer, id, req) {
+            Ok(()) => {
+                self.next_id = self.next_id.wrapping_add(1);
+                Ok(id)
+            }
+            Err(e) => {
+                self.note_transport_failure(&e);
+                Err(Error::Io(e))
+            }
+        }
     }
 
     /// Flushes buffered requests to the socket.
@@ -71,11 +248,21 @@ impl KvClient {
     ///
     /// Returns [`Error::Io`] on write failure.
     pub fn flush(&mut self) -> Result<()> {
-        self.writer.flush().map_err(Error::Io)
+        let Some(conn) = self.conn.as_mut() else {
+            return Ok(()); // nothing buffered on a dead connection
+        };
+        match conn.writer.flush() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.note_transport_failure(&e);
+                Err(Error::Io(e))
+            }
+        }
     }
 
-    /// Reads the next response frame (blocking). Responses arrive in
-    /// request order; the returned id echoes the matching [`send`].
+    /// Reads the next response frame (blocking up to the read timeout).
+    /// Responses arrive in request order; the returned id echoes the
+    /// matching [`send`].
     ///
     /// An in-band server error decodes as [`Response::Err`] — it is *not*
     /// turned into `Err(_)` here, because in a pipeline the caller must
@@ -83,21 +270,36 @@ impl KvClient {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] on transport failure (including the server
-    /// closing the connection) and [`Error::Corruption`] for frames that
-    /// fail CRC or decoding.
+    /// Returns [`Error::Io`] on transport failure or timeout (including
+    /// the server closing the connection) and [`Error::Corruption`] for
+    /// frames that fail CRC or decoding.
     ///
     /// [`send`]: KvClient::send
     pub fn recv(&mut self) -> Result<(u32, Response)> {
-        match proto::read_frame(&mut self.reader)? {
-            None => Err(Error::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ))),
-            Some(frame) => {
+        let Some(conn) = self.conn.as_mut() else {
+            return Err(Error::Io(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "connection previously failed",
+            )));
+        };
+        match proto::read_frame(&mut conn.reader) {
+            Ok(Some(frame)) => {
                 let resp = Response::decode(frame.opcode, &frame.body)?;
                 Ok((frame.id, resp))
             }
+            Ok(None) => {
+                let e = std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                );
+                self.note_transport_failure(&e);
+                Err(Error::Io(e))
+            }
+            Err(Error::Io(e)) => {
+                self.note_transport_failure(&e);
+                Err(Error::Io(e))
+            }
+            Err(other) => Err(other),
         }
     }
 
@@ -108,11 +310,12 @@ impl KvClient {
     /// and responses batched instead of degenerating into one-frame
     /// ping-pong.
     pub fn buffered(&self) -> usize {
-        self.reader.buffer().len()
+        self.conn.as_ref().map_or(0, |c| c.reader.buffer().len())
     }
 
     /// Sends `reqs` back to back with one flush, then collects their
-    /// responses in order.
+    /// responses in order. Never retries (positional matching makes retry
+    /// a caller-level decision).
     ///
     /// # Errors
     ///
@@ -132,7 +335,9 @@ impl KvClient {
 
     // ----- one-shot convenience calls --------------------------------
 
-    fn round_trip(&mut self, req: &Request) -> Result<Response> {
+    /// One strict round trip on the current connection; transport errors
+    /// have already marked the connection dead when this returns.
+    fn try_round_trip(&mut self, req: &Request) -> Result<Response> {
         let id = self.send(req)?;
         self.flush()?;
         let (got_id, resp) = self.recv()?;
@@ -141,6 +346,9 @@ impl KvClient {
             return Err(Error::Background(msg));
         }
         if got_id != id {
+            // The stream can no longer be trusted to pair responses.
+            let e = std::io::Error::other("response id mismatch");
+            self.note_transport_failure(&e);
             return Err(Error::Corruption(format!(
                 "response id {got_id} does not match request id {id}"
             )));
@@ -148,29 +356,77 @@ impl KvClient {
         Ok(resp)
     }
 
+    /// Round trip for idempotent requests: transport failures reconnect
+    /// (with backoff) and retry up to the configured budget.
+    fn round_trip_idempotent(&mut self, req: &Request) -> Result<Response> {
+        let mut attempt = 0u32;
+        loop {
+            match self.try_round_trip(req) {
+                Err(Error::Io(e)) if attempt < self.opts.max_retries => {
+                    attempt += 1;
+                    self.counters.retries += 1;
+                    let delay = self.backoff_delay(attempt);
+                    std::thread::sleep(delay);
+                    let _ = e;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Round trip for mutations: once any part of the request may have
+    /// reached the server, a transport failure is ambiguous — surface
+    /// [`Error::MaybeApplied`] instead of guessing.
+    fn round_trip_mutation(&mut self, req: &Request, what: &str) -> Result<Response> {
+        let was_connected = self.conn.is_some();
+        match self.try_round_trip(req) {
+            Err(Error::Io(e)) => {
+                if was_connected {
+                    self.counters.ambiguous += 1;
+                    Err(Error::MaybeApplied(format!(
+                        "{what} interrupted by transport failure: {e}"
+                    )))
+                } else {
+                    // The failure happened while (re)connecting — nothing
+                    // was ever sent, so the plain error is accurate and the
+                    // caller may retry safely.
+                    Err(Error::Io(e))
+                }
+            }
+            other => other,
+        }
+    }
+
     /// Inserts or overwrites `key`.
     ///
     /// # Errors
     ///
-    /// Transport errors, or [`Error::Background`] carrying the server's
-    /// error message.
+    /// [`Error::MaybeApplied`] if the connection failed mid-request (the
+    /// put may or may not have been applied), [`Error::Background`]
+    /// carrying the server's error message, or [`Error::Io`] if no
+    /// connection could be established at all.
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
-        match self.round_trip(&Request::Put {
-            key: key.to_vec(),
-            value: value.to_vec(),
-        })? {
+        match self.round_trip_mutation(
+            &Request::Put {
+                key: key.to_vec(),
+                value: value.to_vec(),
+            },
+            "PUT",
+        )? {
             Response::Ok => Ok(()),
             other => Err(unexpected("PUT", &other)),
         }
     }
 
-    /// Looks up `key`.
+    /// Looks up `key`. Idempotent: transparently retried over a reconnect
+    /// after transport failures.
     ///
     /// # Errors
     ///
-    /// Same failure modes as [`KvClient::put`].
+    /// Transport errors (after the retry budget), or [`Error::Background`]
+    /// carrying the server's error message.
     pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        match self.round_trip(&Request::Get { key: key.to_vec() })? {
+        match self.round_trip_idempotent(&Request::Get { key: key.to_vec() })? {
             Response::Value(v) => Ok(v),
             other => Err(unexpected("GET", &other)),
         }
@@ -180,22 +436,24 @@ impl KvClient {
     ///
     /// # Errors
     ///
-    /// Same failure modes as [`KvClient::put`].
+    /// Same failure modes as [`KvClient::put`] (including
+    /// [`Error::MaybeApplied`]).
     pub fn delete(&mut self, key: &[u8]) -> Result<()> {
-        match self.round_trip(&Request::Delete { key: key.to_vec() })? {
+        match self.round_trip_mutation(&Request::Delete { key: key.to_vec() }, "DELETE")? {
             Response::Ok => Ok(()),
             other => Err(unexpected("DELETE", &other)),
         }
     }
 
     /// Returns up to `limit` entries with keys `>= start`, ascending,
-    /// merged across the server's shards.
+    /// merged across the server's shards. Idempotent: transparently
+    /// retried like [`KvClient::get`].
     ///
     /// # Errors
     ///
-    /// Same failure modes as [`KvClient::put`].
+    /// Same failure modes as [`KvClient::get`].
     pub fn scan(&mut self, start: &[u8], limit: u32) -> Result<Vec<ScanEntry>> {
-        match self.round_trip(&Request::Scan {
+        match self.round_trip_idempotent(&Request::Scan {
             start: start.to_vec(),
             limit,
         })? {
@@ -208,9 +466,10 @@ impl KvClient {
     ///
     /// # Errors
     ///
-    /// Same failure modes as [`KvClient::put`].
+    /// Same failure modes as [`KvClient::put`] (the whole batch is one
+    /// mutation: a mid-request failure is ambiguous for all of it).
     pub fn batch(&mut self, ops: Vec<(Vec<u8>, Vec<u8>, OpKind)>) -> Result<()> {
-        match self.round_trip(&Request::Batch { ops })? {
+        match self.round_trip_mutation(&Request::Batch { ops }, "BATCH")? {
             Response::Ok => Ok(()),
             other => Err(unexpected("BATCH", &other)),
         }
@@ -218,12 +477,13 @@ impl KvClient {
 
     /// Fetches the server's metrics in Prometheus text exposition format
     /// (engine families plus `miodb_server_*` service families).
+    /// Idempotent: transparently retried like [`KvClient::get`].
     ///
     /// # Errors
     ///
-    /// Same failure modes as [`KvClient::put`].
+    /// Same failure modes as [`KvClient::get`].
     pub fn stats(&mut self) -> Result<String> {
-        match self.round_trip(&Request::Stats)? {
+        match self.round_trip_idempotent(&Request::Stats)? {
             Response::Stats(text) => Ok(text),
             other => Err(unexpected("STATS", &other)),
         }
@@ -235,10 +495,39 @@ impl KvClient {
     ///
     /// Returns [`Error::Io`] if the final flush fails.
     pub fn close(mut self) -> Result<()> {
-        self.writer.flush().map_err(Error::Io)?;
-        let _ = self.writer.get_ref().shutdown(Shutdown::Both);
+        if let Some(mut conn) = self.conn.take() {
+            conn.writer.flush().map_err(Error::Io)?;
+            let _ = conn.writer.get_ref().shutdown(Shutdown::Both);
+        }
         Ok(())
     }
+}
+
+/// Dials the first reachable address and applies the socket options.
+fn dial(addrs: &[SocketAddr], opts: &ClientOptions) -> Result<Conn> {
+    let mut last_err: Option<std::io::Error> = None;
+    for addr in addrs {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).map_err(Error::Io)?;
+                stream
+                    .set_read_timeout(opts.read_timeout)
+                    .map_err(Error::Io)?;
+                stream
+                    .set_write_timeout(opts.write_timeout)
+                    .map_err(Error::Io)?;
+                let read_half = stream.try_clone().map_err(Error::Io)?;
+                return Ok(Conn {
+                    reader: BufReader::new(read_half),
+                    writer: BufWriter::new(stream),
+                });
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(Error::Io(last_err.unwrap_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no address to dial")
+    })))
 }
 
 fn unexpected(what: &str, resp: &Response) -> Error {

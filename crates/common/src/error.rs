@@ -35,6 +35,11 @@ pub enum Error {
     /// A background task (flush/compaction thread) failed; the database is in
     /// read-only degraded mode.
     Background(String),
+    /// A mutation's outcome is unknown: the request may have reached the
+    /// server before the connection failed. The caller must read back (or
+    /// re-issue an idempotent form of) the operation to learn the truth —
+    /// blindly retrying a non-idempotent mutation could apply it twice.
+    MaybeApplied(String),
 }
 
 impl fmt::Display for Error {
@@ -53,6 +58,7 @@ impl fmt::Display for Error {
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             Error::Closed => write!(f, "database is closed"),
             Error::Background(msg) => write!(f, "background error: {msg}"),
+            Error::MaybeApplied(msg) => write!(f, "outcome unknown (may be applied): {msg}"),
         }
     }
 }
@@ -81,6 +87,12 @@ impl Error {
     /// Returns `true` if the error is a capacity problem (pool or arena).
     pub fn is_capacity(&self) -> bool {
         matches!(self, Error::PoolExhausted { .. } | Error::ArenaFull)
+    }
+
+    /// Returns `true` if a mutation's outcome is ambiguous (it may or may
+    /// not have been applied) and the caller must read back to find out.
+    pub fn is_maybe_applied(&self) -> bool {
+        matches!(self, Error::MaybeApplied(_))
     }
 }
 
@@ -114,6 +126,17 @@ mod tests {
         .is_capacity());
         assert!(!Error::Closed.is_capacity());
         assert!(Error::Corruption(String::new()).is_corruption());
+    }
+
+    #[test]
+    fn maybe_applied_classification() {
+        let e = Error::MaybeApplied("connection reset mid-put".to_string());
+        assert!(e.is_maybe_applied());
+        assert_eq!(
+            e.to_string(),
+            "outcome unknown (may be applied): connection reset mid-put"
+        );
+        assert!(!Error::Closed.is_maybe_applied());
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! - [`conc_histogram`]: its lock-free multi-writer counterpart,
 //! - [`stats`]: atomic counters for stalls, flushing and write amplification,
 //! - [`events`]: the bounded lock-free structured event trace,
+//! - [`fault`]: the deterministic seed-driven fault-injection registry
+//!   wired through pmem, WAL, engine and network layers,
 //! - [`telemetry`]: per-engine telemetry (op histograms, level metrics,
 //!   event emission) behind the [`telemetry::TelemetryOptions`] knob,
 //! - [`metrics`]: Prometheus/JSON exposition of all of the above,
@@ -25,6 +27,7 @@ pub mod crc32;
 pub mod engine;
 pub mod error;
 pub mod events;
+pub mod fault;
 pub mod histogram;
 pub mod metrics;
 pub mod proto;
@@ -37,6 +40,7 @@ pub use conc_histogram::ConcurrentHistogram;
 pub use engine::{EngineReport, KvEngine, ScanEntry};
 pub use error::{Error, Result};
 pub use events::{CompactionKind, Event, EventKind, EventRing, StallKind};
+pub use fault::{FaultAction, FaultPoint, FaultPolicy};
 pub use histogram::Histogram;
 pub use metrics::MetricsRegistry;
 pub use proto::{Opcode, Request, Response};

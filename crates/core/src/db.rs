@@ -26,8 +26,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use miodb_common::{
-    CompactionKind, EngineReport, EngineTelemetry, Error, KvEngine, OpKind, Result, ScanEntry,
-    SequenceNumber, StallKind, Stats,
+    fault, CompactionKind, EngineReport, EngineTelemetry, Error, KvEngine, OpKind, Result,
+    ScanEntry, SequenceNumber, StallKind, Stats,
 };
 use miodb_lsm::merge_iter::{dedup_newest, KWayMerge};
 use miodb_pmem::{DeviceModel, PmemPool, PmemRegion};
@@ -148,6 +148,7 @@ fn clone_error(e: &Error) -> Error {
         Error::InvalidArgument(s) => Error::InvalidArgument(s.clone()),
         Error::Closed => Error::Closed,
         Error::Background(s) => Error::Background(s.clone()),
+        Error::MaybeApplied(s) => Error::MaybeApplied(s.clone()),
         other => Error::Background(other.to_string()),
     }
 }
@@ -502,6 +503,12 @@ impl MioDb {
         self.inner.elastic_bytes.load(Ordering::Relaxed)
     }
 
+    /// The sticky background error, if a flush/compaction/lazy-copy worker
+    /// exhausted its retries and degraded the engine to read-only.
+    pub fn background_error(&self) -> Option<String> {
+        self.inner.bg_error.lock().clone()
+    }
+
     /// Takes a point-in-time snapshot of the NVM pool (crash simulation).
     ///
     /// A real power failure freezes all stores at one instant; a memcpy of
@@ -675,6 +682,10 @@ impl MioDb {
     /// concurrently with the other members) and counts it off the group.
     fn run_group_insert(&self, w: &PendingWrite) {
         let inner = &*self.inner;
+        // Invariant (group-commit protocol): the leader stores a task into
+        // every member *before* moving it to PH_INSERT, and only this
+        // member takes it — a missing task is leader-protocol corruption,
+        // not a runtime condition a caller could handle.
         let task = w.task.lock().take().expect("insert phase without task");
         let seq_base = w.seq_base.load(Ordering::Acquire);
         for (i, (key, value, kind)) in w.ops.iter().enumerate() {
@@ -822,6 +833,9 @@ impl MioDb {
         // Publish results, pop the group, promote the next leader.
         let mut q = inner.commit.queue.lock();
         for w in &group {
+            // Invariant (group-commit protocol): the sealed group is a
+            // prefix of the queue and only its leader pops — members park
+            // until PH_DONE, so the queue cannot lose them mid-group.
             let front = q.pop_front().expect("group member missing from queue");
             debug_assert!(Arc::ptr_eq(&front, w));
             if let Err(e) = &commit_res {
@@ -1051,10 +1065,24 @@ impl MioDb {
             let old = std::mem::replace(&mut mem.active, fresh);
             mem.imm = Some(old);
         }
-        store_manifest(inner)?;
-        let mut flag = inner.flush_flag.lock();
-        *flag = true;
-        inner.flush_cv.notify_all();
+        // Wake the flush worker no matter how the manifest store below
+        // fares: once `imm` is set, failing to kick the worker would leave
+        // it sealed forever and every later rotation would stall on
+        // `imm.is_some()` with no background error to break the wait.
+        let kick_flush = || {
+            let mut flag = inner.flush_flag.lock();
+            *flag = true;
+            inner.flush_cv.notify_all();
+        };
+        if let Err(e) = with_bg_retries(inner, || store_manifest(inner)) {
+            // The manifest must reference the fresh WAL before writes into
+            // it are acknowledged; degrade instead of risking silent loss
+            // of those acknowledged writes on a crash.
+            set_bg_error(inner, format!("manifest store failed: {e}"));
+            kick_flush();
+            return Err(e);
+        }
+        kick_flush();
         Ok(())
     }
 
@@ -1351,6 +1379,35 @@ fn set_bg_error(inner: &Inner, msg: String) {
     }
 }
 
+/// Background-worker retry budget: a transient failure (injected fault,
+/// momentary pool pressure, repository hiccup) is retried this many times
+/// with exponential backoff before the engine degrades to read-only.
+const BG_RETRIES: u32 = 5;
+const BG_BACKOFF_BASE: Duration = Duration::from_millis(1);
+const BG_BACKOFF_MAX: Duration = Duration::from_millis(64);
+
+/// Runs `op`, retrying failures with exponential backoff instead of letting
+/// the calling worker thread die on the first error. Gives up early on
+/// shutdown and after [`BG_RETRIES`] attempts, returning the last error for
+/// the caller to report via [`set_bg_error`].
+fn with_bg_retries<T>(inner: &Inner, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    let mut delay = BG_BACKOFF_BASE;
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                if attempt >= BG_RETRIES || inner.shutdown.load(Ordering::Acquire) {
+                    return Err(e);
+                }
+                attempt += 1;
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(BG_BACKOFF_MAX);
+            }
+        }
+    }
+}
+
 /// One-piece flush + background swizzle of the immutable MemTable.
 fn flush_worker(inner: Arc<Inner>) {
     loop {
@@ -1365,7 +1422,13 @@ fn flush_worker(inner: Arc<Inner>) {
         }
         let imm = inner.mem.read().imm.clone();
         if let Some(imm) = imm {
-            let published = flush_one(&inner, &imm);
+            // A failed flush is retried with backoff: everything before the
+            // level publish is side-effect free on error (the one-piece
+            // flush either completes or allocates nothing durable), and a
+            // rare post-publish manifest failure at worst re-flushes the
+            // same keys into a duplicate table, which reads dedupe and
+            // lazy-copy reclaims — never data loss.
+            let published = with_bg_retries(&inner, || flush_one(&inner, &imm));
             {
                 let mut mem = inner.mem.write();
                 mem.imm = None;
@@ -1374,7 +1437,7 @@ fn flush_worker(inner: Arc<Inner>) {
             // MemTable's WAL *before* those segments are freed — otherwise
             // a crash in between would leave the manifest pointing at
             // recycled regions and recovery would double-free them.
-            if let Err(e) = store_manifest(&inner) {
+            if let Err(e) = with_bg_retries(&inner, || store_manifest(&inner)) {
                 set_bg_error(&inner, format!("manifest store failed: {e}"));
             }
             {
@@ -1397,6 +1460,9 @@ fn flush_worker(inner: Arc<Inner>) {
 }
 
 fn flush_one(inner: &Inner, imm: &Arc<MemTable>) -> Result<()> {
+    if fault::hit(fault::points::ENGINE_FLUSH).is_some() {
+        return Err(Error::Background("injected flush failure".to_string()));
+    }
     // Backpressure: respect the elastic-buffer cap (Figure 14) and pool
     // capacity; lazy-copy GC frees space.
     let need = imm.arena().used_bytes();
@@ -1524,6 +1590,8 @@ fn compactor_worker(inner: Arc<Inner>, i: usize) {
                     .level_cv
                     .wait_for(&mut levels, Duration::from_millis(100));
             }
+            // Invariant: guarded by the `tables.len() >= 2` check above,
+            // under the same levels lock.
             let old_t = levels[i].tables.pop_front().unwrap();
             let new_t = levels[i].tables.pop_front().unwrap();
             levels[i].merging = Some((new_t.clone(), old_t.clone()));
@@ -1555,6 +1623,7 @@ fn serial_compactor_worker(inner: Arc<Inner>) {
                 if levels[i].tables.len() < 2 {
                     None
                 } else {
+                    // Invariant: the `>= 2` branch guard holds the lock.
                     let old_t = levels[i].tables.pop_front().unwrap();
                     let new_t = levels[i].tables.pop_front().unwrap();
                     levels[i].merging = Some((new_t.clone(), old_t.clone()));
@@ -1595,6 +1664,20 @@ fn run_one_zero_copy_merge(
     gate: Arc<Mutex<()>>,
     mark: InsertionMark,
 ) -> bool {
+    // A compaction-thread failure is retried with backoff instead of
+    // killing the worker. If the budget runs out, `merging` stays set (the
+    // manifest already records it), so recovery resumes the merge on the
+    // next open — degraded mode here never strands the two tables.
+    let admitted = with_bg_retries(inner, || {
+        if fault::hit(fault::points::ENGINE_COMPACTION).is_some() {
+            return Err(Error::Background("injected compaction failure".to_string()));
+        }
+        Ok(())
+    });
+    if let Err(e) = admitted {
+        set_bg_error(inner, format!("compaction failed: {e}"));
+        return false;
+    }
     inner
         .telemetry
         .compaction_begin(i, CompactionKind::ZeroCopy);
@@ -1700,6 +1783,9 @@ fn lazy_worker(inner: Arc<Inner>) {
                     .level_cv
                     .wait_for(&mut levels, Duration::from_millis(100));
             };
+            // Invariant: both pick paths (`lazy_copy_trigger` check and
+            // `pick_pressure_drain`) only select non-empty levels, under
+            // this same levels lock.
             let t = levels[picked].tables.pop_front().unwrap();
             levels[picked].lazy_draining = Some(t.clone());
             if let Err(e) = store_manifest_locked(&inner, &levels) {
@@ -1716,7 +1802,14 @@ fn lazy_worker(inner: Arc<Inner>) {
             .compaction_begin(level_idx, CompactionKind::LazyCopy);
         let t0 = Instant::now();
         let _w = inner.repo_writer.lock();
-        let drained: Result<()> = (|| {
+        // Retried with backoff on failure: each attempt re-reads the intact
+        // PMTable and re-applies with the same sequence numbers, so a
+        // partially applied earlier attempt is simply overwritten
+        // (idempotent) rather than doubled.
+        let drained: Result<()> = with_bg_retries(&inner, || {
+            if fault::hit(fault::points::ENGINE_LAZY).is_some() {
+                return Err(Error::Background("injected lazy-copy failure".to_string()));
+            }
             let merged = dedup_newest(table.list.iter(), false);
             match &inner.repo {
                 Repository::Pm(_) => {
@@ -1730,7 +1823,7 @@ fn lazy_worker(inner: Arc<Inner>) {
                 }
             }
             Ok(())
-        })();
+        });
         if let Err(e) = drained {
             set_bg_error(&inner, format!("lazy-copy failed: {e}"));
             return;
@@ -1828,7 +1921,7 @@ fn reporter_worker(inner: Arc<Inner>, interval: Duration) {
 /// Background compaction of the on-SSD LSM repository (SSD mode).
 fn repo_worker(inner: Arc<Inner>) {
     while !inner.shutdown.load(Ordering::Acquire) {
-        match inner.repo.maintain() {
+        match with_bg_retries(&inner, || inner.repo.maintain()) {
             Ok(true) => continue,
             Ok(false) => std::thread::sleep(Duration::from_millis(2)),
             Err(e) => {

@@ -159,6 +159,9 @@ impl Manifest {
         for (idx, slot_off) in [(0usize, SLOT0), (1usize, SLOT1)] {
             let mut slot = [0u8; SLOT_BYTES as usize];
             pool.read_bytes(slot_off, &mut slot);
+            // Invariant: every `try_into` below slices a fixed-size range
+            // out of the 64-byte `slot` array — the conversions cannot
+            // fail, only the *decoded values* are untrusted (checked next).
             let version = u64::from_le_bytes(slot[0..8].try_into().unwrap());
             if version == 0 {
                 continue;
@@ -286,6 +289,9 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    // Invariant (both readers): the explicit bounds check above each
+    // `try_into` guarantees the slice is exactly 8 (resp. 4) bytes, so the
+    // conversion cannot fail; truncated input surfaces as `Corruption`.
     fn u64(&mut self) -> Result<u64> {
         if self.pos + 8 > self.buf.len() {
             return Err(Error::Corruption("manifest truncated".to_string()));

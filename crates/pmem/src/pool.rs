@@ -27,7 +27,7 @@ use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use miodb_common::{Error, Result, Stats};
+use miodb_common::{fault, Error, Result, Stats};
 use parking_lot::Mutex;
 
 use crate::device::{DeviceClass, DeviceModel};
@@ -218,6 +218,15 @@ impl PmemPool {
     ///
     /// Returns [`Error::PoolExhausted`] when no hole is large enough.
     pub fn alloc(&self, size: usize) -> Result<PmemRegion> {
+        if fault::hit(fault::points::PMEM_ALLOC).is_some() {
+            // Injected NVM exhaustion: fail before touching the free list so
+            // the allocator state is untouched and the caller sees the same
+            // typed error a genuinely full pool would produce.
+            return Err(Error::PoolExhausted {
+                requested: size,
+                available: 0,
+            });
+        }
         let len = ((size as u64).max(POOL_ALIGN) + POOL_ALIGN - 1) & !(POOL_ALIGN - 1);
         let mut fl = self.free_list.lock();
         match fl.alloc(len) {

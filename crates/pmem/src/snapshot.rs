@@ -16,7 +16,7 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 use std::sync::Arc;
 
-use miodb_common::{Error, Result, Stats};
+use miodb_common::{fault, Error, Result, Stats};
 
 use crate::device::DeviceModel;
 use crate::pool::PmemPool;
@@ -50,6 +50,18 @@ impl PmemPool {
         // updates may tear relative to each other, which models exactly what
         // an instantaneous machine crash preserves.
         let contents = unsafe { std::slice::from_raw_parts(base, high_water as usize) };
+        if fault::hit(fault::points::PMEM_SNAPSHOT_PERSIST).is_some() {
+            // Injected crash mid-persist: half the contents reach the file,
+            // the rest (and the flush) never happen. The partial file is
+            // detectably short, so a later restore reports Corruption
+            // instead of silently loading half a pool.
+            w.write_all(&contents[..contents.len() / 2])?;
+            drop(w);
+            return Err(Error::Io(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "injected torn snapshot persist",
+            )));
+        }
         w.write_all(contents)?;
         w.flush()?;
         Ok(())
@@ -67,6 +79,13 @@ impl PmemPool {
         device: DeviceModel,
         stats: Arc<Stats>,
     ) -> Result<Arc<PmemPool>> {
+        if fault::hit(fault::points::PMEM_RESTORE).is_some() {
+            // Injected restore-time corruption, modelled as a failed
+            // integrity check before any pool state is built.
+            return Err(Error::Corruption(
+                "injected snapshot corruption on restore".to_string(),
+            ));
+        }
         let mut r = BufReader::new(File::open(path)?);
         let magic = read_u64(&mut r)?;
         if magic != SNAPSHOT_MAGIC {

@@ -1,0 +1,101 @@
+//! Pmem fault-point tests: injected allocation failure, torn snapshot
+//! persist, and restore-time corruption.
+//!
+//! Own integration binary so the process-global fault registry never races
+//! the un-instrumented property tests; every test takes
+//! [`fault::exclusive`].
+
+use std::sync::Arc;
+
+use miodb_common::fault::{self, points, FaultPolicy};
+use miodb_common::{Error, Stats};
+use miodb_pmem::{DeviceModel, PmemPool};
+
+fn pool() -> Arc<PmemPool> {
+    PmemPool::new(
+        1 << 20,
+        DeviceModel::nvm_unthrottled(),
+        Arc::new(Stats::new()),
+    )
+    .unwrap()
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("miodb-fault-{}-{}", std::process::id(), name));
+    p
+}
+
+#[test]
+fn alloc_fault_is_typed_and_leaves_allocator_intact() {
+    let _g = fault::exclusive();
+    let p = pool();
+    fault::arm(points::PMEM_ALLOC, FaultPolicy::FailNth(2));
+    let first = p.alloc(4096).unwrap();
+    let err = p.alloc(4096).unwrap_err();
+    assert!(
+        matches!(err, Error::PoolExhausted { .. }),
+        "typed error, got {err}"
+    );
+    fault::disarm_all();
+    // The failed alloc charged nothing: the next one succeeds and the pool
+    // accounts exactly two regions.
+    let second = p.alloc(4096).unwrap();
+    assert_eq!(p.used_bytes(), first.len + second.len);
+}
+
+#[test]
+fn torn_snapshot_persist_errors_and_restore_detects_it() {
+    let _g = fault::exclusive();
+    let p = pool();
+    let r = p.alloc(4096).unwrap();
+    p.write_bytes(r.offset, &[0xAB; 4096]);
+    let path = tmp("torn-persist");
+    fault::arm(points::PMEM_SNAPSHOT_PERSIST, FaultPolicy::TornWrite);
+    let err = p.snapshot_to_file(&path).unwrap_err();
+    assert!(matches!(err, Error::Io(_)), "typed error, got {err}");
+    // The partial file must not restore into a half-populated pool.
+    let err = PmemPool::restore_from_file(
+        &path,
+        DeviceModel::nvm_unthrottled(),
+        Arc::new(Stats::new()),
+    )
+    .unwrap_err();
+    assert!(err.is_corruption(), "expected corruption, got {err}");
+    // Retrying the snapshot (fault is one-shot) fully recovers.
+    p.snapshot_to_file(&path).unwrap();
+    let restored = PmemPool::restore_from_file(
+        &path,
+        DeviceModel::nvm_unthrottled(),
+        Arc::new(Stats::new()),
+    )
+    .unwrap();
+    let mut out = [0u8; 4096];
+    restored.read_bytes(r.offset, &mut out);
+    assert_eq!(out, [0xAB; 4096]);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn restore_fault_is_typed_corruption() {
+    let _g = fault::exclusive();
+    let p = pool();
+    let path = tmp("restore-corrupt");
+    p.snapshot_to_file(&path).unwrap();
+    fault::arm(points::PMEM_RESTORE, FaultPolicy::FailOnce(1));
+    let err = PmemPool::restore_from_file(
+        &path,
+        DeviceModel::nvm_unthrottled(),
+        Arc::new(Stats::new()),
+    )
+    .unwrap_err();
+    assert!(err.is_corruption(), "expected corruption, got {err}");
+    // A clean retry succeeds: the fault modelled a bad read, not a bad file.
+    PmemPool::restore_from_file(
+        &path,
+        DeviceModel::nvm_unthrottled(),
+        Arc::new(Stats::new()),
+    )
+    .unwrap();
+    std::fs::remove_file(&path).ok();
+}

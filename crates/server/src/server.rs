@@ -18,7 +18,7 @@
 //!   single `Err` frame and closed; clients retry elsewhere or back off.
 
 use miodb_common::proto::{self, Frame, Opcode, Request, Response};
-use miodb_common::{Error, KvEngine, OpKind, Result, ServiceTelemetry};
+use miodb_common::{fault, Error, KvEngine, OpKind, Result, ServiceTelemetry};
 use parking_lot::Mutex;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -228,6 +228,15 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 /// close (decode failure after a structurally valid frame keeps it open —
 /// framing is still aligned).
 fn serve_frame<W: Write>(frame: &Frame, shared: &Shared, writer: &mut W) -> bool {
+    // Injected stall: a `Latency` policy sleeps inside `hit`, holding this
+    // connection's pipeline while every other connection keeps serving.
+    let _ = fault::hit(fault::points::SERVER_REQUEST_STALL);
+    // Injected drop: close the connection without responding — the client
+    // must treat an in-flight mutation as ambiguous (`MaybeApplied`) and
+    // reconnect. Other connections are unaffected.
+    if fault::hit(fault::points::SERVER_CONN_DROP).is_some() {
+        return false;
+    }
     let started = Instant::now();
     shared.telemetry.request_begin();
     let (op, resp) = match Request::decode(frame.opcode, &frame.body) {

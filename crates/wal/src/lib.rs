@@ -25,7 +25,7 @@
 use std::sync::Arc;
 
 use miodb_common::crc32::Crc32;
-use miodb_common::{Error, OpKind, Result, SequenceNumber};
+use miodb_common::{fault, Error, OpKind, Result, SequenceNumber};
 use miodb_pmem::{PmemPool, PmemRegion};
 use parking_lot::Mutex;
 
@@ -71,6 +71,12 @@ struct WalState {
     segments: Vec<PmemRegion>,
     cursor: u64,
     end: u64,
+    /// Set when a torn write left a detectably-partial record at the tail.
+    /// Appending past it would put a good record *after* the tear, which
+    /// replay (correctly) never reads — silently losing an acknowledged
+    /// write. So the log fails all further appends until the MemTable
+    /// rotates onto a fresh log.
+    poisoned: bool,
 }
 
 /// An append-only log of one MemTable generation, stored in the NVM pool.
@@ -110,6 +116,7 @@ impl WriteAheadLog {
                 cursor: first.offset + SEGMENT_HEADER as u64,
                 end: first.end(),
                 segments: vec![first],
+                poisoned: false,
             }),
         })
     }
@@ -213,12 +220,24 @@ impl WriteAheadLog {
     /// Appends one fully framed record (`crc-placeholder | len | payload`),
     /// patching the crc in place.
     fn append_record(&self, mut buf: Vec<u8>) -> Result<()> {
+        if fault::hit(fault::points::WAL_APPEND_PRE_CRC).is_some() {
+            // Injected fsync-style failure before framing: nothing reaches
+            // the log, the tail stays clean, and later appends may succeed.
+            return Err(Error::Io(std::io::Error::other(
+                "injected wal append failure",
+            )));
+        }
         let total = buf.len();
         let mut crc = Crc32::new();
         crc.update(&buf[4..]);
         buf[..4].copy_from_slice(&crc.finish().to_le_bytes());
 
         let mut s = self.state.lock();
+        if s.poisoned {
+            return Err(Error::Io(std::io::Error::other(
+                "wal poisoned by earlier torn write; rotate the memtable",
+            )));
+        }
         // Leave room for a zero header terminator at the segment tail.
         if s.cursor + (total + RECORD_HEADER) as u64 > s.end {
             let seg_len = self
@@ -230,6 +249,8 @@ impl WriteAheadLog {
             // half-initialized segment.
             self.pool
                 .write_bytes(seg.offset, &[0u8; SEGMENT_HEADER + RECORD_HEADER]);
+            // Invariant: `segments` is non-empty from construction onwards
+            // (`new` seeds it with the first segment).
             let prev = *s.segments.last().unwrap();
             let mut link = [0u8; SEGMENT_HEADER];
             link[0..8].copy_from_slice(&seg.offset.to_le_bytes());
@@ -240,14 +261,29 @@ impl WriteAheadLog {
             s.segments.push(seg);
         }
         let off = s.cursor;
-        s.cursor += total as u64;
         // Terminator for torn-tail detection, then the record itself. The
         // record's first bytes (the crc) are written last-ish by virtue of
         // being part of one bulk write; a torn write is caught by the crc.
         self.pool
             .write_bytes(off + total as u64, &[0u8; RECORD_HEADER]);
+        if fault::hit(fault::points::WAL_APPEND_TORN).is_some() {
+            // Injected crash mid-append: the header (with the final crc)
+            // lands, the payload is cut short. Replay sees a crc mismatch
+            // and stops at the previous record; this log is poisoned until
+            // rotation (see `WalState::poisoned`).
+            self.pool.write_bytes(off, &buf[..total / 2]);
+            s.poisoned = true;
+            return Err(Error::Io(std::io::Error::other("injected torn wal append")));
+        }
+        s.cursor += total as u64;
         self.pool.write_bytes(off, &buf);
         Ok(())
+    }
+
+    /// True once a torn write has poisoned the log (all appends fail until
+    /// the owning MemTable rotates onto a fresh log).
+    pub fn poisoned(&self) -> bool {
+        self.state.lock().poisoned
     }
 
     /// Total bytes appended so far (all segments).
@@ -257,6 +293,7 @@ impl WriteAheadLog {
             .iter()
             .map(|r| r.len)
             .sum();
+        // Invariant: `segments` is non-empty from construction onwards.
         full + (s.cursor - s.segments.last().unwrap().offset) - SEGMENT_HEADER as u64
     }
 
@@ -508,6 +545,42 @@ mod tests {
         let records = WriteAheadLog::replay(&p, &segs).unwrap();
         assert_eq!(records.len(), 2, "replay must stop at torn record");
         assert_eq!(records[1].key, b"good2");
+    }
+
+    #[test]
+    fn truncation_at_every_offset_replays_whole_prefix() {
+        let p = pool();
+        let wal = WriteAheadLog::new(p.clone(), 64 * 1024).unwrap();
+        wal.append(b"first", b"v1", 1, OpKind::Put).unwrap();
+        wal.append(b"second", b"v2", 2, OpKind::Put).unwrap();
+        let start = wal.state.lock().cursor;
+        // The final record is a group: torn-tail recovery must drop the
+        // whole group, never a suffix of it.
+        let batch = vec![
+            (b"g1".to_vec(), b"vv1".to_vec(), OpKind::Put),
+            (b"g2".to_vec(), b"vv2".to_vec(), OpKind::Put),
+        ];
+        wal.append_batch(&batch, 3).unwrap();
+        let end = wal.state.lock().cursor;
+        let segs = wal.segments();
+        let record_len = (end - start) as usize;
+        let len = record_len + RECORD_HEADER; // record + terminator
+        let mut saved = vec![0u8; len];
+        p.read_bytes(start, &mut saved);
+        for cut in 0..record_len {
+            // Simulate a crash after exactly `cut` bytes of the final
+            // record reached the log (fresh-segment memory reads zero).
+            p.write_bytes(start + cut as u64, &vec![0u8; len - cut]);
+            let records = WriteAheadLog::replay(&p, &segs)
+                .unwrap_or_else(|e| panic!("replay errored at cut {cut}: {e}"));
+            assert_eq!(records.len(), 2, "cut at byte {cut} of final record");
+            assert_eq!(records[1].key, b"second");
+            p.write_bytes(start, &saved);
+        }
+        // A crash at or past the record's end (mid-terminator) keeps it:
+        // the record is complete, and the terminator region is zero anyway.
+        p.write_bytes(start + record_len as u64, &[0u8; RECORD_HEADER]);
+        assert_eq!(WriteAheadLog::replay(&p, &segs).unwrap().len(), 4);
     }
 
     #[test]

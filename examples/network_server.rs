@@ -7,8 +7,10 @@
 
 use std::sync::Arc;
 
+use std::time::Duration;
+
 use miodb::common::{Request, Response};
-use miodb::{KvClient, KvEngine, KvServer, MioOptions, ServerOptions, ShardRouter};
+use miodb::{ClientOptions, KvClient, KvEngine, KvServer, MioOptions, ServerOptions, ShardRouter};
 
 fn main() -> miodb::Result<()> {
     // Four independent MioDB instances behind one hash-partitioned
@@ -25,7 +27,16 @@ fn main() -> miodb::Result<()> {
     )?;
     println!("serving 4 shards on {}", server.local_addr());
 
-    let mut client = KvClient::connect(server.local_addr())?;
+    // Socket timeouts bound every round trip: a hung server surfaces as a
+    // typed timeout error instead of blocking this process forever.
+    let mut client = KvClient::connect_with(
+        server.local_addr(),
+        ClientOptions {
+            read_timeout: Some(Duration::from_secs(5)),
+            write_timeout: Some(Duration::from_secs(5)),
+            ..ClientOptions::default()
+        },
+    )?;
 
     // Simple round trips.
     client.put(b"hello", b"from the network")?;

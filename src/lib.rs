@@ -37,7 +37,7 @@ pub use miodb_skiplist as skiplist;
 pub use miodb_wal as wal;
 pub use miodb_workloads as workloads;
 
-pub use miodb_client::KvClient;
+pub use miodb_client::{ClientCounters, ClientOptions, KvClient};
 pub use miodb_common::{Error, KvEngine, Result, ScanEntry, Stats};
 pub use miodb_core::{MioDb, MioOptions, RepositoryMode, WriteBatch};
 pub use miodb_server::{KvServer, ServerOptions, ShardRouter};

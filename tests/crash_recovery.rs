@@ -167,6 +167,77 @@ fn scan_after_recovery_is_sorted_and_complete() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Bounded, fixed-seed tier-1 variant of `crash_fuzz --concurrent`: the
+/// snapshot is taken from this thread while writer threads are mid-churn,
+/// so it freezes the pool mid-flush / mid-merge. Quiesced base keys must
+/// survive exactly; racing churn keys may be present or absent but never
+/// torn.
+#[test]
+fn concurrent_snapshot_while_writers_run() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const WRITERS: u32 = 2;
+    const CHURN_SLOTS: u64 = 300;
+    let opts = MioOptions::small_for_tests();
+    let path = tmp("concurrent");
+    for seed in [3u64, 17] {
+        let db = Arc::new(MioDb::open(opts.clone()).unwrap());
+        for i in 0..600u32 {
+            db.put(format!("base{i:05}").as_bytes(), b"base-value")
+                .unwrap();
+        }
+        db.wait_idle().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|t| {
+                let db = Arc::clone(&db);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Acquire) {
+                        let k = format!("churn{t:02}-{:05}", n % CHURN_SLOTS);
+                        let v = format!("churnval-{t:02}-{n:08}");
+                        db.put(k.as_bytes(), v.as_bytes()).unwrap();
+                        n += 1;
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(2 + seed));
+        db.snapshot(&path).unwrap();
+        stop.store(true, Ordering::Release);
+        for w in writers {
+            w.join().unwrap();
+        }
+        db.close().unwrap();
+        drop(db);
+
+        let db = recover_from(&path, &opts);
+        for i in 0..600u32 {
+            assert_eq!(
+                db.get(format!("base{i:05}").as_bytes()).unwrap().unwrap(),
+                b"base-value",
+                "seed {seed}: base{i:05} lost"
+            );
+        }
+        for t in 0..WRITERS {
+            for j in 0..CHURN_SLOTS {
+                let k = format!("churn{t:02}-{j:05}");
+                if let Some(v) = db.get(k.as_bytes()).unwrap() {
+                    let prefix = format!("churnval-{t:02}-");
+                    assert!(
+                        v.starts_with(prefix.as_bytes()) && v.len() == prefix.len() + 8,
+                        "seed {seed}: torn churn value for {k}"
+                    );
+                }
+            }
+        }
+        db.put(b"post-recovery-probe", b"ok").unwrap();
+        db.close().unwrap();
+    }
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn recovery_rejects_mismatched_level_count() {
     let opts = MioOptions::small_for_tests();
