@@ -11,6 +11,7 @@
 //! A bounded fixed-seed variant of the concurrent mode runs in tier-1 as
 //! `tests/crash_recovery.rs::concurrent_snapshot_while_writers_run`.
 
+use miodb_check::DurableOracle;
 use miodb_common::{KvEngine, Stats};
 use miodb_core::{MioDb, MioOptions};
 use miodb_pmem::PmemPool;
@@ -25,13 +26,18 @@ fn recover(path: &std::path::Path, opts: &MioOptions) -> MioDb {
 
 /// One adversarial-timing round: the snapshot races live writers, so it
 /// lands mid-flush / mid-merge. Base keys (quiesced before the race) must
-/// survive exactly; churn keys are present-or-absent but never torn.
+/// survive exactly; churn keys are verified against the durable-prefix
+/// oracle — every write acknowledged before the snapshot instant must be
+/// readable (superseded only by later writes to the same slot), and every
+/// in-flight write must be fully present or fully absent, never torn.
 fn concurrent_round(opts: &MioOptions, path: &std::path::Path, seed: u64) {
     const WRITERS: u32 = 2;
     const CHURN_SLOTS: u64 = 400;
     let db = Arc::new(MioDb::open(opts.clone()).unwrap());
+    let oracle = DurableOracle::new();
     for i in 0..800u32 {
-        db.put(format!("base{i:05}").as_bytes(), b"base-value")
+        oracle
+            .put(&*db, format!("base{i:05}").as_bytes(), b"base-value")
             .unwrap();
     }
     db.wait_idle().unwrap();
@@ -40,13 +46,16 @@ fn concurrent_round(opts: &MioOptions, path: &std::path::Path, seed: u64) {
     let writers: Vec<_> = (0..WRITERS)
         .map(|t| {
             let db = Arc::clone(&db);
+            let oracle = oracle.clone();
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
                 let mut n = 0u64;
                 while !stop.load(Ordering::Acquire) {
+                    // Each slot is written by exactly one thread, as the
+                    // oracle's single-writer-per-key model requires.
                     let k = format!("churn{t:02}-{:05}", n % CHURN_SLOTS);
                     let v = format!("churnval-{t:02}-{n:08}");
-                    db.put(k.as_bytes(), v.as_bytes()).unwrap();
+                    oracle.put(&*db, k.as_bytes(), v.as_bytes()).unwrap();
                     n += 1;
                 }
             })
@@ -56,6 +65,7 @@ fn concurrent_round(opts: &MioOptions, path: &std::path::Path, seed: u64) {
     // Seed-varied delay so successive rounds freeze different instants of
     // the flush/merge pipeline.
     std::thread::sleep(Duration::from_millis(2 + seed % 25));
+    let crash_ns = oracle.now_ns();
     db.snapshot(path).unwrap();
     stop.store(true, Ordering::Release);
     for w in writers {
@@ -65,25 +75,15 @@ fn concurrent_round(opts: &MioOptions, path: &std::path::Path, seed: u64) {
     drop(db);
 
     let db = recover(path, opts);
+    if let Err(v) = oracle.verify_engine(&db, crash_ns) {
+        panic!("seed {seed}: {v}");
+    }
     for i in 0..800u32 {
         assert_eq!(
             db.get(format!("base{i:05}").as_bytes()).unwrap().unwrap(),
             b"base-value",
             "seed {seed}: base{i:05} lost"
         );
-    }
-    for t in 0..WRITERS {
-        for j in 0..CHURN_SLOTS {
-            let k = format!("churn{t:02}-{j:05}");
-            if let Some(v) = db.get(k.as_bytes()).unwrap() {
-                let prefix = format!("churnval-{t:02}-");
-                assert!(
-                    v.starts_with(prefix.as_bytes()) && v.len() == prefix.len() + 8,
-                    "seed {seed}: torn churn value for {k}: {:?}",
-                    String::from_utf8_lossy(&v)
-                );
-            }
-        }
     }
     // The recovered engine keeps accepting writes.
     db.put(b"post-recovery-probe", b"ok").unwrap();

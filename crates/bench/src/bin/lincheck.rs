@@ -1,0 +1,170 @@
+//! Linearizability checking harness: seeded interleaving stress against
+//! live MioDB instances, every history fed through the per-key Wing–Gong
+//! checker from `miodb-check`. Exits nonzero on the first violation (or
+//! an exhausted search budget), printing the offending history.
+//!
+//! ```text
+//! lincheck [--seeds N] [--threads N] [--ops N] [--keys N] [--faults]
+//! ```
+//!
+//! `--faults` additionally sweeps every engine-reachable fault point per
+//! seed with probabilistic injection: failed writes are recorded as
+//! ambiguous and the checker validates the history around them.
+
+use miodb_bench::{print_header, print_row};
+use miodb_check::{check_history_with, run_stress, CheckOptions, StressSpec, Verdict};
+use miodb_common::fault::{self, FaultPolicy};
+use miodb_core::{MioDb, MioOptions};
+
+struct Config {
+    seeds: u64,
+    threads: u32,
+    ops: u32,
+    keys: u32,
+    faults: bool,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        seeds: 8,
+        threads: 4,
+        ops: 200,
+        keys: 16,
+        faults: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Option<u64> {
+            *i += 1;
+            args.get(*i).and_then(|s| s.parse().ok())
+        };
+        match args[i].as_str() {
+            "--seeds" => cfg.seeds = take(&mut i).unwrap_or(cfg.seeds),
+            "--threads" => cfg.threads = take(&mut i).unwrap_or(u64::from(cfg.threads)) as u32,
+            "--ops" => cfg.ops = take(&mut i).unwrap_or(u64::from(cfg.ops)) as u32,
+            "--keys" => cfg.keys = take(&mut i).unwrap_or(u64::from(cfg.keys)) as u32,
+            "--faults" => cfg.faults = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: lincheck [--seeds N] [--threads N] [--ops N] [--keys N] [--faults]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    cfg
+}
+
+/// One stress-and-check run; returns false (after printing the verdict)
+/// when the history is not proven linearizable.
+fn run_one(cfg: &Config, seed: u64, point: Option<&'static str>, widths: &[usize]) -> bool {
+    let opts = MioOptions {
+        // Aggressive lazy-copy keeps all pipeline stages hot even in
+        // short runs.
+        lazy_copy_trigger: 1,
+        ..MioOptions::small_for_tests()
+    };
+    let db = match MioDb::open(opts) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("open failed (seed {seed}): {e}");
+            return false;
+        }
+    };
+    if let Some(p) = point {
+        fault::arm(
+            p,
+            FaultPolicy::FailProbability {
+                num: 1,
+                den: 64,
+                seed: seed.wrapping_mul(0x9E37_79B9) + 1,
+            },
+        );
+    }
+    let spec = StressSpec {
+        seed,
+        threads: cfg.threads,
+        ops_per_thread: cfg.ops,
+        key_space: cfg.keys,
+        value_len: 24,
+    };
+    let history = run_stress(&db, &spec);
+    if let Some(p) = point {
+        fault::disarm(p);
+    }
+    let ambiguous = history
+        .ops
+        .iter()
+        .filter(|o| o.observed == miodb_check::Observed::Maybe)
+        .count();
+    let verdict = check_history_with(&history, &CheckOptions::default());
+    let (outcome, states, ok) = match &verdict {
+        Verdict::Linearizable(s) => ("linearizable".to_string(), s.states_explored, true),
+        Verdict::Violation(_) => ("VIOLATION".to_string(), 0, false),
+        Verdict::Indeterminate {
+            states_explored, ..
+        } => ("INDETERMINATE".to_string(), *states_explored, false),
+    };
+    print_row(
+        &[
+            point.unwrap_or("-").to_string(),
+            seed.to_string(),
+            history.len().to_string(),
+            ambiguous.to_string(),
+            states.to_string(),
+            outcome,
+        ],
+        widths,
+    );
+    if !ok {
+        eprintln!("\n{verdict}");
+    }
+    db.close().ok();
+    ok
+}
+
+fn main() {
+    let cfg = parse_args();
+    println!(
+        "== lincheck: {} seeds x {} threads x {} ops over {} keys{} ==",
+        cfg.seeds,
+        cfg.threads,
+        cfg.ops,
+        cfg.keys,
+        if cfg.faults { " (fault matrix)" } else { "" }
+    );
+    let widths = [22usize, 6, 8, 10, 12, 14];
+    print_header(
+        &["point", "seed", "ops", "ambiguous", "states", "outcome"],
+        &widths,
+    );
+    // Serialize against other fault users and disarm everything on exit.
+    let _guard = fault::exclusive();
+    let mut ok = true;
+    for seed in 0..cfg.seeds {
+        ok &= run_one(&cfg, seed, None, &widths);
+        if cfg.faults {
+            for point in [
+                fault::points::ENGINE_FLUSH,
+                fault::points::ENGINE_COMPACTION,
+                fault::points::ENGINE_LAZY,
+                fault::points::WAL_APPEND_PRE_CRC,
+                fault::points::PMEM_ALLOC,
+            ] {
+                ok &= run_one(&cfg, seed, Some(point), &widths);
+            }
+        }
+    }
+    if ok {
+        println!("\nall histories linearizable");
+    } else {
+        eprintln!("\nlinearizability check FAILED");
+        std::process::exit(1);
+    }
+}

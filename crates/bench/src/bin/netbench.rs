@@ -38,6 +38,7 @@ struct Config {
     value_len: usize,
     pipeline_depth: usize,
     throttled: bool,
+    seed: u64,
 }
 
 impl Default for Config {
@@ -50,6 +51,7 @@ impl Default for Config {
             value_len: 256,
             pipeline_depth: 32,
             throttled: false,
+            seed: 0x9E37_79B9_7F4A_7C15,
         }
     }
 }
@@ -93,10 +95,15 @@ fn parse_args() -> Config {
                 cfg.pipeline_depth = parse_num(flag, args.get(i));
             }
             "--throttled" => cfg.throttled = true,
+            "--seed" => {
+                i += 1;
+                cfg.seed = parse_num(flag, args.get(i));
+            }
             other => {
                 eprintln!(
                     "unknown flag: {other}\nusage: netbench [--shards N] [--connections N] \
-                     [--seconds F] [--records N] [--value-len N] [--pipeline-depth N] [--throttled]"
+                     [--seconds F] [--records N] [--value-len N] [--pipeline-depth N] \
+                     [--throttled] [--seed N]"
                 );
                 std::process::exit(2);
             }
@@ -365,7 +372,7 @@ fn run(cfg: &Config) -> Result<()> {
     // bounded by wall-clock time.
     let deadline = Instant::now() + Duration::from_secs_f64(cfg.seconds);
     let ycsb = run_phase("ycsb-a", addr, cfg, |c| {
-        let mut rng = Rng(0x9E37_79B9_7F4A_7C15 ^ (c as u64 + 1));
+        let mut rng = Rng(cfg.seed ^ (c as u64 + 1));
         Box::new(move || {
             if Instant::now() >= deadline {
                 return None;

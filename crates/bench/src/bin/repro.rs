@@ -51,6 +51,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "faults",
         "fault matrix: seeds x fault points, typed-error-or-full-recovery",
     ),
+    (
+        "check",
+        "verification: linearizability under faults + durable-prefix crash rounds",
+    ),
     ("all", "every experiment above, in order"),
 ];
 
@@ -112,6 +116,7 @@ fn main() {
         "fig14" => fig14(dataset),
         "scaling" => scaling(dataset, quick),
         "faults" => faults(quick),
+        "check" => check(quick),
         "all" => all(dataset, quick),
         other => {
             eprintln!("unknown experiment: {other}\n");
@@ -164,6 +169,7 @@ fn all(dataset: u64, quick: bool) -> Result<()> {
     fig14(dataset)?;
     scaling(dataset, quick)?;
     faults(quick)?;
+    check(quick)?;
     Ok(())
 }
 
@@ -907,6 +913,157 @@ fn faults(quick: bool) -> Result<()> {
 }
 
 // ---------------------------------------------------------------------------
+// Check — linearizability + durable-prefix verification (DESIGN.md §11).
+// ---------------------------------------------------------------------------
+fn check(quick: bool) -> Result<()> {
+    use miodb_check::{check_history, run_stress, DurableOracle, StressSpec, Verdict};
+    use miodb_common::fault::{self, FaultPolicy};
+    use miodb_common::Stats;
+    use miodb_core::{MioDb, MioOptions};
+    use miodb_pmem::PmemPool;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    println!("\n== Verification: per-key linearizability + durable-prefix crash rounds ==");
+    println!("   histories from seeded interleaving stress are replayed through the");
+    println!("   Wing-Gong checker; crash rounds snapshot mid-storm and require every");
+    println!("   acknowledged write to survive recovery (in-flight: all-or-nothing).");
+    let seeds: u64 = if quick { 3 } else { 8 };
+    let busy = || MioOptions {
+        lazy_copy_trigger: 1,
+        ..MioOptions::small_for_tests()
+    };
+
+    // Phase 1: linearizability of stress histories, fault-free and with
+    // probabilistic injection at two representative engine points.
+    let widths = [22usize, 6, 8, 10, 14];
+    print_header(&["point", "seed", "ops", "ambiguous", "outcome"], &widths);
+    let _guard = fault::exclusive();
+    for seed in 0..seeds {
+        for point in [
+            None,
+            Some(fault::points::ENGINE_FLUSH),
+            Some(fault::points::WAL_APPEND_PRE_CRC),
+        ] {
+            // Open before arming: PMEM allocation faults would otherwise
+            // fire during open itself, which dedicated tests already cover.
+            let db = MioDb::open(busy())?;
+            if let Some(p) = point {
+                fault::arm(
+                    p,
+                    FaultPolicy::FailProbability {
+                        num: 1,
+                        den: 64,
+                        seed: seed.wrapping_mul(0x9E37_79B9) + 1,
+                    },
+                );
+            }
+            let spec = StressSpec {
+                threads: 4,
+                ops_per_thread: if quick { 150 } else { 300 },
+                ..StressSpec::quick(seed)
+            };
+            let history = run_stress(&db, &spec);
+            if let Some(p) = point {
+                fault::disarm(p);
+            }
+            let ambiguous = history
+                .ops
+                .iter()
+                .filter(|o| o.observed == miodb_check::Observed::Maybe)
+                .count();
+            let verdict = check_history(&history);
+            let ok = matches!(verdict, Verdict::Linearizable(_));
+            print_row(
+                &[
+                    point.unwrap_or("-").to_string(),
+                    seed.to_string(),
+                    history.len().to_string(),
+                    ambiguous.to_string(),
+                    if ok {
+                        "linearizable".to_string()
+                    } else {
+                        "VIOLATION".to_string()
+                    },
+                ],
+                &widths,
+            );
+            db.close()?;
+            if !ok {
+                return Err(miodb_common::Error::Corruption(format!(
+                    "non-linearizable history at seed {seed}: {verdict}"
+                )));
+            }
+        }
+    }
+
+    // Phase 2: durable-prefix crash rounds — snapshot races live writers,
+    // recovery is verified against the acknowledgement oracle.
+    println!("\n   crash rounds (snapshot mid-write-storm, recover, verify oracle):");
+    let cwidths = [8usize, 10, 14];
+    print_header(&["seed", "acked", "outcome"], &cwidths);
+    let path = std::env::temp_dir().join(format!("miodb-repro-check-{}", std::process::id()));
+    for seed in 0..seeds {
+        let opts = busy();
+        let db = Arc::new(MioDb::open(opts.clone())?);
+        let oracle = DurableOracle::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..2u32)
+            .map(|t| {
+                let db = Arc::clone(&db);
+                let oracle = oracle.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Acquire) {
+                        // One writer per slot: the oracle models each key
+                        // as a single-writer register.
+                        let k = format!("slot{t:02}-{:04}", n % 64);
+                        let v = format!("v{t:02}-{n:08}");
+                        oracle.put(&*db, k.as_bytes(), v.as_bytes()).ok();
+                        n += 1;
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(2 + seed % 13));
+        let crash_ns = oracle.now_ns();
+        db.snapshot(&path)?;
+        stop.store(true, Ordering::Release);
+        for w in writers {
+            w.join().expect("writer panicked");
+        }
+        db.close()?;
+        drop(db);
+        let acked = oracle.tracked_keys();
+        let pool = PmemPool::restore_from_file(&path, opts.nvm_device, Arc::new(Stats::new()))?;
+        let db = MioDb::recover(pool, opts)?;
+        let outcome = oracle.verify_engine(&db, crash_ns);
+        db.close()?;
+        print_row(
+            &[
+                seed.to_string(),
+                acked.to_string(),
+                if outcome.is_ok() {
+                    "durable".to_string()
+                } else {
+                    "VIOLATION".to_string()
+                },
+            ],
+            &cwidths,
+        );
+        if let Err(v) = outcome {
+            std::fs::remove_file(&path).ok();
+            return Err(miodb_common::Error::Corruption(format!(
+                "durable-prefix violation at seed {seed}: {v}"
+            )));
+        }
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // Scaling — concurrent-writer sweep for the group-commit write pipeline.
 // ---------------------------------------------------------------------------
 fn scaling(dataset: u64, quick: bool) -> Result<()> {
@@ -951,7 +1108,9 @@ fn scaling(dataset: u64, quick: bool) -> Result<()> {
                 }
                 Some(k) => build_engine(k, Mode::InMemory, &scale)?,
             };
-            let r = run_fill_concurrent(engine.as_ref(), scale.keys(), value_len, t)?;
+            // Same seed at every thread count so the sweep compares the
+            // identical keyset and insertion order.
+            let r = run_fill_concurrent(engine.as_ref(), scale.keys(), value_len, t, 42)?;
             let kops = r.kops();
             if t == threads[0] {
                 base_kops = kops;

@@ -1,0 +1,111 @@
+//! Statistical and structural properties of the Bloom filter at the
+//! engine's production geometry (`bloom_bits_per_key = 16`, k = 11):
+//! the measured false-positive rate must stay within 2x of the theoretical
+//! `(1 - e^(-kn/m))^k`, and merging same-geometry filters must never
+//! introduce false negatives.
+
+use miodb_bloom::BloomFilter;
+use proptest::prelude::*;
+
+const BITS_PER_KEY: usize = 16;
+
+fn keys(tag: u8, n: usize, seed: u64) -> Vec<Vec<u8>> {
+    // splitmix64-derived keys: disjoint across tags, deterministic per seed.
+    let mut x = seed ^ (u64::from(tag) << 56) ^ 0x9E37_79B9_7F4A_7C15;
+    (0..n)
+        .map(|i| {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            format!("{tag:02x}-{i:06}-{:016x}", z ^ (z >> 31)).into_bytes()
+        })
+        .collect()
+}
+
+/// Theoretical FPR for n keys in m bits with k hashes.
+fn theoretical_fpr(n: usize, m: usize, k: u32) -> f64 {
+    let exp = -(k as f64) * (n as f64) / (m as f64);
+    (1.0 - exp.exp()).powi(k as i32)
+}
+
+#[test]
+fn measured_fpr_within_2x_of_theory_at_production_geometry() {
+    // Deterministic (not proptest): the FPR is a statistical quantity, so
+    // the probe count has to be large and the seeds fixed.
+    for seed in [7u64, 21, 63] {
+        let n = 1_000;
+        let inserted = keys(0xAA, n, seed);
+        let mut f = BloomFilter::with_bits_per_key(n, BITS_PER_KEY);
+        for k in &inserted {
+            f.insert(k);
+        }
+        // No false negatives, ever.
+        for k in &inserted {
+            assert!(f.may_contain(k), "false negative on inserted key");
+        }
+        let probes = keys(0xBB, 60_000, seed);
+        let fp = probes.iter().filter(|k| f.may_contain(k)).count();
+        let measured = fp as f64 / probes.len() as f64;
+        let theory = theoretical_fpr(n, f.num_bits(), f.num_hashes());
+        // At 16 bits/key theory is ~4.6e-4; 2x plus a small absolute floor
+        // keeps the bound meaningful while tolerating sampling noise at
+        // 60k probes.
+        assert!(
+            measured <= 2.0 * theory + 2e-4,
+            "seed {seed}: measured FPR {measured:.6} vs theoretical {theory:.6}"
+        );
+        // The filter's own estimate agrees with theory to the same factor.
+        let estimated = f.estimated_fp_rate();
+        assert!(
+            estimated <= 2.0 * theory + 2e-4,
+            "seed {seed}: estimated FPR {estimated:.6} vs theoretical {theory:.6}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn merge_never_introduces_false_negatives(
+        seed in any::<u64>(),
+        n_a in 1usize..400,
+        n_b in 1usize..400,
+    ) {
+        // Same geometry: sized for the combined population, as the SSTable
+        // builder does when merging runs.
+        let capacity = 800;
+        let mut a = BloomFilter::with_bits_per_key(capacity, BITS_PER_KEY);
+        let mut b = BloomFilter::with_bits_per_key(capacity, BITS_PER_KEY);
+        let ka = keys(0x01, n_a, seed);
+        let kb = keys(0x02, n_b, seed);
+        for k in &ka {
+            a.insert(k);
+        }
+        for k in &kb {
+            b.insert(k);
+        }
+        a.merge(&b).unwrap();
+        for k in ka.iter().chain(&kb) {
+            prop_assert!(a.may_contain(k), "merge lost a key");
+        }
+        prop_assert_eq!(a.inserted(), (n_a + n_b) as u64);
+    }
+
+    #[test]
+    fn fill_ratio_grows_monotonically(
+        seed in any::<u64>(),
+        n in 1usize..600,
+    ) {
+        let mut f = BloomFilter::with_bits_per_key(600, BITS_PER_KEY);
+        let mut last = f.fill_ratio();
+        for k in keys(0x03, n, seed) {
+            f.insert(&k);
+            let now = f.fill_ratio();
+            prop_assert!(now >= last, "fill ratio decreased");
+            last = now;
+        }
+        prop_assert!(last > 0.0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Durable-prefix oracle for crash tests.
+//!
+//! The contract under test: every write **acknowledged** before the crash
+//! instant must be readable after recovery (superseded only by later
+//! writes to the same key), and every **unacknowledged** write must be
+//! either fully present or fully absent — never torn, never partially
+//! visible.
+//!
+//! Writers bracket each mutation with [`DurableOracle::begin_put`] /
+//! [`DurableOracle::ack`] (or use the [`DurableOracle::put`] convenience
+//! wrapper). After recovery, [`DurableOracle::verify`] replays the model:
+//! for each key, let `A` be the last write acknowledged before the crash
+//! instant; the recovered value must equal `A`'s value or that of some
+//! write issued after `A` (acknowledged later, unacknowledged, or in
+//! flight at the crash). Absence is legal only when a legal candidate is a
+//! tombstone or no acknowledged write exists.
+//!
+//! The model assumes **one writer per key** (each key's writes are issued
+//! sequentially, as the crash-fuzz and stress drivers do); concurrent
+//! same-key writers would make "the last acknowledged write" ambiguous.
+
+use miodb_common::{KvEngine, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Read function used by [`DurableOracle::verify`]: key → recovered value.
+pub type ReadFn<'a> = dyn FnMut(&[u8]) -> Result<Option<Vec<u8>>> + 'a;
+
+struct WriteRec {
+    /// `None` is a tombstone (delete).
+    value: Option<Vec<u8>>,
+    ack_ns: Option<u64>,
+}
+
+struct OracleInner {
+    epoch: Instant,
+    keys: Mutex<HashMap<Vec<u8>, Vec<WriteRec>>>,
+}
+
+/// Shared model of every write attempted against the engine under test.
+/// Cheap to clone across writer threads.
+#[derive(Clone)]
+pub struct DurableOracle {
+    inner: Arc<OracleInner>,
+}
+
+/// Handle for acknowledging one in-flight write.
+pub struct WriteToken {
+    key: Vec<u8>,
+    idx: usize,
+}
+
+/// A durability violation found after recovery.
+#[derive(Debug, Clone)]
+pub struct DurabilityViolation {
+    /// The key whose recovered state breaks the contract.
+    pub key: Vec<u8>,
+    /// The value read back after recovery (`None` = absent).
+    pub got: Option<Vec<u8>>,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for DurabilityViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "durability violation on key {:?}: {} (recovered: {})",
+            String::from_utf8_lossy(&self.key),
+            self.detail,
+            match &self.got {
+                Some(v) => format!("{:?}", String::from_utf8_lossy(v)),
+                None => "absent".to_string(),
+            }
+        )
+    }
+}
+
+impl Default for DurableOracle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DurableOracle {
+    /// Creates an oracle whose clock starts now.
+    #[must_use]
+    pub fn new() -> DurableOracle {
+        DurableOracle {
+            inner: Arc::new(OracleInner {
+                epoch: Instant::now(),
+                keys: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Monotonic nanoseconds since the oracle's epoch. Capture this just
+    /// before forcing the crash and pass it to [`DurableOracle::verify`].
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX - 1)
+    }
+
+    fn begin(&self, key: &[u8], value: Option<&[u8]>) -> WriteToken {
+        let mut keys = self.inner.keys.lock();
+        let writes = keys.entry(key.to_vec()).or_default();
+        writes.push(WriteRec {
+            value: value.map(<[u8]>::to_vec),
+            ack_ns: None,
+        });
+        WriteToken {
+            key: key.to_vec(),
+            idx: writes.len() - 1,
+        }
+    }
+
+    /// Registers a `put` about to be issued. Call [`DurableOracle::ack`]
+    /// once the engine acknowledges it; an unacked token leaves the write
+    /// in the "maybe applied" candidate set.
+    #[must_use]
+    pub fn begin_put(&self, key: &[u8], value: &[u8]) -> WriteToken {
+        self.begin(key, Some(value))
+    }
+
+    /// Registers a `delete` about to be issued.
+    #[must_use]
+    pub fn begin_delete(&self, key: &[u8]) -> WriteToken {
+        self.begin(key, None)
+    }
+
+    /// Marks the write as acknowledged at the current instant.
+    pub fn ack(&self, token: WriteToken) {
+        let now = self.now_ns();
+        let mut keys = self.inner.keys.lock();
+        if let Some(writes) = keys.get_mut(&token.key) {
+            if let Some(rec) = writes.get_mut(token.idx) {
+                rec.ack_ns = Some(now);
+            }
+        }
+    }
+
+    /// `put` with oracle bookkeeping: begins, issues, acks on success. On
+    /// error the write stays unacknowledged (maybe-applied).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine error.
+    pub fn put(&self, e: &dyn KvEngine, key: &[u8], value: &[u8]) -> Result<()> {
+        let token = self.begin_put(key, value);
+        e.put(key, value)?;
+        self.ack(token);
+        Ok(())
+    }
+
+    /// `delete` with oracle bookkeeping, like [`DurableOracle::put`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine error.
+    pub fn delete(&self, e: &dyn KvEngine, key: &[u8]) -> Result<()> {
+        let token = self.begin_delete(key);
+        e.delete(key)?;
+        self.ack(token);
+        Ok(())
+    }
+
+    /// Verifies the recovered engine against the durable-prefix contract,
+    /// treating `crash_ns` (a [`DurableOracle::now_ns`] reading taken just
+    /// before the crash was forced) as the crash instant.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn verify_engine(
+        &self,
+        e: &dyn KvEngine,
+        crash_ns: u64,
+    ) -> std::result::Result<(), DurabilityViolation> {
+        self.verify(crash_ns, &mut |key| e.get(key))
+    }
+
+    /// [`DurableOracle::verify_engine`] over an arbitrary read function
+    /// (e.g. a network client).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found; a failed read is itself a
+    /// violation.
+    pub fn verify(
+        &self,
+        crash_ns: u64,
+        read: &mut ReadFn<'_>,
+    ) -> std::result::Result<(), DurabilityViolation> {
+        let keys = self.inner.keys.lock();
+        // Deterministic iteration for reproducible failure reports.
+        let mut sorted: Vec<(&Vec<u8>, &Vec<WriteRec>)> = keys.iter().collect();
+        sorted.sort_by_key(|(k, _)| k.as_slice());
+        for (key, writes) in sorted {
+            let got = match read(key) {
+                Ok(v) => v,
+                Err(e) => {
+                    return Err(DurabilityViolation {
+                        key: key.clone(),
+                        got: None,
+                        detail: format!("read failed after recovery: {e}"),
+                    })
+                }
+            };
+            // Writes per key are in issue order (single writer per key):
+            // the last one acknowledged before the crash is the floor.
+            let floor = writes
+                .iter()
+                .rposition(|w| w.ack_ns.is_some_and(|t| t <= crash_ns));
+            let candidates: &[WriteRec] = match floor {
+                Some(i) => &writes[i..],
+                None => writes,
+            };
+            let matches = candidates
+                .iter()
+                .any(|w| w.value.as_deref() == got.as_deref());
+            let absent_ok = floor.is_none() || candidates.iter().any(|w| w.value.is_none());
+            let ok = match &got {
+                Some(_) => matches,
+                None => matches || absent_ok,
+            };
+            if !ok {
+                let acked = floor.map_or(0, |i| i + 1);
+                return Err(DurabilityViolation {
+                    key: key.clone(),
+                    got,
+                    detail: format!(
+                        "none of the {} legal candidate values match \
+                         ({} writes issued, last pre-crash ack at index {acked})",
+                        candidates.len(),
+                        writes.len(),
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of keys the oracle is tracking.
+    #[must_use]
+    pub fn tracked_keys(&self) -> usize {
+        self.inner.keys.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shim::MapEngine;
+
+    #[test]
+    fn acked_write_must_survive() {
+        let o = DurableOracle::new();
+        let e = MapEngine::new();
+        o.put(&e, b"k", b"v1").unwrap();
+        let crash = o.now_ns();
+        assert!(o.verify_engine(&e, crash).is_ok());
+        // Simulate losing the acked write in "recovery".
+        e.delete(b"k").unwrap();
+        let err = o.verify_engine(&e, crash).unwrap_err();
+        assert_eq!(err.key, b"k");
+    }
+
+    #[test]
+    fn unacked_write_is_present_or_absent_never_torn() {
+        let o = DurableOracle::new();
+        let e = MapEngine::new();
+        o.put(&e, b"k", b"old").unwrap();
+        // In-flight write that never acked before the crash.
+        let _token = o.begin_put(b"k", b"new");
+        e.put(b"k", b"new").unwrap(); // it landed anyway
+        let crash = o.now_ns();
+        assert!(o.verify_engine(&e, crash).is_ok());
+        // Fully absent it did not land is also fine… but reverting to the
+        // acked floor value is what absence would mean here:
+        e.put(b"k", b"old").unwrap();
+        assert!(o.verify_engine(&e, crash).is_ok());
+        // A torn value matching neither candidate is a violation.
+        e.put(b"k", b"ne").unwrap();
+        assert!(o.verify_engine(&e, crash).is_err());
+    }
+
+    #[test]
+    fn never_written_key_may_be_absent() {
+        let o = DurableOracle::new();
+        let e = MapEngine::new();
+        let _token = o.begin_put(b"k", b"v");
+        let crash = o.now_ns();
+        // Never landed: absent is legal.
+        assert!(o.verify_engine(&e, crash).is_ok());
+    }
+
+    #[test]
+    fn writes_acked_after_crash_are_legal_candidates() {
+        let o = DurableOracle::new();
+        let e = MapEngine::new();
+        o.put(&e, b"k", b"v1").unwrap();
+        let crash = o.now_ns();
+        // The driver kept writing past the crash instant (snapshot races
+        // live writers): both v1 and v2 are legal recovered states.
+        o.put(&e, b"k", b"v2").unwrap();
+        assert!(o.verify_engine(&e, crash).is_ok());
+        e.put(b"k", b"v1").unwrap();
+        assert!(o.verify_engine(&e, crash).is_ok());
+        // But a value predating the acked floor is not.
+        e.put(b"k", b"v0").unwrap();
+        assert!(o.verify_engine(&e, crash).is_err());
+    }
+
+    #[test]
+    fn tombstone_candidate_legalises_absence() {
+        let o = DurableOracle::new();
+        let e = MapEngine::new();
+        o.put(&e, b"k", b"v1").unwrap();
+        o.delete(&e, b"k").unwrap();
+        let crash = o.now_ns();
+        assert!(o.verify_engine(&e, crash).is_ok());
+    }
+}

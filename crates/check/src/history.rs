@@ -1,0 +1,495 @@
+//! History recording: capture the concurrent operation timeline an engine
+//! or client actually served, for offline verification.
+//!
+//! A [`HistoryRecorder`] hands out one [`ProcessLog`] per logical process
+//! (thread or client connection). Each log appends [`RecordedOp`] entries
+//! to its own private buffer — single-owner, so the per-op lock is never
+//! contended — and the recorder drains every registered buffer when the
+//! history is collected. Timestamps come from a single monotonic epoch so
+//! real-time windows are comparable across processes.
+//!
+//! [`RecordingEngine`] wraps any [`KvEngine`] and records every `put`,
+//! `get` and `delete` transparently through a thread-local log, so the
+//! existing workload drivers produce checkable histories without changes.
+
+use miodb_common::{Error, KvEngine, Result, ScanEntry};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The operation a process invoked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpAction {
+    /// `put(key, value)` with this value.
+    Put(Vec<u8>),
+    /// `delete(key)`.
+    Delete,
+    /// `get(key)`.
+    Get,
+}
+
+/// What the caller observed when the operation returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Observed {
+    /// The mutation was acknowledged: it definitely took effect.
+    Acked,
+    /// The read returned this value (`None` = key absent).
+    Read(Option<Vec<u8>>),
+    /// Ambiguous failure: the mutation may or may not have taken effect,
+    /// now or later (`Error::MaybeApplied`, or any engine-side write error
+    /// whose partial effects are unknown).
+    Maybe,
+    /// Definite failure: the operation did not take effect; a failed read
+    /// learned nothing.
+    Never,
+}
+
+/// One recorded operation together with its real-time window.
+#[derive(Debug, Clone)]
+pub struct RecordedOp {
+    /// Logical process (thread / client) that issued the operation.
+    pub process: u32,
+    /// Key operated on.
+    pub key: Vec<u8>,
+    /// The operation performed.
+    pub action: OpAction,
+    /// Monotonic nanoseconds (since the recorder's epoch) at invocation.
+    pub invoke_ns: u64,
+    /// Monotonic nanoseconds at return. `u64::MAX` means the call never
+    /// returned (the process was killed mid-call).
+    pub return_ns: u64,
+    /// Outcome observed by the caller.
+    pub observed: Observed,
+}
+
+/// A complete recorded history (unordered; the checker sorts per key).
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// All recorded operations.
+    pub ops: Vec<RecordedOp>,
+}
+
+impl History {
+    /// Number of recorded operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+
+struct RecorderInner {
+    id: u64,
+    epoch: Instant,
+    /// Every process buffer ever handed out; drained by `take_history`.
+    logs: Mutex<Vec<Arc<Mutex<Vec<RecordedOp>>>>>,
+    next_process: AtomicU32,
+}
+
+/// Shared collector for one history. Cheap to clone; all clones feed the
+/// same sink and share the same monotonic epoch.
+#[derive(Clone)]
+pub struct HistoryRecorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl Default for HistoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistoryRecorder {
+    /// Creates a recorder whose epoch is "now".
+    #[must_use]
+    pub fn new() -> HistoryRecorder {
+        HistoryRecorder {
+            inner: Arc::new(RecorderInner {
+                id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+                epoch: Instant::now(),
+                logs: Mutex::new(Vec::new()),
+                next_process: AtomicU32::new(0),
+            }),
+        }
+    }
+
+    /// Monotonic nanoseconds since this recorder's epoch.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX - 1)
+    }
+
+    /// Opens a per-process log. One per thread/client; its buffer is
+    /// registered with the recorder, so nothing is lost if the log is
+    /// still alive (or its thread-local cache undestroyed) at collection
+    /// time.
+    #[must_use]
+    pub fn log(&self) -> ProcessLog {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        self.inner.logs.lock().push(Arc::clone(&buf));
+        ProcessLog {
+            process: self.inner.next_process.fetch_add(1, Ordering::Relaxed),
+            recorder: self.clone(),
+            buf,
+        }
+    }
+
+    /// Drains every operation recorded so far into a [`History`].
+    ///
+    /// Safe to call once the worker closures driving the engine have
+    /// returned (e.g. after `std::thread::scope`); each process buffer is
+    /// drained under its own lock.
+    #[must_use]
+    pub fn take_history(&self) -> History {
+        let mut ops = Vec::new();
+        for buf in self.inner.logs.lock().iter() {
+            ops.append(&mut buf.lock());
+        }
+        History { ops }
+    }
+}
+
+/// A per-process operation log. The buffer has a single owner, so the
+/// per-op lock is never contended; the recorder drains it at collection
+/// time.
+pub struct ProcessLog {
+    process: u32,
+    recorder: HistoryRecorder,
+    buf: Arc<Mutex<Vec<RecordedOp>>>,
+}
+
+impl ProcessLog {
+    /// The process id assigned to this log.
+    #[must_use]
+    pub fn process(&self) -> u32 {
+        self.process
+    }
+
+    /// Appends a pre-built operation (escape hatch for custom drivers).
+    pub fn record(&mut self, op: RecordedOp) {
+        self.buf.lock().push(op);
+    }
+
+    fn push(&mut self, key: &[u8], action: OpAction, invoke: u64, ret: u64, observed: Observed) {
+        self.buf.lock().push(RecordedOp {
+            process: self.process,
+            key: key.to_vec(),
+            action,
+            invoke_ns: invoke,
+            return_ns: ret,
+            observed,
+        });
+    }
+
+    /// `put` on an in-process engine, recorded. An engine-side error is
+    /// recorded as [`Observed::Maybe`]: a failed write may have partially
+    /// persisted (e.g. WAL appended before the flush failed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine error.
+    pub fn put(&mut self, e: &dyn KvEngine, key: &[u8], value: &[u8]) -> Result<()> {
+        let invoke = self.recorder.now_ns();
+        let res = e.put(key, value);
+        let ret = self.recorder.now_ns();
+        let observed = match &res {
+            Ok(()) => Observed::Acked,
+            Err(_) => Observed::Maybe,
+        };
+        self.push(key, OpAction::Put(value.to_vec()), invoke, ret, observed);
+        res
+    }
+
+    /// `get` on an in-process engine, recorded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine error (recorded as [`Observed::Never`]: a
+    /// failed read observed nothing).
+    pub fn get(&mut self, e: &dyn KvEngine, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let invoke = self.recorder.now_ns();
+        let res = e.get(key);
+        let ret = self.recorder.now_ns();
+        let observed = match &res {
+            Ok(v) => Observed::Read(v.clone()),
+            Err(_) => Observed::Never,
+        };
+        self.push(key, OpAction::Get, invoke, ret, observed);
+        res
+    }
+
+    /// `delete` on an in-process engine, recorded (errors are ambiguous,
+    /// as for [`ProcessLog::put`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine error.
+    pub fn delete(&mut self, e: &dyn KvEngine, key: &[u8]) -> Result<()> {
+        let invoke = self.recorder.now_ns();
+        let res = e.delete(key);
+        let ret = self.recorder.now_ns();
+        let observed = match &res {
+            Ok(()) => Observed::Acked,
+            Err(_) => Observed::Maybe,
+        };
+        self.push(key, OpAction::Delete, invoke, ret, observed);
+        res
+    }
+
+    fn client_mutation_observed(res: &Result<()>) -> Observed {
+        match res {
+            Ok(()) => Observed::Acked,
+            // The client's contract: MaybeApplied when the request may have
+            // reached the server; anything else means it definitely did not
+            // take effect (refused in-band, or never sent).
+            Err(Error::MaybeApplied(_)) => Observed::Maybe,
+            Err(_) => Observed::Never,
+        }
+    }
+
+    /// `put` through a network client, recorded with the client's
+    /// ambiguity contract (`MaybeApplied` ⇒ [`Observed::Maybe`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the client error.
+    pub fn client_put(
+        &mut self,
+        c: &mut miodb_client::KvClient,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<()> {
+        let invoke = self.recorder.now_ns();
+        let res = c.put(key, value);
+        let ret = self.recorder.now_ns();
+        let observed = Self::client_mutation_observed(&res);
+        self.push(key, OpAction::Put(value.to_vec()), invoke, ret, observed);
+        res
+    }
+
+    /// `get` through a network client, recorded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the client error.
+    pub fn client_get(
+        &mut self,
+        c: &mut miodb_client::KvClient,
+        key: &[u8],
+    ) -> Result<Option<Vec<u8>>> {
+        let invoke = self.recorder.now_ns();
+        let res = c.get(key);
+        let ret = self.recorder.now_ns();
+        let observed = match &res {
+            Ok(v) => Observed::Read(v.clone()),
+            Err(_) => Observed::Never,
+        };
+        self.push(key, OpAction::Get, invoke, ret, observed);
+        res
+    }
+
+    /// `delete` through a network client, recorded like
+    /// [`ProcessLog::client_put`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the client error.
+    pub fn client_delete(&mut self, c: &mut miodb_client::KvClient, key: &[u8]) -> Result<()> {
+        let invoke = self.recorder.now_ns();
+        let res = c.delete(key);
+        let ret = self.recorder.now_ns();
+        let observed = Self::client_mutation_observed(&res);
+        self.push(key, OpAction::Delete, invoke, ret, observed);
+        res
+    }
+}
+
+thread_local! {
+    /// Per-thread implicit logs for [`RecordingEngine`], keyed by recorder
+    /// id (a thread can drive several recorded engines). The buffers are
+    /// registered with their recorders, so collection never depends on
+    /// thread-local destructor timing.
+    static TLS_LOGS: RefCell<Vec<(u64, ProcessLog)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A [`KvEngine`] wrapper that transparently records every `put`, `get`
+/// and `delete` into a history, one implicit [`ProcessLog`] per calling
+/// thread. Scans and admin calls pass through unrecorded (the per-key
+/// register checker does not model range reads).
+pub struct RecordingEngine<E> {
+    inner: E,
+    recorder: HistoryRecorder,
+}
+
+impl<E: KvEngine> RecordingEngine<E> {
+    /// Wraps `inner`, recording into a fresh history.
+    pub fn new(inner: E) -> RecordingEngine<E> {
+        RecordingEngine {
+            inner,
+            recorder: HistoryRecorder::new(),
+        }
+    }
+
+    /// A handle on the recorder (e.g. to open explicit [`ProcessLog`]s
+    /// that share the engine's timeline).
+    #[must_use]
+    pub fn recorder(&self) -> HistoryRecorder {
+        self.recorder.clone()
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Drains the history recorded so far. Safe to call once the worker
+    /// closures driving the engine have returned.
+    #[must_use]
+    pub fn take_history(&self) -> History {
+        self.recorder.take_history()
+    }
+
+    fn with_log<R>(&self, f: impl FnOnce(&mut ProcessLog) -> R) -> R {
+        let id = self.recorder.inner.id;
+        TLS_LOGS.with(|cell| {
+            let mut logs = cell.borrow_mut();
+            if let Some(pos) = logs.iter().position(|(rid, _)| *rid == id) {
+                f(&mut logs[pos].1)
+            } else {
+                logs.push((id, self.recorder.log()));
+                let last = logs.last_mut().expect("just pushed");
+                f(&mut last.1)
+            }
+        })
+    }
+}
+
+impl<E: KvEngine> KvEngine for RecordingEngine<E> {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let invoke = self.recorder.now_ns();
+        let res = self.inner.put(key, value);
+        let ret = self.recorder.now_ns();
+        let observed = match &res {
+            Ok(()) => Observed::Acked,
+            Err(_) => Observed::Maybe,
+        };
+        self.with_log(|log| log.push(key, OpAction::Put(value.to_vec()), invoke, ret, observed));
+        res
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let invoke = self.recorder.now_ns();
+        let res = self.inner.get(key);
+        let ret = self.recorder.now_ns();
+        let observed = match &res {
+            Ok(v) => Observed::Read(v.clone()),
+            Err(_) => Observed::Never,
+        };
+        self.with_log(|log| log.push(key, OpAction::Get, invoke, ret, observed));
+        res
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        let invoke = self.recorder.now_ns();
+        let res = self.inner.delete(key);
+        let ret = self.recorder.now_ns();
+        let observed = match &res {
+            Ok(()) => Observed::Acked,
+            Err(_) => Observed::Maybe,
+        };
+        self.with_log(|log| log.push(key, OpAction::Delete, invoke, ret, observed));
+        res
+    }
+
+    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<ScanEntry>> {
+        self.inner.scan(start, limit)
+    }
+
+    fn scan_range(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<ScanEntry>> {
+        self.inner.scan_range(start, end, limit)
+    }
+
+    fn wait_idle(&self) -> Result<()> {
+        self.inner.wait_idle()
+    }
+
+    fn report(&self) -> miodb_common::EngineReport {
+        self.inner.report()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn telemetry(&self) -> Option<&miodb_common::EngineTelemetry> {
+        self.inner.telemetry()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shim::MapEngine;
+
+    #[test]
+    fn timestamps_are_monotonic_and_windows_ordered() {
+        let rec = HistoryRecorder::new();
+        let e = MapEngine::new();
+        let mut log = rec.log();
+        log.put(&e, b"a", b"1").unwrap();
+        assert_eq!(log.get(&e, b"a").unwrap().as_deref(), Some(&b"1"[..]));
+        drop(log);
+        let h = rec.take_history();
+        assert_eq!(h.len(), 2);
+        for op in &h.ops {
+            assert!(op.invoke_ns <= op.return_ns);
+        }
+        assert!(h.ops[0].return_ns <= h.ops[1].invoke_ns);
+        assert_eq!(h.ops[0].observed, Observed::Acked);
+        assert_eq!(h.ops[1].observed, Observed::Read(Some(b"1".to_vec())));
+    }
+
+    #[test]
+    fn recording_engine_collects_across_threads() {
+        let e = RecordingEngine::new(MapEngine::new());
+        std::thread::scope(|s| {
+            for t in 0..3u32 {
+                let e = &e;
+                s.spawn(move || {
+                    for i in 0..10u32 {
+                        e.put(
+                            format!("k{}", i % 4).as_bytes(),
+                            format!("{t}-{i}").as_bytes(),
+                        )
+                        .unwrap();
+                        let _ = e.get(format!("k{}", i % 4).as_bytes()).unwrap();
+                    }
+                });
+            }
+        });
+        // Main thread drives the engine too.
+        e.put(b"main", b"v").unwrap();
+        let h = e.take_history();
+        assert_eq!(h.len(), 3 * 20 + 1);
+        // Distinct processes were assigned.
+        let procs: std::collections::HashSet<u32> = h.ops.iter().map(|o| o.process).collect();
+        assert_eq!(procs.len(), 4);
+    }
+
+    #[test]
+    fn second_take_history_is_empty() {
+        let e = RecordingEngine::new(MapEngine::new());
+        e.put(b"k", b"v").unwrap();
+        assert_eq!(e.take_history().len(), 1);
+        assert!(e.take_history().is_empty());
+    }
+}

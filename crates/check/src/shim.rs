@@ -1,0 +1,203 @@
+//! Reference and deliberately-broken engines for checker validation.
+//!
+//! [`MapEngine`] is a trivially correct `BTreeMap`-under-a-mutex engine:
+//! every operation is atomic, so every history it serves is linearizable
+//! by construction. It doubles as the single-instance oracle in property
+//! tests (e.g. the `ShardRouter` cross-shard SCAN suite).
+//!
+//! [`BrokenEngine`] wraps it with injectable consistency bugs that mimic
+//! real LSM failure modes — a dropped WAL record (acknowledged write
+//! lost) and a stale read served from a retired PMTable — used by the
+//! mutation tests to prove the checker *rejects* bad engines rather than
+//! merely accepting good ones.
+
+use miodb_common::{EngineReport, KvEngine, Result, ScanEntry};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A correct, fully-synchronised in-memory engine.
+#[derive(Default)]
+pub struct MapEngine {
+    map: Mutex<BTreeMap<Vec<u8>, Vec<u8>>>,
+}
+
+impl MapEngine {
+    /// Creates an empty engine.
+    #[must_use]
+    pub fn new() -> MapEngine {
+        MapEngine::default()
+    }
+}
+
+impl KvEngine for MapEngine {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.map.lock().insert(key.to_vec(), value.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        Ok(self.map.lock().get(key).cloned())
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        self.map.lock().remove(key);
+        Ok(())
+    }
+
+    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<ScanEntry>> {
+        Ok(self
+            .map
+            .lock()
+            .range(start.to_vec()..)
+            .take(limit)
+            .map(|(k, v)| ScanEntry {
+                key: k.clone(),
+                value: v.clone(),
+            })
+            .collect())
+    }
+
+    fn wait_idle(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn report(&self) -> EngineReport {
+        EngineReport {
+            name: self.name().to_string(),
+            ..EngineReport::default()
+        }
+    }
+
+    fn name(&self) -> &str {
+        "map"
+    }
+}
+
+/// Which consistency bug to inject.
+#[derive(Debug, Clone, Copy)]
+pub enum Bug {
+    /// Every `every`-th `put` is acknowledged but never applied — the
+    /// moral equivalent of dropping an acked WAL record before the flush.
+    LoseAckedPut {
+        /// Period: the bug fires on puts number `every`, `2*every`, ….
+        every: u64,
+    },
+    /// Every `every`-th `get` returns the key's *previous* value when one
+    /// exists — a stale read served from a retired PMTable that should
+    /// have been unlinked after zero-copy compaction.
+    StaleRead {
+        /// Period: the bug fires on gets number `every`, `2*every`, ….
+        every: u64,
+    },
+}
+
+/// A [`MapEngine`] with one injected consistency bug.
+pub struct BrokenEngine {
+    inner: MapEngine,
+    bug: Bug,
+    puts: AtomicU64,
+    gets: AtomicU64,
+    /// Last overwritten value per key (the "retired table" contents).
+    retired: Mutex<HashMap<Vec<u8>, Vec<u8>>>,
+}
+
+impl BrokenEngine {
+    /// Wraps a fresh [`MapEngine`] with the given bug.
+    #[must_use]
+    pub fn new(bug: Bug) -> BrokenEngine {
+        BrokenEngine {
+            inner: MapEngine::new(),
+            bug,
+            puts: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            retired: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl KvEngine for BrokenEngine {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let n = self.puts.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(prev) = self.inner.get(key)? {
+            self.retired.lock().insert(key.to_vec(), prev);
+        }
+        if let Bug::LoseAckedPut { every } = self.bug {
+            if n.is_multiple_of(every) {
+                // Acknowledge without applying.
+                return Ok(());
+            }
+        }
+        self.inner.put(key, value)
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let n = self.gets.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Bug::StaleRead { every } = self.bug {
+            if n.is_multiple_of(every) {
+                if let Some(stale) = self.retired.lock().get(key).cloned() {
+                    return Ok(Some(stale));
+                }
+            }
+        }
+        self.inner.get(key)
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        if let Some(prev) = self.inner.get(key)? {
+            self.retired.lock().insert(key.to_vec(), prev);
+        }
+        self.inner.delete(key)
+    }
+
+    fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<ScanEntry>> {
+        self.inner.scan(start, limit)
+    }
+
+    fn wait_idle(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn report(&self) -> EngineReport {
+        self.inner.report()
+    }
+
+    fn name(&self) -> &str {
+        "broken-map"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_engine_scan_is_sorted_from_start() {
+        let e = MapEngine::new();
+        for k in ["b", "a", "d", "c"] {
+            e.put(k.as_bytes(), b"v").unwrap();
+        }
+        let entries = e.scan(b"b", 10).unwrap();
+        let keys: Vec<&[u8]> = entries.iter().map(|e| e.key.as_slice()).collect();
+        assert_eq!(keys, vec![b"b" as &[u8], b"c", b"d"]);
+    }
+
+    #[test]
+    fn lose_acked_put_drops_exactly_the_nth() {
+        let e = BrokenEngine::new(Bug::LoseAckedPut { every: 3 });
+        e.put(b"a", b"1").unwrap();
+        e.put(b"b", b"2").unwrap();
+        e.put(b"c", b"3").unwrap(); // dropped
+        assert_eq!(e.get(b"a").unwrap().as_deref(), Some(&b"1"[..]));
+        assert_eq!(e.get(b"c").unwrap(), None);
+    }
+
+    #[test]
+    fn stale_read_serves_retired_value() {
+        let e = BrokenEngine::new(Bug::StaleRead { every: 2 });
+        e.put(b"k", b"old").unwrap();
+        e.put(b"k", b"new").unwrap();
+        assert_eq!(e.get(b"k").unwrap().as_deref(), Some(&b"new"[..]));
+        assert_eq!(e.get(b"k").unwrap().as_deref(), Some(&b"old"[..])); // stale
+    }
+}

@@ -1,0 +1,91 @@
+//! Mutation tests: the checker must *reject* engines with injected
+//! consistency bugs, not just accept correct ones. Each bug here mimics a
+//! real LSM failure mode (ISSUE 5 acceptance criteria): a lost
+//! acknowledged write (dropped WAL record) and a stale read (retired
+//! PMTable still serving lookups).
+
+use miodb_check::{
+    check_history, run_stress, BrokenEngine, Bug, HistoryRecorder, MapEngine, StressSpec, Verdict,
+};
+
+/// Deterministic repro: an acked put whose effect vanished must fail the
+/// check, regardless of thread scheduling.
+#[test]
+fn checker_flags_lost_acknowledged_write() {
+    let engine = BrokenEngine::new(Bug::LoseAckedPut { every: 1 });
+    let recorder = HistoryRecorder::new();
+    let mut log = recorder.log();
+    log.put(&engine, b"k", b"v1").unwrap(); // acked, silently dropped
+    assert_eq!(log.get(&engine, b"k").unwrap(), None);
+    drop(log);
+    let verdict = check_history(&recorder.take_history());
+    assert!(
+        matches!(verdict, Verdict::Violation(_)),
+        "lost acked write slipped past the checker: {verdict}"
+    );
+}
+
+/// Deterministic repro: a read that reverts to an overwritten value must
+/// fail the check.
+#[test]
+fn checker_flags_stale_read() {
+    let engine = BrokenEngine::new(Bug::StaleRead { every: 2 });
+    let recorder = HistoryRecorder::new();
+    let mut log = recorder.log();
+    log.put(&engine, b"k", b"old").unwrap();
+    log.put(&engine, b"k", b"new").unwrap();
+    assert_eq!(
+        log.get(&engine, b"k").unwrap().as_deref(),
+        Some(&b"new"[..])
+    );
+    assert_eq!(
+        log.get(&engine, b"k").unwrap().as_deref(),
+        Some(&b"old"[..])
+    );
+    drop(log);
+    let verdict = check_history(&recorder.take_history());
+    assert!(
+        matches!(verdict, Verdict::Violation(_)),
+        "stale read slipped past the checker: {verdict}"
+    );
+}
+
+/// The stress driver also trips both bugs: concurrent histories from the
+/// broken engines are rejected across every seed.
+#[test]
+fn stress_histories_from_broken_engines_are_rejected() {
+    for seed in 0..4u64 {
+        for bug in [Bug::LoseAckedPut { every: 7 }, Bug::StaleRead { every: 9 }] {
+            let engine = BrokenEngine::new(bug);
+            // Single-threaded stress: every bug firing is a provable
+            // violation (no overlap window to hide in).
+            let spec = StressSpec {
+                threads: 1,
+                ops_per_thread: 400,
+                ..StressSpec::quick(seed)
+            };
+            let verdict = check_history(&run_stress(&engine, &spec));
+            assert!(
+                matches!(verdict, Verdict::Violation(_)),
+                "seed {seed} {bug:?}: broken engine accepted: {verdict}"
+            );
+        }
+    }
+}
+
+/// The flip side of the mutation tests: the same checker accepts every
+/// history the correct reference engine serves, across seeds and thread
+/// counts.
+#[test]
+fn stress_histories_from_correct_engine_are_accepted() {
+    for seed in 0..8u64 {
+        let engine = MapEngine::new();
+        let spec = StressSpec {
+            threads: 4,
+            ops_per_thread: 150,
+            ..StressSpec::quick(seed)
+        };
+        let verdict = check_history(&run_stress(&engine, &spec));
+        assert!(verdict.is_linearizable(), "seed {seed}: {verdict}");
+    }
+}

@@ -275,6 +275,9 @@ impl MioDb {
         let mut resumed_drain: Option<Arc<PmTable>> = None;
 
         if let Some(state) = prior {
+            // Reject a stale or corrupted manifest before walking anything
+            // it names — see ManifestState::validate_live.
+            state.validate_live(&nvm)?;
             if state.levels.len() != n {
                 return Err(Error::InvalidArgument(format!(
                     "recovered manifest has {} levels, options request {n}",

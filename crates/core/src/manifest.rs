@@ -14,7 +14,6 @@
 
 use std::sync::Arc;
 
-use miodb_common::crc32::crc32;
 use miodb_common::{Error, Result};
 use miodb_pmem::{PmemPool, PmemRegion};
 use parking_lot::Mutex;
@@ -122,7 +121,6 @@ impl Manifest {
         let payload = encode(state);
         let region = self.pool.alloc(payload.len().max(64))?;
         self.pool.write_bytes(region.offset, &payload);
-        let crc = crc32(&payload);
 
         let mut inner = self.inner.lock();
         let slot_idx = (inner.version % 2) as usize; // alternate slots
@@ -133,6 +131,10 @@ impl Manifest {
         slot[8..16].copy_from_slice(&region.offset.to_le_bytes());
         slot[16..24].copy_from_slice(&region.len.to_le_bytes());
         slot[24..32].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+        // The CRC covers the header fields too: a torn version or offset
+        // would otherwise resurrect a superseded manifest whose regions the
+        // newer commit already recycled.
+        let crc = slot_crc(&slot, &payload);
         slot[32..36].copy_from_slice(&crc.to_le_bytes());
         self.pool.write_bytes(slot_off, &slot);
 
@@ -170,12 +172,17 @@ impl Manifest {
             let region_len = u64::from_le_bytes(slot[16..24].try_into().unwrap());
             let payload_len = u64::from_le_bytes(slot[24..32].try_into().unwrap()) as usize;
             let stored_crc = u32::from_le_bytes(slot[32..36].try_into().unwrap());
-            if payload_len as u64 > region_len || off + region_len > pool.capacity() as u64 {
+            // Overflow-safe: a torn slot can hold arbitrary offset/length
+            // values, so `off + region_len` must not be allowed to wrap.
+            let in_bounds = off
+                .checked_add(region_len)
+                .is_some_and(|end| end <= pool.capacity() as u64);
+            if payload_len as u64 > region_len || !in_bounds {
                 continue;
             }
             let mut payload = vec![0u8; payload_len];
             pool.read_bytes(off, &mut payload);
-            if crc32(&payload) != stored_crc {
+            if slot_crc(&slot, &payload) != stored_crc {
                 continue;
             }
             let region = PmemRegion {
@@ -198,6 +205,63 @@ impl Manifest {
             Some(state),
         ))
     }
+}
+
+impl ManifestState {
+    /// Checks that every region this state references is still allocated
+    /// in `pool`.
+    ///
+    /// A manifest can decode cleanly yet be stale — e.g. post-crash media
+    /// corruption invalidated the newest slot and load fell back to a
+    /// generation whose regions later commits already recycled. Walking
+    /// such regions would read reused or never-written memory, so recovery
+    /// rejects the state up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] naming the first dead region.
+    pub fn validate_live(&self, pool: &PmemPool) -> Result<()> {
+        let check = |what: &str, r: &PmemRegion| -> Result<()> {
+            if pool.region_is_live(r.offset, r.len) {
+                Ok(())
+            } else {
+                Err(Error::Corruption(format!(
+                    "manifest references freed or unallocated memory: {what} at {:#x}+{:#x}",
+                    r.offset, r.len
+                )))
+            }
+        };
+        for r in &self.active_wal {
+            check("active WAL segment", r)?;
+        }
+        for r in self.imm_wal.iter().flatten() {
+            check("immutable WAL segment", r)?;
+        }
+        for l in &self.levels {
+            if let Some(m) = &l.mark {
+                check("insertion mark", m)?;
+            }
+            let merging = l.merging.iter().flat_map(|(a, b)| [a, b]);
+            for t in l.tables.iter().chain(l.lazy_draining.iter()).chain(merging) {
+                for r in &t.arenas {
+                    check("PMTable arena", r)?;
+                }
+            }
+        }
+        for r in self.repo.iter().flat_map(|r| &r.chunks) {
+            check("repository chunk", r)?;
+        }
+        Ok(())
+    }
+}
+
+/// CRC of one commit: the 32 header bytes of the slot followed by the
+/// payload, so corruption of either invalidates the slot.
+fn slot_crc(slot: &[u8; SLOT_BYTES as usize], payload: &[u8]) -> u32 {
+    let mut h = miodb_common::crc32::Crc32::new();
+    h.update(&slot[0..32]);
+    h.update(payload);
+    h.finish()
 }
 
 // --- serialization helpers ------------------------------------------------
@@ -379,6 +443,9 @@ fn decode(buf: &[u8]) -> Result<ManifestState> {
             None
         };
         let n_tables = r.u32()? as usize;
+        if n_tables > 1_000_000 {
+            return Err(Error::Corruption("implausible table count".to_string()));
+        }
         let mut tables = Vec::with_capacity(n_tables);
         for _ in 0..n_tables {
             tables.push(r.table()?);

@@ -242,6 +242,28 @@ impl PmemPool {
         }
     }
 
+    /// Reports whether `[off, off+len)` lies entirely in currently
+    /// allocated space: at or above the header, below the high-water mark,
+    /// and not intersecting any free hole.
+    ///
+    /// Recovery uses this to reject manifests that reference memory the
+    /// allocator has since reclaimed (stale or corrupted metadata).
+    pub fn region_is_live(&self, off: u64, len: u64) -> bool {
+        let fl = self.free_list.lock();
+        let Some(end) = off.checked_add(len) else {
+            return false;
+        };
+        if off < POOL_HEADER_BYTES || end > fl.high_water {
+            return false;
+        }
+        // Holes are sorted and coalesced; overlap iff some hole starts
+        // before `end` and ends after `off`.
+        let idx = fl.holes.partition_point(|&(o, _)| o < end);
+        fl.holes[..idx]
+            .iter()
+            .all(|&(hoff, hlen)| hoff + hlen <= off)
+    }
+
     /// Returns a region to the pool.
     ///
     /// # Panics

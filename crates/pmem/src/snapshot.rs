@@ -111,10 +111,32 @@ impl PmemPool {
             ));
         }
         let mut holes = Vec::with_capacity(n_holes);
+        let mut prev_end = 0u64;
+        let mut total_free = 0u64;
         for _ in 0..n_holes {
             let off = read_u64(&mut r)?;
             let len = read_u64(&mut r)?;
+            // A torn header can hold arbitrary hole entries; feeding them to
+            // the allocator would hand out regions outside the pool. Require
+            // what a genuine free list always satisfies: in-bounds,
+            // non-empty, ascending, non-overlapping.
+            let end = off.checked_add(len).filter(|&e| e <= capacity as u64);
+            let Some(end) = end else {
+                return Err(Error::Corruption(
+                    "free-list hole out of bounds".to_string(),
+                ));
+            };
+            if len == 0 || off < crate::pool::POOL_HEADER_BYTES || off < prev_end {
+                return Err(Error::Corruption("malformed free-list hole".to_string()));
+            }
+            prev_end = end;
+            total_free += len;
             holes.push((off, len));
+        }
+        if total_free > capacity as u64 - crate::pool::POOL_HEADER_BYTES {
+            return Err(Error::Corruption(
+                "free-list total exceeds pool capacity".to_string(),
+            ));
         }
         let pool = PmemPool::new(capacity, device, stats)?;
         // SAFETY: the fresh pool has at least `capacity >= high_water` bytes

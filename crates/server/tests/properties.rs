@@ -1,0 +1,107 @@
+//! Property tests for the shard router: a `ShardRouter` over N in-memory
+//! engines must be observationally equal to one unsharded engine — point
+//! reads agree, and cross-shard scans come back globally sorted,
+//! deduplicated, and identical to the single-instance oracle.
+
+use miodb_check::MapEngine;
+use miodb_common::KvEngine;
+use miodb_server::ShardRouter;
+use proptest::prelude::*;
+
+/// A workload step: key index (folded to a small space so shards collide),
+/// value payload, and whether it is a delete.
+fn op_strategy() -> impl Strategy<Value = (u16, Vec<u8>, bool)> {
+    (
+        any::<u16>(),
+        proptest::collection::vec(any::<u8>(), 0..48),
+        any::<bool>(),
+    )
+}
+
+fn key_of(k: u16) -> Vec<u8> {
+    format!("key{:04}", k % 200).into_bytes()
+}
+
+fn router(shards: usize) -> ShardRouter<MapEngine> {
+    ShardRouter::new((0..shards).map(|_| MapEngine::new()).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sharded_scan_matches_single_engine_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        shards in 1usize..6,
+        start in any::<u16>(),
+        limit in 0usize..64,
+    ) {
+        let sharded = router(shards);
+        let oracle = MapEngine::new();
+        for (k, v, del) in &ops {
+            let key = key_of(*k);
+            if *del {
+                sharded.delete(&key).unwrap();
+                oracle.delete(&key).unwrap();
+            } else {
+                sharded.put(&key, v).unwrap();
+                oracle.put(&key, v).unwrap();
+            }
+        }
+        let start_key = key_of(start);
+        let got = sharded.scan(&start_key, limit).unwrap();
+        let want = oracle.scan(&start_key, limit).unwrap();
+        // Globally sorted and free of duplicates.
+        for w in got.windows(2) {
+            prop_assert!(w[0].key < w[1].key, "out of order or duplicate key");
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sharded_range_scan_matches_single_engine_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..150),
+        shards in 1usize..6,
+        bounds in (any::<u16>(), any::<u16>()),
+    ) {
+        let sharded = router(shards);
+        let oracle = MapEngine::new();
+        for (k, v, del) in &ops {
+            let key = key_of(*k);
+            if *del {
+                sharded.delete(&key).unwrap();
+                oracle.delete(&key).unwrap();
+            } else {
+                sharded.put(&key, v).unwrap();
+                oracle.put(&key, v).unwrap();
+            }
+        }
+        let (lo, hi) = (key_of(bounds.0.min(bounds.1)), key_of(bounds.0.max(bounds.1)));
+        let got = sharded.scan_range(&lo, &hi, usize::MAX).unwrap();
+        let want = oracle.scan_range(&lo, &hi, usize::MAX).unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sharded_point_reads_match_single_engine_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        shards in 1usize..6,
+    ) {
+        let sharded = router(shards);
+        let oracle = MapEngine::new();
+        for (k, v, del) in &ops {
+            let key = key_of(*k);
+            if *del {
+                sharded.delete(&key).unwrap();
+                oracle.delete(&key).unwrap();
+            } else {
+                sharded.put(&key, v).unwrap();
+                oracle.put(&key, v).unwrap();
+            }
+        }
+        for k in 0..200u16 {
+            let key = key_of(k);
+            prop_assert_eq!(sharded.get(&key).unwrap(), oracle.get(&key).unwrap());
+        }
+    }
+}

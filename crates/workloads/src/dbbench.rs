@@ -85,8 +85,10 @@ impl BenchResult {
 /// Feistel network over the enclosing power-of-four domain with
 /// cycle-walking (each out-of-range output is re-permuted; the cycle
 /// containing `i < n` always returns into range, so this terminates and
-/// stays bijective).
-fn permuted(i: u64, n: u64) -> u64 {
+/// stays bijective). `seed` keys the round function, giving a different
+/// reproducible insertion order per seed — the Feistel structure is a
+/// bijection for any round function, so uniqueness is preserved.
+fn permuted(i: u64, n: u64, seed: u64) -> u64 {
     if n <= 1 {
         return 0;
     }
@@ -98,7 +100,10 @@ fn permuted(i: u64, n: u64) -> u64 {
         let mut l = (x >> half) & mask;
         let mut r = x & mask;
         for round in 0..4u64 {
-            let f = r.wrapping_add(round).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let f = r
+                .wrapping_add(round)
+                .wrapping_add(seed)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
             let f = (f ^ (f >> 29)) & mask;
             let next_l = r;
             r = l ^ f;
@@ -142,7 +147,7 @@ pub fn run_db_bench(
                 engine.put(&key_buf, &val_buf)?;
             }
             BenchKind::FillRandom => {
-                let k = permuted(i, n);
+                let k = permuted(i, n, seed);
                 KeyGen::key_into(k, &mut key_buf);
                 vg.value_into(k, &mut val_buf);
                 engine.put(&key_buf, &val_buf)?;
@@ -193,7 +198,8 @@ pub fn run_db_bench(
 /// so the union is exactly the `fillrandom` keyset with no duplicates).
 /// `elapsed_ns` is wall-clock across the whole storm, which is what
 /// `busy_ns` picks for overlapping clients, so `kops()` reports aggregate
-/// throughput.
+/// throughput. `seed` selects the insertion-order permutation, so a run
+/// is fully reproducible from `(n, value_len, threads, seed)`.
 ///
 /// # Errors
 ///
@@ -203,6 +209,7 @@ pub fn run_fill_concurrent(
     n: u64,
     value_len: usize,
     threads: usize,
+    seed: u64,
 ) -> Result<BenchResult> {
     let threads = threads.max(1);
     let start = Instant::now();
@@ -216,7 +223,7 @@ pub fn run_fill_concurrent(
                     let mut val_buf = Vec::with_capacity(value_len);
                     let mut i = t as u64;
                     while i < n {
-                        let k = permuted(i, n);
+                        let k = permuted(i, n, seed);
                         KeyGen::key_into(k, &mut key_buf);
                         vg.value_into(k, &mut val_buf);
                         let t0 = Instant::now();
@@ -341,7 +348,7 @@ mod tests {
     #[test]
     fn concurrent_fill_writes_every_key_once() {
         let e = MapEngine::default();
-        let r = run_fill_concurrent(&e, 1000, 32, 4).unwrap();
+        let r = run_fill_concurrent(&e, 1000, 32, 4, 7).unwrap();
         assert_eq!(r.ops, 1000);
         assert_eq!(r.latency.count(), 1000);
         assert_eq!(
@@ -359,15 +366,24 @@ mod tests {
 
     #[test]
     fn permutation_is_bijective() {
-        for n in [1u64, 2, 10, 100, 1000] {
-            let mut seen = vec![false; n as usize];
-            for i in 0..n {
-                let p = permuted(i, n);
-                assert!(p < n);
-                assert!(!seen[p as usize], "collision at {i} (n={n})");
-                seen[p as usize] = true;
+        for seed in [0u64, 7, u64::MAX] {
+            for n in [1u64, 2, 10, 100, 1000] {
+                let mut seen = vec![false; n as usize];
+                for i in 0..n {
+                    let p = permuted(i, n, seed);
+                    assert!(p < n);
+                    assert!(!seen[p as usize], "collision at {i} (n={n}, seed={seed})");
+                    seen[p as usize] = true;
+                }
             }
         }
+    }
+
+    #[test]
+    fn permutation_order_varies_with_seed() {
+        let a: Vec<u64> = (0..64).map(|i| permuted(i, 64, 1)).collect();
+        let b: Vec<u64> = (0..64).map(|i| permuted(i, 64, 2)).collect();
+        assert_ne!(a, b, "different seeds must give different orders");
     }
 
     #[test]

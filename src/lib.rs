@@ -9,6 +9,9 @@
 //! - [`workloads`]: db_bench and YCSB drivers;
 //! - [`server`] / [`client`]: the sharded TCP service layer
 //!   ([`KvServer`], [`ShardRouter`], [`KvClient`]);
+//! - [`check`]: linearizability and crash-durability verification
+//!   (history recording, per-key Wing–Gong checking, durable-prefix
+//!   oracle, seeded interleaving stress);
 //! - the substrates: [`pmem`] (simulated NVM), [`skiplist`] (PMTables),
 //!   [`bloom`], [`wal`] and [`lsm`] (the LevelDB-model substrate).
 //!
@@ -27,6 +30,7 @@
 
 pub use miodb_baselines as baselines;
 pub use miodb_bloom as bloom;
+pub use miodb_check as check;
 pub use miodb_client as client;
 pub use miodb_common as common;
 pub use miodb_core as core;

@@ -81,27 +81,33 @@ fn scans_race_compactions_without_losing_keys() {
                 }
             });
         }
-        for _ in 0..2 {
-            let db = db.clone();
-            s.spawn(move || {
-                for round in 0..30 {
-                    let start = format!("stable{:05}", (round * 31) % 900);
-                    let out = db.scan(start.as_bytes(), 50).unwrap();
-                    // Every stable key in range must appear, in order.
-                    let stable: Vec<&miodb::ScanEntry> = out
-                        .iter()
-                        .filter(|e| e.key.starts_with(b"stable"))
-                        .collect();
-                    for w in stable.windows(2) {
-                        assert!(w[0].key < w[1].key, "scan order violated");
+        let scanners: Vec<_> = (0..2)
+            .map(|_| {
+                let db = db.clone();
+                s.spawn(move || {
+                    for round in 0..30 {
+                        let start = format!("stable{:05}", (round * 31) % 900);
+                        let out = db.scan(start.as_bytes(), 50).unwrap();
+                        // Every stable key in range must appear, in order.
+                        let stable: Vec<&miodb::ScanEntry> = out
+                            .iter()
+                            .filter(|e| e.key.starts_with(b"stable"))
+                            .collect();
+                        for w in stable.windows(2) {
+                            assert!(w[0].key < w[1].key, "scan order violated");
+                        }
+                        if let Some(first) = stable.first() {
+                            assert!(first.key.as_slice() >= start.as_bytes());
+                        }
                     }
-                    if let Some(first) = stable.first() {
-                        assert!(first.key.as_slice() >= start.as_bytes());
-                    }
-                }
-            });
+                })
+            })
+            .collect();
+        // Event-based stop: churn runs exactly as long as the scanners are
+        // scanning, however fast or slow this machine is.
+        for h in scanners {
+            h.join().unwrap();
         }
-        std::thread::sleep(std::time::Duration::from_millis(200));
         stop.store(true, Ordering::Release);
     });
 
@@ -279,6 +285,54 @@ fn mixed_batches_and_puts_keep_sequences_dense() {
             }
         }
     }
+}
+
+/// The seeded stress mix (4 threads hammering 16 hot keys with put/get/
+/// delete) must serve linearizable histories: every read explained by the
+/// real-time order of acknowledged writes. This is the checker from
+/// `miodb-check` running against the real engine — the mutation tests in
+/// that crate prove the same checker rejects lost acks and stale reads.
+#[test]
+fn concurrent_histories_are_linearizable() {
+    use miodb::check::{check_history, run_stress, StressSpec};
+    for seed in [1u64, 2] {
+        let db = MioDb::open(MioOptions::small_for_tests()).unwrap();
+        let spec = StressSpec {
+            threads: 4,
+            ops_per_thread: 250,
+            ..StressSpec::quick(seed)
+        };
+        let history = run_stress(&db, &spec);
+        assert_eq!(history.len(), 4 * 250);
+        let verdict = check_history(&history);
+        assert!(verdict.is_linearizable(), "seed {seed}: {verdict}");
+        db.close().unwrap();
+    }
+}
+
+/// The recording wrapper is transparent: an unmodified workload driver
+/// (YCSB A) runs against `RecordingEngine<MioDb>` and the recorded
+/// history checks out linearizable.
+#[test]
+fn recorded_ycsb_history_is_linearizable() {
+    use miodb::check::{check_history, RecordingEngine};
+    use miodb::workloads::{run_ycsb, YcsbSpec, YcsbWorkload};
+    let engine = RecordingEngine::new(MioDb::open(MioOptions::small_for_tests()).unwrap());
+    let spec = YcsbSpec {
+        records: 300,
+        operations: 2_000,
+        value_len: 64,
+        threads: 4,
+        seed: 11,
+        record_timeline: false,
+        max_scan_len: 10,
+    };
+    run_ycsb(&engine, YcsbWorkload::Load, &spec).unwrap();
+    run_ycsb(&engine, YcsbWorkload::A, &spec).unwrap();
+    let history = engine.take_history();
+    assert!(history.len() >= 2_300, "driver ops were not recorded");
+    let verdict = check_history(&history);
+    assert!(verdict.is_linearizable(), "{verdict}");
 }
 
 /// Snapshots taken mid-storm (while groups are in flight) must capture

@@ -293,6 +293,55 @@ fn clean_close_needs_no_wal_replay() {
 
 /// Graceful shutdown drains in-flight pipelined requests: responses for
 /// everything already sent arrive before the connection closes.
+/// Histories recorded *through the wire protocol* are linearizable: four
+/// client connections hammer a sharded server over a hot keyspace, every
+/// invoke/return window and outcome is logged via the `miodb-check`
+/// client hooks, and the per-key Wing–Gong checker validates the result.
+/// Client-side `MaybeApplied` outcomes (none expected here, but the hook
+/// handles them) are treated as ambiguous.
+#[test]
+fn wire_histories_are_linearizable() {
+    use miodb::check::{check_history, HistoryRecorder};
+    let (server, router) = start_server(2);
+    let addr = server.local_addr();
+    let recorder = HistoryRecorder::new();
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let mut log = recorder.log();
+            s.spawn(move || {
+                let mut c = KvClient::connect(addr).unwrap();
+                let mut x = 0x5DEECE66D ^ (t + 1);
+                for i in 0..120u64 {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let key = format!("wire{:02}", x % 16);
+                    match (x >> 33) % 10 {
+                        0..=3 => {
+                            let value = format!("t{t}-i{i}");
+                            log.client_put(&mut c, key.as_bytes(), value.as_bytes())
+                                .unwrap();
+                        }
+                        4..=7 => {
+                            log.client_get(&mut c, key.as_bytes()).unwrap();
+                        }
+                        _ => {
+                            log.client_delete(&mut c, key.as_bytes()).unwrap();
+                        }
+                    }
+                }
+                c.close().unwrap();
+            });
+        }
+    });
+    let history = recorder.take_history();
+    assert_eq!(history.len(), 4 * 120);
+    let verdict = check_history(&history);
+    assert!(verdict.is_linearizable(), "{verdict}");
+    server.shutdown();
+    router.close().unwrap();
+}
+
 #[test]
 fn shutdown_drains_inflight_pipeline() {
     let (server, router) = start_server(2);
