@@ -6,12 +6,15 @@
 //! crash_fuzz [iterations]              # sequential lifetimes (original mode)
 //! crash_fuzz [iterations] --concurrent # snapshot from a second thread while
 //!                                      # writers run (mid-flush/mid-merge)
+//! crash_fuzz ... --slow-log-us N       # after the run, print span trees for
+//!                                      # engine ops slower than N us
 //! ```
 //!
 //! A bounded fixed-seed variant of the concurrent mode runs in tier-1 as
 //! `tests/crash_recovery.rs::concurrent_snapshot_while_writers_run`.
 
 use miodb_check::DurableOracle;
+use miodb_common::trace;
 use miodb_common::{KvEngine, Stats};
 use miodb_core::{MioDb, MioOptions};
 use miodb_pmem::PmemPool;
@@ -140,12 +143,29 @@ fn sequential_round(opts: &MioOptions, path: &std::path::Path, round: u32) {
 fn main() {
     let mut iters: u32 = 50;
     let mut concurrent = false;
-    for arg in std::env::args().skip(1) {
+    let mut slow_log_us: Option<u64> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
         if arg == "--concurrent" {
             concurrent = true;
+        } else if arg == "--slow-log-us" {
+            i += 1;
+            slow_log_us = args.get(i).and_then(|s| s.parse().ok());
+            if slow_log_us.is_none() {
+                eprintln!("bad or missing value for --slow-log-us");
+                std::process::exit(2);
+            }
         } else if let Ok(n) = arg.parse() {
             iters = n;
         }
+        i += 1;
+    }
+    // Direct-drive harness: implicit roots give every engine op its own
+    // trace so slow rounds decompose into pipeline stages.
+    if slow_log_us.is_some() {
+        trace::enable(1 << 18, 1, true);
     }
     let opts = MioOptions::small_for_tests();
     let path = std::env::temp_dir().join(format!("miodb-fuzz-{}", std::process::id()));
@@ -156,6 +176,16 @@ fn main() {
             sequential_round(&opts, &path, round);
         }
         eprint!("\r{round} ok");
+    }
+    if let Some(us) = slow_log_us {
+        let spans = trace::drain();
+        trace::disable();
+        let log = trace::slow_log(&spans, us * 1000);
+        if log.is_empty() {
+            eprintln!("\nslow log: no engine op exceeded {us}us");
+        } else {
+            eprintln!("\nslow log (threshold {us}us):\n{log}");
+        }
     }
     eprintln!(
         "\nall {} rounds passed",

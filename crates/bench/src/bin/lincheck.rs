@@ -5,15 +5,21 @@
 //!
 //! ```text
 //! lincheck [--seeds N] [--threads N] [--ops N] [--keys N] [--faults]
+//!          [--slow-log-us N]
 //! ```
 //!
 //! `--faults` additionally sweeps every engine-reachable fault point per
 //! seed with probabilistic injection: failed writes are recorded as
 //! ambiguous and the checker validates the history around them.
+//!
+//! `--slow-log-us N` traces every engine operation (implicit roots, no
+//! sampling) and prints span trees for requests slower than N µs after
+//! the run — pinpointing which pipeline stage a slow stress op sat in.
 
 use miodb_bench::{print_header, print_row};
 use miodb_check::{check_history_with, run_stress, CheckOptions, StressSpec, Verdict};
 use miodb_common::fault::{self, FaultPolicy};
+use miodb_common::trace;
 use miodb_core::{MioDb, MioOptions};
 
 struct Config {
@@ -22,6 +28,7 @@ struct Config {
     ops: u32,
     keys: u32,
     faults: bool,
+    slow_log_us: Option<u64>,
 }
 
 fn parse_args() -> Config {
@@ -31,6 +38,7 @@ fn parse_args() -> Config {
         ops: 200,
         keys: 16,
         faults: false,
+        slow_log_us: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -45,9 +53,11 @@ fn parse_args() -> Config {
             "--ops" => cfg.ops = take(&mut i).unwrap_or(u64::from(cfg.ops)) as u32,
             "--keys" => cfg.keys = take(&mut i).unwrap_or(u64::from(cfg.keys)) as u32,
             "--faults" => cfg.faults = true,
+            "--slow-log-us" => cfg.slow_log_us = take(&mut i),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: lincheck [--seeds N] [--threads N] [--ops N] [--keys N] [--faults]"
+                    "usage: lincheck [--seeds N] [--threads N] [--ops N] [--keys N] [--faults] \
+                     [--slow-log-us N]"
                 );
                 std::process::exit(0);
             }
@@ -146,6 +156,11 @@ fn main() {
     );
     // Serialize against other fault users and disarm everything on exit.
     let _guard = fault::exclusive();
+    // Direct-drive: there is no client to open root spans, so implicit
+    // roots let every engine op start its own unsampled trace.
+    if cfg.slow_log_us.is_some() {
+        trace::enable(1 << 18, 1, true);
+    }
     let mut ok = true;
     for seed in 0..cfg.seeds {
         ok &= run_one(&cfg, seed, None, &widths);
@@ -159,6 +174,16 @@ fn main() {
             ] {
                 ok &= run_one(&cfg, seed, Some(point), &widths);
             }
+        }
+    }
+    if let Some(us) = cfg.slow_log_us {
+        let spans = trace::drain();
+        trace::disable();
+        let log = trace::slow_log(&spans, us * 1000);
+        if log.is_empty() {
+            println!("\nslow log: no request exceeded {us}us");
+        } else {
+            println!("\nslow log (threshold {us}us):\n{log}");
         }
     }
     if ok {

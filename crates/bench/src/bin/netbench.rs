@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 
 use miodb_bench::{print_header, print_row};
 use miodb_client::{ClientCounters, ClientOptions, KvClient};
+use miodb_common::trace;
 use miodb_common::{Histogram, Opcode, Request, Response, Result};
 use miodb_core::MioOptions;
 use miodb_pmem::DeviceModel;
@@ -39,6 +40,7 @@ struct Config {
     pipeline_depth: usize,
     throttled: bool,
     seed: u64,
+    trace: bool,
 }
 
 impl Default for Config {
@@ -52,6 +54,7 @@ impl Default for Config {
             pipeline_depth: 32,
             throttled: false,
             seed: 0x9E37_79B9_7F4A_7C15,
+            trace: false,
         }
     }
 }
@@ -95,6 +98,7 @@ fn parse_args() -> Config {
                 cfg.pipeline_depth = parse_num(flag, args.get(i));
             }
             "--throttled" => cfg.throttled = true,
+            "--trace" => cfg.trace = true,
             "--seed" => {
                 i += 1;
                 cfg.seed = parse_num(flag, args.get(i));
@@ -103,7 +107,7 @@ fn parse_args() -> Config {
                 eprintln!(
                     "unknown flag: {other}\nusage: netbench [--shards N] [--connections N] \
                      [--seconds F] [--records N] [--value-len N] [--pipeline-depth N] \
-                     [--throttled] [--seed N]"
+                     [--throttled] [--trace] [--seed N]"
                 );
                 std::process::exit(2);
             }
@@ -368,6 +372,14 @@ fn run(cfg: &Config) -> Result<()> {
         })
     })?;
 
+    // Tracing covers the measured phase only: the fill phase would
+    // overflow the span ring without telling us anything about the mix.
+    // Server and clients share one process, so one global tracer captures
+    // complete client→server→engine trees.
+    if cfg.trace {
+        trace::enable(1 << 16, 16, false);
+    }
+
     // Phase 2: YCSB-A-style 50/50 read/update over uniform random keys,
     // bounded by wall-clock time.
     let deadline = Instant::now() + Duration::from_secs_f64(cfg.seconds);
@@ -388,6 +400,26 @@ fn run(cfg: &Config) -> Result<()> {
             }
         })
     })?;
+
+    if cfg.trace {
+        let spans = trace::drain();
+        let dropped = trace::dropped_spans();
+        trace::disable();
+        let traces: std::collections::HashSet<u64> = spans
+            .iter()
+            .map(|s| s.trace_id)
+            .filter(|t| *t != 0)
+            .collect();
+        let complete = trace::complete_tree_count(&spans);
+        std::fs::write("BENCH_trace.json", trace::to_chrome_json(&spans))
+            .map_err(miodb_common::Error::Io)?;
+        eprintln!(
+            "[netbench] trace: {} spans, {} traces, {complete} complete client->engine trees, \
+             {dropped} dropped (BENCH_trace.json)",
+            spans.len(),
+            traces.len(),
+        );
+    }
 
     // Server-side view: scrape STATS over the wire like a client would.
     let mut probe = KvClient::connect_with(addr, client_options())?;

@@ -55,6 +55,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "check",
         "verification: linearizability under faults + durable-prefix crash rounds",
     ),
+    (
+        "trace",
+        "critical-path attribution of YCSB-A p50 vs p99.9 over the wire",
+    ),
     ("all", "every experiment above, in order"),
 ];
 
@@ -117,6 +121,7 @@ fn main() {
         "scaling" => scaling(dataset, quick),
         "faults" => faults(quick),
         "check" => check(quick),
+        "trace" => trace_experiment(quick),
         "all" => all(dataset, quick),
         other => {
             eprintln!("unknown experiment: {other}\n");
@@ -170,6 +175,7 @@ fn all(dataset: u64, quick: bool) -> Result<()> {
     scaling(dataset, quick)?;
     faults(quick)?;
     check(quick)?;
+    trace_experiment(quick)?;
     Ok(())
 }
 
@@ -1147,5 +1153,308 @@ fn scaling(dataset: u64, quick: bool) -> Result<()> {
     );
     std::fs::write("BENCH_scaling.json", json).map_err(miodb_common::Error::Io)?;
     eprintln!("[scaling results written to BENCH_scaling.json]");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Trace — end-to-end critical-path attribution for YCSB-A over the wire.
+// ---------------------------------------------------------------------------
+
+/// One trace reduced to its critical-path buckets (all nanoseconds).
+struct TraceCost {
+    total: u64,
+    buckets: Vec<(&'static str, u64)>,
+}
+
+/// Self-time of every span (duration minus the durations of its direct
+/// children), keyed by span id, for one trace's spans.
+fn self_times(spans: &[&miodb_common::SpanRecord]) -> std::collections::HashMap<u64, u64> {
+    let mut child_ns: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for s in spans {
+        if s.parent_id != 0 {
+            *child_ns.entry(s.parent_id).or_default() += s.dur_ns();
+        }
+    }
+    spans
+        .iter()
+        .map(|s| {
+            let children = child_ns.get(&s.span_id).copied().unwrap_or(0);
+            (s.span_id, s.dur_ns().saturating_sub(children))
+        })
+        .collect()
+}
+
+/// Attribution buckets reported by the `trace` experiment; every
+/// critical-path nanosecond lands in exactly one.
+const TRACE_BUCKETS: &[&str] = &[
+    "network+queue",
+    "commit-wait",
+    "wal-append",
+    "memtable-insert",
+    "rotation-stall",
+    "memtable-probe",
+    "level-probe",
+    "repo-probe",
+    "router",
+    "decode",
+    "server-other",
+    "unattributed",
+];
+
+/// Reduces one trace's spans to named buckets. The client-observed round
+/// trip (`client_request`) is the total; server-side wall time is carved
+/// out of it span by span, and whatever the server tree does not explain
+/// is the wire + connection-queue share.
+fn attribute_trace(spans: &[&miodb_common::SpanRecord]) -> Option<TraceCost> {
+    use miodb_common::SpanKind;
+    let root = spans.iter().find(|s| s.kind == SpanKind::ClientRequest)?;
+    let srv = spans.iter().find(|s| s.kind == SpanKind::SrvRequest)?;
+    let total = root.dur_ns();
+    let srv_total = srv.dur_ns().min(total);
+    let selfs = self_times(spans);
+    let mut buckets: Vec<(&'static str, u64)> = TRACE_BUCKETS.iter().map(|b| (*b, 0u64)).collect();
+    let mut add = |name: &'static str, ns: u64| {
+        if let Some(b) = buckets.iter_mut().find(|(n, _)| *n == name) {
+            b.1 += ns;
+        }
+    };
+    let mut server_named = 0u64;
+    for s in spans {
+        let own = selfs.get(&s.span_id).copied().unwrap_or(0);
+        let bucket = match s.kind {
+            SpanKind::CommitWait => Some("commit-wait"),
+            SpanKind::WalAppend => Some("wal-append"),
+            SpanKind::MemtableInsert => Some("memtable-insert"),
+            SpanKind::RotationStall => Some("rotation-stall"),
+            SpanKind::MemtableProbe => Some("memtable-probe"),
+            SpanKind::LevelProbe => Some("level-probe"),
+            SpanKind::RepoProbe => Some("repo-probe"),
+            SpanKind::RouterFanout | SpanKind::RouterMerge => Some("router"),
+            SpanKind::SrvDecode => Some("decode"),
+            SpanKind::SrvRequest | SpanKind::SrvExecute => Some("server-other"),
+            _ => None,
+        };
+        if let Some(b) = bucket {
+            add(b, own);
+            server_named += own;
+        }
+    }
+    // The server tree is contiguous wall time inside the round trip, so
+    // anything the round trip spends outside it is wire + queueing; any
+    // server time the named spans miss is already in "server-other".
+    add("network+queue", total.saturating_sub(srv_total));
+    // Server wall time no span's self-time explains (should be ~0; a
+    // non-zero share means an uninstrumented engine path).
+    add(
+        "unattributed",
+        srv_total.saturating_sub(server_named.min(srv_total)),
+    );
+    Some(TraceCost { total, buckets })
+}
+
+/// Averages a cohort's buckets and prints one table column pair.
+fn cohort_summary(cohort: &[&TraceCost]) -> (u64, Vec<(&'static str, u64)>) {
+    let n = cohort.len().max(1) as u64;
+    let total: u64 = cohort.iter().map(|c| c.total).sum::<u64>() / n;
+    let mut buckets: Vec<(&'static str, u64)> = TRACE_BUCKETS.iter().map(|b| (*b, 0u64)).collect();
+    for c in cohort {
+        for (name, ns) in &c.buckets {
+            if let Some(b) = buckets.iter_mut().find(|(n2, _)| n2 == name) {
+                b.1 += ns / n;
+            }
+        }
+    }
+    (total, buckets)
+}
+
+fn trace_experiment(quick: bool) -> Result<()> {
+    use miodb_client::{ClientOptions, KvClient};
+    use miodb_common::trace;
+    use miodb_core::MioOptions;
+    use miodb_pmem::DeviceModel;
+    use miodb_server::{KvServer, ServerOptions, ShardRouter};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    println!("\n== Trace: YCSB-A critical-path attribution, p50 vs p99.9 ==");
+    println!("   in-process server + client over TCP; every sampled request carries its");
+    println!("   trace id in the frame header, so client, server and engine spans join");
+    println!("   into one tree and the round trip decomposes into named buckets.");
+
+    let records: u64 = if quick { 5_000 } else { 20_000 };
+    let seconds = if quick { 2.0 } else { 5.0 };
+    let connections = 4usize;
+    let value_len = 256usize;
+
+    let mut opts = MioOptions {
+        memtable_bytes: 1 << 20,
+        nvm_pool_bytes: 1 << 30,
+        dram_pool_bytes: 64 << 20,
+        name: "MioDB-trace".to_string(),
+        ..MioOptions::default()
+    };
+    opts.nvm_device = DeviceModel::nvm_unthrottled();
+    let router = Arc::new(ShardRouter::open_miodb(&opts, 4)?);
+    let server = KvServer::start(
+        "127.0.0.1:0",
+        Arc::clone(&router) as Arc<dyn KvEngine>,
+        ServerOptions::default(),
+    )?;
+    let addr = server.local_addr();
+    let copts = || ClientOptions {
+        read_timeout: Some(Duration::from_secs(2)),
+        write_timeout: Some(Duration::from_secs(2)),
+        ..ClientOptions::default()
+    };
+
+    // Fill (untraced), then trace the measured mix.
+    {
+        let mut c = KvClient::connect_with(addr, copts())?;
+        for k in 0..records {
+            let key = format!("user{k:016}").into_bytes();
+            c.put(&key, &vec![b'x'; value_len])?;
+        }
+        c.close()?;
+    }
+    trace::enable(1 << 18, 4, false);
+
+    let deadline = std::time::Instant::now() + Duration::from_secs_f64(seconds);
+    let workers: Vec<std::thread::JoinHandle<Result<u64>>> = (0..connections)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut c = KvClient::connect_with(addr, copts())?;
+                let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ (w as u64 + 1);
+                let mut next = move || {
+                    rng ^= rng >> 12;
+                    rng ^= rng << 25;
+                    rng ^= rng >> 27;
+                    rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
+                };
+                let mut ops = 0u64;
+                while std::time::Instant::now() < deadline {
+                    let key = format!("user{:016}", next() % records).into_bytes();
+                    if next() % 2 == 0 {
+                        c.get(&key)?;
+                    } else {
+                        c.put(&key, &vec![b'y'; value_len])?;
+                    }
+                    ops += 1;
+                }
+                c.close()?;
+                Ok(ops)
+            })
+        })
+        .collect();
+    let mut total_ops = 0u64;
+    for w in workers {
+        total_ops += w.join().expect("worker panicked")?;
+    }
+
+    let spans = trace::drain();
+    let dropped = trace::dropped_spans();
+    trace::disable();
+    server.shutdown();
+    router.close()?;
+
+    // Group by trace and attribute.
+    let mut by_trace: std::collections::HashMap<u64, Vec<&miodb_common::SpanRecord>> =
+        std::collections::HashMap::new();
+    for s in &spans {
+        if s.trace_id != 0 {
+            by_trace.entry(s.trace_id).or_default().push(s);
+        }
+    }
+    let mut costs: Vec<TraceCost> = by_trace
+        .values()
+        .filter_map(|spans| attribute_trace(spans))
+        .collect();
+    if costs.is_empty() {
+        return Err(miodb_common::Error::Corruption(
+            "no complete traces captured".to_string(),
+        ));
+    }
+    costs.sort_by_key(|c| c.total);
+    let n = costs.len();
+    let p50_cohort: Vec<&TraceCost> = {
+        let mid = n / 2;
+        let half = (n / 40).max(1);
+        costs[mid.saturating_sub(half)..(mid + half).min(n)]
+            .iter()
+            .collect()
+    };
+    let p999_cohort: Vec<&TraceCost> = {
+        let k = (n / 1000).max(1);
+        costs[n - k..].iter().collect()
+    };
+    let (p50_total, p50_buckets) = cohort_summary(&p50_cohort);
+    let (p999_total, p999_buckets) = cohort_summary(&p999_cohort);
+
+    println!(
+        "\n   {total_ops} ops over {connections} connections, {} sampled traces ({dropped} spans dropped)",
+        n
+    );
+    let widths = [16usize, 12, 8, 12, 8];
+    print_header(
+        &["bucket", "p50(us)", "p50 %", "p99.9(us)", "p99.9 %"],
+        &widths,
+    );
+    let mut named50 = 0u64;
+    let mut named999 = 0u64;
+    for (i, (name, ns50)) in p50_buckets.iter().enumerate() {
+        let ns999 = p999_buckets[i].1;
+        if *name != "unattributed" {
+            named50 += ns50;
+            named999 += ns999;
+        }
+        if *ns50 == 0 && ns999 == 0 {
+            continue;
+        }
+        print_row(
+            &[
+                name.to_string(),
+                format!("{:.1}", *ns50 as f64 / 1e3),
+                format!("{:.1}", 100.0 * *ns50 as f64 / p50_total.max(1) as f64),
+                format!("{:.1}", ns999 as f64 / 1e3),
+                format!("{:.1}", 100.0 * ns999 as f64 / p999_total.max(1) as f64),
+            ],
+            &widths,
+        );
+    }
+    let pct50 = 100.0 * named50 as f64 / p50_total.max(1) as f64;
+    let pct999 = 100.0 * named999 as f64 / p999_total.max(1) as f64;
+    print_row(
+        &[
+            "total".to_string(),
+            format!("{:.1}", p50_total as f64 / 1e3),
+            format!("{pct50:.1}"),
+            format!("{:.1}", p999_total as f64 / 1e3),
+            format!("{pct999:.1}"),
+        ],
+        &widths,
+    );
+    println!(
+        "   attribution covers {pct50:.1}% of p50 and {pct999:.1}% of p99.9 wall time \
+         (target >=95%)"
+    );
+
+    std::fs::write("BENCH_trace.json", trace::to_chrome_json(&spans))
+        .map_err(miodb_common::Error::Io)?;
+    let bucket_json = |buckets: &[(&'static str, u64)]| -> String {
+        buckets
+            .iter()
+            .map(|(name, ns)| format!("\"{name}\":{ns}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let json = format!(
+        "{{\"experiment\":\"trace\",\"ops\":{total_ops},\"traces\":{n},\"dropped_spans\":{dropped},\"p50\":{{\"total_ns\":{p50_total},\"named_pct\":{pct50:.2},{}}},\"p999\":{{\"total_ns\":{p999_total},\"named_pct\":{pct999:.2},{}}}}}\n",
+        bucket_json(&p50_buckets),
+        bucket_json(&p999_buckets),
+    );
+    std::fs::write("BENCH_trace_attrib.json", json).map_err(miodb_common::Error::Io)?;
+    eprintln!("[trace written to BENCH_trace.json + BENCH_trace_attrib.json]");
+    if pct999 < 95.0 {
+        eprintln!("trace: p99.9 attribution below 95% target");
+    }
     Ok(())
 }

@@ -40,8 +40,10 @@
 #![deny(missing_docs)]
 
 use miodb_common::proto::{self, Request, Response};
+use miodb_common::trace::{self, SpanKind, TraceCtx};
 use miodb_common::{Error, OpKind, Result, ScanEntry};
 use std::collections::hash_map::RandomState;
+use std::collections::VecDeque;
 use std::hash::{BuildHasher, Hasher};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
@@ -104,6 +106,12 @@ pub struct KvClient {
     next_id: u32,
     counters: ClientCounters,
     jitter: u64,
+    /// Sampled in-flight requests awaiting their response, in send order:
+    /// `(request id, trace context, send-start ns)`. Empty whenever
+    /// tracing is off. Responses match positionally by id, so the whole
+    /// round trip can be recorded as one span at receive time even under
+    /// pipelining.
+    inflight_trace: VecDeque<(u32, TraceCtx, u64)>,
 }
 
 impl KvClient {
@@ -143,6 +151,7 @@ impl KvClient {
             next_id: 1,
             counters: ClientCounters::default(),
             jitter,
+            inflight_trace: VecDeque::new(),
         })
     }
 
@@ -182,6 +191,8 @@ impl KvClient {
             // stream again, so restarting avoids id-space drift.
             self.next_id = 1;
             self.counters.reconnects += 1;
+            // In-flight requests died with the old connection.
+            self.inflight_trace.clear();
         }
         // Invariant: just populated above if it was None.
         Ok(self.conn.as_mut().unwrap())
@@ -211,6 +222,8 @@ impl KvClient {
         if let Some(conn) = self.conn.take() {
             let _ = conn.writer.get_ref().shutdown(Shutdown::Both);
         }
+        // Responses for in-flight requests will never arrive.
+        self.inflight_trace.clear();
     }
 
     // ----- pipelining primitives -------------------------------------
@@ -228,10 +241,30 @@ impl KvClient {
         self.ensure_connected()?;
         // Read the id only after a possible reconnect reset it.
         let id = self.next_id;
+        // Sampling decision for this round trip; the context rides the
+        // frame header while installed below.
+        let ctx = trace::begin_trace();
+        let send_start = if ctx.sampled { trace::now_ns() } else { 0 };
         // Invariant: `ensure_connected` just succeeded.
         let conn = self.conn.as_mut().unwrap();
-        match proto::write_request(&mut conn.writer, id, req) {
+        let written = {
+            let _c = trace::with_ctx(ctx);
+            proto::write_request(&mut conn.writer, id, req)
+        };
+        match written {
             Ok(()) => {
+                if ctx.sampled {
+                    trace::record(
+                        SpanKind::ClientSend,
+                        ctx.trace_id,
+                        0,
+                        ctx.span_id,
+                        send_start,
+                        trace::now_ns(),
+                        0,
+                    );
+                    self.inflight_trace.push_back((id, ctx, send_start));
+                }
                 self.next_id = self.next_id.wrapping_add(1);
                 Ok(id)
             }
@@ -282,8 +315,39 @@ impl KvClient {
                 "connection previously failed",
             )));
         };
+        let recv_start = match self.inflight_trace.front() {
+            Some(_) => trace::now_ns(),
+            None => 0,
+        };
         match proto::read_frame(&mut conn.reader) {
             Ok(Some(frame)) => {
+                // If this frame answers the oldest sampled request, close
+                // out its round-trip spans (responses arrive in order, so
+                // a front-id match is exact).
+                if let Some(&(fid, ctx, send_start)) = self.inflight_trace.front() {
+                    if fid == frame.id {
+                        self.inflight_trace.pop_front();
+                        let now = trace::now_ns();
+                        trace::record(
+                            SpanKind::ClientRecv,
+                            ctx.trace_id,
+                            0,
+                            ctx.span_id,
+                            recv_start,
+                            now,
+                            0,
+                        );
+                        trace::record(
+                            SpanKind::ClientRequest,
+                            ctx.trace_id,
+                            ctx.span_id,
+                            0,
+                            send_start,
+                            now,
+                            u64::from(frame.opcode),
+                        );
+                    }
+                }
                 let resp = Response::decode(frame.opcode, &frame.body)?;
                 Ok((frame.id, resp))
             }
@@ -486,6 +550,21 @@ impl KvClient {
         match self.round_trip_idempotent(&Request::Stats)? {
             Response::Stats(text) => Ok(text),
             other => Err(unexpected("STATS", &other)),
+        }
+    }
+
+    /// Drains the server's collected trace spans as Chrome trace-event
+    /// JSON (loadable in Perfetto). Destructive read: each span is
+    /// returned once. Idempotent at the transport level, so retried like
+    /// [`KvClient::get`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`KvClient::get`].
+    pub fn trace_dump(&mut self) -> Result<String> {
+        match self.round_trip_idempotent(&Request::TraceDump)? {
+            Response::Trace(text) => Ok(text),
+            other => Err(unexpected("TRACE", &other)),
         }
     }
 

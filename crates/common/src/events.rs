@@ -7,14 +7,13 @@
 //! e.g. to overlay compaction activity on a latency timeline (Figure 8)
 //! or to assert flush/compaction ordering in tests.
 //!
-//! The ring is a fixed-capacity MPMC queue (Vyukov bounded-queue scheme:
-//! a per-slot sequence number arbitrates producers and consumers without
-//! locks). When full, new events are **dropped** and counted — tracing
-//! must never block or stall the engine it observes.
+//! The ring is a fixed-capacity MPMC queue ([`MpmcRing`], Vyukov
+//! bounded-queue scheme: a per-slot sequence number arbitrates producers
+//! and consumers without locks). When full, new events are **dropped**
+//! and counted (saturating) — tracing must never block or stall the
+//! engine it observes.
 
-use std::cell::UnsafeCell;
-use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::ring::MpmcRing;
 
 /// Which compaction algorithm an event describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,145 +124,11 @@ pub struct Event {
     pub kind: EventKind,
 }
 
-struct Slot {
-    seq: AtomicUsize,
-    value: UnsafeCell<MaybeUninit<Event>>,
-}
-
 /// Bounded lock-free MPMC ring buffer of [`Event`]s.
 ///
 /// Producers never block: pushing into a full ring drops the event and
-/// increments [`dropped`](EventRing::dropped).
-pub struct EventRing {
-    slots: Box<[Slot]>,
-    mask: usize,
-    enqueue_pos: AtomicUsize,
-    dequeue_pos: AtomicUsize,
-    dropped: AtomicU64,
-}
-
-// SAFETY: slots are only accessed under the per-slot sequence protocol —
-// a producer writes `value` only after winning the CAS on `enqueue_pos`
-// for a slot whose `seq` says it is empty, and publishes with a release
-// store to `seq`; a consumer reads `value` only after acquiring a `seq`
-// that says it is full. `Event` is `Copy`, so no drops are needed.
-unsafe impl Send for EventRing {}
-unsafe impl Sync for EventRing {}
-
-impl EventRing {
-    /// Creates a ring holding up to `capacity` events (rounded up to a
-    /// power of two, minimum 2).
-    pub fn with_capacity(capacity: usize) -> EventRing {
-        let cap = capacity.max(2).next_power_of_two();
-        let slots: Box<[Slot]> = (0..cap)
-            .map(|i| Slot {
-                seq: AtomicUsize::new(i),
-                value: UnsafeCell::new(MaybeUninit::uninit()),
-            })
-            .collect();
-        EventRing {
-            slots,
-            mask: cap - 1,
-            enqueue_pos: AtomicUsize::new(0),
-            dequeue_pos: AtomicUsize::new(0),
-            dropped: AtomicU64::new(0),
-        }
-    }
-
-    /// Number of slots in the ring.
-    pub fn capacity(&self) -> usize {
-        self.slots.len()
-    }
-
-    /// Appends an event; on a full ring the event is dropped (counted in
-    /// [`dropped`](EventRing::dropped)) and `false` is returned.
-    pub fn push(&self, event: Event) -> bool {
-        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
-        loop {
-            let slot = &self.slots[pos & self.mask];
-            let seq = slot.seq.load(Ordering::Acquire);
-            let diff = seq as isize - pos as isize;
-            if diff == 0 {
-                match self.enqueue_pos.compare_exchange_weak(
-                    pos,
-                    pos + 1,
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                ) {
-                    Ok(_) => {
-                        // SAFETY: winning the CAS grants exclusive write
-                        // access to this slot until the release store below.
-                        unsafe { (*slot.value.get()).write(event) };
-                        slot.seq.store(pos + 1, Ordering::Release);
-                        return true;
-                    }
-                    Err(seen) => pos = seen,
-                }
-            } else if diff < 0 {
-                // Slot still holds an unconsumed event one lap behind: full.
-                self.dropped.fetch_add(1, Ordering::Relaxed);
-                return false;
-            } else {
-                pos = self.enqueue_pos.load(Ordering::Relaxed);
-            }
-        }
-    }
-
-    /// Removes and returns the oldest event, or `None` when empty.
-    pub fn pop(&self) -> Option<Event> {
-        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
-        loop {
-            let slot = &self.slots[pos & self.mask];
-            let seq = slot.seq.load(Ordering::Acquire);
-            let diff = seq as isize - (pos + 1) as isize;
-            if diff == 0 {
-                match self.dequeue_pos.compare_exchange_weak(
-                    pos,
-                    pos + 1,
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                ) {
-                    Ok(_) => {
-                        // SAFETY: winning the CAS grants exclusive read
-                        // access; the acquire load of `seq` ordered the
-                        // producer's write before this read.
-                        let event = unsafe { (*slot.value.get()).assume_init() };
-                        slot.seq.store(pos + self.mask + 1, Ordering::Release);
-                        return Some(event);
-                    }
-                    Err(seen) => pos = seen,
-                }
-            } else if diff < 0 {
-                return None;
-            } else {
-                pos = self.dequeue_pos.load(Ordering::Relaxed);
-            }
-        }
-    }
-
-    /// Drains every currently queued event in FIFO order.
-    pub fn drain(&self) -> Vec<Event> {
-        let mut out = Vec::new();
-        while let Some(e) = self.pop() {
-            out.push(e);
-        }
-        out
-    }
-
-    /// Number of events discarded because the ring was full.
-    pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
-    }
-}
-
-impl std::fmt::Debug for EventRing {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventRing")
-            .field("capacity", &self.capacity())
-            .field("dropped", &self.dropped())
-            .finish()
-    }
-}
+/// increments the saturating [`dropped`](MpmcRing::dropped) counter.
+pub type EventRing = MpmcRing<Event>;
 
 #[cfg(test)]
 mod tests {

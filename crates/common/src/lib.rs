@@ -9,7 +9,9 @@
 //! - [`histogram`]: a log-bucketed latency histogram with percentiles,
 //! - [`conc_histogram`]: its lock-free multi-writer counterpart,
 //! - [`stats`]: atomic counters for stalls, flushing and write amplification,
+//! - [`ring`]: the bounded lock-free MPMC ring backing both traces,
 //! - [`events`]: the bounded lock-free structured event trace,
+//! - [`trace`]: end-to-end request spans with critical-path attribution,
 //! - [`fault`]: the deterministic seed-driven fault-injection registry
 //!   wired through pmem, WAL, engine and network layers,
 //! - [`telemetry`]: per-engine telemetry (op histograms, level metrics,
@@ -31,9 +33,11 @@ pub mod fault;
 pub mod histogram;
 pub mod metrics;
 pub mod proto;
+pub mod ring;
 pub mod service;
 pub mod stats;
 pub mod telemetry;
+pub mod trace;
 pub mod types;
 
 pub use conc_histogram::ConcurrentHistogram;
@@ -44,7 +48,9 @@ pub use fault::{FaultAction, FaultPoint, FaultPolicy};
 pub use histogram::Histogram;
 pub use metrics::MetricsRegistry;
 pub use proto::{Opcode, Request, Response};
+pub use ring::MpmcRing;
 pub use service::ServiceTelemetry;
 pub use stats::Stats;
 pub use telemetry::{EngineTelemetry, LevelMetrics, TelemetryOptions};
+pub use trace::{SpanKind, SpanLayer, SpanRecord, TraceCtx};
 pub use types::{OpKind, SequenceNumber, MAX_SEQUENCE_NUMBER};

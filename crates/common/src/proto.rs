@@ -4,7 +4,8 @@
 //! incrementally and corruption is detected before any payload is trusted:
 //!
 //! ```text
-//! [u32 len][u8 version][u8 opcode][u32 request_id][body ...][u32 crc32]
+//! v2: [u32 len][u8 version][u8 opcode][u32 request_id]
+//!     [u64 trace_id][u8 trace_flags][body ...][u32 crc32]
 //!  ^len counts everything after itself (header + body + crc)
 //!  ^crc32 covers version..body (everything between len and crc)
 //! ```
@@ -14,15 +15,25 @@
 //! their answers (the server always responds in request order; the id is a
 //! cross-check, not a reordering mechanism). Responses set the high bit of
 //! the request's opcode; errors use the dedicated [`OP_ERR`] opcode.
+//!
+//! Version 2 extends the v1 header with a trace context — a 64-bit trace
+//! id plus a flags byte whose bit 0 marks the request as sampled — so the
+//! [`trace`](crate::trace) subsystem can stitch client, server and engine
+//! spans into one tree. Writers always emit v2; readers accept v1 frames
+//! (empty trace context) for compatibility with older peers.
 
 use crate::crc32::crc32;
 use crate::engine::ScanEntry;
 use crate::error::{Error, Result};
+use crate::trace;
 use crate::types::OpKind;
 use std::io::{Read, Write};
 
-/// Protocol version carried in every frame header.
-pub const PROTO_VERSION: u8 = 1;
+/// Protocol version carried in every frame header written by this build.
+pub const PROTO_VERSION: u8 = 2;
+
+/// Oldest protocol version still accepted when reading.
+pub const MIN_PROTO_VERSION: u8 = 1;
 
 /// Largest accepted frame body: bounds allocation from untrusted input.
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
@@ -33,8 +44,14 @@ pub const RESPONSE_BIT: u8 = 0x80;
 /// Error-response opcode (any request can fail).
 pub const OP_ERR: u8 = 0x7F;
 
-/// Fixed header bytes after the length prefix (version + opcode + id).
-const HEADER_BYTES: usize = 6;
+/// Trace-flags bit marking the request as sampled for tracing.
+pub const TRACE_SAMPLED: u8 = 0x01;
+
+/// Fixed v1 header bytes after the length prefix (version + opcode + id).
+const HEADER_BYTES_V1: usize = 6;
+
+/// Fixed v2 header bytes after the length prefix (v1 + trace id + flags).
+const HEADER_BYTES_V2: usize = 15;
 
 /// Request opcodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,17 +69,20 @@ pub enum Opcode {
     Batch = 5,
     /// Engine + service metrics in Prometheus text format.
     Stats = 6,
+    /// Drain collected trace spans as Chrome trace-event JSON.
+    Trace = 7,
 }
 
 impl Opcode {
     /// All opcodes, for per-opcode metric tables.
-    pub const ALL: [Opcode; 6] = [
+    pub const ALL: [Opcode; 7] = [
         Opcode::Get,
         Opcode::Put,
         Opcode::Delete,
         Opcode::Scan,
         Opcode::Batch,
         Opcode::Stats,
+        Opcode::Trace,
     ];
 
     /// Parses a wire opcode byte (without the response bit).
@@ -74,6 +94,7 @@ impl Opcode {
             4 => Some(Opcode::Scan),
             5 => Some(Opcode::Batch),
             6 => Some(Opcode::Stats),
+            7 => Some(Opcode::Trace),
             _ => None,
         }
     }
@@ -87,6 +108,7 @@ impl Opcode {
             Opcode::Scan => "scan",
             Opcode::Batch => "batch",
             Opcode::Stats => "stats",
+            Opcode::Trace => "trace",
         }
     }
 }
@@ -125,6 +147,8 @@ pub enum Request {
     },
     /// Metrics snapshot request.
     Stats,
+    /// Drain the server's collected trace spans (Chrome trace JSON).
+    TraceDump,
 }
 
 impl Request {
@@ -137,6 +161,7 @@ impl Request {
             Request::Scan { .. } => Opcode::Scan,
             Request::Batch { .. } => Opcode::Batch,
             Request::Stats => Opcode::Stats,
+            Request::TraceDump => Opcode::Trace,
         }
     }
 
@@ -163,7 +188,7 @@ impl Request {
                     put_bytes(buf, value);
                 }
             }
-            Request::Stats => {}
+            Request::Stats | Request::TraceDump => {}
         }
     }
 
@@ -209,6 +234,7 @@ impl Request {
                 Request::Batch { ops }
             }
             Opcode::Stats => Request::Stats,
+            Opcode::Trace => Request::TraceDump,
         };
         c.finish()?;
         Ok(req)
@@ -226,6 +252,8 @@ pub enum Response {
     Entries(Vec<ScanEntry>),
     /// STATS result: Prometheus text exposition.
     Stats(String),
+    /// TRACE result: Chrome trace-event JSON of drained spans.
+    Trace(String),
     /// The request failed server-side.
     Err(String),
 }
@@ -257,7 +285,7 @@ impl Response {
                     put_bytes(buf, &e.value);
                 }
             }
-            Response::Stats(text) => put_bytes(buf, text.as_bytes()),
+            Response::Stats(text) | Response::Trace(text) => put_bytes(buf, text.as_bytes()),
             Response::Err(msg) => put_bytes(buf, msg.as_bytes()),
         }
     }
@@ -302,6 +330,9 @@ impl Response {
                 Opcode::Stats => {
                     Response::Stats(String::from_utf8_lossy(&c.take_bytes()?).into_owned())
                 }
+                Opcode::Trace => {
+                    Response::Trace(String::from_utf8_lossy(&c.take_bytes()?).into_owned())
+                }
             }
         };
         c.finish()?;
@@ -309,18 +340,24 @@ impl Response {
     }
 }
 
-/// Writes one frame (`len | version | opcode | id | body | crc`).
+/// Writes one v2 frame (`len | version | opcode | id | trace | body |
+/// crc`). The trace context is the calling thread's current one (see
+/// [`trace::current`]) — all-zero when tracing is off, so the header cost
+/// is 9 constant bytes and no atomics beyond one relaxed load.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from `w`.
 pub fn write_frame<W: Write>(w: &mut W, opcode: u8, id: u32, body: &[u8]) -> std::io::Result<()> {
-    let mut head = [0u8; 4 + HEADER_BYTES];
-    let len = (HEADER_BYTES + body.len() + 4) as u32;
+    let ctx = trace::current();
+    let mut head = [0u8; 4 + HEADER_BYTES_V2];
+    let len = (HEADER_BYTES_V2 + body.len() + 4) as u32;
     head[0..4].copy_from_slice(&len.to_le_bytes());
     head[4] = PROTO_VERSION;
     head[5] = opcode;
     head[6..10].copy_from_slice(&id.to_le_bytes());
+    head[10..18].copy_from_slice(&ctx.trace_id.to_le_bytes());
+    head[18] = if ctx.sampled { TRACE_SAMPLED } else { 0 };
     let mut crc = crate::crc32::Crc32::new();
     crc.update(&head[4..]);
     crc.update(body);
@@ -336,6 +373,10 @@ pub struct Frame {
     pub opcode: u8,
     /// Client-chosen request id, echoed in responses.
     pub id: u32,
+    /// Trace id propagated from the client (0 on v1 frames / untraced).
+    pub trace_id: u64,
+    /// Whether the request is sampled for tracing.
+    pub sampled: bool,
     /// Frame body (between header and CRC).
     pub body: Vec<u8>,
 }
@@ -359,7 +400,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>> {
         return Ok(None);
     }
     let len = u32::from_le_bytes(len_buf) as usize;
-    if len < HEADER_BYTES + 4 {
+    if len < HEADER_BYTES_V1 + 4 {
         return Err(Error::Corruption(format!("frame too short: {len} bytes")));
     }
     if len > MAX_FRAME_BYTES {
@@ -372,18 +413,33 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>> {
     if crc32(payload) != want {
         return Err(Error::Corruption("frame crc mismatch".to_string()));
     }
-    if payload[0] != PROTO_VERSION {
-        return Err(Error::Corruption(format!(
-            "unsupported protocol version {}",
-            payload[0]
-        )));
-    }
+    // v1 peers are still accepted: their frames simply carry no trace
+    // context.
+    let (header_bytes, trace_id, sampled) = match payload[0] {
+        1 => (HEADER_BYTES_V1, 0, false),
+        2 => {
+            if payload.len() < HEADER_BYTES_V2 {
+                return Err(Error::Corruption(format!(
+                    "v2 frame too short: {len} bytes"
+                )));
+            }
+            let trace_id = u64::from_le_bytes(payload[6..14].try_into().expect("8-byte trace id"));
+            (HEADER_BYTES_V2, trace_id, payload[14] & TRACE_SAMPLED != 0)
+        }
+        v => {
+            return Err(Error::Corruption(format!(
+                "unsupported protocol version {v}"
+            )));
+        }
+    };
     let opcode = payload[1];
     let id = u32::from_le_bytes(payload[2..6].try_into().expect("4-byte id"));
     Ok(Some(Frame {
         opcode,
         id,
-        body: payload[HEADER_BYTES..].to_vec(),
+        trace_id,
+        sampled,
+        body: payload[header_bytes..].to_vec(),
     }))
 }
 
@@ -541,6 +597,56 @@ mod tests {
             ],
         });
         round_trip_request(Request::Stats);
+        round_trip_request(Request::TraceDump);
+    }
+
+    #[test]
+    fn v1_frames_without_trace_context_still_accepted() {
+        // Hand-craft a v1 GET frame: [len][ver=1][op][id][body][crc].
+        let mut body = Vec::new();
+        Request::Get { key: b"k".to_vec() }.encode_body(&mut body);
+        let mut payload = vec![1u8, Opcode::Get as u8];
+        payload.extend_from_slice(&7u32.to_le_bytes());
+        payload.extend_from_slice(&body);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&((payload.len() + 4) as u32).to_le_bytes());
+        wire.extend_from_slice(&payload);
+        wire.extend_from_slice(&crc32(&payload).to_le_bytes());
+
+        let frame = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(frame.id, 7);
+        assert_eq!(frame.trace_id, 0);
+        assert!(!frame.sampled);
+        assert_eq!(
+            Request::decode(frame.opcode, &frame.body).unwrap(),
+            Request::Get { key: b"k".to_vec() }
+        );
+    }
+
+    #[test]
+    fn trace_context_rides_the_frame_header() {
+        let _g = trace::exclusive();
+        trace::enable(1 << 8, 1, false);
+        let ctx = trace::TraceCtx {
+            trace_id: 0xDEAD_BEEF_0042,
+            span_id: 9,
+            sampled: true,
+        };
+        let mut wire = Vec::new();
+        {
+            let _c = trace::with_ctx(ctx);
+            write_request(&mut wire, 1, &Request::Stats).unwrap();
+        }
+        let frame = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(frame.trace_id, 0xDEAD_BEEF_0042);
+        assert!(frame.sampled);
+
+        // Without a context the header carries zeros.
+        let mut wire2 = Vec::new();
+        write_request(&mut wire2, 2, &Request::Stats).unwrap();
+        let frame2 = read_frame(&mut wire2.as_slice()).unwrap().unwrap();
+        assert_eq!(frame2.trace_id, 0);
+        assert!(!frame2.sampled);
     }
 
     fn round_trip_response(req_op: Opcode, resp: Response) {
@@ -564,6 +670,10 @@ mod tests {
             }]),
         );
         round_trip_response(Opcode::Stats, Response::Stats("# HELP x\n".to_string()));
+        round_trip_response(
+            Opcode::Trace,
+            Response::Trace("{\"traceEvents\":[]}".to_string()),
+        );
         round_trip_response(Opcode::Put, Response::Err("boom".to_string()));
     }
 

@@ -27,7 +27,7 @@ pub struct ServiceTelemetry {
     protocol_errors: AtomicU64,
     /// Per-opcode request latency in nanoseconds, indexed by
     /// [`Opcode::ALL`] order.
-    latency: [ConcurrentHistogram; 6],
+    latency: [ConcurrentHistogram; Opcode::ALL.len()],
 }
 
 impl Default for ServiceTelemetry {
@@ -138,6 +138,12 @@ impl ServiceTelemetry {
             &[],
             self.protocol_errors.load(Ordering::Relaxed) as f64,
         );
+        reg.counter(
+            "miodb_server_dropped_spans_total",
+            "Trace spans discarded because the span ring was full",
+            &[],
+            crate::trace::dropped_spans() as f64,
+        );
         for op in Opcode::ALL {
             let h = self.latency(op).snapshot();
             if h.count() == 0 {
@@ -194,5 +200,43 @@ mod tests {
         assert!(text.contains("miodb_server_request_latency_seconds{op=\"get\""));
         // Opcodes with no samples are omitted.
         assert!(!text.contains("op=\"batch\""));
+    }
+
+    /// Parses the exposition text line-by-line: every sampled opcode must
+    /// carry the full quantile set including p99.9, and the trace-buffer
+    /// overflow counter must always be present (zero when intact).
+    #[test]
+    fn exposition_has_p999_per_opcode_and_dropped_spans_counter() {
+        let t = ServiceTelemetry::new();
+        for op in [Opcode::Get, Opcode::Put, Opcode::Scan] {
+            for i in 0..1000u64 {
+                t.request_begin();
+                t.request_end(op, 1_000 + i * 37);
+            }
+        }
+        let text = t.render_prometheus();
+        for op in ["get", "put", "scan"] {
+            for q in ["0.5", "0.9", "0.99", "0.999"] {
+                let needle =
+                    format!("miodb_server_request_latency_seconds{{op=\"{op}\",quantile=\"{q}\"}}");
+                let line = text
+                    .lines()
+                    .find(|l| l.starts_with(&needle))
+                    .unwrap_or_else(|| panic!("missing series `{needle}` in:\n{text}"));
+                let value: f64 = line[needle.len()..].trim().parse().unwrap();
+                assert!(value > 0.0, "non-positive quantile on `{line}`");
+            }
+        }
+        let dropped = text
+            .lines()
+            .find(|l| l.starts_with("miodb_server_dropped_spans_total"))
+            .expect("dropped_spans_total series missing");
+        let value: f64 = dropped
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .expect("numeric dropped_spans value");
+        assert!(value >= 0.0);
     }
 }

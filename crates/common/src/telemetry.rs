@@ -126,6 +126,10 @@ pub struct EngineTelemetry {
     pub write_group_size: ConcurrentHistogram,
     /// Writers currently enqueued on the commit queue (gauge).
     commit_queue_depth: AtomicU64,
+    /// Span id of the flush currently running on this engine (0 when
+    /// idle). Request-side rotation-stall spans read it to link the
+    /// background flush they are waiting on.
+    flush_span: AtomicU64,
     levels: Vec<LevelMetrics>,
     events: Option<EventRing>,
     trace_reads: AtomicBool,
@@ -154,6 +158,7 @@ impl EngineTelemetry {
             scan_latency: ConcurrentHistogram::new(),
             write_group_size: ConcurrentHistogram::new(),
             commit_queue_depth: AtomicU64::new(0),
+            flush_span: AtomicU64::new(0),
             levels: (0..num_levels).map(|_| LevelMetrics::default()).collect(),
             events: (opts.event_capacity > 0)
                 .then(|| EventRing::with_capacity(opts.event_capacity)),
@@ -179,6 +184,17 @@ impl EngineTelemetry {
     /// Current commit-queue depth gauge value.
     pub fn commit_queue_depth(&self) -> u64 {
         self.commit_queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Publishes (or clears, with 0) the span id of the flush currently
+    /// running on this engine.
+    pub fn set_flush_span(&self, span_id: u64) {
+        self.flush_span.store(span_id, Ordering::Relaxed);
+    }
+
+    /// Span id of the in-progress flush, or 0 when none is running.
+    pub fn flush_span(&self) -> u64 {
+        self.flush_span.load(Ordering::Relaxed)
     }
 
     /// Nanoseconds since this engine's telemetry epoch (engine start).

@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use miodb_common::trace::{self, SpanKind};
 use miodb_common::{
     fault, CompactionKind, EngineReport, EngineTelemetry, Error, KvEngine, OpKind, Result,
     ScanEntry, SequenceNumber, StallKind, Stats,
@@ -625,10 +626,13 @@ impl MioDb {
             task: Mutex::new(None),
             err: Mutex::new(None),
         });
+        let mut commit_span = trace::span(SpanKind::CommitWait);
         {
             let mut q = inner.commit.queue.lock();
             q.push_back(w.clone());
-            inner.telemetry.set_commit_queue_depth(q.len() as u64);
+            let depth = q.len() as u64;
+            inner.telemetry.set_commit_queue_depth(depth);
+            commit_span.annotate(depth);
         }
         let mut spun = 0u32;
         loop {
@@ -691,6 +695,8 @@ impl MioDb {
         // not a runtime condition a caller could handle.
         let task = w.task.lock().take().expect("insert phase without task");
         let seq_base = w.seq_base.load(Ordering::Acquire);
+        let mut insert_span = trace::span(SpanKind::MemtableInsert);
+        insert_span.annotate(w.ops.len() as u64);
         for (i, (key, value, kind)) in w.ops.iter().enumerate() {
             if let Err(e) = task
                 .table
@@ -771,7 +777,11 @@ impl MioDb {
                     });
                 }
             }
-            active.log_group(&gops, seq_base)?;
+            {
+                let mut wal_span = trace::span(SpanKind::WalAppend);
+                wal_span.annotate(total_ops);
+                active.log_group(&gops, seq_base)?;
+            }
             Stats::add(&inner.stats.user_bytes_written, total_user);
             inner.telemetry.write_group_size.record(total_ops);
 
@@ -999,6 +1009,10 @@ impl MioDb {
             // attempt.
             let r = {
                 let active = inner.mem.read().active.clone();
+                // Uncontended/legacy path: WAL append and skiplist splice
+                // happen inside `insert`, so the span covers both (the
+                // grouped path separates them).
+                let _insert_span = trace::span(SpanKind::MemtableInsert);
                 active.insert(key, value, seq, kind)
             };
             match r {
@@ -1023,12 +1037,18 @@ impl MioDb {
         let inner = &*self.inner;
         let t0 = Instant::now();
         let mut stalled = false;
+        // Covers the whole rotation (stall wait, fresh-table allocation,
+        // manifest store) — all of it is write-path wall time the caller
+        // is blocked on. The annotation links the flush span this
+        // rotation waits for (0 if none is in flight).
+        let mut rotation_span = trace::span(SpanKind::RotationStall);
         match guard {
             Some(guard) => {
                 while inner.mem.read().imm.is_some() {
                     if !stalled {
                         stalled = true;
                         inner.telemetry.stall_begin(StallKind::Interval);
+                        rotation_span.annotate(inner.telemetry.flush_span());
                     }
                     inner.imm_cv.wait_for(guard, Duration::from_millis(5));
                     if inner.shutdown.load(Ordering::Acquire) {
@@ -1044,6 +1064,7 @@ impl MioDb {
                     if !stalled {
                         stalled = true;
                         inner.telemetry.stall_begin(StallKind::Interval);
+                        rotation_span.annotate(inner.telemetry.flush_span());
                     }
                     std::thread::sleep(Duration::from_micros(100));
                 }
@@ -1432,6 +1453,7 @@ fn flush_worker(inner: Arc<Inner>) {
             // same keys into a duplicate table, which reads dedupe and
             // lazy-copy reclaims — never data loss.
             let published = with_bg_retries(&inner, || flush_one(&inner, &imm));
+            inner.telemetry.set_flush_span(0);
             {
                 let mut mem = inner.mem.write();
                 mem.imm = None;
@@ -1509,6 +1531,11 @@ fn flush_one(inner: &Inner, imm: &Arc<MemTable>) -> Result<()> {
     }
 
     inner.telemetry.flush_begin(need);
+    // Publish this flush's span id so a writer stalled on rotation can
+    // link the flush it is waiting on (cleared by the flush worker).
+    let mut flush_span = trace::bg_span(SpanKind::Flush);
+    flush_span.annotate(need);
+    inner.telemetry.set_flush_span(flush_span.id());
     let t0 = Instant::now();
     let flushed = loop {
         match one_piece_flush(imm.arena(), &inner.nvm) {
@@ -1531,7 +1558,10 @@ fn flush_one(inner: &Inner, imm: &Arc<MemTable>) -> Result<()> {
     // Background pointer swizzling: the immutable MemTable keeps serving
     // reads while this runs.
     let t1 = Instant::now();
-    swizzle(&inner.nvm, &flushed);
+    {
+        let _swizzle_span = trace::bg_span(SpanKind::Swizzle);
+        swizzle(&inner.nvm, &flushed);
+    }
     let swizzle_took = t1.elapsed();
     Stats::add_time(&inner.stats.swizzle_ns, swizzle_took);
     inner.telemetry.swizzle(swizzle_took);
@@ -1684,6 +1714,9 @@ fn run_one_zero_copy_merge(
     inner
         .telemetry
         .compaction_begin(i, CompactionKind::ZeroCopy);
+    // arg packs the level in the low half, kind (1 = zero-copy) high.
+    let mut comp_span = trace::bg_span(SpanKind::Compaction);
+    comp_span.annotate(i as u64 | (1 << 32));
     let t0 = Instant::now();
     let mut total = miodb_skiplist::MergeStats::default();
     loop {
@@ -1803,6 +1836,9 @@ fn lazy_worker(inner: Arc<Inner>) {
         inner
             .telemetry
             .compaction_begin(level_idx, CompactionKind::LazyCopy);
+        // arg packs the level in the low half, kind (2 = lazy-copy) high.
+        let mut comp_span = trace::bg_span(SpanKind::Compaction);
+        comp_span.annotate(level_idx as u64 | (2 << 32));
         let t0 = Instant::now();
         let _w = inner.repo_writer.lock();
         // Retried with backoff on failure: each attempt re-reads the intact
@@ -2030,14 +2066,17 @@ impl MioDb {
             let mem = inner.mem.read();
             (mem.active.clone(), mem.imm.clone())
         };
-        if let Some(r) = active.list().get(key) {
-            Stats::add(&inner.stats.get_hits, 1);
-            return Ok(Self::resolve(r));
-        }
-        if let Some(imm) = imm {
-            if let Some(r) = imm.list().get(key) {
+        {
+            let _probe_span = trace::span(SpanKind::MemtableProbe);
+            if let Some(r) = active.list().get(key) {
                 Stats::add(&inner.stats.get_hits, 1);
                 return Ok(Self::resolve(r));
+            }
+            if let Some(imm) = imm {
+                if let Some(r) = imm.list().get(key) {
+                    Stats::add(&inner.stats.get_hits, 1);
+                    return Ok(Self::resolve(r));
+                }
             }
         }
 
@@ -2045,6 +2084,8 @@ impl MioDb {
         //    the paper's merge-visibility protocol.
         let n = inner.opts.elastic_levels;
         for i in 0..n {
+            let mut level_span = trace::span(SpanKind::LevelProbe);
+            level_span.annotate(i as u64);
             let (tables, merging, lazy, mark, gate) = {
                 let levels = inner.levels.lock();
                 (
@@ -2059,6 +2100,7 @@ impl MioDb {
                 if inner.opts.bloom_enabled && !t.bloom.may_contain(key) {
                     Stats::add(&inner.stats.bloom_skips, 1);
                     inner.telemetry.bloom_skip(i);
+                    trace::instant(SpanKind::BloomSkip, i as u64);
                     continue;
                 }
                 if let Some(r) = t.list.get(key) {
@@ -2100,6 +2142,7 @@ impl MioDb {
                 } else {
                     Stats::add(&inner.stats.bloom_skips, 1);
                     inner.telemetry.bloom_skip(i);
+                    trace::instant(SpanKind::BloomSkip, i as u64);
                     mark.read(key)
                 };
                 if let Some(r) = hit {
@@ -2118,6 +2161,7 @@ impl MioDb {
         }
 
         // 3. Data repository.
+        let _repo_span = trace::span(SpanKind::RepoProbe);
         if let Some(r) = inner.repo.get(key)? {
             if r.kind == OpKind::Put {
                 Stats::add(&inner.stats.get_hits, 1);

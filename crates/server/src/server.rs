@@ -18,6 +18,7 @@
 //!   single `Err` frame and closed; clients retry elsewhere or back off.
 
 use miodb_common::proto::{self, Frame, Opcode, Request, Response};
+use miodb_common::trace::{self, SpanKind, TraceCtx};
 use miodb_common::{fault, Error, KvEngine, OpKind, Result, ServiceTelemetry};
 use parking_lot::Mutex;
 use std::io::{BufReader, BufWriter, Write};
@@ -239,9 +240,26 @@ fn serve_frame<W: Write>(frame: &Frame, shared: &Shared, writer: &mut W) -> bool
     }
     let started = Instant::now();
     shared.telemetry.request_begin();
-    let (op, resp) = match Request::decode(frame.opcode, &frame.body) {
+    // Adopt the frame's wire trace context so engine-internal spans (and
+    // the response frame header) join the client's trace. Both guards
+    // live until after the response is written.
+    let _ctx = (frame.sampled && frame.trace_id != 0 && trace::is_enabled()).then(|| {
+        trace::with_ctx(TraceCtx {
+            trace_id: frame.trace_id,
+            span_id: 0,
+            sampled: true,
+        })
+    });
+    let mut srv_span = trace::span(SpanKind::SrvRequest);
+    srv_span.annotate(u64::from(frame.opcode));
+    let decoded = {
+        let _d = trace::span(SpanKind::SrvDecode);
+        Request::decode(frame.opcode, &frame.body)
+    };
+    let (op, resp) = match decoded {
         Ok(req) => {
             let op = req.opcode();
+            let _e = trace::span(SpanKind::SrvExecute);
             (op, execute(&req, shared))
         }
         Err(e) => {
@@ -276,6 +294,9 @@ fn execute(req: &Request, shared: &Shared) -> Response {
             text.push_str(&shared.telemetry.render_prometheus());
             Ok(Response::Stats(text))
         }
+        // Drains every span buffered so far (client spans too when the
+        // tracer is process-global, as in netbench) as Chrome trace JSON.
+        Request::TraceDump => Ok(Response::Trace(trace::to_chrome_json(&trace::drain()))),
     };
     result.unwrap_or_else(|e| Response::Err(e.to_string()))
 }

@@ -11,6 +11,7 @@
 //! apples-to-apples network benchmarks.
 
 use miodb_common::crc32::crc32;
+use miodb_common::trace::{self, SpanKind};
 use miodb_common::{EngineReport, KvEngine, Result, ScanEntry, Stats};
 use miodb_core::{MioDb, MioOptions};
 
@@ -108,10 +109,16 @@ impl<E: KvEngine> KvEngine for ShardRouter<E> {
     /// merging by key restores a single global order (keys are unique
     /// across shards — the hash assigns each key one owner).
     fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<ScanEntry>> {
-        let mut per_shard = Vec::with_capacity(self.shards.len());
-        for s in &self.shards {
-            per_shard.push(s.scan(start, limit)?);
-        }
+        let per_shard = {
+            let mut fanout = trace::span(SpanKind::RouterFanout);
+            fanout.annotate(self.shards.len() as u64);
+            let mut per_shard = Vec::with_capacity(self.shards.len());
+            for s in &self.shards {
+                per_shard.push(s.scan(start, limit)?);
+            }
+            per_shard
+        };
+        let _m = trace::span(SpanKind::RouterMerge);
         Ok(merge_sorted(per_shard, limit))
     }
 
