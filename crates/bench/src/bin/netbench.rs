@@ -3,6 +3,7 @@
 //! ```text
 //! netbench [--shards N] [--connections N] [--seconds F] [--records N]
 //!          [--value-len N] [--pipeline-depth N] [--throttled]
+//!          [--replicate async|semi-sync]
 //! ```
 //!
 //! Starts an in-process [`KvServer`] over a [`ShardRouter`] of MioDB
@@ -11,6 +12,11 @@
 //! followed by `--seconds` of a YCSB-A-style 50/50 read/update mix over
 //! uniformly random keys. Each connection keeps `--pipeline-depth`
 //! requests in flight, which is where wire throughput comes from.
+//!
+//! `--replicate` switches to replication mode: a single-shard leader with
+//! a WAL-shipping [`Replicator`] plus an in-process follower applying the
+//! stream, at the chosen ack level. The summary and JSON gain the
+//! follower's publish→ack lag percentiles and final acked offset.
 //!
 //! Prints a summary table and writes `BENCH_server.json` with throughput
 //! and client-observed p50/p99/p99.9 latency per opcode and phase. Exits
@@ -26,9 +32,12 @@ use miodb_bench::{print_header, print_row};
 use miodb_client::{ClientCounters, ClientOptions, KvClient};
 use miodb_common::trace;
 use miodb_common::{Histogram, Opcode, Request, Response, Result};
-use miodb_core::MioOptions;
+use miodb_core::{MioDb, MioOptions};
 use miodb_pmem::DeviceModel;
-use miodb_server::{KvServer, ServerOptions, ShardRouter};
+use miodb_repl::{
+    engine_snapshot_bytes, AckLevel, Follower, FollowerOptions, Replicator, ReplicatorOptions,
+};
+use miodb_server::{KvServer, ReplConfig, ServerOptions, ShardRouter};
 
 #[derive(Clone)]
 struct Config {
@@ -41,6 +50,7 @@ struct Config {
     throttled: bool,
     seed: u64,
     trace: bool,
+    replicate: Option<AckLevel>,
 }
 
 impl Default for Config {
@@ -55,6 +65,7 @@ impl Default for Config {
             throttled: false,
             seed: 0x9E37_79B9_7F4A_7C15,
             trace: false,
+            replicate: None,
         }
     }
 }
@@ -99,6 +110,20 @@ fn parse_args() -> Config {
             }
             "--throttled" => cfg.throttled = true,
             "--trace" => cfg.trace = true,
+            "--replicate" => {
+                i += 1;
+                cfg.replicate = match args.get(i).map(String::as_str) {
+                    Some("async") => Some(AckLevel::Async),
+                    Some("semi-sync") => Some(AckLevel::SemiSync),
+                    other => {
+                        eprintln!(
+                            "bad value for --replicate: {} (want async|semi-sync)",
+                            other.unwrap_or("<missing>")
+                        );
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--seed" => {
                 i += 1;
                 cfg.seed = parse_num(flag, args.get(i));
@@ -107,7 +132,7 @@ fn parse_args() -> Config {
                 eprintln!(
                     "unknown flag: {other}\nusage: netbench [--shards N] [--connections N] \
                      [--seconds F] [--records N] [--value-len N] [--pipeline-depth N] \
-                     [--throttled] [--trace] [--seed N]"
+                     [--throttled] [--trace] [--seed N] [--replicate async|semi-sync]"
                 );
                 std::process::exit(2);
             }
@@ -324,6 +349,27 @@ fn print_phase(p: &PhaseSummary) {
     }
 }
 
+fn ack_label(cfg: &Config) -> &'static str {
+    match cfg.replicate {
+        Some(AckLevel::Async) => "async",
+        Some(AckLevel::SemiSync) => "semi-sync",
+        None => "none",
+    }
+}
+
+/// Engine-side state behind the benchmark server: the plain sharded
+/// router, or a replicated leader with an in-process follower applying
+/// the shipped WAL stream.
+enum Backend {
+    Sharded(Arc<ShardRouter<MioDb>>),
+    Replicated {
+        leader: Arc<MioDb>,
+        replicator: Arc<Replicator>,
+        follower: Follower,
+        follower_db: Arc<MioDb>,
+    },
+}
+
 fn run(cfg: &Config) -> Result<()> {
     // Server side: a shard router over `--shards` MioDB instances. The
     // device model is unthrottled by default — netbench measures the
@@ -338,17 +384,82 @@ fn run(cfg: &Config) -> Result<()> {
     if !cfg.throttled {
         opts.nvm_device = DeviceModel::nvm_unthrottled();
     }
-    let router = Arc::new(ShardRouter::open_miodb(&opts, cfg.shards)?);
-    let server = KvServer::start(
-        "127.0.0.1:0",
-        Arc::clone(&router) as Arc<dyn miodb_common::KvEngine>,
-        ServerOptions::default(),
-    )?;
+    let (server, backend) = if let Some(ack) = cfg.replicate {
+        // Replication mode: one leader engine (the commit sink taps its
+        // group-commit pipeline) plus a follower replica.
+        let leader = Arc::new(MioDb::open(opts.clone())?);
+        let replicator = Replicator::new(ReplicatorOptions {
+            ack_level: ack,
+            semi_sync_timeout: Duration::from_secs(10),
+            retain_bytes: 256 << 20,
+        });
+        leader.set_commit_sink(Some(
+            Arc::clone(&replicator) as Arc<dyn miodb_common::ReplicationSink>
+        ));
+        let snap = Arc::clone(&leader);
+        let server = KvServer::start_replicated(
+            "127.0.0.1:0",
+            Arc::clone(&leader) as Arc<dyn miodb_common::KvEngine>,
+            ServerOptions::default(),
+            ReplConfig {
+                replicator: Some(Arc::clone(&replicator)),
+                snapshot: Some(Box::new(move || engine_snapshot_bytes(&snap))),
+                leader: true,
+                leader_hint: String::new(),
+            },
+        )?;
+        let follower_db = Arc::new(MioDb::open(MioOptions {
+            name: "MioDB-net-follower".to_string(),
+            ..opts.clone()
+        })?);
+        let follower = Follower::start(
+            Arc::clone(&follower_db),
+            &server.local_addr().to_string(),
+            FollowerOptions::default(),
+        )?;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while replicator.subscriber_count() == 0 {
+            if Instant::now() >= deadline {
+                return Err(miodb_common::Error::Background(
+                    "follower never subscribed".to_string(),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        (
+            server,
+            Backend::Replicated {
+                leader,
+                replicator,
+                follower,
+                follower_db,
+            },
+        )
+    } else {
+        let router = Arc::new(ShardRouter::open_miodb(&opts, cfg.shards)?);
+        let server = KvServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&router) as Arc<dyn miodb_common::KvEngine>,
+            ServerOptions::default(),
+        )?;
+        (server, Backend::Sharded(router))
+    };
     let addr = server.local_addr();
-    eprintln!(
-        "[netbench] serving {} shards on {addr}; {} connections, depth {}, {} records, {}s run",
-        cfg.shards, cfg.connections, cfg.pipeline_depth, cfg.records, cfg.seconds
-    );
+    match &backend {
+        Backend::Sharded(_) => eprintln!(
+            "[netbench] serving {} shards on {addr}; {} connections, depth {}, {} records, {}s run",
+            cfg.shards, cfg.connections, cfg.pipeline_depth, cfg.records, cfg.seconds
+        ),
+        Backend::Replicated { .. } => eprintln!(
+            "[netbench] replicated leader on {addr} ({} acks) + follower; {} connections, \
+             depth {}, {} records, {}s run",
+            ack_label(cfg),
+            cfg.connections,
+            cfg.pipeline_depth,
+            cfg.records,
+            cfg.seconds
+        ),
+    }
 
     // Phase 1: fill. Connections split the keyspace into contiguous
     // stripes so every record is written exactly once.
@@ -454,11 +565,61 @@ fn run(cfg: &Config) -> Result<()> {
         eprintln!("  [server] {line}");
     }
 
+    // Replication mode: wait for the follower to converge on everything
+    // the leader committed, then report the lag distribution.
+    let repl_json = match &backend {
+        Backend::Sharded(_) => String::new(),
+        Backend::Replicated {
+            leader, replicator, ..
+        } => {
+            let target = leader.last_sequence();
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while replicator.max_acked() < target {
+                if Instant::now() >= deadline {
+                    return Err(miodb_common::Error::Background(format!(
+                        "follower never converged ({} < {target})",
+                        replicator.max_acked()
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let lag = replicator.lag_histogram();
+            eprintln!(
+                "  [repl] {} acks: {} groups acked, lag p50 {:.1}us p99 {:.1}us",
+                ack_label(cfg),
+                lag.count(),
+                lag.percentile(50.0) as f64 / 1e3,
+                lag.percentile(99.0) as f64 / 1e3,
+            );
+            format!(
+                ",\"replication\":{{\"ack\":\"{}\",\"max_acked\":{},\"groups\":{},\"lag_p50_us\":{:.1},\"lag_p99_us\":{:.1}}}",
+                ack_label(cfg),
+                replicator.max_acked(),
+                lag.count(),
+                lag.percentile(50.0) as f64 / 1e3,
+                lag.percentile(99.0) as f64 / 1e3,
+            )
+        }
+    };
+
     server.shutdown();
-    router.close()?;
+    match backend {
+        Backend::Sharded(router) => router.close()?,
+        Backend::Replicated {
+            leader,
+            follower,
+            follower_db,
+            ..
+        } => {
+            follower.stop();
+            leader.set_commit_sink(None);
+            follower_db.close()?;
+            leader.close()?;
+        }
+    }
 
     let json = format!(
-        "{{\"experiment\":\"netbench\",\"shards\":{},\"connections\":{},\"pipeline_depth\":{},\"value_len\":{},\"records\":{},\"throttled\":{},\"requests_served\":{served},\"phases\":[\n  {},\n  {}\n]}}\n",
+        "{{\"experiment\":\"netbench\",\"shards\":{},\"connections\":{},\"pipeline_depth\":{},\"value_len\":{},\"records\":{},\"throttled\":{},\"requests_served\":{served}{repl_json},\"phases\":[\n  {},\n  {}\n]}}\n",
         cfg.shards,
         cfg.connections,
         cfg.pipeline_depth,

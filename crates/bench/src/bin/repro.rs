@@ -59,6 +59,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "trace",
         "critical-path attribution of YCSB-A p50 vs p99.9 over the wire",
     ),
+    (
+        "repl",
+        "WAL-shipping replication: async vs semi-sync throughput, follower lag",
+    ),
     ("all", "every experiment above, in order"),
 ];
 
@@ -122,6 +126,7 @@ fn main() {
         "faults" => faults(quick),
         "check" => check(quick),
         "trace" => trace_experiment(quick),
+        "repl" => repl_experiment(quick),
         "all" => all(dataset, quick),
         other => {
             eprintln!("unknown experiment: {other}\n");
@@ -176,6 +181,7 @@ fn all(dataset: u64, quick: bool) -> Result<()> {
     faults(quick)?;
     check(quick)?;
     trace_experiment(quick)?;
+    repl_experiment(quick)?;
     Ok(())
 }
 
@@ -1456,5 +1462,162 @@ fn trace_experiment(quick: bool) -> Result<()> {
     if pct999 < 95.0 {
         eprintln!("trace: p99.9 attribution below 95% target");
     }
+    Ok(())
+}
+
+/// `repro repl`: WAL-shipping replication cost. The same sequential
+/// writer loads a leader+follower pair twice — once with fire-and-forget
+/// `async` acks, once with `semi-sync` acks where every PUT's commit-wait
+/// blocks until the follower has applied it — and reports throughput plus
+/// the publish→ack lag distribution the leader measured per group.
+fn repl_experiment(quick: bool) -> Result<()> {
+    use miodb_client::KvClient;
+    use miodb_common::ReplicationSink;
+    use miodb_core::{MioDb, MioOptions};
+    use miodb_pmem::DeviceModel;
+    use miodb_repl::{
+        engine_snapshot_bytes, AckLevel, Follower, FollowerOptions, Replicator, ReplicatorOptions,
+    };
+    use miodb_server::{KvServer, ReplConfig, ServerOptions};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    println!("\n== Replication: async vs semi-sync ack levels, follower lag ==");
+    println!("   one leader + one follower in-process over TCP; shipped bytes are the");
+    println!("   exact framed WAL group records, so the follower replays what the");
+    println!("   leader persisted. Lag is publish->ack per committed group.");
+
+    let records: u64 = if quick { 2_000 } else { 10_000 };
+    let value_len = 256usize;
+    let opts = |name: String| MioOptions {
+        memtable_bytes: 1 << 20,
+        nvm_pool_bytes: 1 << 30,
+        dram_pool_bytes: 64 << 20,
+        nvm_device: DeviceModel::nvm_unthrottled(),
+        name,
+        ..MioOptions::default()
+    };
+
+    let widths = [12usize, 8, 10, 12, 12, 12];
+    print_header(
+        &["ack", "puts", "Kops", "lag p50(us)", "lag p99(us)", "acked"],
+        &widths,
+    );
+
+    let mut rows: Vec<String> = Vec::new();
+    for ack in [AckLevel::Async, AckLevel::SemiSync] {
+        let label = match ack {
+            AckLevel::Async => "async",
+            AckLevel::SemiSync => "semi-sync",
+        };
+        let ldb = Arc::new(MioDb::open(opts(format!("MioDB-repl-{label}-L")))?);
+        let replicator = Replicator::new(ReplicatorOptions {
+            ack_level: ack,
+            semi_sync_timeout: Duration::from_secs(10),
+            retain_bytes: 256 << 20,
+        });
+        ldb.set_commit_sink(Some(Arc::clone(&replicator) as Arc<dyn ReplicationSink>));
+        let snap = Arc::clone(&ldb);
+        let server = KvServer::start_replicated(
+            "127.0.0.1:0",
+            Arc::clone(&ldb) as Arc<dyn KvEngine>,
+            ServerOptions::default(),
+            ReplConfig {
+                replicator: Some(Arc::clone(&replicator)),
+                snapshot: Some(Box::new(move || engine_snapshot_bytes(&snap))),
+                leader: true,
+                leader_hint: String::new(),
+            },
+        )?;
+        let fdb = Arc::new(MioDb::open(opts(format!("MioDB-repl-{label}-F")))?);
+        let follower = Follower::start(
+            Arc::clone(&fdb),
+            &server.local_addr().to_string(),
+            FollowerOptions::default(),
+        )?;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while replicator.subscriber_count() == 0 {
+            if Instant::now() >= deadline {
+                return Err(miodb_common::Error::Background(
+                    "follower never subscribed".to_string(),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        // Concurrent writers: group commit batches them on the leader and
+        // the semi-sync ack wait is paid per group, not per put.
+        let writers = 4u64;
+        let addr = server.local_addr();
+        let started = Instant::now();
+        std::thread::scope(|s| -> Result<()> {
+            let handles: Vec<_> = (0..writers)
+                .map(|w| {
+                    s.spawn(move || -> Result<()> {
+                        let mut c = KvClient::connect(addr)?;
+                        let (lo, hi) = (records * w / writers, records * (w + 1) / writers);
+                        for k in lo..hi {
+                            c.put(format!("user{k:016}").as_bytes(), &vec![b'x'; value_len])?;
+                        }
+                        c.close()
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("writer panicked")?;
+            }
+            Ok(())
+        })?;
+        let elapsed = started.elapsed();
+
+        // Async writers return before the follower applies; wait for
+        // convergence so the lag histogram covers every group.
+        let target = ldb.last_sequence();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while replicator.max_acked() < target {
+            if Instant::now() >= deadline {
+                return Err(miodb_common::Error::Background(format!(
+                    "follower never converged ({} < {target})",
+                    replicator.max_acked()
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let lag = replicator.lag_histogram();
+        let kops = records as f64 / elapsed.as_secs_f64().max(1e-9) / 1e3;
+        let (p50, p99) = (
+            lag.percentile(50.0) as f64 / 1e3,
+            lag.percentile(99.0) as f64 / 1e3,
+        );
+        print_row(
+            &[
+                label.to_string(),
+                format!("{records}"),
+                format!("{kops:.1}"),
+                format!("{p50:.1}"),
+                format!("{p99:.1}"),
+                format!("{}", replicator.max_acked()),
+            ],
+            &widths,
+        );
+        rows.push(format!(
+            "{{\"ack\":\"{label}\",\"puts\":{records},\"elapsed_ns\":{},\"kops\":{kops:.2},\"lag_p50_us\":{p50:.1},\"lag_p99_us\":{p99:.1},\"max_acked\":{}}}",
+            elapsed.as_nanos(),
+            replicator.max_acked(),
+        ));
+
+        follower.stop();
+        server.shutdown();
+        ldb.set_commit_sink(None);
+        fdb.close()?;
+        ldb.close()?;
+    }
+
+    let json = format!(
+        "{{\"experiment\":\"repl\",\"value_len\":{value_len},\"modes\":[\n  {}\n]}}\n",
+        rows.join(",\n  "),
+    );
+    std::fs::write("BENCH_repl.json", json).map_err(miodb_common::Error::Io)?;
+    eprintln!("[repl results written to BENCH_repl.json]");
     Ok(())
 }

@@ -83,6 +83,44 @@ impl History {
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
+
+    /// Merges histories from *temporally disjoint phases* — e.g. the ops a
+    /// replication leader served before it was killed, then the ops the
+    /// promoted follower served — into one checkable history.
+    ///
+    /// Each phase's recorder has its own epoch and its own process-id
+    /// space, so a naive concatenation would alias both. This merge shifts
+    /// every phase's process ids past the previous phases' maximum and its
+    /// timestamps past the previous phases' latest return, making phase
+    /// order the real-time order. That is sound exactly because the phases
+    /// do not overlap in wall-clock time (phase N's last call returns
+    /// before phase N+1's first call is invoked); never-returned calls
+    /// (`return_ns == u64::MAX`, killed mid-call) keep their sentinel, so
+    /// the checker still lets their effect surface in any later phase.
+    #[must_use]
+    pub fn merge_sequential(phases: Vec<History>) -> History {
+        let mut out = History::default();
+        let mut proc_base = 0u32;
+        let mut time_base = 0u64;
+        for phase in phases {
+            let mut procs_here = 0u32;
+            let mut end_here = time_base;
+            for mut op in phase.ops {
+                procs_here = procs_here.max(op.process.saturating_add(1));
+                op.process += proc_base;
+                op.invoke_ns = op.invoke_ns.saturating_add(time_base).min(u64::MAX - 1);
+                end_here = end_here.max(op.invoke_ns);
+                if op.return_ns != u64::MAX {
+                    op.return_ns = op.return_ns.saturating_add(time_base).min(u64::MAX - 1);
+                    end_here = end_here.max(op.return_ns);
+                }
+                out.ops.push(op);
+            }
+            proc_base += procs_here;
+            time_base = end_here + 1;
+        }
+        out
+    }
 }
 
 static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
@@ -456,6 +494,36 @@ mod tests {
         assert!(h.ops[0].return_ns <= h.ops[1].invoke_ns);
         assert_eq!(h.ops[0].observed, Observed::Acked);
         assert_eq!(h.ops[1].observed, Observed::Read(Some(b"1".to_vec())));
+    }
+
+    #[test]
+    fn merge_sequential_renumbers_and_reorders() {
+        let mk = |val: &[u8], killed: bool| {
+            let rec = HistoryRecorder::new();
+            let e = MapEngine::new();
+            let mut log = rec.log();
+            log.put(&e, b"k", val).unwrap();
+            let _ = log.get(&e, b"k").unwrap();
+            drop(log);
+            let mut h = rec.take_history();
+            if killed {
+                h.ops[0].return_ns = u64::MAX; // killed mid-call
+                h.ops[0].observed = Observed::Maybe;
+            }
+            h
+        };
+        let merged = History::merge_sequential(vec![mk(b"1", true), mk(b"2", false)]);
+        assert_eq!(merged.len(), 4);
+        // Phase 2's process ids are shifted past phase 1's.
+        assert_eq!(merged.ops[0].process, 0);
+        assert_eq!(merged.ops[2].process, 1);
+        // Phase 2 starts strictly after phase 1's latest timestamp.
+        let phase1_end = merged.ops[1].return_ns.max(merged.ops[0].invoke_ns);
+        assert!(merged.ops[2].invoke_ns > phase1_end);
+        // The killed call keeps its open-window sentinel.
+        assert_eq!(merged.ops[0].return_ns, u64::MAX);
+        // The merged whole is still a linearizable single-key history.
+        assert!(crate::check_history(&merged).is_linearizable());
     }
 
     #[test]

@@ -28,6 +28,13 @@
 //! - The raw pipelining primitives never retry — positional response
 //!   matching makes retry a caller-level decision — but they do mark the
 //!   connection dead so the next operation reconnects.
+//! - **Leader redirects.** A replicated follower refuses mutations with a
+//!   typed `NotLeader` frame carrying the leader's address. Because the
+//!   refusal happens before any engine work, the mutation is provably not
+//!   applied, so the client transparently re-dials the hinted address and
+//!   retries (counted in [`ClientCounters::redirects`]). A client pointed
+//!   at a follower still serves reads from it (replica reads — staleness
+//!   is bounded by the replication lag, zero under semi-sync acks).
 //!
 //! ```no_run
 //! use miodb_client::KvClient;
@@ -89,6 +96,8 @@ pub struct ClientCounters {
     pub reconnects: u64,
     /// Mutations whose outcome was reported as [`Error::MaybeApplied`].
     pub ambiguous: u64,
+    /// Mutations re-dialed to a hinted leader after a `NotLeader` refusal.
+    pub redirects: u64,
 }
 
 #[derive(Debug)]
@@ -409,6 +418,9 @@ impl KvClient {
         if let Response::Err(msg) = resp {
             return Err(Error::Background(msg));
         }
+        if let Response::NotLeader(hint) = resp {
+            return Err(Error::NotLeader(hint));
+        }
         if got_id != id {
             // The stream can no longer be trusted to pair responses.
             let e = std::io::Error::other("response id mismatch");
@@ -440,25 +452,59 @@ impl KvClient {
 
     /// Round trip for mutations: once any part of the request may have
     /// reached the server, a transport failure is ambiguous — surface
-    /// [`Error::MaybeApplied`] instead of guessing.
+    /// [`Error::MaybeApplied`] instead of guessing. A `NotLeader` refusal
+    /// is the opposite of ambiguous (the server provably applied nothing),
+    /// so the client re-dials the hinted leader and retries transparently.
     fn round_trip_mutation(&mut self, req: &Request, what: &str) -> Result<Response> {
-        let was_connected = self.conn.is_some();
-        match self.try_round_trip(req) {
-            Err(Error::Io(e)) => {
-                if was_connected {
-                    self.counters.ambiguous += 1;
-                    Err(Error::MaybeApplied(format!(
-                        "{what} interrupted by transport failure: {e}"
-                    )))
-                } else {
+        let mut redirects = 0u32;
+        loop {
+            let was_connected = self.conn.is_some();
+            match self.try_round_trip(req) {
+                Err(Error::NotLeader(hint)) => {
+                    if redirects < self.opts.max_retries
+                        && !hint.is_empty()
+                        && self.redirect_to(&hint)
+                    {
+                        redirects += 1;
+                        self.counters.redirects += 1;
+                        continue;
+                    }
+                    return Err(Error::NotLeader(hint));
+                }
+                Err(Error::Io(e)) => {
+                    if was_connected {
+                        self.counters.ambiguous += 1;
+                        return Err(Error::MaybeApplied(format!(
+                            "{what} interrupted by transport failure: {e}"
+                        )));
+                    }
                     // The failure happened while (re)connecting — nothing
                     // was ever sent, so the plain error is accurate and the
                     // caller may retry safely.
-                    Err(Error::Io(e))
+                    return Err(Error::Io(e));
                 }
+                other => return other,
             }
-            other => other,
         }
+    }
+
+    /// Re-points this client at `hint` (a `NotLeader` redirect target) and
+    /// drops the current connection so the next operation dials it.
+    /// Returns `false` if the hint does not resolve.
+    fn redirect_to(&mut self, hint: &str) -> bool {
+        let Ok(resolved) = hint.to_socket_addrs() else {
+            return false;
+        };
+        let addrs: Vec<SocketAddr> = resolved.collect();
+        if addrs.is_empty() {
+            return false;
+        }
+        self.addrs = addrs;
+        if let Some(conn) = self.conn.take() {
+            let _ = conn.writer.get_ref().shutdown(Shutdown::Both);
+        }
+        self.inflight_trace.clear();
+        true
     }
 
     /// Inserts or overwrites `key`.

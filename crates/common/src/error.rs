@@ -40,6 +40,11 @@ pub enum Error {
     /// re-issue an idempotent form of) the operation to learn the truth —
     /// blindly retrying a non-idempotent mutation could apply it twice.
     MaybeApplied(String),
+    /// The contacted node is a replication follower and refused a
+    /// mutation. The payload is a hint (`host:port`, possibly empty) for
+    /// where the leader is believed to live; the request was *not*
+    /// applied, so redirecting and retrying is always safe.
+    NotLeader(String),
 }
 
 impl fmt::Display for Error {
@@ -59,6 +64,8 @@ impl fmt::Display for Error {
             Error::Closed => write!(f, "database is closed"),
             Error::Background(msg) => write!(f, "background error: {msg}"),
             Error::MaybeApplied(msg) => write!(f, "outcome unknown (may be applied): {msg}"),
+            Error::NotLeader(hint) if hint.is_empty() => write!(f, "not the leader"),
+            Error::NotLeader(hint) => write!(f, "not the leader (try {hint})"),
         }
     }
 }
@@ -93,6 +100,13 @@ impl Error {
     /// not have been applied) and the caller must read back to find out.
     pub fn is_maybe_applied(&self) -> bool {
         matches!(self, Error::MaybeApplied(_))
+    }
+
+    /// Returns `true` if the contacted node refused a mutation because it
+    /// is a replication follower; the operation was not applied and can be
+    /// safely retried against the hinted leader.
+    pub fn is_not_leader(&self) -> bool {
+        matches!(self, Error::NotLeader(_))
     }
 }
 
@@ -137,6 +151,18 @@ mod tests {
             "outcome unknown (may be applied): connection reset mid-put"
         );
         assert!(!Error::Closed.is_maybe_applied());
+    }
+
+    #[test]
+    fn not_leader_classification() {
+        let e = Error::NotLeader("127.0.0.1:7001".to_string());
+        assert!(e.is_not_leader());
+        assert_eq!(e.to_string(), "not the leader (try 127.0.0.1:7001)");
+        assert_eq!(
+            Error::NotLeader(String::new()).to_string(),
+            "not the leader"
+        );
+        assert!(!Error::Closed.is_not_leader());
     }
 
     #[test]

@@ -94,6 +94,16 @@ pub mod points {
     pub const SERVER_REQUEST_STALL: &str = "server.request.stall";
     /// Server-side connection drop mid-request (no response sent).
     pub const SERVER_CONN_DROP: &str = "server.conn.drop";
+    /// Replication stream drop: the leader's record-push connection to a
+    /// follower dies mid-stream (follower must resubscribe from its
+    /// applied offset).
+    pub const REPL_STREAM_DROP: &str = "repl.stream.drop";
+    /// Follower apply-loop stall or failure while replaying a shipped
+    /// record batch (acks stop advancing; semi-sync writers block).
+    pub const REPL_APPLY_STALL: &str = "repl.apply.stall";
+    /// Snapshot-based follower catch-up failure (leader-side snapshot
+    /// serve or follower-side restore).
+    pub const REPL_SNAPSHOT: &str = "repl.snapshot";
 
     /// Every registered point, for matrix sweeps.
     pub const ALL: &[&str] = &[
@@ -107,6 +117,9 @@ pub mod points {
         ENGINE_LAZY,
         SERVER_REQUEST_STALL,
         SERVER_CONN_DROP,
+        REPL_STREAM_DROP,
+        REPL_APPLY_STALL,
+        REPL_SNAPSHOT,
     ];
 }
 

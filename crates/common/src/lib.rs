@@ -19,6 +19,8 @@
 //! - [`metrics`]: Prometheus/JSON exposition of all of the above,
 //! - [`proto`]: the length-prefixed CRC-protected network wire protocol
 //!   spoken by `miodb-server` and `miodb-client`,
+//! - [`repl`]: the replication seam ([`repl::ReplicationSink`]) between
+//!   the commit pipeline and the WAL-shipping replicator,
 //! - [`service`]: connection gauges and per-opcode request histograms for
 //!   the network service layer,
 //! - [`engine`]: the [`engine::KvEngine`] trait implemented by
@@ -33,6 +35,7 @@ pub mod fault;
 pub mod histogram;
 pub mod metrics;
 pub mod proto;
+pub mod repl;
 pub mod ring;
 pub mod service;
 pub mod stats;
@@ -48,6 +51,7 @@ pub use fault::{FaultAction, FaultPoint, FaultPolicy};
 pub use histogram::Histogram;
 pub use metrics::MetricsRegistry;
 pub use proto::{Opcode, Request, Response};
+pub use repl::{AckLevel, ReplicationSink};
 pub use ring::MpmcRing;
 pub use service::ServiceTelemetry;
 pub use stats::Stats;

@@ -44,6 +44,11 @@ pub const RESPONSE_BIT: u8 = 0x80;
 /// Error-response opcode (any request can fail).
 pub const OP_ERR: u8 = 0x7F;
 
+/// Not-leader response opcode: a replication follower refused a mutation.
+/// Distinct from [`OP_ERR`] so clients can redirect instead of failing;
+/// the body carries a leader-address hint (possibly empty).
+pub const OP_NOT_LEADER: u8 = 0x7E;
+
 /// Trace-flags bit marking the request as sampled for tracing.
 pub const TRACE_SAMPLED: u8 = 0x01;
 
@@ -71,11 +76,20 @@ pub enum Opcode {
     Stats = 6,
     /// Drain collected trace spans as Chrome trace-event JSON.
     Trace = 7,
+    /// Follower subscribes to the leader's replication log from an offset.
+    ReplSubscribe = 8,
+    /// Leader pushes committed WAL record batches to a subscribed
+    /// follower (response-bit frames; never sent as a request).
+    ReplRecords = 9,
+    /// Follower acknowledges the highest contiguously applied offset.
+    ReplAck = 10,
+    /// Follower fetches a pool snapshot for cold/lagging catch-up.
+    SnapshotFetch = 11,
 }
 
 impl Opcode {
     /// All opcodes, for per-opcode metric tables.
-    pub const ALL: [Opcode; 7] = [
+    pub const ALL: [Opcode; 11] = [
         Opcode::Get,
         Opcode::Put,
         Opcode::Delete,
@@ -83,6 +97,10 @@ impl Opcode {
         Opcode::Batch,
         Opcode::Stats,
         Opcode::Trace,
+        Opcode::ReplSubscribe,
+        Opcode::ReplRecords,
+        Opcode::ReplAck,
+        Opcode::SnapshotFetch,
     ];
 
     /// Parses a wire opcode byte (without the response bit).
@@ -95,6 +113,10 @@ impl Opcode {
             5 => Some(Opcode::Batch),
             6 => Some(Opcode::Stats),
             7 => Some(Opcode::Trace),
+            8 => Some(Opcode::ReplSubscribe),
+            9 => Some(Opcode::ReplRecords),
+            10 => Some(Opcode::ReplAck),
+            11 => Some(Opcode::SnapshotFetch),
             _ => None,
         }
     }
@@ -109,8 +131,28 @@ impl Opcode {
             Opcode::Batch => "batch",
             Opcode::Stats => "stats",
             Opcode::Trace => "trace",
+            Opcode::ReplSubscribe => "repl_subscribe",
+            Opcode::ReplRecords => "repl_records",
+            Opcode::ReplAck => "repl_ack",
+            Opcode::SnapshotFetch => "snapshot_fetch",
         }
     }
+}
+
+/// One contiguous run of framed WAL records shipped leader → follower.
+///
+/// `bytes` is the exact on-NVM record framing ([`crc32` | `len` |
+/// payload]) produced by the leader's WAL append — followers feed it
+/// straight to the WAL decoder, so a single CRC protects both the pmem
+/// copy and the wire copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplBatch {
+    /// First sequence number in the batch.
+    pub seq_first: u64,
+    /// Last sequence number in the batch (inclusive).
+    pub seq_last: u64,
+    /// Framed WAL record bytes, byte-identical to the leader's log.
+    pub bytes: Vec<u8>,
 }
 
 /// One client request.
@@ -149,6 +191,21 @@ pub enum Request {
     Stats,
     /// Drain the server's collected trace spans (Chrome trace JSON).
     TraceDump,
+    /// Subscribe to the replication log; the leader answers with
+    /// [`Response::ReplSubscribed`] and then pushes
+    /// [`Response::ReplRecords`] frames on the same connection.
+    ReplSubscribe {
+        /// Resume point: the subscriber has applied everything `<= from`
+        /// and wants records starting at `from + 1`.
+        from: u64,
+    },
+    /// Follower → leader progress report; no response is sent.
+    ReplAck {
+        /// Highest contiguously applied sequence number.
+        offset: u64,
+    },
+    /// Fetch a pool snapshot for cold-follower catch-up.
+    SnapshotFetch,
 }
 
 impl Request {
@@ -162,6 +219,9 @@ impl Request {
             Request::Batch { .. } => Opcode::Batch,
             Request::Stats => Opcode::Stats,
             Request::TraceDump => Opcode::Trace,
+            Request::ReplSubscribe { .. } => Opcode::ReplSubscribe,
+            Request::ReplAck { .. } => Opcode::ReplAck,
+            Request::SnapshotFetch => Opcode::SnapshotFetch,
         }
     }
 
@@ -188,7 +248,9 @@ impl Request {
                     put_bytes(buf, value);
                 }
             }
-            Request::Stats | Request::TraceDump => {}
+            Request::Stats | Request::TraceDump | Request::SnapshotFetch => {}
+            Request::ReplSubscribe { from } => buf.extend_from_slice(&from.to_le_bytes()),
+            Request::ReplAck { offset } => buf.extend_from_slice(&offset.to_le_bytes()),
         }
     }
 
@@ -235,6 +297,18 @@ impl Request {
             }
             Opcode::Stats => Request::Stats,
             Opcode::Trace => Request::TraceDump,
+            Opcode::ReplSubscribe => Request::ReplSubscribe {
+                from: c.take_u64()?,
+            },
+            Opcode::ReplAck => Request::ReplAck {
+                offset: c.take_u64()?,
+            },
+            Opcode::SnapshotFetch => Request::SnapshotFetch,
+            Opcode::ReplRecords => {
+                return Err(Error::Corruption(
+                    "ReplRecords frames are push-only (never a request)".to_string(),
+                ))
+            }
         };
         c.finish()?;
         Ok(req)
@@ -256,6 +330,23 @@ pub enum Response {
     Trace(String),
     /// The request failed server-side.
     Err(String),
+    /// REPL_SUBSCRIBE accepted: the range the leader's in-memory
+    /// replication log still covers. If the subscriber's resume point is
+    /// older than `log_start - 1` it must snapshot-catch-up first.
+    ReplSubscribed {
+        /// Oldest sequence number still retained in the replication log
+        /// (0 when the log has never truncated).
+        log_start: u64,
+        /// Highest sequence number published so far (0 when empty).
+        last: u64,
+    },
+    /// Pushed record batches (empty = heartbeat / liveness probe).
+    ReplRecords(Vec<ReplBatch>),
+    /// SNAPSHOT_FETCH result: a serialized pool snapshot image.
+    Snapshot(Vec<u8>),
+    /// A mutation was refused because this node is a follower; the
+    /// payload hints where the leader lives (possibly empty).
+    NotLeader(String),
 }
 
 impl Response {
@@ -263,6 +354,8 @@ impl Response {
     pub fn opcode(&self, req_op: Opcode) -> u8 {
         match self {
             Response::Err(_) => OP_ERR | RESPONSE_BIT,
+            Response::NotLeader(_) => OP_NOT_LEADER | RESPONSE_BIT,
+            Response::ReplRecords(_) => Opcode::ReplRecords as u8 | RESPONSE_BIT,
             _ => req_op as u8 | RESPONSE_BIT,
         }
     }
@@ -286,7 +379,20 @@ impl Response {
                 }
             }
             Response::Stats(text) | Response::Trace(text) => put_bytes(buf, text.as_bytes()),
-            Response::Err(msg) => put_bytes(buf, msg.as_bytes()),
+            Response::Err(msg) | Response::NotLeader(msg) => put_bytes(buf, msg.as_bytes()),
+            Response::ReplSubscribed { log_start, last } => {
+                buf.extend_from_slice(&log_start.to_le_bytes());
+                buf.extend_from_slice(&last.to_le_bytes());
+            }
+            Response::ReplRecords(batches) => {
+                buf.extend_from_slice(&(batches.len() as u32).to_le_bytes());
+                for b in batches {
+                    buf.extend_from_slice(&b.seq_first.to_le_bytes());
+                    buf.extend_from_slice(&b.seq_last.to_le_bytes());
+                    put_bytes(buf, &b.bytes);
+                }
+            }
+            Response::Snapshot(bytes) => put_bytes(buf, bytes),
         }
     }
 
@@ -305,6 +411,8 @@ impl Response {
         let mut c = Cursor { buf: body, pos: 0 };
         let resp = if base == OP_ERR {
             Response::Err(String::from_utf8_lossy(&c.take_bytes()?).into_owned())
+        } else if base == OP_NOT_LEADER {
+            Response::NotLeader(String::from_utf8_lossy(&c.take_bytes()?).into_owned())
         } else {
             let op = Opcode::from_u8(base)
                 .ok_or_else(|| Error::Corruption(format!("unknown response opcode {base:#x}")))?;
@@ -333,6 +441,29 @@ impl Response {
                 Opcode::Trace => {
                     Response::Trace(String::from_utf8_lossy(&c.take_bytes()?).into_owned())
                 }
+                Opcode::ReplSubscribe => Response::ReplSubscribed {
+                    log_start: c.take_u64()?,
+                    last: c.take_u64()?,
+                },
+                Opcode::ReplRecords => {
+                    let n = c.take_u32()? as usize;
+                    let mut batches = Vec::with_capacity(n.min(1 << 16));
+                    for _ in 0..n {
+                        let seq_first = c.take_u64()?;
+                        let seq_last = c.take_u64()?;
+                        let bytes = c.take_bytes()?;
+                        batches.push(ReplBatch {
+                            seq_first,
+                            seq_last,
+                            bytes,
+                        });
+                    }
+                    Response::ReplRecords(batches)
+                }
+                // A ReplAck never gets a real response; decoding one (e.g.
+                // in a test harness echo) degrades to a bare Ok.
+                Opcode::ReplAck => Response::Ok,
+                Opcode::SnapshotFetch => Response::Snapshot(c.take_bytes()?),
             }
         };
         c.finish()?;
@@ -543,6 +674,16 @@ impl Cursor<'_> {
         Ok(u32::from_le_bytes(s.try_into().expect("4 bytes")))
     }
 
+    fn take_u64(&mut self) -> Result<u64> {
+        let end = self.pos + 8;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| Error::Corruption("truncated frame body".to_string()))?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
     fn take_bytes(&mut self) -> Result<Vec<u8>> {
         let n = self.take_u32()? as usize;
         let end = self
@@ -598,6 +739,16 @@ mod tests {
         });
         round_trip_request(Request::Stats);
         round_trip_request(Request::TraceDump);
+        round_trip_request(Request::ReplSubscribe { from: 42 });
+        round_trip_request(Request::ReplAck { offset: u64::MAX });
+        round_trip_request(Request::SnapshotFetch);
+    }
+
+    #[test]
+    fn repl_records_is_push_only() {
+        let err = Request::decode(Opcode::ReplRecords as u8, &[]).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+        assert!(err.to_string().contains("push-only"), "{err}");
     }
 
     #[test]
@@ -675,6 +826,52 @@ mod tests {
             Response::Trace("{\"traceEvents\":[]}".to_string()),
         );
         round_trip_response(Opcode::Put, Response::Err("boom".to_string()));
+        round_trip_response(
+            Opcode::ReplSubscribe,
+            Response::ReplSubscribed {
+                log_start: 10,
+                last: 99,
+            },
+        );
+        round_trip_response(
+            Opcode::ReplRecords,
+            Response::ReplRecords(vec![
+                ReplBatch {
+                    seq_first: 1,
+                    seq_last: 3,
+                    bytes: vec![0xAA; 37],
+                },
+                ReplBatch {
+                    seq_first: 4,
+                    seq_last: 4,
+                    bytes: vec![0xBB; 9],
+                },
+            ]),
+        );
+        round_trip_response(Opcode::ReplRecords, Response::ReplRecords(Vec::new()));
+        round_trip_response(Opcode::SnapshotFetch, Response::Snapshot(vec![7; 1024]));
+        round_trip_response(
+            Opcode::Put,
+            Response::NotLeader("127.0.0.1:7001".to_string()),
+        );
+    }
+
+    #[test]
+    fn not_leader_is_distinct_from_err() {
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            1,
+            Opcode::Put,
+            &Response::NotLeader(String::new()),
+        )
+        .unwrap();
+        let frame = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(frame.opcode, OP_NOT_LEADER | RESPONSE_BIT);
+        assert_eq!(
+            Response::decode(frame.opcode, &frame.body).unwrap(),
+            Response::NotLeader(String::new())
+        );
     }
 
     #[test]

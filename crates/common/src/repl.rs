@@ -1,0 +1,64 @@
+//! The seam between the engine's commit pipeline and replication.
+//!
+//! `miodb-core` cannot depend on `miodb-repl` (which depends on core), so
+//! the engine publishes committed WAL records through this trait and the
+//! replication crate implements it. Two calls, two places:
+//!
+//! - [`ReplicationSink::publish`] runs **inside** the commit critical
+//!   section (write mutex held, right after the WAL append) so records
+//!   are handed over in exactly commit order with dense sequence ranges.
+//!   Implementations must only enqueue — never block on I/O there.
+//! - [`ReplicationSink::wait_committed`] runs **after** the mutex is
+//!   released, once per user-visible write, and is where a `semi-sync`
+//!   ack level blocks the caller until a follower has acknowledged the
+//!   write's last sequence number.
+
+use crate::error::Result;
+
+/// When a leader acknowledges a mutation to its client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AckLevel {
+    /// Acknowledge as soon as the write is locally durable (WAL'd);
+    /// replication to followers is fire-and-forget. A leader crash can
+    /// lose acked-but-unshipped writes on failover.
+    #[default]
+    Async,
+    /// Additionally block the acknowledgement until at least one follower
+    /// has acknowledged applying the write. A timeout surfaces as
+    /// [`Error::MaybeApplied`](crate::Error::MaybeApplied) — the write is
+    /// locally durable but its replication state is unknown — so the
+    /// durable-prefix guarantee ("no acked write lost on failover")
+    /// holds even under follower stalls.
+    SemiSync,
+}
+
+impl AckLevel {
+    /// Lower-case label for metrics and bench output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AckLevel::Async => "async",
+            AckLevel::SemiSync => "semi-sync",
+        }
+    }
+}
+
+/// Receives committed WAL records from the engine's write pipeline.
+pub trait ReplicationSink: Send + Sync {
+    /// Hands over one framed WAL record (a single op or a whole commit
+    /// group) covering sequence numbers `seq_first..=seq_last`.
+    ///
+    /// Called in commit order with the engine's write mutex held: must
+    /// be cheap and non-blocking (enqueue + wake, no I/O).
+    fn publish(&self, bytes: &[u8], seq_first: u64, seq_last: u64);
+
+    /// Blocks until the configured ack level is satisfied for
+    /// `seq_last`. Called after the commit critical section, once per
+    /// user write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MaybeApplied`](crate::Error::MaybeApplied) when a
+    /// semi-sync ack does not arrive in time: the write is locally
+    /// durable but may not have reached any follower.
+    fn wait_committed(&self, seq_last: u64) -> Result<()>;
+}

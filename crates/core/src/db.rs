@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use miodb_common::repl::ReplicationSink;
 use miodb_common::trace::{self, SpanKind};
 use miodb_common::{
     fault, CompactionKind, EngineReport, EngineTelemetry, Error, KvEngine, OpKind, Result,
@@ -206,6 +207,13 @@ struct Inner {
     /// Telemetry collectors: op-latency histograms, per-level gauges and
     /// the structured event trace (`Options::telemetry` knob).
     telemetry: EngineTelemetry,
+    /// Replication seam ([`MioDb::set_commit_sink`]): committed WAL
+    /// records are handed to the sink in commit order, under the write
+    /// mutex, right after their WAL append.
+    repl_sink: RwLock<Option<Arc<dyn ReplicationSink>>>,
+    /// Fast-path gate for the sink: one relaxed load on the write path
+    /// when replication is off.
+    repl_armed: AtomicBool,
 }
 
 /// The MioDB key-value store. See the [crate docs](crate) for an overview
@@ -451,6 +459,8 @@ impl MioDb {
             pressure: AtomicBool::new(false),
             bg_error: Mutex::new(None),
             telemetry,
+            repl_sink: RwLock::new(None),
+            repl_armed: AtomicBool::new(false),
         });
 
         store_manifest(&inner)?;
@@ -640,7 +650,13 @@ impl MioDb {
                 PH_DONE => {
                     return match w.err.lock().take() {
                         Some(e) => Err(e),
-                        None => Ok(()),
+                        // Committed: block for the replication ack level
+                        // on this writer's last sequence number (no-op
+                        // when replication is off).
+                        None => {
+                            let seq_base = w.seq_base.load(Ordering::Acquire);
+                            self.repl_wait(seq_base + w.ops.len() as u64 - 1)
+                        }
                     };
                 }
                 PH_INSERT => {
@@ -782,6 +798,13 @@ impl MioDb {
                 wal_span.annotate(total_ops);
                 active.log_group(&gops, seq_base)?;
             }
+            if inner.repl_armed.load(Ordering::Acquire) {
+                // Ship the group's combined record exactly as logged; each
+                // member waits for its own ack after release.
+                if let Ok(bytes) = miodb_wal::encode_group_record(&gops, seq_base) {
+                    self.repl_publish(&bytes, seq_base, seq_base + total_ops - 1);
+                }
+            }
             Stats::add(&inner.stats.user_bytes_written, total_user);
             inner.telemetry.write_group_size.record(total_ops);
 
@@ -865,6 +888,74 @@ impl MioDb {
     /// support and diagnostics).
     pub fn last_sequence(&self) -> SequenceNumber {
         self.inner.seq.load(Ordering::Acquire)
+    }
+
+    /// Installs (or, with `None`, removes) the replication sink.
+    ///
+    /// While a sink is set, every committed write hands its framed WAL
+    /// record bytes to [`ReplicationSink::publish`] in commit order
+    /// (under the write mutex, right after the WAL append), and every
+    /// user-visible write additionally blocks on
+    /// [`ReplicationSink::wait_committed`] after the commit critical
+    /// section — the hook a semi-sync ack level uses to delay the
+    /// acknowledgement until a follower has the write.
+    ///
+    /// Recovery replay never publishes: the sink is installed on an
+    /// already-open database, and a follower resumes from its applied
+    /// offset rather than re-shipping history.
+    pub fn set_commit_sink(&self, sink: Option<Arc<dyn ReplicationSink>>) {
+        let armed = sink.is_some();
+        *self.inner.repl_sink.write() = sink;
+        self.inner.repl_armed.store(armed, Ordering::Release);
+    }
+
+    /// Applies records shipped from a replication leader, advancing the
+    /// local sequence counter to cover them. Records flow through the
+    /// normal MemTable insert (including the local WAL append), so a
+    /// follower crash replays them like its own writes.
+    ///
+    /// Callers must apply records in shipped (commit) order; sequence
+    /// numbers already covered by `last_sequence` are the caller's
+    /// responsibility to skip.
+    ///
+    /// # Errors
+    ///
+    /// Returns the usual write-path failures ([`Error::Closed`],
+    /// [`Error::Background`], capacity errors).
+    pub fn apply_replicated(&self, records: &[miodb_wal::WalRecord]) -> Result<()> {
+        self.check_usable()?;
+        let guard = self.inner.write_mutex.lock();
+        for r in records {
+            self.inner.seq.fetch_max(r.seq, Ordering::Relaxed);
+            self.insert_locked(&r.key, &r.value, r.seq, r.kind)?;
+        }
+        drop(guard);
+        Ok(())
+    }
+
+    /// Publishes committed record bytes to the replication sink, if set.
+    /// Call sites hold the write mutex, so publishes arrive in commit
+    /// order with dense sequence ranges.
+    #[inline]
+    fn repl_publish(&self, bytes: &[u8], seq_first: u64, seq_last: u64) {
+        if let Some(sink) = self.inner.repl_sink.read().as_ref() {
+            sink.publish(bytes, seq_first, seq_last);
+        }
+    }
+
+    /// Blocks until the sink's ack level is satisfied for `seq_last`
+    /// (no-op when replication is off). Called after the commit critical
+    /// section, never under the write mutex.
+    #[inline]
+    fn repl_wait(&self, seq_last: u64) -> Result<()> {
+        if !self.inner.repl_armed.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let sink = self.inner.repl_sink.read().clone();
+        match sink {
+            Some(s) => s.wait_committed(seq_last),
+            None => Ok(()),
+        }
     }
 
     /// WAL records replayed when this instance was opened. A database
@@ -1016,7 +1107,19 @@ impl MioDb {
                 active.insert(key, value, seq, kind)
             };
             match r {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    if inner.repl_armed.load(Ordering::Acquire) {
+                        // Re-encode the exact framed record the WAL holds
+                        // (the encoders are deterministic) and ship it;
+                        // the ack wait happens off the mutex.
+                        if let Ok(bytes) = miodb_wal::encode_record(key, value, seq, kind) {
+                            self.repl_publish(&bytes, seq, seq);
+                        }
+                        drop(guard);
+                        return self.repl_wait(seq);
+                    }
+                    return Ok(());
+                }
                 Err(Error::ArenaFull) => {
                     self.rotate_memtable(Some(&mut guard), min_capacity(key, value))?
                 }
@@ -2367,7 +2470,24 @@ impl MioDb {
                 active.insert_batch(ops, seq_base)
             };
             match r {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    if inner.repl_armed.load(Ordering::Acquire) {
+                        let gops: Vec<miodb_wal::GroupOp<'_>> = ops
+                            .iter()
+                            .map(|(key, value, kind)| miodb_wal::GroupOp {
+                                key,
+                                value,
+                                kind: *kind,
+                            })
+                            .collect();
+                        if let Ok(bytes) = miodb_wal::encode_group_record(&gops, seq_base) {
+                            self.repl_publish(&bytes, seq_base, seq_base + n - 1);
+                        }
+                        drop(guard);
+                        return self.repl_wait(seq_base + n - 1);
+                    }
+                    return Ok(());
+                }
                 Err(Error::ArenaFull) => {
                     self.rotate_memtable(Some(&mut guard), need)?;
                 }

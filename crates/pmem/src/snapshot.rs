@@ -25,7 +25,13 @@ const SNAPSHOT_MAGIC: u64 = 0x4D69_6F44_4250_6F6F; // "MioDBPoo"
 const SNAPSHOT_VERSION: u32 = 1;
 
 impl PmemPool {
-    /// Writes a point-in-time snapshot of this pool to `path`.
+    /// Writes a point-in-time snapshot of this pool to `path`,
+    /// crash-atomically: the image is built at a `.tmp` sibling, synced
+    /// to disk, and renamed over `path`. A crash (or injected fault) at
+    /// any point leaves `path` either absent or holding the previous
+    /// complete snapshot — never a torn image. This is what lets a
+    /// replication leader serve `SnapshotFetch` from the same file it
+    /// keeps refreshing.
     ///
     /// Only bytes up to the allocator high-water mark are written, so
     /// snapshot files stay proportional to actual usage.
@@ -34,8 +40,26 @@ impl PmemPool {
     ///
     /// Returns [`Error::Io`] on filesystem failures.
     pub fn snapshot_to_file(&self, path: &Path) -> Result<()> {
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
+        match self.write_snapshot(&tmp) {
+            Ok(()) => {
+                std::fs::rename(&tmp, path)?;
+                Ok(())
+            }
+            Err(e) => {
+                // The torn/partial image stays at the `.tmp` sibling (as a
+                // real crash would leave it); the destination is untouched.
+                Err(e)
+            }
+        }
+    }
+
+    /// Serializes the pool image into `tmp` and syncs it.
+    fn write_snapshot(&self, tmp: &Path) -> Result<()> {
         let (base, high_water, holes) = self.raw_parts();
-        let mut w = BufWriter::new(File::create(path)?);
+        let mut w = BufWriter::new(File::create(tmp)?);
         w.write_all(&SNAPSHOT_MAGIC.to_le_bytes())?;
         w.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
         w.write_all(&(self.capacity() as u64).to_le_bytes())?;
@@ -51,10 +75,8 @@ impl PmemPool {
         // an instantaneous machine crash preserves.
         let contents = unsafe { std::slice::from_raw_parts(base, high_water as usize) };
         if fault::hit(fault::points::PMEM_SNAPSHOT_PERSIST).is_some() {
-            // Injected crash mid-persist: half the contents reach the file,
-            // the rest (and the flush) never happen. The partial file is
-            // detectably short, so a later restore reports Corruption
-            // instead of silently loading half a pool.
+            // Injected crash mid-persist: half the contents reach the temp
+            // file, the rest (and the rename publishing it) never happen.
             w.write_all(&contents[..contents.len() / 2])?;
             drop(w);
             return Err(Error::Io(std::io::Error::new(
@@ -64,6 +86,7 @@ impl PmemPool {
         }
         w.write_all(contents)?;
         w.flush()?;
+        w.get_ref().sync_all()?;
         Ok(())
     }
 

@@ -54,14 +54,12 @@ fn torn_snapshot_persist_errors_and_restore_detects_it() {
     fault::arm(points::PMEM_SNAPSHOT_PERSIST, FaultPolicy::TornWrite);
     let err = p.snapshot_to_file(&path).unwrap_err();
     assert!(matches!(err, Error::Io(_)), "typed error, got {err}");
-    // The partial file must not restore into a half-populated pool.
-    let err = PmemPool::restore_from_file(
-        &path,
-        DeviceModel::nvm_unthrottled(),
-        Arc::new(Stats::new()),
-    )
-    .unwrap_err();
-    assert!(err.is_corruption(), "expected corruption, got {err}");
+    // Crash atomicity: the torn image never reaches the destination —
+    // only the `.tmp` sibling holds the partial bytes.
+    assert!(
+        !path.exists(),
+        "torn snapshot must not land at the destination path"
+    );
     // Retrying the snapshot (fault is one-shot) fully recovers.
     p.snapshot_to_file(&path).unwrap();
     let restored = PmemPool::restore_from_file(
@@ -74,6 +72,41 @@ fn torn_snapshot_persist_errors_and_restore_detects_it() {
     restored.read_bytes(r.offset, &mut out);
     assert_eq!(out, [0xAB; 4096]);
     std::fs::remove_file(&path).ok();
+    remove_tmp_sibling(&path);
+}
+
+/// The `.tmp` sibling `snapshot_to_file` stages into.
+fn remove_tmp_sibling(path: &std::path::Path) {
+    let mut t = path.as_os_str().to_os_string();
+    t.push(".tmp");
+    std::fs::remove_file(std::path::PathBuf::from(t)).ok();
+}
+
+#[test]
+fn torn_re_snapshot_preserves_previous_image() {
+    let _g = fault::exclusive();
+    let p = pool();
+    let r = p.alloc(4096).unwrap();
+    p.write_bytes(r.offset, &[0x11; 4096]);
+    let path = tmp("torn-refresh");
+    p.snapshot_to_file(&path).unwrap();
+    // Mutate, then tear the refresh: the destination must still restore
+    // to the previous complete image (rename never happened).
+    p.write_bytes(r.offset, &[0x22; 4096]);
+    fault::arm(points::PMEM_SNAPSHOT_PERSIST, FaultPolicy::TornWrite);
+    p.snapshot_to_file(&path).unwrap_err();
+    fault::disarm_all();
+    let restored = PmemPool::restore_from_file(
+        &path,
+        DeviceModel::nvm_unthrottled(),
+        Arc::new(Stats::new()),
+    )
+    .unwrap();
+    let mut out = [0u8; 4096];
+    restored.read_bytes(r.offset, &mut out);
+    assert_eq!(out, [0x11; 4096], "previous complete snapshot must survive");
+    std::fs::remove_file(&path).ok();
+    remove_tmp_sibling(&path);
 }
 
 #[test]

@@ -1,0 +1,35 @@
+//! WAL-shipping replication for MioDB.
+//!
+//! The leader taps its group-commit pipeline: every committed WAL record
+//! (single op or sealed commit group) is published — as the exact framed
+//! bytes the WAL persisted, one CRC covering NVM, wire and replay — into
+//! an in-memory [`ReplicationLog`]. Per-subscriber server threads stream
+//! those records to followers, which replay them through the normal
+//! MemTable insert path (including the follower's own WAL) and ack a
+//! monotonic applied offset.
+//!
+//! Pieces:
+//!
+//! - [`ReplicationLog`]: bounded, condvar-woken record log on the leader.
+//! - [`Replicator`]: the leader hub implementing the engine's
+//!   `ReplicationSink` seam — publish under the commit mutex, semi-sync
+//!   `wait_committed` after it, ack tracking and follower-lag histogram.
+//! - [`Follower`]: the apply loop — subscribe/replay/ack with reconnect
+//!   backoff, [`Follower::promote`] for drain-then-lead failover, and
+//!   snapshot catch-up via [`bootstrap_from_leader`].
+//!
+//! Ack levels ([`AckLevel`]): `Async` never blocks writers; `SemiSync`
+//! holds each PUT/DELETE/BATCH until a follower acks its sequence, and a
+//! timeout surfaces as `MaybeApplied` — locally durable, replication
+//! unknown — so the durable-prefix oracle stays honest across failover.
+
+pub mod follower;
+pub mod log;
+pub mod replicator;
+
+pub use follower::{
+    bootstrap_from_leader, engine_snapshot_bytes, fetch_snapshot, Follower, FollowerOptions,
+};
+pub use log::{Fetched, ReplEntry, ReplicationLog};
+pub use miodb_common::AckLevel;
+pub use replicator::{Replicator, ReplicatorOptions};

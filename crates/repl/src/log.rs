@@ -1,0 +1,213 @@
+//! The leader's in-memory replication log.
+//!
+//! Every committed WAL record (a single op or a whole commit group) is
+//! published here by the engine's commit pipeline, in commit order, and
+//! retained until a byte budget forces truncation from the front.
+//! Subscriber threads block in [`ReplicationLog::fetch_after`] and are
+//! woken by the next publish, so streaming latency is one condvar wake,
+//! not a polling interval.
+//!
+//! The log stores the *framed* record bytes exactly as the WAL persisted
+//! them — one CRC covers the NVM copy, the wire copy and the follower's
+//! replay. Sequence coverage is dense: entry N+1's `seq_first` is always
+//! entry N's `seq_last + 1`, because publishes happen under the engine's
+//! write mutex in sequence-allocation order.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// One published record: a framed WAL record covering a dense sequence
+/// range. `bytes` is shared so a slow subscriber never forces a copy.
+#[derive(Debug, Clone)]
+pub struct ReplEntry {
+    /// First sequence number covered.
+    pub seq_first: u64,
+    /// Last sequence number covered (inclusive).
+    pub seq_last: u64,
+    /// Framed WAL record bytes (`crc | len | payload`).
+    pub bytes: Arc<Vec<u8>>,
+}
+
+/// What a subscriber gets back from [`ReplicationLog::fetch_after`].
+#[derive(Debug, Default)]
+pub struct Fetched {
+    /// Entries with `seq_last > after`, oldest first (empty on timeout —
+    /// the subscriber should emit a heartbeat).
+    pub entries: Vec<ReplEntry>,
+    /// The log has truncated past the subscriber's position: records it
+    /// needs are gone and it must catch up from a snapshot instead.
+    pub truncated: bool,
+}
+
+#[derive(Debug)]
+struct LogState {
+    entries: VecDeque<ReplEntry>,
+    /// Total payload bytes retained (truncation budget).
+    bytes: usize,
+    /// Highest sequence number published (0 before the first publish).
+    last_seq: u64,
+}
+
+/// Bounded in-memory log of committed records awaiting shipment.
+#[derive(Debug)]
+pub struct ReplicationLog {
+    state: Mutex<LogState>,
+    cv: Condvar,
+    retain_bytes: usize,
+}
+
+impl ReplicationLog {
+    /// Creates a log that retains up to `retain_bytes` of record payload
+    /// (always at least the most recent entry).
+    pub fn new(retain_bytes: usize) -> ReplicationLog {
+        ReplicationLog {
+            state: Mutex::new(LogState {
+                entries: VecDeque::new(),
+                bytes: 0,
+                last_seq: 0,
+            }),
+            cv: Condvar::new(),
+            retain_bytes,
+        }
+    }
+
+    /// Appends one committed record and wakes blocked subscribers.
+    /// Callers publish in commit order (the engine holds its write mutex
+    /// across the publish).
+    pub fn publish(&self, bytes: &[u8], seq_first: u64, seq_last: u64) {
+        let mut s = self.state.lock();
+        s.bytes += bytes.len();
+        s.entries.push_back(ReplEntry {
+            seq_first,
+            seq_last,
+            bytes: Arc::new(bytes.to_vec()),
+        });
+        s.last_seq = s.last_seq.max(seq_last);
+        while s.entries.len() > 1 && s.bytes > self.retain_bytes {
+            // Invariant: len > 1 was just checked.
+            let dropped = s.entries.pop_front().unwrap();
+            s.bytes -= dropped.bytes.len();
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Highest sequence number published so far (0 when nothing has).
+    pub fn last_seq(&self) -> u64 {
+        self.state.lock().last_seq
+    }
+
+    /// `(log_start, last)`: the oldest sequence number still retained and
+    /// the newest published. A subscriber that has applied everything
+    /// `<= from` can stream iff `from + 1 >= log_start`; otherwise the
+    /// records it needs were truncated and it must snapshot first.
+    pub fn bounds(&self) -> (u64, u64) {
+        let s = self.state.lock();
+        let start = s.entries.front().map_or(s.last_seq + 1, |e| e.seq_first);
+        (start, s.last_seq)
+    }
+
+    /// Blocks up to `timeout` for entries past `after`, returning at most
+    /// `max_bytes` worth (always at least one entry when any qualifies).
+    /// An empty result means the timeout elapsed with nothing new — the
+    /// subscriber should send a heartbeat and call again.
+    pub fn fetch_after(&self, after: u64, max_bytes: usize, timeout: Duration) -> Fetched {
+        let mut s = self.state.lock();
+        if s.last_seq <= after {
+            self.cv.wait_for(&mut s, timeout);
+        }
+        let mut out = Fetched::default();
+        if s.last_seq <= after {
+            return out;
+        }
+        if s.entries.front().is_some_and(|e| e.seq_first > after + 1) {
+            out.truncated = true;
+            return out;
+        }
+        let mut bytes = 0usize;
+        for e in s.entries.iter().filter(|e| e.seq_last > after) {
+            if !out.entries.is_empty() && bytes + e.bytes.len() > max_bytes {
+                break;
+            }
+            bytes += e.bytes.len();
+            out.entries.push(e.clone());
+        }
+        out
+    }
+
+    /// Wakes every blocked subscriber (shutdown path).
+    pub fn wake_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_then_fetch_in_order() {
+        let log = ReplicationLog::new(1 << 20);
+        log.publish(&[1, 2, 3], 1, 2);
+        log.publish(&[4, 5], 3, 3);
+        let f = log.fetch_after(0, usize::MAX, Duration::from_millis(1));
+        assert!(!f.truncated);
+        assert_eq!(f.entries.len(), 2);
+        assert_eq!(f.entries[0].seq_first, 1);
+        assert_eq!(f.entries[1].seq_last, 3);
+        // Resuming mid-log only returns the tail.
+        let f = log.fetch_after(2, usize::MAX, Duration::from_millis(1));
+        assert_eq!(f.entries.len(), 1);
+        assert_eq!(f.entries[0].seq_first, 3);
+    }
+
+    #[test]
+    fn fetch_times_out_empty() {
+        let log = ReplicationLog::new(1 << 20);
+        let f = log.fetch_after(0, usize::MAX, Duration::from_millis(5));
+        assert!(f.entries.is_empty());
+        assert!(!f.truncated);
+    }
+
+    #[test]
+    fn byte_budget_truncates_front() {
+        let log = ReplicationLog::new(100);
+        log.publish(&[0u8; 80], 1, 1);
+        log.publish(&[0u8; 80], 2, 2);
+        log.publish(&[0u8; 80], 3, 3);
+        let (start, last) = log.bounds();
+        assert_eq!(last, 3);
+        assert!(start > 1, "front must have been truncated");
+        // A subscriber at offset 0 now needs a snapshot.
+        let f = log.fetch_after(0, usize::MAX, Duration::from_millis(1));
+        assert!(f.truncated);
+        assert!(f.entries.is_empty());
+        // A subscriber at the retained frontier can still stream.
+        let f = log.fetch_after(start - 1, usize::MAX, Duration::from_millis(1));
+        assert!(!f.truncated);
+        assert!(!f.entries.is_empty());
+    }
+
+    #[test]
+    fn max_bytes_caps_but_never_starves() {
+        let log = ReplicationLog::new(1 << 20);
+        log.publish(&[0u8; 64], 1, 1);
+        log.publish(&[0u8; 64], 2, 2);
+        let f = log.fetch_after(0, 10, Duration::from_millis(1));
+        assert_eq!(f.entries.len(), 1, "at least one entry despite tiny cap");
+    }
+
+    #[test]
+    fn publish_wakes_blocked_fetch() {
+        let log = Arc::new(ReplicationLog::new(1 << 20));
+        let l2 = log.clone();
+        let t = std::thread::spawn(move || l2.fetch_after(0, usize::MAX, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        log.publish(&[7], 1, 1);
+        let f = t.join().unwrap();
+        assert_eq!(f.entries.len(), 1);
+    }
+}

@@ -1,0 +1,239 @@
+//! Leader-side replication state: the log, subscriber ack tracking, the
+//! configured ack level and follower-lag measurement.
+//!
+//! The engine publishes into the [`ReplicationLog`]; per-subscriber
+//! server threads stream from it and feed acks back through
+//! [`Replicator::record_ack`]. [`Replicator::wait_committed`] is the
+//! semi-sync blocking point: a writer parks until *some* follower has
+//! acknowledged its last sequence number, or times out with
+//! [`Error::MaybeApplied`] — the write is locally durable, but its
+//! replication state is unknown, so the client must not treat it as
+//! replicated. That asymmetry is what keeps the durable-prefix oracle
+//! honest across failover: every plain `Ok` PUT is on at least one
+//! follower.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use miodb_common::{AckLevel, ConcurrentHistogram, Error, Histogram, ReplicationSink, Result};
+use parking_lot::{Condvar, Mutex};
+
+use crate::log::ReplicationLog;
+
+/// Leader-side replication tunables.
+#[derive(Debug, Clone)]
+pub struct ReplicatorOptions {
+    /// When a PUT/DELETE/BATCH acknowledgement is released to the client.
+    pub ack_level: AckLevel,
+    /// Semi-sync patience: how long a writer waits for a follower ack
+    /// before surfacing `MaybeApplied`.
+    pub semi_sync_timeout: Duration,
+    /// Replication-log retention budget; followers that fall further
+    /// behind than this must catch up from a snapshot.
+    pub retain_bytes: usize,
+}
+
+impl Default for ReplicatorOptions {
+    fn default() -> ReplicatorOptions {
+        ReplicatorOptions {
+            ack_level: AckLevel::Async,
+            semi_sync_timeout: Duration::from_secs(1),
+            retain_bytes: 64 << 20,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct AckState {
+    /// Per-subscriber highest contiguously applied offset.
+    subscribers: HashMap<u64, u64>,
+    /// Highest offset acked by *any* subscriber (what semi-sync waits on).
+    max_acked: u64,
+    /// Publish timestamps awaiting their first ack, oldest first, for the
+    /// follower-lag histogram.
+    pending: VecDeque<(u64, Instant)>,
+}
+
+/// Leader-side replication hub. One per leader engine; shared with every
+/// subscriber-serving thread.
+pub struct Replicator {
+    log: Arc<ReplicationLog>,
+    acks: Mutex<AckState>,
+    ack_cv: Condvar,
+    opts: ReplicatorOptions,
+    /// Publish-to-first-ack latency in nanoseconds.
+    lag: ConcurrentHistogram,
+    next_subscriber: AtomicU64,
+}
+
+impl std::fmt::Debug for Replicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replicator")
+            .field("ack_level", &self.opts.ack_level)
+            .field("max_acked", &self.max_acked())
+            .finish()
+    }
+}
+
+impl Replicator {
+    /// Creates the hub with an empty log.
+    pub fn new(opts: ReplicatorOptions) -> Arc<Replicator> {
+        let lag = ConcurrentHistogram::new();
+        lag.set_enabled(true);
+        Arc::new(Replicator {
+            log: Arc::new(ReplicationLog::new(opts.retain_bytes)),
+            acks: Mutex::new(AckState::default()),
+            ack_cv: Condvar::new(),
+            opts,
+            lag,
+            next_subscriber: AtomicU64::new(1),
+        })
+    }
+
+    /// The shared record log subscriber threads stream from.
+    pub fn log(&self) -> &Arc<ReplicationLog> {
+        &self.log
+    }
+
+    /// The configured ack level.
+    pub fn ack_level(&self) -> AckLevel {
+        self.opts.ack_level
+    }
+
+    /// Registers a subscriber; the returned id keys its acks until
+    /// [`Replicator::deregister_subscriber`].
+    pub fn register_subscriber(&self) -> u64 {
+        let id = self.next_subscriber.fetch_add(1, Ordering::Relaxed);
+        self.acks.lock().subscribers.insert(id, 0);
+        id
+    }
+
+    /// Forgets a disconnected subscriber (its past acks still count
+    /// toward `max_acked` — applied records don't un-apply).
+    pub fn deregister_subscriber(&self, id: u64) {
+        self.acks.lock().subscribers.remove(&id);
+    }
+
+    /// Records that subscriber `id` has applied everything `<= offset`,
+    /// waking semi-sync writers and charging the lag histogram.
+    pub fn record_ack(&self, id: u64, offset: u64) {
+        let now = Instant::now();
+        let mut s = self.acks.lock();
+        if let Some(prev) = s.subscribers.get_mut(&id) {
+            *prev = (*prev).max(offset);
+        }
+        if offset > s.max_acked {
+            s.max_acked = offset;
+            while s.pending.front().is_some_and(|&(seq, _)| seq <= offset) {
+                // Invariant: front exists, just checked.
+                let (_, published) = s.pending.pop_front().unwrap();
+                self.lag
+                    .record(now.duration_since(published).as_nanos() as u64);
+            }
+            drop(s);
+            self.ack_cv.notify_all();
+        }
+    }
+
+    /// Number of currently connected subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.acks.lock().subscribers.len()
+    }
+
+    /// Highest offset acked by any subscriber.
+    pub fn max_acked(&self) -> u64 {
+        self.acks.lock().max_acked
+    }
+
+    /// Snapshot of the publish-to-first-ack lag distribution (ns).
+    pub fn lag_histogram(&self) -> Histogram {
+        self.lag.snapshot()
+    }
+}
+
+impl ReplicationSink for Replicator {
+    fn publish(&self, bytes: &[u8], seq_first: u64, seq_last: u64) {
+        // Stamp before the log publish so a racing instant ack can never
+        // observe a missing pending entry.
+        self.acks
+            .lock()
+            .pending
+            .push_back((seq_last, Instant::now()));
+        self.log.publish(bytes, seq_first, seq_last);
+    }
+
+    fn wait_committed(&self, seq_last: u64) -> Result<()> {
+        if self.opts.ack_level == AckLevel::Async {
+            return Ok(());
+        }
+        let deadline = Instant::now() + self.opts.semi_sync_timeout;
+        let mut s = self.acks.lock();
+        while s.max_acked < seq_last {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(Error::MaybeApplied(format!(
+                    "semi-sync replication ack timeout at seq {seq_last} (acked {})",
+                    s.max_acked
+                )));
+            }
+            self.ack_cv.wait_for(&mut s, deadline - now);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn semi_sync(timeout_ms: u64) -> Arc<Replicator> {
+        Replicator::new(ReplicatorOptions {
+            ack_level: AckLevel::SemiSync,
+            semi_sync_timeout: Duration::from_millis(timeout_ms),
+            ..ReplicatorOptions::default()
+        })
+    }
+
+    #[test]
+    fn async_never_blocks() {
+        let r = Replicator::new(ReplicatorOptions::default());
+        r.publish(&[1], 1, 1);
+        assert!(r.wait_committed(1).is_ok());
+    }
+
+    #[test]
+    fn semi_sync_timeout_is_maybe_applied() {
+        let r = semi_sync(10);
+        r.publish(&[1], 1, 1);
+        let err = r.wait_committed(1).unwrap_err();
+        assert!(err.is_maybe_applied(), "{err}");
+    }
+
+    #[test]
+    fn semi_sync_released_by_ack() {
+        let r = semi_sync(5_000);
+        r.publish(&[1], 1, 3);
+        let id = r.register_subscriber();
+        let r2 = r.clone();
+        let t = std::thread::spawn(move || r2.wait_committed(3));
+        std::thread::sleep(Duration::from_millis(10));
+        r.record_ack(id, 3);
+        assert!(t.join().unwrap().is_ok());
+        assert_eq!(r.max_acked(), 3);
+        assert_eq!(r.lag_histogram().count(), 1);
+    }
+
+    #[test]
+    fn acks_are_monotonic_per_subscriber() {
+        let r = semi_sync(10);
+        let id = r.register_subscriber();
+        r.record_ack(id, 5);
+        r.record_ack(id, 3); // stale ack must not regress
+        assert_eq!(r.max_acked(), 5);
+        r.deregister_subscriber(id);
+        assert_eq!(r.subscriber_count(), 0);
+        assert_eq!(r.max_acked(), 5, "applied records don't un-apply");
+    }
+}

@@ -13,5 +13,5 @@
 mod server;
 mod shard;
 
-pub use server::{KvServer, ServerOptions};
+pub use server::{KvServer, ReplConfig, ServerOptions, SnapshotFn};
 pub use shard::ShardRouter;

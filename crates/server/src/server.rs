@@ -16,10 +16,19 @@
 //!   thread, so it returns only once the connection set has drained.
 //! - **Backpressure.** Past `max_connections`, an accept is answered with a
 //!   single `Err` frame and closed; clients retry elsewhere or back off.
+//! - **Replication** (§13 of DESIGN.md). A server started with
+//!   [`KvServer::start_replicated`] carries a role: leaders accept
+//!   `ReplSubscribe` by converting that connection into a push stream of
+//!   committed WAL records (fed from the [`Replicator`]'s log, with acks
+//!   read back on the same socket), and serve `SnapshotFetch` for cold
+//!   catch-up; followers refuse mutations with a typed `NotLeader` frame
+//!   carrying a redirect hint. [`KvServer::promote_to_leader`] flips the
+//!   role in place during failover.
 
-use miodb_common::proto::{self, Frame, Opcode, Request, Response};
+use miodb_common::proto::{self, Frame, Opcode, ReplBatch, Request, Response};
 use miodb_common::trace::{self, SpanKind, TraceCtx};
 use miodb_common::{fault, Error, KvEngine, OpKind, Result, ServiceTelemetry};
+use miodb_repl::Replicator;
 use parking_lot::Mutex;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -27,6 +36,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Byte budget per `ReplRecords` frame pushed to a subscriber.
+const MAX_REPL_FETCH_BYTES: usize = 4 << 20;
+
+/// How long a subscriber sender blocks waiting for new records before
+/// emitting a heartbeat (an empty `ReplRecords` frame).
+const REPL_POLL: Duration = Duration::from_millis(100);
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -47,11 +63,45 @@ impl Default for ServerOptions {
     }
 }
 
+/// Produces a serialized pool snapshot for `SnapshotFetch` serving
+/// (typically [`miodb_repl::engine_snapshot_bytes`] over the engine).
+pub type SnapshotFn = Box<dyn Fn() -> Result<Vec<u8>> + Send + Sync>;
+
+/// Replication role and wiring for [`KvServer::start_replicated`].
+pub struct ReplConfig {
+    /// The leader-side hub; `None` on a pure follower (it only serves
+    /// reads until promoted).
+    pub replicator: Option<Arc<Replicator>>,
+    /// Snapshot producer for `SnapshotFetch`; `None` refuses the opcode.
+    pub snapshot: Option<SnapshotFn>,
+    /// Starting role.
+    pub leader: bool,
+    /// Redirect hint embedded in `NotLeader` frames while a follower
+    /// (usually the leader's `host:port`).
+    pub leader_hint: String,
+}
+
 struct Shared {
     engine: Arc<dyn KvEngine>,
     telemetry: ServiceTelemetry,
     shutdown: AtomicBool,
     opts: ServerOptions,
+    /// Role flag: plain servers are permanent leaders; replicated
+    /// followers flip this on promotion.
+    is_leader: AtomicBool,
+    leader_hint: Mutex<String>,
+    replicator: Option<Arc<Replicator>>,
+    snapshot: Option<SnapshotFn>,
+}
+
+impl Shared {
+    fn leader(&self) -> bool {
+        self.is_leader.load(Ordering::Acquire)
+    }
+
+    fn not_leader(&self) -> Response {
+        Response::NotLeader(self.leader_hint.lock().clone())
+    }
 }
 
 /// A running TCP front end over any [`KvEngine`] (a single engine, a
@@ -75,14 +125,52 @@ impl KvServer {
         engine: Arc<dyn KvEngine>,
         opts: ServerOptions,
     ) -> Result<KvServer> {
+        KvServer::start_inner(addr, engine, opts, None)
+    }
+
+    /// Like [`KvServer::start`] but with a replication role: a leader
+    /// serves `ReplSubscribe` streams and `SnapshotFetch`; a follower
+    /// refuses mutations with `NotLeader` until
+    /// [`KvServer::promote_to_leader`].
+    ///
+    /// Installing the replicator as the engine's commit sink
+    /// (`MioDb::set_commit_sink`) is the caller's job — the server only
+    /// ships what the engine publishes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the listener cannot bind.
+    pub fn start_replicated<A: ToSocketAddrs>(
+        addr: A,
+        engine: Arc<dyn KvEngine>,
+        opts: ServerOptions,
+        repl: ReplConfig,
+    ) -> Result<KvServer> {
+        KvServer::start_inner(addr, engine, opts, Some(repl))
+    }
+
+    fn start_inner<A: ToSocketAddrs>(
+        addr: A,
+        engine: Arc<dyn KvEngine>,
+        opts: ServerOptions,
+        repl: Option<ReplConfig>,
+    ) -> Result<KvServer> {
         let listener = TcpListener::bind(addr).map_err(Error::Io)?;
         listener.set_nonblocking(true).map_err(Error::Io)?;
         let local_addr = listener.local_addr().map_err(Error::Io)?;
+        let (leader, hint, replicator, snapshot) = match repl {
+            None => (true, String::new(), None, None),
+            Some(c) => (c.leader, c.leader_hint, c.replicator, c.snapshot),
+        };
         let shared = Arc::new(Shared {
             engine,
             telemetry: ServiceTelemetry::new(),
             shutdown: AtomicBool::new(false),
             opts,
+            is_leader: AtomicBool::new(leader),
+            leader_hint: Mutex::new(hint),
+            replicator,
+            snapshot,
         });
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_shared = Arc::clone(&shared);
@@ -112,6 +200,24 @@ impl KvServer {
     /// The served engine.
     pub fn engine(&self) -> &Arc<dyn KvEngine> {
         &self.shared.engine
+    }
+
+    /// Current replication role (plain servers are always leaders).
+    pub fn is_leader(&self) -> bool {
+        self.shared.leader()
+    }
+
+    /// Failover: flips a follower into a leader in place. New mutations
+    /// are accepted immediately; the caller should have drained the old
+    /// leader's stream first ([`miodb_repl::Follower::promote`]).
+    pub fn promote_to_leader(&self) {
+        self.shared.is_leader.store(true, Ordering::Release);
+        self.shared.leader_hint.lock().clear();
+    }
+
+    /// The replication hub, when started with one.
+    pub fn replicator(&self) -> Option<&Arc<Replicator>> {
+        self.shared.replicator.as_ref()
     }
 
     /// Stops accepting, lets every handler finish its in-flight requests,
@@ -196,8 +302,15 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         match proto::read_frame(&mut reader) {
             Ok(None) => break, // clean EOF
             Ok(Some(frame)) => {
-                if !serve_frame(&frame, shared, &mut writer) {
-                    break;
+                match serve_frame(&frame, shared, &mut writer) {
+                    FrameOutcome::Continue => {}
+                    FrameOutcome::Close => break,
+                    // The connection stops being request/response and
+                    // becomes a replication push stream until it dies.
+                    FrameOutcome::StartStream { id, from } => {
+                        serve_repl_stream(id, from, reader, writer, shared);
+                        return;
+                    }
                 }
                 // Pipelining: only pay the flush syscall once the client
                 // has no further buffered frame waiting.
@@ -225,10 +338,20 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = writer.flush();
 }
 
-/// Decodes and executes one frame; returns `false` if the connection must
-/// close (decode failure after a structurally valid frame keeps it open —
-/// framing is still aligned).
-fn serve_frame<W: Write>(frame: &Frame, shared: &Shared, writer: &mut W) -> bool {
+/// What `serve_frame` decided about the connection's future.
+enum FrameOutcome {
+    /// Keep reading requests.
+    Continue,
+    /// Close the connection.
+    Close,
+    /// Convert the connection into a replication push stream, resuming
+    /// after `from`.
+    StartStream { id: u32, from: u64 },
+}
+
+/// Decodes and executes one frame. Decode failure after a structurally
+/// valid frame keeps the connection open — framing is still aligned.
+fn serve_frame<W: Write>(frame: &Frame, shared: &Shared, writer: &mut W) -> FrameOutcome {
     // Injected stall: a `Latency` policy sleeps inside `hit`, holding this
     // connection's pipeline while every other connection keeps serving.
     let _ = fault::hit(fault::points::SERVER_REQUEST_STALL);
@@ -236,7 +359,7 @@ fn serve_frame<W: Write>(frame: &Frame, shared: &Shared, writer: &mut W) -> bool
     // must treat an in-flight mutation as ambiguous (`MaybeApplied`) and
     // reconnect. Other connections are unaffected.
     if fault::hit(fault::points::SERVER_CONN_DROP).is_some() {
-        return false;
+        return FrameOutcome::Close;
     }
     let started = Instant::now();
     shared.telemetry.request_begin();
@@ -257,6 +380,30 @@ fn serve_frame<W: Write>(frame: &Frame, shared: &Shared, writer: &mut W) -> bool
         Request::decode(frame.opcode, &frame.body)
     };
     let (op, resp) = match decoded {
+        // Subscribe handshake: answered from the stream handler (it needs
+        // the log bounds and a registered subscriber id).
+        Ok(Request::ReplSubscribe { from }) => {
+            shared
+                .telemetry
+                .request_end(Opcode::ReplSubscribe, started.elapsed().as_nanos() as u64);
+            if shared.leader() && shared.replicator.is_some() {
+                return FrameOutcome::StartStream { id: frame.id, from };
+            }
+            let resp = if shared.leader() {
+                Response::Err("replication not enabled".to_string())
+            } else {
+                shared.not_leader()
+            };
+            return respond(writer, frame.id, Opcode::ReplSubscribe, &resp);
+        }
+        // Acks are fire-and-forget (no response frame); outside a
+        // subscriber stream there is nothing to credit one to.
+        Ok(Request::ReplAck { .. }) => {
+            shared
+                .telemetry
+                .request_end(Opcode::ReplAck, started.elapsed().as_nanos() as u64);
+            return FrameOutcome::Continue;
+        }
         Ok(req) => {
             let op = req.opcode();
             let _e = trace::span(SpanKind::SrvExecute);
@@ -264,17 +411,44 @@ fn serve_frame<W: Write>(frame: &Frame, shared: &Shared, writer: &mut W) -> bool
         }
         Err(e) => {
             shared.telemetry.protocol_error();
-            (Opcode::Get, Response::Err(format!("bad request: {e}")))
+            // An unknown opcode gets a typed in-band refusal and the
+            // connection stays usable — framing is still aligned, so an
+            // older server probed by a newer client degrades gracefully.
+            let msg = if Opcode::from_u8(frame.opcode).is_none() {
+                format!("unsupported opcode {:#x}", frame.opcode)
+            } else {
+                format!("bad request: {e}")
+            };
+            (Opcode::Get, Response::Err(msg))
         }
     };
     shared
         .telemetry
         .request_end(op, started.elapsed().as_nanos() as u64);
-    proto::write_response(writer, frame.id, op, &resp).is_ok()
+    respond(writer, frame.id, op, &resp)
+}
+
+fn respond<W: Write>(writer: &mut W, id: u32, op: Opcode, resp: &Response) -> FrameOutcome {
+    if proto::write_response(writer, id, op, resp).is_ok() {
+        FrameOutcome::Continue
+    } else {
+        FrameOutcome::Close
+    }
 }
 
 fn execute(req: &Request, shared: &Shared) -> Response {
     let engine = &shared.engine;
+    // Followers refuse mutations *before* any engine work: the request is
+    // provably not applied, so the client's redirect-and-retry is always
+    // safe (no duplicate-write ambiguity, unlike a dropped connection).
+    if !shared.leader()
+        && matches!(
+            req,
+            Request::Put { .. } | Request::Delete { .. } | Request::Batch { .. }
+        )
+    {
+        return shared.not_leader();
+    }
     let result = match req {
         Request::Get { key } => engine.get(key).map(Response::Value),
         Request::Put { key, value } => engine.put(key, value).map(|()| Response::Ok),
@@ -297,6 +471,116 @@ fn execute(req: &Request, shared: &Shared) -> Response {
         // Drains every span buffered so far (client spans too when the
         // tracer is process-global, as in netbench) as Chrome trace JSON.
         Request::TraceDump => Ok(Response::Trace(trace::to_chrome_json(&trace::drain()))),
+        Request::SnapshotFetch => match &shared.snapshot {
+            Some(produce) => produce().map(Response::Snapshot),
+            None => Ok(Response::Err("snapshot serving not configured".to_string())),
+        },
+        // Handled in serve_frame before execute; kept for exhaustiveness.
+        Request::ReplSubscribe { .. } | Request::ReplAck { .. } => Ok(Response::Err(
+            "replication opcode outside stream handshake".to_string(),
+        )),
     };
     result.unwrap_or_else(|e| Response::Err(e.to_string()))
+}
+
+/// Runs a subscriber connection after the `ReplSubscribe` handshake: this
+/// thread pushes `ReplRecords` frames (fed from the replication log, with
+/// heartbeats when idle) while a companion thread reads `ReplAck` frames
+/// off the same socket. Ends on follower hangup, shutdown, log truncation
+/// or an injected `repl.stream.drop`.
+fn serve_repl_stream(
+    id: u32,
+    from: u64,
+    mut reader: BufReader<TcpStream>,
+    mut writer: BufWriter<TcpStream>,
+    shared: &Shared,
+) {
+    let Some(replicator) = shared.replicator.clone() else {
+        return;
+    };
+    let log = Arc::clone(replicator.log());
+    let (log_start, last) = log.bounds();
+    let hello = Response::ReplSubscribed { log_start, last };
+    if proto::write_response(&mut writer, id, Opcode::ReplSubscribe, &hello).is_err()
+        || writer.flush().is_err()
+    {
+        return;
+    }
+    let sub_id = replicator.register_subscriber();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Ack reader: same socket, opposite direction. Exits when the
+    // follower hangs up, or polls `stop` at its read timeout after the
+    // sender below ends the stream.
+    let ack_stop = Arc::clone(&stop);
+    let ack_replicator = Arc::clone(&replicator);
+    let ack_thread = std::thread::Builder::new()
+        .name("miodb-repl-ack".to_string())
+        .spawn(move || {
+            loop {
+                match proto::read_frame(&mut reader) {
+                    Ok(Some(frame)) => {
+                        if let Ok(Request::ReplAck { offset }) =
+                            Request::decode(frame.opcode, &frame.body)
+                        {
+                            ack_replicator.record_ack(sub_id, offset);
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(Error::Io(ref e)) if proto::is_timeout(e) => {
+                        if ack_stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            ack_stop.store(true, Ordering::Release);
+        })
+        .ok();
+
+    let mut cursor = from;
+    loop {
+        if stop.load(Ordering::Acquire) || shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        // Injected stream drop: the subscriber connection dies without a
+        // goodbye; the follower reconnects and resumes from its applied
+        // offset.
+        if fault::hit(fault::points::REPL_STREAM_DROP).is_some() {
+            break;
+        }
+        let fetched = log.fetch_after(cursor, MAX_REPL_FETCH_BYTES, REPL_POLL);
+        if fetched.truncated {
+            let resp = Response::Err("replication log truncated; snapshot required".to_string());
+            let _ = proto::write_response(&mut writer, 0, Opcode::ReplRecords, &resp);
+            let _ = writer.flush();
+            break;
+        }
+        let batches: Vec<ReplBatch> = fetched
+            .entries
+            .iter()
+            .map(|e| ReplBatch {
+                seq_first: e.seq_first,
+                seq_last: e.seq_last,
+                bytes: e.bytes.as_ref().clone(),
+            })
+            .collect();
+        if let Some(tail) = batches.last() {
+            cursor = tail.seq_last;
+        }
+        // An empty batch list is the heartbeat.
+        let frame = Response::ReplRecords(batches);
+        if proto::write_response(&mut writer, 0, Opcode::ReplRecords, &frame).is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+    }
+    stop.store(true, Ordering::Release);
+    drop(writer);
+    if let Some(t) = ack_thread {
+        let _ = t.join();
+    }
+    replicator.deregister_subscriber(sub_id);
 }

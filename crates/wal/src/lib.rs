@@ -66,6 +66,145 @@ pub struct WalRecord {
     pub kind: OpKind,
 }
 
+/// Encodes one single-op record exactly as [`WriteAheadLog::append`]
+/// persists it: `crc32 | len | seq | kind | klen | vlen | key | value`,
+/// CRC patched in. The returned bytes are what the log stores **and**
+/// what replication ships, so one checksum covers both copies.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidArgument`] for oversized keys or values.
+pub fn encode_record(
+    key: &[u8],
+    value: &[u8],
+    seq: SequenceNumber,
+    kind: OpKind,
+) -> Result<Vec<u8>> {
+    if key.len() > u32::MAX as usize || value.len() > u32::MAX as usize {
+        return Err(Error::InvalidArgument(
+            "key/value too large for wal".to_string(),
+        ));
+    }
+    let payload_len = PAYLOAD_FIXED + key.len() + value.len();
+    let mut buf = Vec::with_capacity(RECORD_HEADER + payload_len);
+    buf.extend_from_slice(&[0u8; 4]); // crc placeholder
+    buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.push(kind as u8);
+    buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    buf.extend_from_slice(key);
+    buf.extend_from_slice(value);
+    patch_crc(&mut buf);
+    Ok(buf)
+}
+
+/// Encodes a whole write group (or batch) as **one** crc-framed record,
+/// exactly as [`WriteAheadLog::append_group`] persists it. Operations
+/// receive consecutive sequence numbers starting at `seq_base`. An empty
+/// group encodes to an empty buffer (nothing to log or ship).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidArgument`] for oversized keys or values.
+pub fn encode_group_record(ops: &[GroupOp<'_>], seq_base: SequenceNumber) -> Result<Vec<u8>> {
+    if ops.is_empty() {
+        return Ok(Vec::new());
+    }
+    let body: usize = ops.iter().map(|op| 9 + op.key.len() + op.value.len()).sum();
+    let payload_len = 8 + 1 + 4 + body;
+    let mut buf = Vec::with_capacity(RECORD_HEADER + payload_len);
+    buf.extend_from_slice(&[0u8; 4]); // crc placeholder
+    buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    buf.extend_from_slice(&seq_base.to_le_bytes());
+    buf.push(BATCH_KIND);
+    buf.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for op in ops {
+        if op.key.len() > u32::MAX as usize || op.value.len() > u32::MAX as usize {
+            return Err(Error::InvalidArgument(
+                "key/value too large for wal".to_string(),
+            ));
+        }
+        buf.push(op.kind as u8);
+        buf.extend_from_slice(&(op.key.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&(op.value.len() as u32).to_le_bytes());
+        buf.extend_from_slice(op.key);
+        buf.extend_from_slice(op.value);
+    }
+    patch_crc(&mut buf);
+    Ok(buf)
+}
+
+/// Decodes a run of consecutive framed records (as produced by
+/// [`encode_record`] / [`encode_group_record`], possibly concatenated)
+/// back into individual [`WalRecord`]s.
+///
+/// Unlike [`WriteAheadLog::replay`], which treats a bad checksum as the
+/// log's torn tail, shipped bytes arrive over a CRC-protected transport
+/// and must be perfect: any framing or checksum defect is an error here.
+///
+/// # Errors
+///
+/// Returns [`Error::Corruption`] for truncated framing, checksum
+/// mismatches or malformed payloads.
+pub fn decode_record_bytes(bytes: &[u8]) -> Result<Vec<WalRecord>> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        if off + RECORD_HEADER > bytes.len() {
+            return Err(Error::Corruption("truncated wal record header".to_string()));
+        }
+        let stored_crc = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+        let len = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap()) as usize;
+        if len < PAYLOAD_FIXED {
+            return Err(Error::Corruption(format!("wal record too short: {len}")));
+        }
+        let end = off + RECORD_HEADER + len;
+        if end > bytes.len() {
+            return Err(Error::Corruption(
+                "truncated wal record payload".to_string(),
+            ));
+        }
+        let payload = &bytes[off + RECORD_HEADER..end];
+        let mut crc = Crc32::new();
+        crc.update(&(len as u32).to_le_bytes());
+        crc.update(payload);
+        if crc.finish() != stored_crc {
+            return Err(Error::Corruption("wal record crc mismatch".to_string()));
+        }
+        let seq = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+        if payload[8] == BATCH_KIND {
+            if !decode_batch(payload, seq, &mut out) {
+                return Err(Error::Corruption("malformed wal batch record".to_string()));
+            }
+        } else {
+            let kind = OpKind::from_u8(payload[8])
+                .ok_or_else(|| Error::Corruption("bad wal op kind".to_string()))?;
+            let klen = u32::from_le_bytes(payload[9..13].try_into().unwrap()) as usize;
+            let vlen = u32::from_le_bytes(payload[13..17].try_into().unwrap()) as usize;
+            if PAYLOAD_FIXED + klen + vlen != len {
+                return Err(Error::Corruption("bad wal record lengths".to_string()));
+            }
+            out.push(WalRecord {
+                key: payload[PAYLOAD_FIXED..PAYLOAD_FIXED + klen].to_vec(),
+                value: payload[PAYLOAD_FIXED + klen..].to_vec(),
+                seq,
+                kind,
+            });
+        }
+        off = end;
+    }
+    Ok(out)
+}
+
+/// Computes and stores the leading crc32 of a framed record buffer.
+fn patch_crc(buf: &mut [u8]) {
+    let mut crc = Crc32::new();
+    crc.update(&buf[4..]);
+    let crc = crc.finish().to_le_bytes();
+    buf[..4].copy_from_slice(&crc);
+}
+
 #[derive(Debug)]
 struct WalState {
     segments: Vec<PmemRegion>,
@@ -136,22 +275,7 @@ impl WriteAheadLog {
         seq: SequenceNumber,
         kind: OpKind,
     ) -> Result<()> {
-        if key.len() > u32::MAX as usize || value.len() > u32::MAX as usize {
-            return Err(Error::InvalidArgument(
-                "key/value too large for wal".to_string(),
-            ));
-        }
-        let payload_len = PAYLOAD_FIXED + key.len() + value.len();
-        let mut buf = Vec::with_capacity(RECORD_HEADER + payload_len);
-        buf.extend_from_slice(&[0u8; 4]); // crc placeholder
-        buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
-        buf.extend_from_slice(&seq.to_le_bytes());
-        buf.push(kind as u8);
-        buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
-        buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
-        buf.extend_from_slice(key);
-        buf.extend_from_slice(value);
-        self.append_record(buf)
+        self.append_record(encode_record(key, value, seq, kind)?)
     }
 
     /// Appends a whole batch as **one** crc-framed record: after a crash,
@@ -191,47 +315,25 @@ impl WriteAheadLog {
     ///
     /// Same failure modes as [`WriteAheadLog::append`].
     pub fn append_group(&self, ops: &[GroupOp<'_>], seq_base: SequenceNumber) -> Result<()> {
-        if ops.is_empty() {
+        let buf = encode_group_record(ops, seq_base)?;
+        if buf.is_empty() {
             return Ok(());
-        }
-        let body: usize = ops.iter().map(|op| 9 + op.key.len() + op.value.len()).sum();
-        let payload_len = 8 + 1 + 4 + body;
-        let mut buf = Vec::with_capacity(RECORD_HEADER + payload_len);
-        buf.extend_from_slice(&[0u8; 4]); // crc placeholder
-        buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
-        buf.extend_from_slice(&seq_base.to_le_bytes());
-        buf.push(BATCH_KIND);
-        buf.extend_from_slice(&(ops.len() as u32).to_le_bytes());
-        for op in ops {
-            if op.key.len() > u32::MAX as usize || op.value.len() > u32::MAX as usize {
-                return Err(Error::InvalidArgument(
-                    "key/value too large for wal".to_string(),
-                ));
-            }
-            buf.push(op.kind as u8);
-            buf.extend_from_slice(&(op.key.len() as u32).to_le_bytes());
-            buf.extend_from_slice(&(op.value.len() as u32).to_le_bytes());
-            buf.extend_from_slice(op.key);
-            buf.extend_from_slice(op.value);
         }
         self.append_record(buf)
     }
 
-    /// Appends one fully framed record (`crc-placeholder | len | payload`),
-    /// patching the crc in place.
-    fn append_record(&self, mut buf: Vec<u8>) -> Result<()> {
+    /// Appends one fully framed record (`crc | len | payload`, crc already
+    /// patched by the encoder).
+    fn append_record(&self, buf: Vec<u8>) -> Result<()> {
         if fault::hit(fault::points::WAL_APPEND_PRE_CRC).is_some() {
-            // Injected fsync-style failure before framing: nothing reaches
-            // the log, the tail stays clean, and later appends may succeed.
+            // Injected fsync-style failure before persistence: nothing
+            // reaches the log, the tail stays clean, and later appends may
+            // succeed.
             return Err(Error::Io(std::io::Error::other(
                 "injected wal append failure",
             )));
         }
         let total = buf.len();
-        let mut crc = Crc32::new();
-        crc.update(&buf[4..]);
-        buf[..4].copy_from_slice(&crc.finish().to_le_bytes());
-
         let mut s = self.state.lock();
         if s.poisoned {
             return Err(Error::Io(std::io::Error::other(

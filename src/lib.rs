@@ -9,6 +9,8 @@
 //! - [`workloads`]: db_bench and YCSB drivers;
 //! - [`server`] / [`client`]: the sharded TCP service layer
 //!   ([`KvServer`], [`ShardRouter`], [`KvClient`]);
+//! - [`repl`]: WAL-shipping replication ([`Replicator`], [`Follower`],
+//!   ack levels, snapshot catch-up and verified failover);
 //! - [`check`]: linearizability and crash-durability verification
 //!   (history recording, per-key Wing–Gong checking, durable-prefix
 //!   oracle, seeded interleaving stress);
@@ -36,6 +38,7 @@ pub use miodb_common as common;
 pub use miodb_core as core;
 pub use miodb_lsm as lsm;
 pub use miodb_pmem as pmem;
+pub use miodb_repl as repl;
 pub use miodb_server as server;
 pub use miodb_skiplist as skiplist;
 pub use miodb_wal as wal;
@@ -44,4 +47,5 @@ pub use miodb_workloads as workloads;
 pub use miodb_client::{ClientCounters, ClientOptions, KvClient};
 pub use miodb_common::{Error, KvEngine, Result, ScanEntry, Stats};
 pub use miodb_core::{MioDb, MioOptions, RepositoryMode, WriteBatch};
-pub use miodb_server::{KvServer, ServerOptions, ShardRouter};
+pub use miodb_repl::{AckLevel, Follower, FollowerOptions, Replicator, ReplicatorOptions};
+pub use miodb_server::{KvServer, ReplConfig, ServerOptions, ShardRouter};

@@ -179,6 +179,65 @@ fn connection_limit_refuses_with_error_frame() {
     router.close().unwrap();
 }
 
+/// A frame with an opcode the server does not know gets a typed `Err`
+/// response naming the opcode — and the connection stays open, so a
+/// client with a newer protocol revision degrades per-request instead of
+/// being dropped mid-pipeline.
+#[test]
+fn unknown_opcode_answers_err_and_keeps_connection() {
+    use miodb::common::proto::{self, read_frame, write_frame, Request, Response};
+    use std::io::{BufReader, BufWriter, Write};
+    use std::net::TcpStream;
+
+    let router = Arc::new(ShardRouter::open_miodb(&test_opts(), 1).unwrap());
+    let server = KvServer::start(
+        "127.0.0.1:0",
+        Arc::clone(&router) as Arc<dyn KvEngine>,
+        ServerOptions::default(),
+    )
+    .unwrap();
+    router.put(b"still", b"served").unwrap();
+
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = BufWriter::new(stream);
+
+    // 0x60 is no opcode this protocol revision knows.
+    write_frame(&mut writer, 0x60, 1, b"whatever").unwrap();
+    writer.flush().unwrap();
+    let frame = read_frame(&mut reader)
+        .unwrap()
+        .expect("typed reply, not a hangup");
+    match Response::decode(frame.opcode, &frame.body).unwrap() {
+        Response::Err(msg) => assert!(
+            msg.contains("unsupported opcode") && msg.contains("0x60"),
+            "error must name the opcode: {msg}"
+        ),
+        other => panic!("expected Err response, got {other:?}"),
+    }
+
+    // The same connection still serves valid requests.
+    proto::write_request(
+        &mut writer,
+        2,
+        &Request::Get {
+            key: b"still".to_vec(),
+        },
+    )
+    .unwrap();
+    writer.flush().unwrap();
+    let frame = read_frame(&mut reader)
+        .unwrap()
+        .expect("connection must stay open");
+    assert_eq!(frame.id, 2);
+    match Response::decode(frame.opcode, &frame.body).unwrap() {
+        Response::Value(v) => assert_eq!(v.as_deref(), Some(&b"served"[..])),
+        other => panic!("expected value, got {other:?}"),
+    }
+    server.shutdown();
+    router.close().unwrap();
+}
+
 /// Kill the server mid-load: every write the client saw acknowledged must
 /// survive into a recovered engine. The "kill" is the repo's crash idiom —
 /// snapshot each shard's NVM pool with flushes still in flight (no
