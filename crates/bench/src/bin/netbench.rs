@@ -115,9 +115,10 @@ fn parse_args() -> Config {
                 cfg.replicate = match args.get(i).map(String::as_str) {
                     Some("async") => Some(AckLevel::Async),
                     Some("semi-sync") => Some(AckLevel::SemiSync),
+                    Some("quorum") => Some(AckLevel::Quorum),
                     other => {
                         eprintln!(
-                            "bad value for --replicate: {} (want async|semi-sync)",
+                            "bad value for --replicate: {} (want async|semi-sync|quorum)",
                             other.unwrap_or("<missing>")
                         );
                         std::process::exit(2);
@@ -351,8 +352,7 @@ fn print_phase(p: &PhaseSummary) {
 
 fn ack_label(cfg: &Config) -> &'static str {
     match cfg.replicate {
-        Some(AckLevel::Async) => "async",
-        Some(AckLevel::SemiSync) => "semi-sync",
+        Some(ack) => ack.label(),
         None => "none",
     }
 }
@@ -392,6 +392,7 @@ fn run(cfg: &Config) -> Result<()> {
             ack_level: ack,
             semi_sync_timeout: Duration::from_secs(10),
             retain_bytes: 256 << 20,
+            group_size: 2,
         });
         leader.set_commit_sink(Some(
             Arc::clone(&replicator) as Arc<dyn miodb_common::ReplicationSink>
@@ -401,12 +402,12 @@ fn run(cfg: &Config) -> Result<()> {
             "127.0.0.1:0",
             Arc::clone(&leader) as Arc<dyn miodb_common::KvEngine>,
             ServerOptions::default(),
-            ReplConfig {
-                replicator: Some(Arc::clone(&replicator)),
-                snapshot: Some(Box::new(move || engine_snapshot_bytes(&snap))),
-                leader: true,
-                leader_hint: String::new(),
-            },
+            ReplConfig::new(
+                Some(Arc::clone(&replicator)),
+                Some(Box::new(move || engine_snapshot_bytes(&snap))),
+                Arc::new(miodb_common::RoleState::new_leader(1)),
+                "",
+            ),
         )?;
         let follower_db = Arc::new(MioDb::open(MioOptions {
             name: "MioDB-net-follower".to_string(),

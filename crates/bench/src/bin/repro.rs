@@ -61,7 +61,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ),
     (
         "repl",
-        "WAL-shipping replication: async vs semi-sync throughput, follower lag",
+        "WAL-shipping replication: async vs semi-sync vs quorum throughput, follower lag",
     ),
     ("all", "every experiment above, in order"),
 ];
@@ -1482,7 +1482,7 @@ fn repl_experiment(quick: bool) -> Result<()> {
     use std::sync::Arc;
     use std::time::Duration;
 
-    println!("\n== Replication: async vs semi-sync ack levels, follower lag ==");
+    println!("\n== Replication: async vs semi-sync vs quorum ack levels, follower lag ==");
     println!("   one leader + one follower in-process over TCP; shipped bytes are the");
     println!("   exact framed WAL group records, so the follower replays what the");
     println!("   leader persisted. Lag is publish->ack per committed group.");
@@ -1505,16 +1505,15 @@ fn repl_experiment(quick: bool) -> Result<()> {
     );
 
     let mut rows: Vec<String> = Vec::new();
-    for ack in [AckLevel::Async, AckLevel::SemiSync] {
-        let label = match ack {
-            AckLevel::Async => "async",
-            AckLevel::SemiSync => "semi-sync",
-        };
+    for ack in [AckLevel::Async, AckLevel::SemiSync, AckLevel::Quorum] {
+        let label = ack.label();
         let ldb = Arc::new(MioDb::open(opts(format!("MioDB-repl-{label}-L")))?);
         let replicator = Replicator::new(ReplicatorOptions {
             ack_level: ack,
             semi_sync_timeout: Duration::from_secs(10),
             retain_bytes: 256 << 20,
+            // Leader + one follower: quorum needs the follower's ack.
+            group_size: 2,
         });
         ldb.set_commit_sink(Some(Arc::clone(&replicator) as Arc<dyn ReplicationSink>));
         let snap = Arc::clone(&ldb);
@@ -1522,12 +1521,12 @@ fn repl_experiment(quick: bool) -> Result<()> {
             "127.0.0.1:0",
             Arc::clone(&ldb) as Arc<dyn KvEngine>,
             ServerOptions::default(),
-            ReplConfig {
-                replicator: Some(Arc::clone(&replicator)),
-                snapshot: Some(Box::new(move || engine_snapshot_bytes(&snap))),
-                leader: true,
-                leader_hint: String::new(),
-            },
+            ReplConfig::new(
+                Some(Arc::clone(&replicator)),
+                Some(Box::new(move || engine_snapshot_bytes(&snap))),
+                Arc::new(miodb_common::RoleState::new_leader(1)),
+                "",
+            ),
         )?;
         let fdb = Arc::new(MioDb::open(opts(format!("MioDB-repl-{label}-F")))?);
         let follower = Follower::start(

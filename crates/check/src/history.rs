@@ -288,8 +288,17 @@ impl ProcessLog {
             Ok(()) => Observed::Acked,
             // The client's contract: MaybeApplied when the request may have
             // reached the server; anything else means it definitely did not
-            // take effect (refused in-band, or never sent).
+            // take effect (refused in-band, or never sent). The replication
+            // refusals are called out explicitly because the chaos tests
+            // lean on them: all three happen *before* engine work, so they
+            // are definite no-ops — a quorum-lost or fenced-out write that
+            // later surfaced on a replica would be a real bug, and mapping
+            // these to `Never` is what lets the linearizability pass catch
+            // it.
             Err(Error::MaybeApplied(_)) => Observed::Maybe,
+            Err(Error::NotLeader(_)) => Observed::Never,
+            Err(Error::QuorumLost { .. }) => Observed::Never,
+            Err(Error::StaleEpoch { .. }) => Observed::Never,
             Err(_) => Observed::Never,
         }
     }
@@ -559,5 +568,32 @@ mod tests {
         e.put(b"k", b"v").unwrap();
         assert_eq!(e.take_history().len(), 1);
         assert!(e.take_history().is_empty());
+    }
+
+    #[test]
+    fn replication_refusals_are_definite_no_ops() {
+        // Pre-engine refusals must record as Never: if such a write later
+        // appeared on any replica, the linearizability pass would flag it.
+        for err in [
+            Error::NotLeader("127.0.0.1:1".to_string()),
+            Error::QuorumLost { have: 1, need: 2 },
+            Error::StaleEpoch {
+                epoch: 3,
+                hint: String::new(),
+            },
+        ] {
+            assert_eq!(
+                ProcessLog::client_mutation_observed(&Err(err)),
+                Observed::Never
+            );
+        }
+        assert_eq!(
+            ProcessLog::client_mutation_observed(&Err(Error::MaybeApplied("x".into()))),
+            Observed::Maybe
+        );
+        assert_eq!(
+            ProcessLog::client_mutation_observed(&Ok(())),
+            Observed::Acked
+        );
     }
 }

@@ -29,12 +29,27 @@
 //!   matching makes retry a caller-level decision — but they do mark the
 //!   connection dead so the next operation reconnects.
 //! - **Leader redirects.** A replicated follower refuses mutations with a
-//!   typed `NotLeader` frame carrying the leader's address. Because the
-//!   refusal happens before any engine work, the mutation is provably not
-//!   applied, so the client transparently re-dials the hinted address and
-//!   retries (counted in [`ClientCounters::redirects`]). A client pointed
-//!   at a follower still serves reads from it (replica reads — staleness
-//!   is bounded by the replication lag, zero under semi-sync acks).
+//!   typed `NotLeader` frame carrying the group epoch and the leader's
+//!   address. Because the refusal happens before any engine work, the
+//!   mutation is provably not applied, so the client transparently
+//!   re-dials the hinted address and retries (counted in
+//!   [`ClientCounters::redirects`]). The loop is bounded: at most
+//!   [`ClientOptions::max_redirects`] hops with jittered backoff between
+//!   them — two nodes hinting at each other mid-election cannot trap the
+//!   client (each exhausted loop is counted in
+//!   [`ClientCounters::redirect_loops`]). An empty hint (leader unknown
+//!   mid-election) burns a hop waiting for the election to settle. A
+//!   client pointed at a follower still serves reads from it (replica
+//!   reads — staleness is bounded by the replication lag, zero under
+//!   semi-sync/quorum acks).
+//! - **Fencing and quorum refusals.** A *deposed* leader answers
+//!   mutations with the typed `StaleEpoch` frame, and a quorum-level
+//!   leader cut off from its majority answers `QuorumLost`. Both surface
+//!   as their typed errors ([`Error::StaleEpoch`],
+//!   [`Error::QuorumLost`]) rather than being retried: the first means
+//!   the caller's leader view needs a refresh, the second is a
+//!   structural outage where blind retry is exactly wrong. The epoch
+//!   carried on refusals is remembered ([`KvClient::observed_epoch`]).
 //!
 //! ```no_run
 //! use miodb_client::KvClient;
@@ -67,6 +82,10 @@ pub struct ClientOptions {
     pub write_timeout: Option<Duration>,
     /// Retry budget for idempotent requests and reconnect attempts.
     pub max_retries: u32,
+    /// Hop budget for following `NotLeader` redirects on one mutation;
+    /// exhausted loops surface the final `NotLeader` and count in
+    /// [`ClientCounters::redirect_loops`].
+    pub max_redirects: u32,
     /// First backoff delay; doubles per attempt.
     pub backoff_base: Duration,
     /// Backoff ceiling (before jitter).
@@ -79,6 +98,7 @@ impl Default for ClientOptions {
             read_timeout: Some(Duration::from_secs(5)),
             write_timeout: Some(Duration::from_secs(5)),
             max_retries: 3,
+            max_redirects: 4,
             backoff_base: Duration::from_millis(10),
             backoff_max: Duration::from_secs(1),
         }
@@ -98,6 +118,9 @@ pub struct ClientCounters {
     pub ambiguous: u64,
     /// Mutations re-dialed to a hinted leader after a `NotLeader` refusal.
     pub redirects: u64,
+    /// Mutations that exhausted the redirect hop budget without finding a
+    /// willing leader (hint cycles or a group mid-election).
+    pub redirect_loops: u64,
 }
 
 #[derive(Debug)]
@@ -115,6 +138,9 @@ pub struct KvClient {
     next_id: u32,
     counters: ClientCounters,
     jitter: u64,
+    /// Highest replication epoch seen on a typed refusal; a refreshed
+    /// leader view is one with a higher epoch.
+    last_epoch: u64,
     /// Sampled in-flight requests awaiting their response, in send order:
     /// `(request id, trace context, send-start ns)`. Empty whenever
     /// tracing is off. Responses match positionally by id, so the whole
@@ -160,6 +186,7 @@ impl KvClient {
             next_id: 1,
             counters: ClientCounters::default(),
             jitter,
+            last_epoch: 0,
             inflight_trace: VecDeque::new(),
         })
     }
@@ -167,6 +194,13 @@ impl KvClient {
     /// Transport-failure counters accumulated over this client's lifetime.
     pub fn counters(&self) -> ClientCounters {
         self.counters
+    }
+
+    /// Highest replication epoch observed on `NotLeader`/`StaleEpoch`
+    /// refusals (0 until one is seen). Lets callers tell a fresh leader
+    /// view from a stale one when re-resolving after [`Error::StaleEpoch`].
+    pub fn observed_epoch(&self) -> u64 {
+        self.last_epoch
     }
 
     /// True while a live connection is held (a failed operation drops it;
@@ -418,8 +452,22 @@ impl KvClient {
         if let Response::Err(msg) = resp {
             return Err(Error::Background(msg));
         }
-        if let Response::NotLeader(hint) = resp {
-            return Err(Error::NotLeader(hint));
+        match resp {
+            Response::NotLeader { epoch, hint } => {
+                self.last_epoch = self.last_epoch.max(epoch);
+                return Err(Error::NotLeader(hint));
+            }
+            Response::StaleEpoch { epoch, hint } => {
+                self.last_epoch = self.last_epoch.max(epoch);
+                return Err(Error::StaleEpoch { epoch, hint });
+            }
+            Response::QuorumLost { have, need } => {
+                return Err(Error::QuorumLost {
+                    have: have as usize,
+                    need: need as usize,
+                });
+            }
+            _ => {}
         }
         if got_id != id {
             // The stream can no longer be trusted to pair responses.
@@ -454,19 +502,30 @@ impl KvClient {
     /// reached the server, a transport failure is ambiguous — surface
     /// [`Error::MaybeApplied`] instead of guessing. A `NotLeader` refusal
     /// is the opposite of ambiguous (the server provably applied nothing),
-    /// so the client re-dials the hinted leader and retries transparently.
+    /// so the client re-dials the hinted leader and retries — but only up
+    /// to the hop budget, with jittered backoff between hops, so hint
+    /// cycles and mid-election churn cannot trap it. `StaleEpoch` and
+    /// `QuorumLost` are *not* retried: both are typed verdicts (refresh
+    /// your leader view; the group lost its majority) where blind retry
+    /// hides the condition the type exists to surface.
     fn round_trip_mutation(&mut self, req: &Request, what: &str) -> Result<Response> {
         let mut redirects = 0u32;
         loop {
             let was_connected = self.conn.is_some();
             match self.try_round_trip(req) {
                 Err(Error::NotLeader(hint)) => {
-                    if redirects < self.opts.max_retries
-                        && !hint.is_empty()
-                        && self.redirect_to(&hint)
-                    {
+                    if redirects >= self.opts.max_redirects {
+                        self.counters.redirect_loops += 1;
+                        return Err(Error::NotLeader(hint));
+                    }
+                    // An empty hint means the group is mid-election:
+                    // burning a hop on backoff alone gives it time to
+                    // settle, then re-asks the same node.
+                    if hint.is_empty() || self.redirect_to(&hint) {
                         redirects += 1;
                         self.counters.redirects += 1;
+                        let delay = self.backoff_delay(redirects);
+                        std::thread::sleep(delay);
                         continue;
                     }
                     return Err(Error::NotLeader(hint));

@@ -45,6 +45,29 @@ pub enum Error {
     /// where the leader is believed to live; the request was *not*
     /// applied, so redirecting and retrying is always safe.
     NotLeader(String),
+    /// The leader refused a mutation because it cannot currently reach a
+    /// majority of the replication group, so a quorum acknowledgement is
+    /// impossible. When raised *before* the write entered the engine
+    /// (the server path) the mutation was not applied and retrying is
+    /// safe; when raised from a quorum commit-wait the write is locally
+    /// durable but not quorum-replicated, so treat it like
+    /// [`Error::MaybeApplied`].
+    QuorumLost {
+        /// Reachable group members, counting the leader itself.
+        have: usize,
+        /// Members required for a majority.
+        need: usize,
+    },
+    /// The contacted node was deposed: a newer leader exists at a higher
+    /// replication epoch, and this node is fenced from accepting writes.
+    /// The request was *not* applied. `hint` (possibly empty) is where
+    /// the current leader is believed to live.
+    StaleEpoch {
+        /// The refusing node's current (newer) epoch.
+        epoch: u64,
+        /// Believed address of the current leader, possibly empty.
+        hint: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -66,6 +89,15 @@ impl fmt::Display for Error {
             Error::MaybeApplied(msg) => write!(f, "outcome unknown (may be applied): {msg}"),
             Error::NotLeader(hint) if hint.is_empty() => write!(f, "not the leader"),
             Error::NotLeader(hint) => write!(f, "not the leader (try {hint})"),
+            Error::QuorumLost { have, need } => {
+                write!(f, "quorum lost: {have} of {need} group members reachable")
+            }
+            Error::StaleEpoch { epoch, hint } if hint.is_empty() => {
+                write!(f, "stale epoch: deposed by epoch {epoch}")
+            }
+            Error::StaleEpoch { epoch, hint } => {
+                write!(f, "stale epoch: deposed by epoch {epoch} (try {hint})")
+            }
         }
     }
 }
@@ -107,6 +139,20 @@ impl Error {
     /// safely retried against the hinted leader.
     pub fn is_not_leader(&self) -> bool {
         matches!(self, Error::NotLeader(_))
+    }
+
+    /// Returns `true` if the leader refused (or could not quorum-commit)
+    /// a mutation because a majority of the replication group is
+    /// unreachable.
+    pub fn is_quorum_lost(&self) -> bool {
+        matches!(self, Error::QuorumLost { .. })
+    }
+
+    /// Returns `true` if the contacted node was fenced by a newer epoch
+    /// (it is a deposed leader); the mutation was not applied and should
+    /// be retried against the current leader.
+    pub fn is_stale_epoch(&self) -> bool {
+        matches!(self, Error::StaleEpoch { .. })
     }
 }
 
@@ -163,6 +209,36 @@ mod tests {
             "not the leader"
         );
         assert!(!Error::Closed.is_not_leader());
+    }
+
+    #[test]
+    fn quorum_lost_classification() {
+        let e = Error::QuorumLost { have: 1, need: 2 };
+        assert!(e.is_quorum_lost());
+        assert_eq!(e.to_string(), "quorum lost: 1 of 2 group members reachable");
+        assert!(!Error::Closed.is_quorum_lost());
+    }
+
+    #[test]
+    fn stale_epoch_classification() {
+        let e = Error::StaleEpoch {
+            epoch: 3,
+            hint: "127.0.0.1:7002".to_string(),
+        };
+        assert!(e.is_stale_epoch());
+        assert_eq!(
+            e.to_string(),
+            "stale epoch: deposed by epoch 3 (try 127.0.0.1:7002)"
+        );
+        assert_eq!(
+            Error::StaleEpoch {
+                epoch: 2,
+                hint: String::new()
+            }
+            .to_string(),
+            "stale epoch: deposed by epoch 2"
+        );
+        assert!(!Error::Closed.is_stale_epoch());
     }
 
     #[test]

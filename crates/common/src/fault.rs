@@ -104,6 +104,10 @@ pub mod points {
     /// Snapshot-based follower catch-up failure (leader-side snapshot
     /// serve or follower-side restore).
     pub const REPL_SNAPSHOT: &str = "repl.snapshot";
+    /// Election traffic loss: a vote request or epoch probe between
+    /// group members is dropped before reaching the peer (simulates a
+    /// network partition during an election).
+    pub const REPL_VOTE_DROP: &str = "repl.vote.drop";
 
     /// Every registered point, for matrix sweeps.
     pub const ALL: &[&str] = &[
@@ -120,6 +124,7 @@ pub mod points {
         REPL_STREAM_DROP,
         REPL_APPLY_STALL,
         REPL_SNAPSHOT,
+        REPL_VOTE_DROP,
     ];
 }
 

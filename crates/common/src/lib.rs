@@ -51,7 +51,7 @@ pub use fault::{FaultAction, FaultPoint, FaultPolicy};
 pub use histogram::Histogram;
 pub use metrics::MetricsRegistry;
 pub use proto::{Opcode, Request, Response};
-pub use repl::{AckLevel, ReplicationSink};
+pub use repl::{majority, AckLevel, ReplicationSink, Role, RoleState};
 pub use ring::MpmcRing;
 pub use service::ServiceTelemetry;
 pub use stats::Stats;

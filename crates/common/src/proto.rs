@@ -46,8 +46,22 @@ pub const OP_ERR: u8 = 0x7F;
 
 /// Not-leader response opcode: a replication follower refused a mutation.
 /// Distinct from [`OP_ERR`] so clients can redirect instead of failing;
-/// the body carries a leader-address hint (possibly empty).
+/// the body carries the refusing node's epoch plus a leader-address hint
+/// (possibly empty).
 pub const OP_NOT_LEADER: u8 = 0x7E;
+
+/// Stale-epoch response opcode: a *deposed* leader refused a request
+/// because a newer leader exists at a higher epoch. Distinct from
+/// [`OP_NOT_LEADER`] so clients can tell fencing (split-brain
+/// protection) from an ordinary follower redirect; the body carries the
+/// refusing node's current epoch and a leader hint (possibly empty).
+pub const OP_STALE_EPOCH: u8 = 0x7D;
+
+/// Quorum-lost response opcode: the leader cannot reach a majority of
+/// its replication group, so a quorum-acked mutation is refused *before*
+/// entering the engine. The body carries the reachable / required member
+/// counts; retrying is always safe.
+pub const OP_QUORUM_LOST: u8 = 0x7C;
 
 /// Trace-flags bit marking the request as sampled for tracing.
 pub const TRACE_SAMPLED: u8 = 0x01;
@@ -85,11 +99,14 @@ pub enum Opcode {
     ReplAck = 10,
     /// Follower fetches a pool snapshot for cold/lagging catch-up.
     SnapshotFetch = 11,
+    /// Election vote request (or, with epoch 0, a liveness/epoch probe)
+    /// between replication group members.
+    ReplVote = 12,
 }
 
 impl Opcode {
     /// All opcodes, for per-opcode metric tables.
-    pub const ALL: [Opcode; 11] = [
+    pub const ALL: [Opcode; 12] = [
         Opcode::Get,
         Opcode::Put,
         Opcode::Delete,
@@ -101,6 +118,7 @@ impl Opcode {
         Opcode::ReplRecords,
         Opcode::ReplAck,
         Opcode::SnapshotFetch,
+        Opcode::ReplVote,
     ];
 
     /// Parses a wire opcode byte (without the response bit).
@@ -117,6 +135,7 @@ impl Opcode {
             9 => Some(Opcode::ReplRecords),
             10 => Some(Opcode::ReplAck),
             11 => Some(Opcode::SnapshotFetch),
+            12 => Some(Opcode::ReplVote),
             _ => None,
         }
     }
@@ -135,6 +154,7 @@ impl Opcode {
             Opcode::ReplRecords => "repl_records",
             Opcode::ReplAck => "repl_ack",
             Opcode::SnapshotFetch => "snapshot_fetch",
+            Opcode::ReplVote => "repl_vote",
         }
     }
 }
@@ -198,14 +218,33 @@ pub enum Request {
         /// Resume point: the subscriber has applied everything `<= from`
         /// and wants records starting at `from + 1`.
         from: u64,
+        /// The subscriber's current epoch; a leader that sees a higher
+        /// one than its own has been deposed and must refuse the stream.
+        epoch: u64,
     },
-    /// Follower → leader progress report; no response is sent.
+    /// Follower → leader progress report; no response is sent. Also the
+    /// follower → leader heartbeat: followers ack every pushed frame,
+    /// including empty heartbeats, so the leader's failure detector sees
+    /// a regular pulse.
     ReplAck {
         /// Highest contiguously applied sequence number.
         offset: u64,
+        /// The follower's current epoch; carrying it on every ack is how
+        /// a stale leader discovers it was deposed mid-stream.
+        epoch: u64,
     },
     /// Fetch a pool snapshot for cold-follower catch-up.
     SnapshotFetch,
+    /// Election vote request. `epoch == 0` is a *probe*: never grantable,
+    /// it just solicits the peer's `(epoch, last_seq, leader)` status.
+    ReplVote {
+        /// The epoch the candidate is standing for (0 = probe).
+        epoch: u64,
+        /// The candidate's highest applied sequence number.
+        last_seq: u64,
+        /// The candidate's advertised address (vote ledger key).
+        candidate: String,
+    },
 }
 
 impl Request {
@@ -222,6 +261,7 @@ impl Request {
             Request::ReplSubscribe { .. } => Opcode::ReplSubscribe,
             Request::ReplAck { .. } => Opcode::ReplAck,
             Request::SnapshotFetch => Opcode::SnapshotFetch,
+            Request::ReplVote { .. } => Opcode::ReplVote,
         }
     }
 
@@ -249,8 +289,23 @@ impl Request {
                 }
             }
             Request::Stats | Request::TraceDump | Request::SnapshotFetch => {}
-            Request::ReplSubscribe { from } => buf.extend_from_slice(&from.to_le_bytes()),
-            Request::ReplAck { offset } => buf.extend_from_slice(&offset.to_le_bytes()),
+            Request::ReplSubscribe { from, epoch } => {
+                buf.extend_from_slice(&from.to_le_bytes());
+                buf.extend_from_slice(&epoch.to_le_bytes());
+            }
+            Request::ReplAck { offset, epoch } => {
+                buf.extend_from_slice(&offset.to_le_bytes());
+                buf.extend_from_slice(&epoch.to_le_bytes());
+            }
+            Request::ReplVote {
+                epoch,
+                last_seq,
+                candidate,
+            } => {
+                buf.extend_from_slice(&epoch.to_le_bytes());
+                buf.extend_from_slice(&last_seq.to_le_bytes());
+                put_bytes(buf, candidate.as_bytes());
+            }
         }
     }
 
@@ -299,11 +354,18 @@ impl Request {
             Opcode::Trace => Request::TraceDump,
             Opcode::ReplSubscribe => Request::ReplSubscribe {
                 from: c.take_u64()?,
+                epoch: c.take_u64()?,
             },
             Opcode::ReplAck => Request::ReplAck {
                 offset: c.take_u64()?,
+                epoch: c.take_u64()?,
             },
             Opcode::SnapshotFetch => Request::SnapshotFetch,
+            Opcode::ReplVote => Request::ReplVote {
+                epoch: c.take_u64()?,
+                last_seq: c.take_u64()?,
+                candidate: String::from_utf8_lossy(&c.take_bytes()?).into_owned(),
+            },
             Opcode::ReplRecords => {
                 return Err(Error::Corruption(
                     "ReplRecords frames are push-only (never a request)".to_string(),
@@ -339,14 +401,59 @@ pub enum Response {
         log_start: u64,
         /// Highest sequence number published so far (0 when empty).
         last: u64,
+        /// The leader's current epoch; the subscriber adopts it.
+        epoch: u64,
     },
-    /// Pushed record batches (empty = heartbeat / liveness probe).
-    ReplRecords(Vec<ReplBatch>),
+    /// Pushed record batches (empty = heartbeat / liveness probe). Every
+    /// frame carries the leader's epoch so a follower that has adopted a
+    /// newer one refuses a stale leader's records immediately.
+    ReplRecords {
+        /// The sending leader's epoch at push time.
+        epoch: u64,
+        /// Record batches, oldest first (empty = heartbeat).
+        batches: Vec<ReplBatch>,
+    },
     /// SNAPSHOT_FETCH result: a serialized pool snapshot image.
     Snapshot(Vec<u8>),
     /// A mutation was refused because this node is a follower; the
     /// payload hints where the leader lives (possibly empty).
-    NotLeader(String),
+    NotLeader {
+        /// The refusing node's current epoch — clients ignore hints from
+        /// responses older than the newest epoch they have seen.
+        epoch: u64,
+        /// Believed leader address (possibly empty mid-election).
+        hint: String,
+    },
+    /// A request was refused because this node is a *deposed* leader
+    /// fenced by a newer epoch (split-brain protection).
+    StaleEpoch {
+        /// The refusing node's current (newer) epoch.
+        epoch: u64,
+        /// Believed leader address (possibly empty).
+        hint: String,
+    },
+    /// A quorum-acked mutation was refused before entering the engine:
+    /// the leader cannot currently reach a majority of its group.
+    QuorumLost {
+        /// Reachable members, counting the leader itself.
+        have: u32,
+        /// Members required for a majority.
+        need: u32,
+    },
+    /// REPL_VOTE result.
+    Vote {
+        /// Whether the vote was granted (always `false` for probes).
+        granted: bool,
+        /// The voter's current epoch (after observing the request's).
+        epoch: u64,
+        /// The voter's highest applied sequence number.
+        last_seq: u64,
+        /// Whether the voter currently believes its leader is alive
+        /// (`true` when the voter *is* a leader).
+        leader_live: bool,
+        /// The voter's believed leader address (possibly empty).
+        leader_hint: String,
+    },
 }
 
 impl Response {
@@ -354,8 +461,10 @@ impl Response {
     pub fn opcode(&self, req_op: Opcode) -> u8 {
         match self {
             Response::Err(_) => OP_ERR | RESPONSE_BIT,
-            Response::NotLeader(_) => OP_NOT_LEADER | RESPONSE_BIT,
-            Response::ReplRecords(_) => Opcode::ReplRecords as u8 | RESPONSE_BIT,
+            Response::NotLeader { .. } => OP_NOT_LEADER | RESPONSE_BIT,
+            Response::StaleEpoch { .. } => OP_STALE_EPOCH | RESPONSE_BIT,
+            Response::QuorumLost { .. } => OP_QUORUM_LOST | RESPONSE_BIT,
+            Response::ReplRecords { .. } => Opcode::ReplRecords as u8 | RESPONSE_BIT,
             _ => req_op as u8 | RESPONSE_BIT,
         }
     }
@@ -379,12 +488,26 @@ impl Response {
                 }
             }
             Response::Stats(text) | Response::Trace(text) => put_bytes(buf, text.as_bytes()),
-            Response::Err(msg) | Response::NotLeader(msg) => put_bytes(buf, msg.as_bytes()),
-            Response::ReplSubscribed { log_start, last } => {
+            Response::Err(msg) => put_bytes(buf, msg.as_bytes()),
+            Response::NotLeader { epoch, hint } | Response::StaleEpoch { epoch, hint } => {
+                buf.extend_from_slice(&epoch.to_le_bytes());
+                put_bytes(buf, hint.as_bytes());
+            }
+            Response::QuorumLost { have, need } => {
+                buf.extend_from_slice(&have.to_le_bytes());
+                buf.extend_from_slice(&need.to_le_bytes());
+            }
+            Response::ReplSubscribed {
+                log_start,
+                last,
+                epoch,
+            } => {
                 buf.extend_from_slice(&log_start.to_le_bytes());
                 buf.extend_from_slice(&last.to_le_bytes());
+                buf.extend_from_slice(&epoch.to_le_bytes());
             }
-            Response::ReplRecords(batches) => {
+            Response::ReplRecords { epoch, batches } => {
+                buf.extend_from_slice(&epoch.to_le_bytes());
                 buf.extend_from_slice(&(batches.len() as u32).to_le_bytes());
                 for b in batches {
                     buf.extend_from_slice(&b.seq_first.to_le_bytes());
@@ -393,6 +516,19 @@ impl Response {
                 }
             }
             Response::Snapshot(bytes) => put_bytes(buf, bytes),
+            Response::Vote {
+                granted,
+                epoch,
+                last_seq,
+                leader_live,
+                leader_hint,
+            } => {
+                buf.push(u8::from(*granted));
+                buf.extend_from_slice(&epoch.to_le_bytes());
+                buf.extend_from_slice(&last_seq.to_le_bytes());
+                buf.push(u8::from(*leader_live));
+                put_bytes(buf, leader_hint.as_bytes());
+            }
         }
     }
 
@@ -412,7 +548,20 @@ impl Response {
         let resp = if base == OP_ERR {
             Response::Err(String::from_utf8_lossy(&c.take_bytes()?).into_owned())
         } else if base == OP_NOT_LEADER {
-            Response::NotLeader(String::from_utf8_lossy(&c.take_bytes()?).into_owned())
+            Response::NotLeader {
+                epoch: c.take_u64()?,
+                hint: String::from_utf8_lossy(&c.take_bytes()?).into_owned(),
+            }
+        } else if base == OP_STALE_EPOCH {
+            Response::StaleEpoch {
+                epoch: c.take_u64()?,
+                hint: String::from_utf8_lossy(&c.take_bytes()?).into_owned(),
+            }
+        } else if base == OP_QUORUM_LOST {
+            Response::QuorumLost {
+                have: c.take_u32()?,
+                need: c.take_u32()?,
+            }
         } else {
             let op = Opcode::from_u8(base)
                 .ok_or_else(|| Error::Corruption(format!("unknown response opcode {base:#x}")))?;
@@ -444,8 +593,10 @@ impl Response {
                 Opcode::ReplSubscribe => Response::ReplSubscribed {
                     log_start: c.take_u64()?,
                     last: c.take_u64()?,
+                    epoch: c.take_u64()?,
                 },
                 Opcode::ReplRecords => {
+                    let epoch = c.take_u64()?;
                     let n = c.take_u32()? as usize;
                     let mut batches = Vec::with_capacity(n.min(1 << 16));
                     for _ in 0..n {
@@ -458,12 +609,19 @@ impl Response {
                             bytes,
                         });
                     }
-                    Response::ReplRecords(batches)
+                    Response::ReplRecords { epoch, batches }
                 }
                 // A ReplAck never gets a real response; decoding one (e.g.
                 // in a test harness echo) degrades to a bare Ok.
                 Opcode::ReplAck => Response::Ok,
                 Opcode::SnapshotFetch => Response::Snapshot(c.take_bytes()?),
+                Opcode::ReplVote => Response::Vote {
+                    granted: c.take_u8()? != 0,
+                    epoch: c.take_u64()?,
+                    last_seq: c.take_u64()?,
+                    leader_live: c.take_u8()? != 0,
+                    leader_hint: String::from_utf8_lossy(&c.take_bytes()?).into_owned(),
+                },
             }
         };
         c.finish()?;
@@ -739,9 +897,22 @@ mod tests {
         });
         round_trip_request(Request::Stats);
         round_trip_request(Request::TraceDump);
-        round_trip_request(Request::ReplSubscribe { from: 42 });
-        round_trip_request(Request::ReplAck { offset: u64::MAX });
+        round_trip_request(Request::ReplSubscribe { from: 42, epoch: 3 });
+        round_trip_request(Request::ReplAck {
+            offset: u64::MAX,
+            epoch: 7,
+        });
         round_trip_request(Request::SnapshotFetch);
+        round_trip_request(Request::ReplVote {
+            epoch: 5,
+            last_seq: 1234,
+            candidate: "127.0.0.1:7002".to_string(),
+        });
+        round_trip_request(Request::ReplVote {
+            epoch: 0,
+            last_seq: 0,
+            candidate: String::new(),
+        });
     }
 
     #[test]
@@ -831,28 +1002,59 @@ mod tests {
             Response::ReplSubscribed {
                 log_start: 10,
                 last: 99,
+                epoch: 2,
             },
         );
         round_trip_response(
             Opcode::ReplRecords,
-            Response::ReplRecords(vec![
-                ReplBatch {
-                    seq_first: 1,
-                    seq_last: 3,
-                    bytes: vec![0xAA; 37],
-                },
-                ReplBatch {
-                    seq_first: 4,
-                    seq_last: 4,
-                    bytes: vec![0xBB; 9],
-                },
-            ]),
+            Response::ReplRecords {
+                epoch: 4,
+                batches: vec![
+                    ReplBatch {
+                        seq_first: 1,
+                        seq_last: 3,
+                        bytes: vec![0xAA; 37],
+                    },
+                    ReplBatch {
+                        seq_first: 4,
+                        seq_last: 4,
+                        bytes: vec![0xBB; 9],
+                    },
+                ],
+            },
         );
-        round_trip_response(Opcode::ReplRecords, Response::ReplRecords(Vec::new()));
+        round_trip_response(
+            Opcode::ReplRecords,
+            Response::ReplRecords {
+                epoch: 1,
+                batches: Vec::new(),
+            },
+        );
         round_trip_response(Opcode::SnapshotFetch, Response::Snapshot(vec![7; 1024]));
         round_trip_response(
             Opcode::Put,
-            Response::NotLeader("127.0.0.1:7001".to_string()),
+            Response::NotLeader {
+                epoch: 3,
+                hint: "127.0.0.1:7001".to_string(),
+            },
+        );
+        round_trip_response(
+            Opcode::Put,
+            Response::StaleEpoch {
+                epoch: 9,
+                hint: "127.0.0.1:7002".to_string(),
+            },
+        );
+        round_trip_response(Opcode::Put, Response::QuorumLost { have: 1, need: 2 });
+        round_trip_response(
+            Opcode::ReplVote,
+            Response::Vote {
+                granted: true,
+                epoch: 6,
+                last_seq: 321,
+                leader_live: false,
+                leader_hint: "127.0.0.1:7000".to_string(),
+            },
         );
     }
 
@@ -863,15 +1065,49 @@ mod tests {
             &mut wire,
             1,
             Opcode::Put,
-            &Response::NotLeader(String::new()),
+            &Response::NotLeader {
+                epoch: 0,
+                hint: String::new(),
+            },
         )
         .unwrap();
         let frame = read_frame(&mut wire.as_slice()).unwrap().unwrap();
         assert_eq!(frame.opcode, OP_NOT_LEADER | RESPONSE_BIT);
         assert_eq!(
             Response::decode(frame.opcode, &frame.body).unwrap(),
-            Response::NotLeader(String::new())
+            Response::NotLeader {
+                epoch: 0,
+                hint: String::new()
+            }
         );
+    }
+
+    #[test]
+    fn fencing_responses_have_dedicated_opcodes() {
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            1,
+            Opcode::Put,
+            &Response::StaleEpoch {
+                epoch: 5,
+                hint: String::new(),
+            },
+        )
+        .unwrap();
+        let frame = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(frame.opcode, OP_STALE_EPOCH | RESPONSE_BIT);
+
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            2,
+            Opcode::Put,
+            &Response::QuorumLost { have: 2, need: 3 },
+        )
+        .unwrap();
+        let frame = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(frame.opcode, OP_QUORUM_LOST | RESPONSE_BIT);
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //!   ack level blocks the caller until a follower has acknowledged the
 //!   write's last sequence number.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+
+use parking_lot::Mutex;
+
 use crate::error::Result;
 
 /// When a leader acknowledges a mutation to its client.
@@ -30,6 +34,14 @@ pub enum AckLevel {
     /// durable-prefix guarantee ("no acked write lost on failover")
     /// holds even under follower stalls.
     SemiSync,
+    /// Block the acknowledgement until a majority of the replication
+    /// group (leader included) has the write durably applied. A timeout
+    /// surfaces as [`Error::MaybeApplied`](crate::Error::MaybeApplied);
+    /// losing a majority of the group surfaces as the typed
+    /// [`Error::QuorumLost`](crate::Error::QuorumLost) instead of being
+    /// silently accepted. Quorum-acked writes survive any failover that
+    /// leaves a majority alive.
+    Quorum,
 }
 
 impl AckLevel {
@@ -38,6 +50,7 @@ impl AckLevel {
         match self {
             AckLevel::Async => "async",
             AckLevel::SemiSync => "semi-sync",
+            AckLevel::Quorum => "quorum",
         }
     }
 }
@@ -61,4 +74,259 @@ pub trait ReplicationSink: Send + Sync {
     /// semi-sync ack does not arrive in time: the write is locally
     /// durable but may not have reached any follower.
     fn wait_committed(&self, seq_last: u64) -> Result<()>;
+}
+
+/// Members required for a majority of a replication group of `n` nodes
+/// (leader included). `majority(3) == 2`, `majority(1) == 1`.
+pub fn majority(group_size: usize) -> usize {
+    group_size / 2 + 1
+}
+
+/// A node's replication role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts mutations and streams records to subscribers.
+    Leader,
+    /// Applies streamed records; redirects mutations to the leader.
+    Follower,
+}
+
+/// Shared per-node replication role state: the monotonic epoch, the
+/// current role, the believed leader address, and the single vote a node
+/// may cast per epoch.
+///
+/// This is the fencing heart of the group. The epoch only ever advances;
+/// a leader that observes a higher epoch (from a follower's ack, a vote
+/// request, or a probe) is *deposed* — it steps down to follower and
+/// every subsequent mutation is refused with
+/// [`Error::StaleEpoch`](crate::Error::StaleEpoch) before touching the
+/// engine. Votes are granted at most once per epoch and only to a
+/// candidate at least as caught up as the voter (`(last_seq, addr)`
+/// lexicographic order), which is what makes quorum-acked writes survive
+/// elections: any majority of voters intersects any majority that acked
+/// a write, and the intersection refuses less-caught-up candidates.
+#[derive(Debug)]
+pub struct RoleState {
+    epoch: AtomicU64,
+    role: AtomicU8,
+    deposed: AtomicBool,
+    leader_live: AtomicBool,
+    inner: Mutex<RoleInner>,
+}
+
+#[derive(Debug, Default)]
+struct RoleInner {
+    leader_hint: String,
+    voted_epoch: u64,
+    voted_for: String,
+}
+
+const ROLE_LEADER: u8 = 0;
+const ROLE_FOLLOWER: u8 = 1;
+
+impl RoleState {
+    /// A node that starts as the group's leader at `epoch`.
+    pub fn new_leader(epoch: u64) -> RoleState {
+        RoleState {
+            epoch: AtomicU64::new(epoch),
+            role: AtomicU8::new(ROLE_LEADER),
+            deposed: AtomicBool::new(false),
+            leader_live: AtomicBool::new(true),
+            inner: Mutex::new(RoleInner::default()),
+        }
+    }
+
+    /// A node that starts as a follower of `leader_hint` at `epoch`.
+    pub fn new_follower(epoch: u64, leader_hint: &str) -> RoleState {
+        RoleState {
+            epoch: AtomicU64::new(epoch),
+            role: AtomicU8::new(ROLE_FOLLOWER),
+            deposed: AtomicBool::new(false),
+            leader_live: AtomicBool::new(true),
+            inner: Mutex::new(RoleInner {
+                leader_hint: leader_hint.to_string(),
+                ..RoleInner::default()
+            }),
+        }
+    }
+
+    /// Current replication epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        if self.role.load(Ordering::SeqCst) == ROLE_LEADER {
+            Role::Leader
+        } else {
+            Role::Follower
+        }
+    }
+
+    /// `true` while this node believes it is the leader.
+    pub fn is_leader(&self) -> bool {
+        self.role() == Role::Leader
+    }
+
+    /// `true` once this node was fenced out of a leadership it held:
+    /// mutations must be refused with `StaleEpoch`, not `NotLeader`.
+    pub fn is_deposed(&self) -> bool {
+        self.deposed.load(Ordering::SeqCst)
+    }
+
+    /// Believed address of the current leader (this node's own address
+    /// when it is the leader; possibly empty mid-election).
+    pub fn leader_hint(&self) -> String {
+        self.inner.lock().leader_hint.clone()
+    }
+
+    /// Updates the believed leader address.
+    pub fn set_leader_hint(&self, hint: &str) {
+        self.inner.lock().leader_hint = hint.to_string();
+    }
+
+    /// Whether the leader this node follows is currently considered
+    /// alive by its failure detector (always `true` on a leader).
+    pub fn leader_live(&self) -> bool {
+        self.is_leader() || self.leader_live.load(Ordering::SeqCst)
+    }
+
+    /// Failure-detector input: records the liveness of the followed
+    /// leader.
+    pub fn set_leader_live(&self, live: bool) {
+        self.leader_live.store(live, Ordering::SeqCst);
+    }
+
+    /// Adopts a higher epoch learned from a peer (vote request, ack or
+    /// probe). A leader observing one steps down *deposed*. Returns
+    /// `true` when the epoch advanced.
+    pub fn observe_epoch(&self, epoch: u64, hint: &str) -> bool {
+        let mut inner = self.inner.lock();
+        if epoch <= self.epoch.load(Ordering::SeqCst) {
+            if !hint.is_empty() && epoch == self.epoch.load(Ordering::SeqCst) {
+                inner.leader_hint = hint.to_string();
+            }
+            return false;
+        }
+        self.epoch.store(epoch, Ordering::SeqCst);
+        if self.role.swap(ROLE_FOLLOWER, Ordering::SeqCst) == ROLE_LEADER {
+            self.deposed.store(true, Ordering::SeqCst);
+        }
+        self.leader_live.store(false, Ordering::SeqCst);
+        inner.leader_hint = hint.to_string();
+        true
+    }
+
+    /// Clears the deposed fence once the node has re-joined the group as
+    /// a clean follower: from here on, refused mutations redirect with
+    /// `NotLeader` (the node is just a follower) instead of `StaleEpoch`
+    /// (the node *was* the leader and must not be trusted).
+    pub fn acknowledge_deposed(&self) {
+        self.deposed.store(false, Ordering::SeqCst);
+    }
+
+    /// Assumes leadership at `epoch` (election win or explicit
+    /// promotion). Clears the deposed flag: the node earned a fresh
+    /// mandate.
+    pub fn become_leader(&self, epoch: u64) {
+        let current = self.epoch.load(Ordering::SeqCst);
+        self.epoch.store(epoch.max(current), Ordering::SeqCst);
+        self.role.store(ROLE_LEADER, Ordering::SeqCst);
+        self.deposed.store(false, Ordering::SeqCst);
+        self.leader_live.store(true, Ordering::SeqCst);
+    }
+
+    /// The vote gate. Grants iff `req_epoch` is newer than both the
+    /// current epoch and any vote already cast, *and* the candidate is at
+    /// least as caught up as this node (`(last_seq, addr)` order). A
+    /// granted (or even merely observed-higher) epoch deposes a leader.
+    /// Re-granting the same `(epoch, candidate)` pair is idempotent so
+    /// candidates can retry lost responses.
+    pub fn consider_vote(
+        &self,
+        req_epoch: u64,
+        cand_seq: u64,
+        candidate: &str,
+        my_seq: u64,
+        my_addr: &str,
+    ) -> bool {
+        if req_epoch == 0 {
+            return false; // probe, never grantable
+        }
+        if req_epoch > self.epoch() {
+            self.observe_epoch(req_epoch, "");
+        }
+        if req_epoch < self.epoch() {
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        if inner.voted_epoch == req_epoch && inner.voted_for != candidate {
+            return false;
+        }
+        if (cand_seq, candidate) < (my_seq, my_addr) {
+            return false;
+        }
+        inner.voted_epoch = req_epoch;
+        inner.voted_for = candidate.to_string();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_math() {
+        assert_eq!(majority(1), 1);
+        assert_eq!(majority(2), 2);
+        assert_eq!(majority(3), 2);
+        assert_eq!(majority(4), 3);
+        assert_eq!(majority(5), 3);
+    }
+
+    #[test]
+    fn observing_higher_epoch_deposes_leader() {
+        let r = RoleState::new_leader(1);
+        assert!(r.is_leader());
+        assert!(!r.observe_epoch(1, ""), "same epoch is not an advance");
+        assert!(r.is_leader());
+        assert!(r.observe_epoch(2, "127.0.0.1:9"));
+        assert!(!r.is_leader());
+        assert!(r.is_deposed());
+        assert_eq!(r.epoch(), 2);
+        assert_eq!(r.leader_hint(), "127.0.0.1:9");
+        // A fresh mandate clears the fence.
+        r.become_leader(3);
+        assert!(r.is_leader());
+        assert!(!r.is_deposed());
+        assert_eq!(r.epoch(), 3);
+    }
+
+    #[test]
+    fn one_vote_per_epoch_and_catch_up_gate() {
+        let f = RoleState::new_follower(1, "l");
+        // Lagging candidate refused even at a new epoch.
+        assert!(!f.consider_vote(2, 5, "b", 10, "a"));
+        // Epoch still advanced from the attempt (fencing).
+        assert_eq!(f.epoch(), 2);
+        // Caught-up candidate at the next epoch wins the vote.
+        assert!(f.consider_vote(3, 10, "b", 10, "a"));
+        // Same epoch, different candidate: refused.
+        assert!(!f.consider_vote(3, 99, "c", 10, "a"));
+        // Same (epoch, candidate): idempotent re-grant.
+        assert!(f.consider_vote(3, 10, "b", 10, "a"));
+        // Address breaks the sequence tie deterministically.
+        assert!(!f.consider_vote(4, 10, "a", 10, "b"));
+        assert!(f.consider_vote(5, 10, "b", 10, "b"));
+    }
+
+    #[test]
+    fn probe_epoch_zero_never_grants_or_mutates() {
+        let f = RoleState::new_follower(4, "l");
+        assert!(!f.consider_vote(0, u64::MAX, "c", 0, "a"));
+        assert_eq!(f.epoch(), 4);
+        assert_eq!(f.leader_hint(), "l");
+    }
 }

@@ -1,0 +1,95 @@
+//! Deadline-based failure detection for replication peers.
+//!
+//! Both ends of a replication stream carry a pulse: the leader pushes a
+//! frame (records or an empty heartbeat) at least every poll interval,
+//! and the follower acks every frame it receives — so each side can run
+//! a [`FailureDetector`] fed by frame arrivals. Silence is graded, not
+//! binary: a peer quiet for half the configured timeout is *suspect*
+//! (keep waiting, don't act), and one quiet for the full timeout is
+//! *dead* — the leader drops the follower from the quorum set, a
+//! follower starts an election.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Graded liveness verdict for a monitored peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// Heard from recently.
+    Alive,
+    /// Quiet past half the timeout: possibly slow, possibly gone.
+    Suspect,
+    /// Quiet past the full timeout: treat as failed.
+    Dead,
+}
+
+/// Tracks the last time a peer showed a sign of life and grades the
+/// silence since.
+#[derive(Debug)]
+pub struct FailureDetector {
+    dead_after: Duration,
+    last_seen: Mutex<Instant>,
+}
+
+impl FailureDetector {
+    /// A detector that declares the peer dead after `dead_after` of
+    /// silence (and suspect after half that). The peer starts alive.
+    pub fn new(dead_after: Duration) -> FailureDetector {
+        FailureDetector {
+            dead_after,
+            last_seen: Mutex::new(Instant::now()),
+        }
+    }
+
+    /// Records a sign of life (frame, ack, successful connect).
+    pub fn observe(&self) {
+        *self.last_seen.lock() = Instant::now();
+    }
+
+    /// How long the peer has been silent.
+    pub fn silent_for(&self) -> Duration {
+        self.last_seen.lock().elapsed()
+    }
+
+    /// Current verdict.
+    pub fn liveness(&self) -> Liveness {
+        let silent = self.silent_for();
+        if silent >= self.dead_after {
+            Liveness::Dead
+        } else if silent >= self.dead_after / 2 {
+            Liveness::Suspect
+        } else {
+            Liveness::Alive
+        }
+    }
+
+    /// `true` once the silence crossed the dead threshold.
+    pub fn is_dead(&self) -> bool {
+        self.liveness() == Liveness::Dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silence_escalates_alive_suspect_dead() {
+        let d = FailureDetector::new(Duration::from_millis(40));
+        assert_eq!(d.liveness(), Liveness::Alive);
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(d.liveness(), Liveness::Suspect);
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(d.liveness(), Liveness::Dead);
+        assert!(d.is_dead());
+    }
+
+    #[test]
+    fn observation_resets_the_deadline() {
+        let d = FailureDetector::new(Duration::from_millis(40));
+        std::thread::sleep(Duration::from_millis(25));
+        d.observe();
+        assert_eq!(d.liveness(), Liveness::Alive);
+    }
+}

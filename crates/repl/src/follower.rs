@@ -9,8 +9,17 @@
 //!   (everything below it is already applied and locally durable), and
 //!   streams. A dropped connection resumes from the applied offset — the
 //!   leader's log covers it unless retention truncated past it, in which
-//!   case [`Follower::needs_snapshot`] turns on and the operator (or
-//!   test harness) rebuilds the follower via [`bootstrap_from_leader`].
+//!   case the loop ends in [`FollowerState::NeedsSnapshot`] and the
+//!   follower must be rebuilt via [`bootstrap_from_leader`] (the
+//!   self-healing node supervisor does this itself).
+//! - Every received frame — records or empty heartbeat — is acked with
+//!   the applied offset *and the follower's epoch*, so acks double as
+//!   follower → leader heartbeats and as the fencing channel that tells
+//!   a stale leader it was deposed.
+//! - A leader quiet past `leader_dead_timeout` (no frames, or
+//!   unreachable across reconnects) ends the loop in
+//!   [`FollowerState::LeaderDead`]; the supervisor reacts by running an
+//!   election.
 //! - [`Follower::promote`] is failover: drain whatever the dying leader
 //!   still has buffered in flight, stop the loop, and hand back the
 //!   final applied offset. The caller then flips its server role to
@@ -21,20 +30,22 @@
 //! Records pass through the normal MemTable insert path, including the
 //! follower's **own** WAL append: a follower crash right after an ack
 //! replays the acked records from its local log, which is what makes an
-//! ack a durability promise the leader's semi-sync mode can rely on.
+//! ack a durability promise the leader's semi-sync/quorum modes rely on.
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use miodb_common::proto::{self, Request, Response};
-use miodb_common::{fault, Error, Result, Stats};
+use miodb_common::{fault, Error, Result, RoleState, Stats};
 use miodb_core::{MioDb, MioOptions};
 use miodb_pmem::PmemPool;
 use parking_lot::Mutex;
+
+use crate::detector::FailureDetector;
 
 /// Follower tunables.
 #[derive(Debug, Clone)]
@@ -46,6 +57,10 @@ pub struct FollowerOptions {
     pub reconnect_backoff: Duration,
     /// Backoff cap.
     pub max_backoff: Duration,
+    /// Failure-detector deadline: a leader silent (no frames while
+    /// connected, or unreachable across reconnects) for this long is
+    /// declared dead and the loop ends in [`FollowerState::LeaderDead`].
+    pub leader_dead_timeout: Duration,
 }
 
 impl Default for FollowerOptions {
@@ -54,7 +69,47 @@ impl Default for FollowerOptions {
             read_timeout: Duration::from_millis(100),
             reconnect_backoff: Duration::from_millis(50),
             max_backoff: Duration::from_secs(2),
+            leader_dead_timeout: Duration::from_secs(3),
         }
+    }
+}
+
+/// Where the apply loop is in its lifecycle (terminal states tell the
+/// supervisor what to do next).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FollowerState {
+    /// Trying to reach the leader.
+    Connecting = 0,
+    /// Subscribed and applying.
+    Streaming = 1,
+    /// Stopped/drained on request (terminal).
+    Stopped = 2,
+    /// The leader's failure detector fired (terminal): run an election.
+    LeaderDead = 3,
+    /// The subscribed-to node is fenced by a newer epoch (terminal):
+    /// find the real leader.
+    StaleLeader = 4,
+    /// The leader truncated past our offset, or our history diverged
+    /// from the new leader's (terminal): rebuild from a snapshot.
+    NeedsSnapshot = 5,
+}
+
+impl FollowerState {
+    fn from_u8(v: u8) -> FollowerState {
+        match v {
+            0 => FollowerState::Connecting,
+            1 => FollowerState::Streaming,
+            3 => FollowerState::LeaderDead,
+            4 => FollowerState::StaleLeader,
+            5 => FollowerState::NeedsSnapshot,
+            _ => FollowerState::Stopped,
+        }
+    }
+
+    /// Terminal states: the apply thread has exited (or is about to).
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, FollowerState::Connecting | FollowerState::Streaming)
     }
 }
 
@@ -63,10 +118,15 @@ enum StreamEnd {
     /// Drain mode: the stream is quiet/closed and everything received
     /// has been applied.
     Drained,
-    /// The leader truncated past our offset; streaming cannot resume.
+    /// The leader truncated past our offset (or our history diverged);
+    /// streaming cannot resume.
     SnapshotRequired,
     /// Stop was requested.
     Stopped,
+    /// The peer is deposed or we are fenced: a newer epoch exists.
+    StaleLeader(String),
+    /// The leader went silent past the detector deadline.
+    LeaderDead,
     /// Transport or apply failure; reconnect and resume from `applied`.
     Disconnected(String),
 }
@@ -77,7 +137,8 @@ pub struct Follower {
     applied: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
     drain: Arc<AtomicBool>,
-    needs_snapshot: Arc<AtomicBool>,
+    state: Arc<AtomicU8>,
+    epoch: Arc<AtomicU64>,
     last_error: Arc<Mutex<Option<String>>>,
     thread: Mutex<Option<JoinHandle<()>>>,
 }
@@ -91,10 +152,30 @@ impl Follower {
     /// Returns [`Error::Io`] if the apply thread cannot be spawned
     /// (connection failures are retried inside the loop instead).
     pub fn start(db: Arc<MioDb>, leader_addr: &str, opts: FollowerOptions) -> Result<Follower> {
+        Follower::start_with_role(db, leader_addr, opts, None)
+    }
+
+    /// Like [`Follower::start`], with a shared [`RoleState`] to keep in
+    /// sync: epochs learned from the leader are adopted into it, and its
+    /// (possibly newer) epoch rides every ack so a stale leader fences
+    /// itself out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the apply thread cannot be spawned.
+    pub fn start_with_role(
+        db: Arc<MioDb>,
+        leader_addr: &str,
+        opts: FollowerOptions,
+        role: Option<Arc<RoleState>>,
+    ) -> Result<Follower> {
         let applied = Arc::new(AtomicU64::new(db.last_sequence()));
         let stop = Arc::new(AtomicBool::new(false));
         let drain = Arc::new(AtomicBool::new(false));
-        let needs_snapshot = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(AtomicU8::new(FollowerState::Connecting as u8));
+        let epoch = Arc::new(AtomicU64::new(
+            role.as_ref().map_or(0, |r| r.epoch()),
+        ));
         let last_error: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
         let ctx = LoopCtx {
             db: db.clone(),
@@ -103,7 +184,9 @@ impl Follower {
             applied: applied.clone(),
             stop: stop.clone(),
             drain: drain.clone(),
-            needs_snapshot: needs_snapshot.clone(),
+            state: state.clone(),
+            epoch: epoch.clone(),
+            role,
             last_error: last_error.clone(),
         };
         let thread = std::thread::Builder::new()
@@ -115,7 +198,8 @@ impl Follower {
             applied,
             stop,
             drain,
-            needs_snapshot,
+            state,
+            epoch,
             last_error,
             thread: Mutex::new(Some(thread)),
         })
@@ -131,11 +215,21 @@ impl Follower {
         self.applied.load(Ordering::Acquire)
     }
 
+    /// Where the loop is in its lifecycle.
+    pub fn state(&self) -> FollowerState {
+        FollowerState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// The highest epoch this follower has adopted.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
     /// True when the leader's log has truncated past this follower's
     /// offset: streaming cannot resume and the follower must be rebuilt
     /// from a snapshot ([`bootstrap_from_leader`]).
     pub fn needs_snapshot(&self) -> bool {
-        self.needs_snapshot.load(Ordering::Acquire)
+        self.state() == FollowerState::NeedsSnapshot
     }
 
     /// Most recent stream error, for diagnostics.
@@ -178,7 +272,9 @@ struct LoopCtx {
     applied: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
     drain: Arc<AtomicBool>,
-    needs_snapshot: Arc<AtomicBool>,
+    state: Arc<AtomicU8>,
+    epoch: Arc<AtomicU64>,
+    role: Option<Arc<RoleState>>,
     last_error: Arc<Mutex<Option<String>>>,
 }
 
@@ -187,19 +283,65 @@ impl LoopCtx {
         self.stop.load(Ordering::Acquire) || self.drain.load(Ordering::Acquire)
     }
 
+    fn set_state(&self, s: FollowerState) {
+        self.state.store(s as u8, Ordering::Release);
+    }
+
+    /// The epoch this follower believes in: the max of what it adopted
+    /// from streams and what the shared role state knows (an election
+    /// may have advanced the latter behind our back).
+    fn known_epoch(&self) -> u64 {
+        let local = self.epoch.load(Ordering::Acquire);
+        self.role.as_ref().map_or(local, |r| r.epoch().max(local))
+    }
+
+    /// Adopts a (possibly newer) epoch learned from the leader at
+    /// `addr`, keeping the shared role state in sync.
+    fn adopt_epoch(&self, epoch: u64) {
+        let prev = self.epoch.fetch_max(epoch, Ordering::AcqRel);
+        if let Some(role) = &self.role {
+            if epoch > prev {
+                role.observe_epoch(epoch, &self.addr);
+            }
+            role.set_leader_live(true);
+        }
+    }
+
     fn run(&self) {
         let mut backoff = self.opts.reconnect_backoff;
+        // When the leader became unreachable (connect failures count
+        // toward the death deadline just like in-stream silence).
+        let mut unreachable_since: Option<Instant> = None;
         loop {
             if self.stop.load(Ordering::Acquire) {
+                self.set_state(FollowerState::Stopped);
                 return;
             }
+            self.set_state(FollowerState::Connecting);
             let mut established = false;
             match self.stream_once(&mut established) {
-                StreamEnd::Drained | StreamEnd::Stopped => return,
+                StreamEnd::Drained | StreamEnd::Stopped => {
+                    self.set_state(FollowerState::Stopped);
+                    return;
+                }
                 StreamEnd::SnapshotRequired => {
-                    self.needs_snapshot.store(true, Ordering::Release);
+                    self.set_state(FollowerState::NeedsSnapshot);
                     *self.last_error.lock() =
                         Some("replication log truncated past applied offset".to_string());
+                    return;
+                }
+                StreamEnd::StaleLeader(msg) => {
+                    self.set_state(FollowerState::StaleLeader);
+                    *self.last_error.lock() = Some(msg);
+                    return;
+                }
+                StreamEnd::LeaderDead => {
+                    if let Some(role) = &self.role {
+                        role.set_leader_live(false);
+                    }
+                    self.set_state(FollowerState::LeaderDead);
+                    *self.last_error.lock() =
+                        Some(format!("leader {} silent past deadline", self.addr));
                     return;
                 }
                 StreamEnd::Disconnected(msg) => {
@@ -207,7 +349,20 @@ impl LoopCtx {
                 }
             }
             if self.done() {
+                self.set_state(FollowerState::Stopped);
                 return;
+            }
+            if established {
+                unreachable_since = None;
+            } else {
+                let since = *unreachable_since.get_or_insert_with(Instant::now);
+                if since.elapsed() >= self.opts.leader_dead_timeout {
+                    if let Some(role) = &self.role {
+                        role.set_leader_live(false);
+                    }
+                    self.set_state(FollowerState::LeaderDead);
+                    return;
+                }
             }
             // Exponential backoff is for a leader we cannot reach; a
             // session that subscribed and later died (leader restart,
@@ -246,19 +401,50 @@ impl LoopCtx {
         };
         let mut reader = BufReader::new(read_half);
         let mut writer = BufWriter::new(stream);
+        let detector = FailureDetector::new(self.opts.leader_dead_timeout);
 
         let from = self.applied.load(Ordering::Acquire);
-        if proto::write_request(&mut writer, 1, &Request::ReplSubscribe { from }).is_err()
+        let epoch = self.known_epoch();
+        if proto::write_request(&mut writer, 1, &Request::ReplSubscribe { from, epoch }).is_err()
             || writer.flush().is_err()
         {
             return StreamEnd::Disconnected("subscribe send".to_string());
         }
-        match self.read_response(&mut reader) {
-            Ok(Some(Response::ReplSubscribed { log_start, .. })) => {
+        match self.read_response(&mut reader, &detector) {
+            Ok(Some(Response::ReplSubscribed {
+                log_start,
+                last,
+                epoch,
+            })) => {
                 if from + 1 < log_start {
                     return StreamEnd::SnapshotRequired;
                 }
+                if from > last {
+                    // We are *ahead* of the leader: our tail holds
+                    // ambiguous writes the group never quorum-acked
+                    // (allowed to vanish). Streaming on top would
+                    // silently diverge; rebuild from the leader instead.
+                    return StreamEnd::SnapshotRequired;
+                }
+                self.adopt_epoch(epoch);
                 *established = true;
+            }
+            Ok(Some(Response::StaleEpoch { epoch, hint })) => {
+                if let Some(role) = &self.role {
+                    role.observe_epoch(epoch, &hint);
+                }
+                self.epoch.fetch_max(epoch, Ordering::AcqRel);
+                return StreamEnd::StaleLeader(format!(
+                    "subscribe refused: peer fenced at epoch {epoch}"
+                ));
+            }
+            Ok(Some(Response::NotLeader { epoch, hint })) => {
+                if let Some(role) = &self.role {
+                    role.observe_epoch(epoch, &hint);
+                }
+                return StreamEnd::StaleLeader(format!(
+                    "subscribe refused: peer is a follower (leader hint {hint:?})"
+                ));
             }
             Ok(Some(Response::Err(msg))) => {
                 return StreamEnd::Disconnected(format!("subscribe refused: {msg}"));
@@ -271,17 +457,39 @@ impl LoopCtx {
         }
 
         loop {
-            match self.read_response(&mut reader) {
-                Ok(Some(Response::ReplRecords(batches))) => {
+            match self.read_response(&mut reader, &detector) {
+                Ok(Some(Response::ReplRecords { epoch, batches })) => {
+                    let known = self.known_epoch();
+                    if epoch < known {
+                        // The node we stream from was deposed (we learned
+                        // a newer epoch, e.g. via an election we voted
+                        // in); refuse its records.
+                        return StreamEnd::StaleLeader(format!(
+                            "records at stale epoch {epoch} < {known}"
+                        ));
+                    }
+                    self.adopt_epoch(epoch);
                     if let Err(end) = self.apply_batches(&batches) {
                         return end;
                     }
+                    // Ack even empty heartbeats: the offset report is the
+                    // follower → leader pulse, and the epoch on it is the
+                    // deposed-leader discovery channel.
                     let offset = self.applied.load(Ordering::Acquire);
-                    if proto::write_request(&mut writer, 0, &Request::ReplAck { offset }).is_err()
+                    let epoch = self.known_epoch();
+                    if proto::write_request(&mut writer, 0, &Request::ReplAck { offset, epoch })
+                        .is_err()
                         || writer.flush().is_err()
                     {
                         return self.disconnect("ack send failed");
                     }
+                }
+                Ok(Some(Response::StaleEpoch { epoch, hint })) => {
+                    if let Some(role) = &self.role {
+                        role.observe_epoch(epoch, &hint);
+                    }
+                    self.epoch.fetch_max(epoch, Ordering::AcqRel);
+                    return StreamEnd::StaleLeader(format!("stream fenced at epoch {epoch}"));
                 }
                 Ok(Some(Response::Err(msg))) if msg.contains("truncated") => {
                     return StreamEnd::SnapshotRequired;
@@ -295,12 +503,13 @@ impl LoopCtx {
         }
     }
 
-    /// Reads one response frame, folding timeouts into flag polling.
-    /// `Ok(None)` means stop was requested; `Err` carries the session
-    /// outcome (drained / disconnected).
+    /// Reads one response frame, folding timeouts into flag polling and
+    /// feeding the leader failure detector. `Ok(None)` means stop was
+    /// requested; `Err` carries the session outcome.
     fn read_response(
         &self,
         reader: &mut BufReader<TcpStream>,
+        detector: &FailureDetector,
     ) -> std::result::Result<Option<Response>, StreamEnd> {
         loop {
             // Checked before every read, not just on quiet timeouts: a
@@ -311,6 +520,7 @@ impl LoopCtx {
             }
             match proto::read_frame(reader) {
                 Ok(Some(frame)) => {
+                    detector.observe();
                     return match Response::decode(frame.opcode, &frame.body) {
                         Ok(resp) => Ok(Some(resp)),
                         Err(e) => Err(StreamEnd::Disconnected(format!("bad frame: {e}"))),
@@ -332,6 +542,11 @@ impl LoopCtx {
                     // nothing more is in flight.
                     if self.drain.load(Ordering::Acquire) {
                         return Err(StreamEnd::Drained);
+                    }
+                    // A connected-but-silent leader (hung process, iced
+                    // network) is as dead as an unreachable one.
+                    if detector.is_dead() {
+                        return Err(StreamEnd::LeaderDead);
                     }
                 }
                 Err(e) => {

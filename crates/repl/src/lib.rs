@@ -12,24 +12,39 @@
 //!
 //! - [`ReplicationLog`]: bounded, condvar-woken record log on the leader.
 //! - [`Replicator`]: the leader hub implementing the engine's
-//!   `ReplicationSink` seam — publish under the commit mutex, semi-sync
-//!   `wait_committed` after it, ack tracking and follower-lag histogram.
+//!   `ReplicationSink` seam — publish under the commit mutex,
+//!   semi-sync/quorum `wait_committed` after it, per-subscriber ack
+//!   cursors, eager truncation to the minimum durable cursor, and a
+//!   follower-lag histogram.
 //! - [`Follower`]: the apply loop — subscribe/replay/ack with reconnect
-//!   backoff, [`Follower::promote`] for drain-then-lead failover, and
+//!   backoff, epoch adoption and stale-leader refusal, a leader failure
+//!   detector, [`Follower::promote`] for drain-then-lead failover, and
 //!   snapshot catch-up via [`bootstrap_from_leader`].
+//! - [`FailureDetector`]: graded (alive/suspect/dead) deadline detection
+//!   fed by frame and ack arrivals on both ends of a stream.
+//! - [`try_elect`]: probe-then-vote leader election with epoch fencing;
+//!   quorum-acked writes survive any winner it can produce.
 //!
 //! Ack levels ([`AckLevel`]): `Async` never blocks writers; `SemiSync`
-//! holds each PUT/DELETE/BATCH until a follower acks its sequence, and a
-//! timeout surfaces as `MaybeApplied` — locally durable, replication
-//! unknown — so the durable-prefix oracle stays honest across failover.
+//! holds each PUT/DELETE/BATCH until one follower acks its sequence;
+//! `Quorum` holds it until a majority of the group has it durably
+//! applied, degrading to the typed `QuorumLost` error when a majority is
+//! unreachable. Timeouts surface as `MaybeApplied` — locally durable,
+//! replication unknown — so the durable-prefix oracle stays honest
+//! across failover.
 
+pub mod detector;
+pub mod election;
 pub mod follower;
 pub mod log;
 pub mod replicator;
 
+pub use detector::{FailureDetector, Liveness};
+pub use election::{probe_peers, try_elect, vote_rpc, ElectionOutcome, PeerStatus};
 pub use follower::{
     bootstrap_from_leader, engine_snapshot_bytes, fetch_snapshot, Follower, FollowerOptions,
+    FollowerState,
 };
 pub use log::{Fetched, ReplEntry, ReplicationLog};
-pub use miodb_common::AckLevel;
+pub use miodb_common::{majority, AckLevel, Role, RoleState};
 pub use replicator::{Replicator, ReplicatorOptions};

@@ -100,6 +100,24 @@ impl ReplicationLog {
         self.state.lock().last_seq
     }
 
+    /// Total payload bytes currently retained.
+    pub fn bytes(&self) -> usize {
+        self.state.lock().bytes
+    }
+
+    /// Drops entries fully covered by `floor` (`seq_last <= floor`):
+    /// eager truncation to the minimum durable cursor across live
+    /// subscribers, so retention tracks actual replication progress
+    /// instead of waiting for the byte budget.
+    pub fn truncate_below(&self, floor: u64) {
+        let mut s = self.state.lock();
+        while s.entries.front().is_some_and(|e| e.seq_last <= floor) {
+            // Invariant: front exists, just checked.
+            let dropped = s.entries.pop_front().unwrap();
+            s.bytes -= dropped.bytes.len();
+        }
+    }
+
     /// `(log_start, last)`: the oldest sequence number still retained and
     /// the newest published. A subscriber that has applied everything
     /// `<= from` can stream iff `from + 1 >= log_start`; otherwise the
@@ -198,6 +216,26 @@ mod tests {
         log.publish(&[0u8; 64], 2, 2);
         let f = log.fetch_after(0, 10, Duration::from_millis(1));
         assert_eq!(f.entries.len(), 1, "at least one entry despite tiny cap");
+    }
+
+    #[test]
+    fn truncate_below_drops_acked_prefix() {
+        let log = ReplicationLog::new(1 << 20);
+        log.publish(&[0u8; 10], 1, 2);
+        log.publish(&[0u8; 10], 3, 3);
+        log.publish(&[0u8; 10], 4, 6);
+        assert_eq!(log.bytes(), 30);
+        // Floor mid-entry keeps the entry that still covers unacked seqs.
+        log.truncate_below(2);
+        assert_eq!(log.bounds(), (3, 6));
+        assert_eq!(log.bytes(), 20);
+        // Floor at the tip empties the log entirely; bounds stay sane.
+        log.truncate_below(6);
+        assert_eq!(log.bounds(), (7, 6));
+        assert_eq!(log.bytes(), 0);
+        // New publishes resume normally after a full truncation.
+        log.publish(&[0u8; 10], 7, 7);
+        assert_eq!(log.bounds(), (7, 7));
     }
 
     #[test]

@@ -6,12 +6,16 @@
 //! each), and [`KvServer`] fronts any engine with the length-prefixed,
 //! CRC-protected wire protocol from `miodb_common::proto` — thread per
 //! connection, in-order pipelining, connection limits and graceful drain
-//! on shutdown. See DESIGN.md §9.
+//! on shutdown. See DESIGN.md §9. [`ReplNode`] composes a server with an
+//! engine, a follower apply loop and an election supervisor into one
+//! self-healing replication-group member (DESIGN.md §13).
 
 #![deny(missing_docs)]
 
+mod node;
 mod server;
 mod shard;
 
-pub use server::{KvServer, ReplConfig, ServerOptions, SnapshotFn};
+pub use node::{EngineOptsFn, GroupConfig, NodeOptions, ReplNode};
+pub use server::{AppliedFn, KvServer, ReplConfig, ServerOptions, SnapshotFn};
 pub use shard::ShardRouter;

@@ -1,0 +1,567 @@
+//! The self-healing replication group member: one engine + server +
+//! follower loop + election supervisor, composed into a [`ReplNode`].
+//!
+//! A node is always in one of two modes, tracked by the shared
+//! [`RoleState`]:
+//!
+//! - **Leader**: the engine's commit sink publishes into the
+//!   [`Replicator`], subscriber streams ship records, and the supervisor
+//!   watches for isolation — a leader that lost contact with a majority
+//!   probes its peers and deposes itself when it discovers a successor's
+//!   epoch (the split-brain heal path).
+//! - **Follower**: a [`Follower`] apply loop streams from the believed
+//!   leader. The supervisor reacts to how that loop ends: `LeaderDead`
+//!   runs a [`try_elect`] round (with rank-staggered jittered retries),
+//!   `StaleLeader` re-follows the newly learned leader, `NeedsSnapshot`
+//!   performs the snapshot re-bootstrap *itself* — fetch, restore into a
+//!   fresh engine, swap it into the server, resume streaming — with
+//!   exponential backoff under fault injection.
+//!
+//! Chaos hooks ([`ReplNode::kill`], [`ReplNode::partition`]) model the
+//! two failure shapes the tests drive: process death (server + loops stop
+//! answering, engine state survives for a later restart) and a network
+//! partition (peers unreachable, clients still served — the shape that
+//! must degrade to `QuorumLost`, never silent acceptance).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use miodb_common::{AckLevel, KvEngine, ReplicationSink, Result, RoleState};
+use miodb_core::{MioDb, MioOptions};
+use miodb_repl::{
+    bootstrap_from_leader, engine_snapshot_bytes, probe_peers, try_elect, ElectionOutcome,
+    Follower, FollowerOptions, FollowerState, Replicator, ReplicatorOptions,
+};
+use parking_lot::Mutex;
+
+use crate::server::{KvServer, ReplConfig, ServerOptions};
+
+/// Produces engine options for (re)creating this node's engine — called
+/// once at start and again on every snapshot re-bootstrap (each call
+/// should name a fresh pool).
+pub type EngineOptsFn = Arc<dyn Fn() -> MioOptions + Send + Sync>;
+
+/// Group membership and identity for one [`ReplNode`].
+#[derive(Debug, Clone)]
+pub struct GroupConfig {
+    /// This node's dialable address; also what it binds.
+    pub self_addr: String,
+    /// Every member's address, this node included.
+    pub peers: Vec<String>,
+    /// The member that starts as leader (epoch 1).
+    pub initial_leader: String,
+}
+
+/// Tunables for a [`ReplNode`].
+#[derive(Clone)]
+pub struct NodeOptions {
+    /// Engine options factory (fresh pool per call).
+    pub engine_opts: EngineOptsFn,
+    /// Write acknowledgement level when this node leads.
+    pub ack_level: AckLevel,
+    /// Semi-sync/quorum ack patience.
+    pub ack_timeout: Duration,
+    /// Replication log retention budget in bytes.
+    pub retain_bytes: usize,
+    /// Follower apply-loop tunables (including `leader_dead_timeout`).
+    pub follower: FollowerOptions,
+    /// Leader-side subscriber silence deadline.
+    pub follower_dead_timeout: Duration,
+    /// Per-RPC timeout for election probes and ballots.
+    pub election_rpc_timeout: Duration,
+    /// Server tunables.
+    pub server: ServerOptions,
+}
+
+impl NodeOptions {
+    /// Defaults around `engine_opts`, tuned for in-process tests
+    /// (sub-second failure detection).
+    pub fn new(engine_opts: EngineOptsFn) -> NodeOptions {
+        NodeOptions {
+            engine_opts,
+            ack_level: AckLevel::Quorum,
+            ack_timeout: Duration::from_secs(5),
+            retain_bytes: 64 << 20,
+            follower: FollowerOptions {
+                read_timeout: Duration::from_millis(50),
+                reconnect_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(200),
+                leader_dead_timeout: Duration::from_millis(700),
+            },
+            follower_dead_timeout: Duration::from_millis(700),
+            election_rpc_timeout: Duration::from_millis(250),
+            server: ServerOptions::default(),
+        }
+    }
+}
+
+struct NodeInner {
+    addr: String,
+    peers: Vec<String>,
+    opts: NodeOptions,
+    engine: Mutex<Arc<MioDb>>,
+    server: KvServer,
+    replicator: Arc<Replicator>,
+    role: Arc<RoleState>,
+    follower: Mutex<Option<Follower>>,
+    stop: AtomicBool,
+    partitioned: AtomicBool,
+    /// Completed snapshot re-bootstraps (observability + test assertions).
+    bootstraps: AtomicU64,
+    /// Elections this node has won.
+    elections_won: AtomicU64,
+}
+
+/// One member of a self-healing replication group.
+pub struct ReplNode {
+    inner: Arc<NodeInner>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ReplNode {
+    /// Starts a group member with a fresh engine. The node binds
+    /// `group.self_addr`, starts as leader iff it is `group.initial_leader`
+    /// (epoch 1), and supervises itself from there.
+    ///
+    /// # Errors
+    ///
+    /// Returns engine-open and bind errors.
+    pub fn start(group: &GroupConfig, opts: NodeOptions) -> Result<ReplNode> {
+        let engine = Arc::new(MioDb::open((opts.engine_opts)())?);
+        ReplNode::start_with_engine(engine, group, opts)
+    }
+
+    /// Like [`ReplNode::start`] but reusing an existing engine — the
+    /// restart path: a killed node comes back with its surviving engine
+    /// state and resumes from its `last_sequence` (already-applied
+    /// records are never re-applied).
+    ///
+    /// # Errors
+    ///
+    /// Returns bind errors.
+    pub fn start_with_engine(
+        engine: Arc<MioDb>,
+        group: &GroupConfig,
+        opts: NodeOptions,
+    ) -> Result<ReplNode> {
+        let is_leader = group.initial_leader == group.self_addr;
+        let role = Arc::new(if is_leader {
+            RoleState::new_leader(1)
+        } else {
+            RoleState::new_follower(1, &group.initial_leader)
+        });
+        let replicator = Replicator::new(ReplicatorOptions {
+            ack_level: opts.ack_level,
+            semi_sync_timeout: opts.ack_timeout,
+            retain_bytes: opts.retain_bytes,
+            group_size: group.peers.len(),
+        });
+        if is_leader {
+            engine.set_commit_sink(Some(replicator.clone() as Arc<dyn ReplicationSink>));
+        } else {
+            // Restart path: the engine may carry the commit sink from a
+            // previous life as leader — a follower must not publish.
+            engine.set_commit_sink(None);
+        }
+        let engine_slot = Arc::new(Mutex::new(Arc::clone(&engine)));
+        let snap_slot = Arc::clone(&engine_slot);
+        let applied_slot = Arc::clone(&engine_slot);
+        let server = KvServer::start_replicated(
+            group.self_addr.as_str(),
+            Arc::clone(&engine) as Arc<dyn KvEngine>,
+            opts.server.clone(),
+            ReplConfig {
+                replicator: Some(Arc::clone(&replicator)),
+                snapshot: Some(Box::new(move || {
+                    let db = Arc::clone(&snap_slot.lock());
+                    engine_snapshot_bytes(&db)
+                })),
+                role: Arc::clone(&role),
+                advertised_addr: group.self_addr.clone(),
+                applied: Some(Box::new(move || {
+                    let db = Arc::clone(&applied_slot.lock());
+                    db.last_sequence()
+                })),
+                follower_dead_timeout: opts.follower_dead_timeout,
+            },
+        )?;
+        let follower = if is_leader {
+            None
+        } else {
+            Some(Follower::start_with_role(
+                Arc::clone(&engine),
+                &group.initial_leader,
+                opts.follower.clone(),
+                Some(Arc::clone(&role)),
+            )?)
+        };
+        let inner = Arc::new(NodeInner {
+            addr: group.self_addr.clone(),
+            peers: group.peers.clone(),
+            opts,
+            engine: Mutex::new(engine),
+            server,
+            replicator,
+            role,
+            follower: Mutex::new(follower),
+            stop: AtomicBool::new(false),
+            partitioned: AtomicBool::new(false),
+            bootstraps: AtomicU64::new(0),
+            elections_won: AtomicU64::new(0),
+        });
+        // Keep the external engine slot (captured by the server closures)
+        // in sync with the supervisor's swaps.
+        let sup = Arc::clone(&inner);
+        let slot = engine_slot;
+        let supervisor = std::thread::Builder::new()
+            .name(format!("miodb-node-{}", inner.addr))
+            .spawn(move || sup.supervise(&slot))
+            .map_err(miodb_common::Error::Io)?;
+        Ok(ReplNode {
+            inner,
+            supervisor: Mutex::new(Some(supervisor)),
+        })
+    }
+
+    /// This node's dialable address.
+    pub fn addr(&self) -> &str {
+        &self.inner.addr
+    }
+
+    /// The shared role/epoch state.
+    pub fn role(&self) -> &Arc<RoleState> {
+        &self.inner.role
+    }
+
+    /// Whether this node currently believes it leads.
+    pub fn is_leader(&self) -> bool {
+        self.inner.role.is_leader()
+    }
+
+    /// The node's current engine (swapped on snapshot re-bootstrap).
+    pub fn engine(&self) -> Arc<MioDb> {
+        Arc::clone(&self.inner.engine.lock())
+    }
+
+    /// The replication hub.
+    pub fn replicator(&self) -> &Arc<Replicator> {
+        &self.inner.replicator
+    }
+
+    /// The node's server (telemetry, partition hook).
+    pub fn server(&self) -> &KvServer {
+        &self.inner.server
+    }
+
+    /// Completed snapshot re-bootstraps.
+    pub fn bootstrap_count(&self) -> u64 {
+        self.inner.bootstraps.load(Ordering::Relaxed)
+    }
+
+    /// Elections this node has won.
+    pub fn elections_won(&self) -> u64 {
+        self.inner.elections_won.load(Ordering::Relaxed)
+    }
+
+    /// Chaos: process death. The server stops answering, the loops stop,
+    /// but engine state survives — restart with
+    /// [`ReplNode::start_with_engine`].
+    pub fn kill(&self) -> Arc<MioDb> {
+        self.inner.stop.store(true, Ordering::Release);
+        if let Some(t) = self.supervisor.lock().take() {
+            let _ = t.join();
+        }
+        if let Some(f) = self.inner.follower.lock().take() {
+            f.stop();
+        }
+        self.inner.server.shutdown();
+        Arc::clone(&self.inner.engine.lock())
+    }
+
+    /// Chaos: network partition. While engaged, this node's inter-node
+    /// traffic is cut in both directions (its server drops peer opcodes;
+    /// its own follower loop and elections are suspended) but client
+    /// traffic is still served — the shape where a quorum-level leader
+    /// must answer `QuorumLost` rather than accept unreplicatable writes.
+    pub fn partition(&self, engaged: bool) {
+        self.inner.server.set_partitioned(engaged);
+        self.inner.partitioned.store(engaged, Ordering::Release);
+        if engaged {
+            // Outgoing direction: a partitioned node cannot stream from
+            // the leader either.
+            if let Some(f) = self.inner.follower.lock().take() {
+                f.stop();
+            }
+        }
+    }
+
+    /// Whether the partition hook is engaged.
+    pub fn is_partitioned(&self) -> bool {
+        self.inner.partitioned.load(Ordering::Acquire)
+    }
+
+    /// Graceful shutdown: stop the supervisor, the apply loop and the
+    /// server, then close the engine (flushing MemTables).
+    ///
+    /// # Errors
+    ///
+    /// Returns engine close errors.
+    pub fn shutdown(&self) -> Result<()> {
+        let engine = self.kill();
+        engine.close()
+    }
+}
+
+impl NodeInner {
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Sleeps `d` in short slices so kill/partition stay responsive.
+    fn nap(&self, d: Duration) {
+        let until = Instant::now() + d;
+        while Instant::now() < until && !self.stopped() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Deterministic per-node jitter in `0..range_ms`, varied by `salt`.
+    fn jitter_ms(&self, salt: u64, range_ms: u64) -> u64 {
+        let mut x = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for b in self.addr.bytes() {
+            x = (x ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+        x ^= x >> 33;
+        x % range_ms.max(1)
+    }
+
+    fn applied_seq(&self) -> u64 {
+        self.engine.lock().last_sequence()
+    }
+
+    /// The supervisor: reacts to role flips and terminal follower states
+    /// until the node stops. `slot` mirrors the current engine for the
+    /// server's snapshot/applied closures.
+    fn supervise(&self, slot: &Mutex<Arc<MioDb>>) {
+        let mut was_leader = self.role.is_leader();
+        // When a leader lost its last quorum-relevant subscriber (probes
+        // for a successor start after the detector deadline).
+        let mut isolated_since: Option<Instant> = None;
+        let mut election_attempt: u64 = 0;
+        while !self.stopped() {
+            if self.partitioned.load(Ordering::Acquire) {
+                // A partitioned node can reach nobody: no elections, no
+                // reconnects. Its clocks keep running so the moment the
+                // partition heals it probes and discovers its fate.
+                self.nap(Duration::from_millis(20));
+                continue;
+            }
+            let leading = self.role.is_leader();
+            if was_leader && !leading {
+                // Deposed (a vote, ack or subscribe carried a newer
+                // epoch): stop publishing, follow the successor.
+                self.engine.lock().set_commit_sink(None);
+                self.start_following();
+            }
+            was_leader = leading;
+            if leading {
+                isolated_since = self.leader_tick(isolated_since);
+            } else {
+                election_attempt = self.follower_tick(slot, election_attempt);
+            }
+            self.nap(Duration::from_millis(15));
+        }
+    }
+
+    /// Leader-side supervision: watch for isolation and probe for a
+    /// successor once isolated past the detector deadline. Returns the
+    /// updated isolation clock.
+    fn leader_tick(&self, isolated_since: Option<Instant>) -> Option<Instant> {
+        let quorum_relevant = miodb_common::majority(self.peers.len()).saturating_sub(1);
+        if quorum_relevant == 0 || self.replicator.subscriber_count() >= quorum_relevant {
+            return None;
+        }
+        let since = isolated_since.unwrap_or_else(Instant::now);
+        if since.elapsed() >= self.opts.follower_dead_timeout {
+            // Long isolation: either the group is down (nothing to do) or
+            // it moved on without us. Probing tells the difference — a
+            // successor's higher epoch deposes us via `observe_epoch`.
+            for p in probe_peers(&self.peers, &self.addr, self.opts.election_rpc_timeout) {
+                if p.epoch > self.role.epoch() {
+                    self.role.observe_epoch(p.epoch, &p.leader_hint);
+                }
+            }
+        }
+        Some(since)
+    }
+
+    /// Follower-side supervision: keep an apply loop running against the
+    /// believed leader, elect when it is dead, re-bootstrap when it
+    /// truncated past us. Returns the updated election attempt counter.
+    fn follower_tick(&self, slot: &Mutex<Arc<MioDb>>, election_attempt: u64) -> u64 {
+        let state = self.follower.lock().as_ref().map(|f| f.state());
+        match state {
+            Some(FollowerState::Connecting | FollowerState::Streaming) => 0,
+            Some(FollowerState::LeaderDead) => self.run_election(election_attempt),
+            Some(FollowerState::StaleLeader) | Some(FollowerState::Stopped) => {
+                // The loop learned of (or lost) a leader; re-follow the
+                // current hint, or elect if there is none.
+                self.follower.lock().take();
+                if self.role.leader_hint().is_empty() {
+                    self.run_election(election_attempt)
+                } else {
+                    self.start_following();
+                    0
+                }
+            }
+            Some(FollowerState::NeedsSnapshot) => {
+                self.follower.lock().take();
+                self.rebootstrap(slot, election_attempt);
+                0
+            }
+            None => {
+                // No loop at all (fresh follower role, healed partition,
+                // or a finished transition): follow or elect.
+                if self.role.leader_hint().is_empty() || !self.role.leader_live() {
+                    self.run_election(election_attempt)
+                } else {
+                    self.start_following();
+                    0
+                }
+            }
+        }
+    }
+
+    /// Starts (or restarts) the apply loop against the current hint.
+    fn start_following(&self) {
+        let hint = self.role.leader_hint();
+        if hint.is_empty() || hint == self.addr {
+            return;
+        }
+        let engine = Arc::clone(&self.engine.lock());
+        // The loop observes frames, so mark the leader tentatively live;
+        // its own detector will say otherwise.
+        self.role.set_leader_live(true);
+        if let Ok(f) = Follower::start_with_role(
+            engine,
+            &hint,
+            self.opts.follower.clone(),
+            Some(Arc::clone(&self.role)),
+        ) {
+            *self.follower.lock() = Some(f);
+            // Re-joined as a clean follower: drop the StaleEpoch fence so
+            // refused mutations redirect to the successor from here on.
+            self.role.acknowledge_deposed();
+        }
+    }
+
+    /// One staggered election round. Returns the next attempt counter
+    /// (0 after a decisive outcome, incremented while contending).
+    fn run_election(&self, attempt: u64) -> u64 {
+        // Rank stagger + jitter: nodes dial elections at different times,
+        // so the best-qualified one usually probes first and the rest
+        // adopt it via Standby/FollowLeader instead of splitting votes.
+        let delay = 20 + self.jitter_ms(attempt.wrapping_add(1), 60);
+        self.nap(Duration::from_millis(delay));
+        if self.stopped() || self.partitioned.load(Ordering::Acquire) || self.role.is_leader() {
+            return 0;
+        }
+        let outcome = try_elect(
+            &self.role,
+            &self.addr,
+            &self.peers,
+            self.applied_seq(),
+            self.opts.election_rpc_timeout,
+        );
+        match outcome {
+            ElectionOutcome::Won { .. } => {
+                self.become_group_leader();
+                0
+            }
+            ElectionOutcome::FollowLeader { .. } => {
+                self.follower.lock().take();
+                self.start_following();
+                0
+            }
+            ElectionOutcome::Standby => {
+                self.nap(Duration::from_millis(40 + self.jitter_ms(attempt, 80)));
+                attempt + 1
+            }
+            ElectionOutcome::NoQuorum => {
+                // Majority unreachable: nothing can be decided. Stay a
+                // follower (mutations answer NotLeader) and retry.
+                self.nap(Duration::from_millis(100));
+                attempt + 1
+            }
+        }
+    }
+
+    /// Post-win transition: fence the log base at our applied offset
+    /// (subscribers behind it must snapshot — this node's log cannot
+    /// prove the older prefix) and start publishing.
+    fn become_group_leader(&self) {
+        self.elections_won.fetch_add(1, Ordering::Relaxed);
+        if let Some(f) = self.follower.lock().take() {
+            f.stop();
+        }
+        let engine = Arc::clone(&self.engine.lock());
+        self.replicator.set_base(engine.last_sequence());
+        engine.set_commit_sink(Some(Arc::clone(&self.replicator) as Arc<dyn ReplicationSink>));
+    }
+
+    /// Self-driven snapshot catch-up: fetch + restore into a fresh
+    /// engine, swap it into the server and resume streaming. Backs off
+    /// exponentially on (possibly injected) failure.
+    fn rebootstrap(&self, slot: &Mutex<Arc<MioDb>>, election_attempt: u64) {
+        let hint = self.role.leader_hint();
+        if hint.is_empty() || hint == self.addr {
+            return;
+        }
+        let mut backoff = Duration::from_millis(20);
+        loop {
+            if self.stopped() || self.partitioned.load(Ordering::Acquire) {
+                return;
+            }
+            match bootstrap_from_leader(&hint, (self.opts.engine_opts)()) {
+                Ok(db) => {
+                    let db = Arc::new(db);
+                    let old = std::mem::replace(&mut *self.engine.lock(), Arc::clone(&db));
+                    *slot.lock() = Arc::clone(&db);
+                    self.server.replace_engine(Arc::clone(&db) as Arc<dyn KvEngine>);
+                    let _ = old.close();
+                    self.bootstraps.fetch_add(1, Ordering::Relaxed);
+                    self.start_following();
+                    return;
+                }
+                Err(_) => {
+                    // Injected or real failure: retry with backoff. The
+                    // leader may also have died — notice via its hint
+                    // going stale on the next supervisor pass.
+                    self.nap(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(500));
+                    if !self.role.leader_live() && self.role.leader_hint() != hint {
+                        // The group moved on mid-bootstrap; let the
+                        // supervisor re-evaluate against the new leader.
+                        return;
+                    }
+                    let _ = election_attempt;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ReplNode {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::Release);
+        if let Some(t) = self.supervisor.lock().take() {
+            let _ = t.join();
+        }
+        if let Some(f) = self.inner.follower.lock().take() {
+            f.stop();
+        }
+        self.inner.server.shutdown();
+    }
+}

@@ -17,19 +17,26 @@
 //! - **Backpressure.** Past `max_connections`, an accept is answered with a
 //!   single `Err` frame and closed; clients retry elsewhere or back off.
 //! - **Replication** (§13 of DESIGN.md). A server started with
-//!   [`KvServer::start_replicated`] carries a role: leaders accept
-//!   `ReplSubscribe` by converting that connection into a push stream of
-//!   committed WAL records (fed from the [`Replicator`]'s log, with acks
-//!   read back on the same socket), and serve `SnapshotFetch` for cold
-//!   catch-up; followers refuse mutations with a typed `NotLeader` frame
-//!   carrying a redirect hint. [`KvServer::promote_to_leader`] flips the
-//!   role in place during failover.
+//!   [`KvServer::start_replicated`] carries a shared [`RoleState`]:
+//!   leaders accept `ReplSubscribe` by converting that connection into a
+//!   push stream of committed WAL records (fed from the [`Replicator`]'s
+//!   log, with acks read back on the same socket), serve `SnapshotFetch`
+//!   for cold catch-up and answer `ReplVote` probes/ballots; followers
+//!   refuse mutations with a typed `NotLeader` frame carrying the epoch
+//!   and a redirect hint. Every replication frame carries the epoch, and
+//!   every mutation checks it *before* engine work: a deposed leader
+//!   answers `StaleEpoch`, and a quorum-level leader that cannot reach a
+//!   majority answers `QuorumLost` instead of silently accepting.
+//!   [`KvServer::promote_to_leader`] flips the role in place during
+//!   failover; [`KvServer::set_partitioned`] simulates a network
+//!   partition for chaos tests (inter-node opcodes dropped, streams cut,
+//!   client traffic still served).
 
 use miodb_common::proto::{self, Frame, Opcode, ReplBatch, Request, Response};
 use miodb_common::trace::{self, SpanKind, TraceCtx};
-use miodb_common::{fault, Error, KvEngine, OpKind, Result, ServiceTelemetry};
+use miodb_common::{fault, Error, KvEngine, OpKind, Result, RoleState, ServiceTelemetry};
 use miodb_repl::Replicator;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -67,40 +74,119 @@ impl Default for ServerOptions {
 /// (typically [`miodb_repl::engine_snapshot_bytes`] over the engine).
 pub type SnapshotFn = Box<dyn Fn() -> Result<Vec<u8>> + Send + Sync>;
 
+/// Reports the engine's highest applied sequence number (for vote
+/// responses — a voter only grants to candidates at least as caught up).
+pub type AppliedFn = Box<dyn Fn() -> u64 + Send + Sync>;
+
 /// Replication role and wiring for [`KvServer::start_replicated`].
 pub struct ReplConfig {
-    /// The leader-side hub; `None` on a pure follower (it only serves
-    /// reads until promoted).
+    /// The leader-side hub; also present on followers that may be
+    /// promoted (it sits quiescent until the node leads).
     pub replicator: Option<Arc<Replicator>>,
     /// Snapshot producer for `SnapshotFetch`; `None` refuses the opcode.
     pub snapshot: Option<SnapshotFn>,
-    /// Starting role.
-    pub leader: bool,
-    /// Redirect hint embedded in `NotLeader` frames while a follower
-    /// (usually the leader's `host:port`).
-    pub leader_hint: String,
+    /// Shared role/epoch state (typically also handed to the follower
+    /// apply loop and the election supervisor).
+    pub role: Arc<RoleState>,
+    /// This node's address as peers dial it: stamped into vote responses
+    /// and used as the leader hint after a promotion.
+    pub advertised_addr: String,
+    /// Engine applied-sequence probe for vote responses; `None` reports 0
+    /// (the node never wins a contested election).
+    pub applied: Option<AppliedFn>,
+    /// A subscriber silent past this deadline (no acks, not even
+    /// heartbeat acks) is declared dead and dropped from the quorum set.
+    pub follower_dead_timeout: Duration,
+}
+
+impl ReplConfig {
+    /// Conventional wiring for a group member at `advertised_addr`.
+    pub fn new(
+        replicator: Option<Arc<Replicator>>,
+        snapshot: Option<SnapshotFn>,
+        role: Arc<RoleState>,
+        advertised_addr: &str,
+    ) -> ReplConfig {
+        ReplConfig {
+            replicator,
+            snapshot,
+            role,
+            advertised_addr: advertised_addr.to_string(),
+            applied: None,
+            follower_dead_timeout: Duration::from_secs(3),
+        }
+    }
 }
 
 struct Shared {
-    engine: Arc<dyn KvEngine>,
+    /// Swappable so a snapshot re-bootstrap can replace a follower's
+    /// engine in place without tearing down client connections.
+    engine: RwLock<Arc<dyn KvEngine>>,
     telemetry: ServiceTelemetry,
     shutdown: AtomicBool,
     opts: ServerOptions,
-    /// Role flag: plain servers are permanent leaders; replicated
-    /// followers flip this on promotion.
-    is_leader: AtomicBool,
-    leader_hint: Mutex<String>,
+    /// Role/epoch state: plain servers get a permanent epoch-0 leader.
+    role: Arc<RoleState>,
+    /// Whether this server was started with replication wiring (gates
+    /// `ReplVote` and subscriber streams).
+    replication_enabled: bool,
     replicator: Option<Arc<Replicator>>,
     snapshot: Option<SnapshotFn>,
+    applied: Option<AppliedFn>,
+    advertised_addr: String,
+    follower_dead_timeout: Duration,
+    /// Chaos hook: while set, inter-node opcodes (subscribe/vote/
+    /// snapshot) are dropped and active subscriber streams are cut, as a
+    /// network partition would. Client opcodes keep being served.
+    partitioned: AtomicBool,
 }
 
 impl Shared {
+    fn engine(&self) -> Arc<dyn KvEngine> {
+        Arc::clone(&self.engine.read())
+    }
+
     fn leader(&self) -> bool {
-        self.is_leader.load(Ordering::Acquire)
+        self.role.is_leader()
+    }
+
+    fn applied_seq(&self) -> u64 {
+        self.applied.as_ref().map_or(0, |f| f())
     }
 
     fn not_leader(&self) -> Response {
-        Response::NotLeader(self.leader_hint.lock().clone())
+        Response::NotLeader {
+            epoch: self.role.epoch(),
+            hint: self.role.leader_hint(),
+        }
+    }
+
+    fn stale_epoch(&self) -> Response {
+        Response::StaleEpoch {
+            epoch: self.role.epoch(),
+            hint: self.role.leader_hint(),
+        }
+    }
+
+    fn partitioned(&self) -> bool {
+        self.partitioned.load(Ordering::Acquire)
+    }
+}
+
+/// Maps a typed engine/replication error to its wire response. Fencing
+/// and quorum errors keep their dedicated opcodes so clients can react
+/// without string matching; everything else degrades to `Err(text)`.
+fn error_response(e: &Error) -> Response {
+    match e {
+        Error::QuorumLost { have, need } => Response::QuorumLost {
+            have: *have as u32,
+            need: *need as u32,
+        },
+        Error::StaleEpoch { epoch, hint } => Response::StaleEpoch {
+            epoch: *epoch,
+            hint: hint.clone(),
+        },
+        other => Response::Err(other.to_string()),
     }
 }
 
@@ -158,19 +244,44 @@ impl KvServer {
         let listener = TcpListener::bind(addr).map_err(Error::Io)?;
         listener.set_nonblocking(true).map_err(Error::Io)?;
         let local_addr = listener.local_addr().map_err(Error::Io)?;
-        let (leader, hint, replicator, snapshot) = match repl {
-            None => (true, String::new(), None, None),
-            Some(c) => (c.leader, c.leader_hint, c.replicator, c.snapshot),
-        };
+        let replication_enabled = repl.is_some();
+        let (role, advertised_addr, applied, follower_dead_timeout, replicator, snapshot) =
+            match repl {
+                None => (
+                    Arc::new(RoleState::new_leader(0)),
+                    String::new(),
+                    None,
+                    Duration::from_secs(3),
+                    None,
+                    None,
+                ),
+                Some(c) => (
+                    c.role,
+                    c.advertised_addr,
+                    c.applied,
+                    c.follower_dead_timeout,
+                    c.replicator,
+                    c.snapshot,
+                ),
+            };
+        // A leader's hint is its own dialable address, so probes can
+        // recognise it as a live leader first-hand.
+        if role.is_leader() && !advertised_addr.is_empty() {
+            role.set_leader_hint(&advertised_addr);
+        }
         let shared = Arc::new(Shared {
-            engine,
+            engine: RwLock::new(engine),
             telemetry: ServiceTelemetry::new(),
             shutdown: AtomicBool::new(false),
             opts,
-            is_leader: AtomicBool::new(leader),
-            leader_hint: Mutex::new(hint),
+            role,
+            replication_enabled,
             replicator,
             snapshot,
+            applied,
+            advertised_addr,
+            follower_dead_timeout,
+            partitioned: AtomicBool::new(false),
         });
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_shared = Arc::clone(&shared);
@@ -197,9 +308,18 @@ impl KvServer {
         &self.shared.telemetry
     }
 
-    /// The served engine.
-    pub fn engine(&self) -> &Arc<dyn KvEngine> {
-        &self.shared.engine
+    /// The served engine (a clone of the current slot — the engine can be
+    /// swapped by [`KvServer::replace_engine`] during a snapshot
+    /// re-bootstrap).
+    pub fn engine(&self) -> Arc<dyn KvEngine> {
+        self.shared.engine()
+    }
+
+    /// Swaps the served engine in place (snapshot re-bootstrap on a
+    /// follower). In-flight requests finish against the engine they
+    /// started with; subsequent requests see the new one.
+    pub fn replace_engine(&self, engine: Arc<dyn KvEngine>) {
+        *self.shared.engine.write() = engine;
     }
 
     /// Current replication role (plain servers are always leaders).
@@ -207,12 +327,44 @@ impl KvServer {
         self.shared.leader()
     }
 
-    /// Failover: flips a follower into a leader in place. New mutations
-    /// are accepted immediately; the caller should have drained the old
-    /// leader's stream first ([`miodb_repl::Follower::promote`]).
+    /// The shared role/epoch state.
+    pub fn role(&self) -> &Arc<RoleState> {
+        &self.shared.role
+    }
+
+    /// Failover: flips a follower into a leader in place at a fresh
+    /// epoch. New mutations are accepted immediately; the caller should
+    /// have drained the old leader's stream first
+    /// ([`miodb_repl::Follower::promote`]). Also fences the replication
+    /// log base at the engine's applied offset: subscribers behind it
+    /// must snapshot-catch-up, since this node's log never held those
+    /// records and cannot prove their prefix.
     pub fn promote_to_leader(&self) {
-        self.shared.is_leader.store(true, Ordering::Release);
-        self.shared.leader_hint.lock().clear();
+        let epoch = self.shared.role.epoch() + 1;
+        self.shared.role.become_leader(epoch);
+        if !self.shared.advertised_addr.is_empty() {
+            self.shared.role.set_leader_hint(&self.shared.advertised_addr);
+        } else {
+            self.shared.role.set_leader_hint("");
+        }
+        if let Some(r) = &self.shared.replicator {
+            r.set_base(self.shared.applied_seq());
+        }
+    }
+
+    /// Chaos hook: simulate this node being cut off from its peers.
+    /// While partitioned, inter-node opcodes (`ReplSubscribe`,
+    /// `ReplVote`, `SnapshotFetch`) are dropped without a response and
+    /// active subscriber streams are severed; ordinary client traffic is
+    /// still served (that asymmetry is what makes a partitioned
+    /// quorum-level leader answer `QuorumLost`).
+    pub fn set_partitioned(&self, partitioned: bool) {
+        self.shared.partitioned.store(partitioned, Ordering::Release);
+    }
+
+    /// Whether the partition chaos hook is engaged.
+    pub fn is_partitioned(&self) -> bool {
+        self.shared.partitioned()
     }
 
     /// The replication hub, when started with one.
@@ -349,6 +501,15 @@ enum FrameOutcome {
     StartStream { id: u32, from: u64 },
 }
 
+/// Opcodes exchanged between group members (not clients): these are what
+/// a simulated partition drops.
+fn is_inter_node(opcode: u8) -> bool {
+    matches!(
+        Opcode::from_u8(opcode),
+        Some(Opcode::ReplSubscribe | Opcode::ReplAck | Opcode::ReplVote | Opcode::SnapshotFetch)
+    )
+}
+
 /// Decodes and executes one frame. Decode failure after a structurally
 /// valid frame keeps the connection open — framing is still aligned.
 fn serve_frame<W: Write>(frame: &Frame, shared: &Shared, writer: &mut W) -> FrameOutcome {
@@ -359,6 +520,11 @@ fn serve_frame<W: Write>(frame: &Frame, shared: &Shared, writer: &mut W) -> Fram
     // must treat an in-flight mutation as ambiguous (`MaybeApplied`) and
     // reconnect. Other connections are unaffected.
     if fault::hit(fault::points::SERVER_CONN_DROP).is_some() {
+        return FrameOutcome::Close;
+    }
+    // Simulated partition: peer traffic vanishes mid-network, exactly as
+    // a real partition would look — no refusal frame, just silence.
+    if shared.partitioned() && is_inter_node(frame.opcode) {
         return FrameOutcome::Close;
     }
     let started = Instant::now();
@@ -382,14 +548,21 @@ fn serve_frame<W: Write>(frame: &Frame, shared: &Shared, writer: &mut W) -> Fram
     let (op, resp) = match decoded {
         // Subscribe handshake: answered from the stream handler (it needs
         // the log bounds and a registered subscriber id).
-        Ok(Request::ReplSubscribe { from }) => {
+        Ok(Request::ReplSubscribe { from, epoch }) => {
             shared
                 .telemetry
                 .request_end(Opcode::ReplSubscribe, started.elapsed().as_nanos() as u64);
+            // A subscriber presenting a newer epoch fences us: somewhere
+            // an election we missed has concluded.
+            if epoch > shared.role.epoch() {
+                shared.role.observe_epoch(epoch, "");
+            }
             if shared.leader() && shared.replicator.is_some() {
                 return FrameOutcome::StartStream { id: frame.id, from };
             }
-            let resp = if shared.leader() {
+            let resp = if shared.role.is_deposed() {
+                shared.stale_epoch()
+            } else if !shared.replication_enabled {
                 Response::Err("replication not enabled".to_string())
             } else {
                 shared.not_leader()
@@ -397,11 +570,15 @@ fn serve_frame<W: Write>(frame: &Frame, shared: &Shared, writer: &mut W) -> Fram
             return respond(writer, frame.id, Opcode::ReplSubscribe, &resp);
         }
         // Acks are fire-and-forget (no response frame); outside a
-        // subscriber stream there is nothing to credit one to.
-        Ok(Request::ReplAck { .. }) => {
+        // subscriber stream there is nothing to credit one to — but the
+        // epoch on one still fences.
+        Ok(Request::ReplAck { epoch, .. }) => {
             shared
                 .telemetry
                 .request_end(Opcode::ReplAck, started.elapsed().as_nanos() as u64);
+            if epoch > shared.role.epoch() {
+                shared.role.observe_epoch(epoch, "");
+            }
             return FrameOutcome::Continue;
         }
         Ok(req) => {
@@ -437,17 +614,31 @@ fn respond<W: Write>(writer: &mut W, id: u32, op: Opcode, resp: &Response) -> Fr
 }
 
 fn execute(req: &Request, shared: &Shared) -> Response {
-    let engine = &shared.engine;
-    // Followers refuse mutations *before* any engine work: the request is
-    // provably not applied, so the client's redirect-and-retry is always
-    // safe (no duplicate-write ambiguity, unlike a dropped connection).
-    if !shared.leader()
-        && matches!(
-            req,
-            Request::Put { .. } | Request::Delete { .. } | Request::Batch { .. }
-        )
-    {
-        return shared.not_leader();
+    let engine = shared.engine();
+    // Non-leaders refuse mutations *before* any engine work: the request
+    // is provably not applied, so the client's redirect-and-retry is
+    // always safe (no duplicate-write ambiguity, unlike a dropped
+    // connection). A *deposed* leader answers the typed `StaleEpoch` —
+    // the distinction matters: `NotLeader` means "follow the hint",
+    // `StaleEpoch` means "your leader view is stale, refresh it".
+    if matches!(
+        req,
+        Request::Put { .. } | Request::Delete { .. } | Request::Batch { .. }
+    ) {
+        if shared.role.is_deposed() {
+            return shared.stale_epoch();
+        }
+        if !shared.leader() {
+            return shared.not_leader();
+        }
+        // Quorum-level admission: a leader that cannot possibly reach a
+        // majority refuses typed rather than accepting a write that
+        // could never quorum-ack (the partitioned-leader case).
+        if let Some(r) = &shared.replicator {
+            if let Err(e) = r.admit_write() {
+                return error_response(&e);
+            }
+        }
     }
     let result = match req {
         Request::Get { key } => engine.get(key).map(Response::Value),
@@ -466,6 +657,9 @@ fn execute(req: &Request, shared: &Shared) -> Response {
         Request::Stats => {
             let mut text = engine.metrics_text();
             text.push_str(&shared.telemetry.render_prometheus());
+            if let Some(replicator) = &shared.replicator {
+                text.push_str(&replicator.render_prometheus());
+            }
             Ok(Response::Stats(text))
         }
         // Drains every span buffered so far (client spans too when the
@@ -475,18 +669,51 @@ fn execute(req: &Request, shared: &Shared) -> Response {
             Some(produce) => produce().map(Response::Snapshot),
             None => Ok(Response::Err("snapshot serving not configured".to_string())),
         },
+        // Election traffic: probes (epoch 0) report status, ballots go
+        // through the one-vote-per-epoch gate. A deposed-by-ballot leader
+        // steps down inside `consider_vote` before the candidate's first
+        // write can race it.
+        Request::ReplVote {
+            epoch,
+            last_seq,
+            candidate,
+        } => {
+            if !shared.replication_enabled {
+                Ok(Response::Err("replication not enabled".to_string()))
+            } else {
+                let my_seq = shared.applied_seq();
+                let granted = shared.role.consider_vote(
+                    *epoch,
+                    *last_seq,
+                    candidate,
+                    my_seq,
+                    &shared.advertised_addr,
+                );
+                Ok(Response::Vote {
+                    granted,
+                    epoch: shared.role.epoch(),
+                    last_seq: my_seq,
+                    leader_live: shared.role.leader_live(),
+                    leader_hint: shared.role.leader_hint(),
+                })
+            }
+        }
         // Handled in serve_frame before execute; kept for exhaustiveness.
         Request::ReplSubscribe { .. } | Request::ReplAck { .. } => Ok(Response::Err(
             "replication opcode outside stream handshake".to_string(),
         )),
     };
-    result.unwrap_or_else(|e| Response::Err(e.to_string()))
+    result.unwrap_or_else(|e| error_response(&e))
 }
 
 /// Runs a subscriber connection after the `ReplSubscribe` handshake: this
-/// thread pushes `ReplRecords` frames (fed from the replication log, with
-/// heartbeats when idle) while a companion thread reads `ReplAck` frames
-/// off the same socket. Ends on follower hangup, shutdown, log truncation
+/// thread pushes epoch-stamped `ReplRecords` frames (fed from the
+/// replication log, with heartbeats when idle) while a companion thread
+/// reads `ReplAck` frames off the same socket. Every ack — heartbeat acks
+/// included — feeds the follower failure detector and the fencing check.
+/// Ends on follower hangup, follower death (silence past the deadline),
+/// deposition (an ack or ballot carried a newer epoch — the final frame
+/// is then a `StaleEpoch` goodbye), shutdown, partition, log truncation
 /// or an injected `repl.stream.drop`.
 fn serve_repl_stream(
     id: u32,
@@ -498,9 +725,12 @@ fn serve_repl_stream(
     let Some(replicator) = shared.replicator.clone() else {
         return;
     };
-    let log = Arc::clone(replicator.log());
-    let (log_start, last) = log.bounds();
-    let hello = Response::ReplSubscribed { log_start, last };
+    let (log_start, last) = replicator.subscribe_bounds();
+    let hello = Response::ReplSubscribed {
+        log_start,
+        last,
+        epoch: shared.role.epoch(),
+    };
     if proto::write_response(&mut writer, id, Opcode::ReplSubscribe, &hello).is_err()
         || writer.flush().is_err()
     {
@@ -514,15 +744,23 @@ fn serve_repl_stream(
     // sender below ends the stream.
     let ack_stop = Arc::clone(&stop);
     let ack_replicator = Arc::clone(&replicator);
+    let ack_role = Arc::clone(&shared.role);
     let ack_thread = std::thread::Builder::new()
         .name("miodb-repl-ack".to_string())
         .spawn(move || {
             loop {
                 match proto::read_frame(&mut reader) {
                     Ok(Some(frame)) => {
-                        if let Ok(Request::ReplAck { offset }) =
+                        if let Ok(Request::ReplAck { offset, epoch }) =
                             Request::decode(frame.opcode, &frame.body)
                         {
+                            // Fencing: a follower that voted in an
+                            // election we missed reports the new epoch
+                            // here; observing it deposes this leader and
+                            // the sender loop below winds the stream down.
+                            if epoch > ack_role.epoch() {
+                                ack_role.observe_epoch(epoch, "");
+                            }
                             ack_replicator.record_ack(sub_id, offset);
                         }
                     }
@@ -544,13 +782,35 @@ fn serve_repl_stream(
         if stop.load(Ordering::Acquire) || shared.shutdown.load(Ordering::Acquire) {
             break;
         }
+        // Deposed mid-stream: say goodbye with the typed frame so the
+        // follower learns the fence even before it finds the new leader.
+        if !shared.leader() {
+            let _ = proto::write_response(&mut writer, 0, Opcode::ReplRecords, &shared.stale_epoch());
+            let _ = writer.flush();
+            break;
+        }
+        // Simulated partition: the stream just dies, no goodbye.
+        if shared.partitioned() {
+            break;
+        }
+        // Follower failure detection: acks (heartbeat acks included)
+        // arrive at least every poll interval from a live follower;
+        // silence past the deadline drops it from the quorum set.
+        if shared
+            .replication_enabled
+            .then(|| replicator.ack_silent_for(sub_id))
+            .flatten()
+            .is_some_and(|silent| silent >= shared.follower_dead_timeout)
+        {
+            break;
+        }
         // Injected stream drop: the subscriber connection dies without a
         // goodbye; the follower reconnects and resumes from its applied
         // offset.
         if fault::hit(fault::points::REPL_STREAM_DROP).is_some() {
             break;
         }
-        let fetched = log.fetch_after(cursor, MAX_REPL_FETCH_BYTES, REPL_POLL);
+        let fetched = replicator.fetch_after(cursor, MAX_REPL_FETCH_BYTES, REPL_POLL);
         if fetched.truncated {
             let resp = Response::Err("replication log truncated; snapshot required".to_string());
             let _ = proto::write_response(&mut writer, 0, Opcode::ReplRecords, &resp);
@@ -570,7 +830,10 @@ fn serve_repl_stream(
             cursor = tail.seq_last;
         }
         // An empty batch list is the heartbeat.
-        let frame = Response::ReplRecords(batches);
+        let frame = Response::ReplRecords {
+            epoch: shared.role.epoch(),
+            batches,
+        };
         if proto::write_response(&mut writer, 0, Opcode::ReplRecords, &frame).is_err()
             || writer.flush().is_err()
         {

@@ -60,16 +60,20 @@ fn as_group_ops(ops: &[Op]) -> Vec<GroupOp<'_>> {
 /// Pushes `bytes` through the `ReplRecords` wire encoding and back,
 /// asserting the payload survives byte-identically.
 fn wire_round_trip(bytes: &[u8], seq_first: u64, seq_last: u64) -> Vec<u8> {
-    let resp = Response::ReplRecords(vec![ReplBatch {
-        seq_first,
-        seq_last,
-        bytes: bytes.to_vec(),
-    }]);
+    let resp = Response::ReplRecords {
+        epoch: 1,
+        batches: vec![ReplBatch {
+            seq_first,
+            seq_last,
+            bytes: bytes.to_vec(),
+        }],
+    };
     let mut body = Vec::new();
     resp.encode_body(&mut body);
     let decoded = Response::decode(resp.opcode(Opcode::ReplRecords), &body).unwrap();
     match decoded {
-        Response::ReplRecords(mut batches) => {
+        Response::ReplRecords { mut batches, epoch } => {
+            assert_eq!(epoch, 1, "epoch must survive the wire round trip");
             assert_eq!(batches.len(), 1);
             let b = batches.pop().unwrap();
             assert_eq!(b.seq_first, seq_first);

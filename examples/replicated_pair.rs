@@ -13,7 +13,7 @@ use miodb::common::ReplicationSink;
 use miodb::repl::engine_snapshot_bytes;
 use miodb::{
     AckLevel, Follower, FollowerOptions, KvClient, KvEngine, KvServer, MioDb, MioOptions,
-    ReplConfig, Replicator, ReplicatorOptions, ServerOptions,
+    ReplConfig, Replicator, ReplicatorOptions, RoleState, ServerOptions,
 };
 
 fn main() -> miodb::Result<()> {
@@ -28,6 +28,7 @@ fn main() -> miodb::Result<()> {
         ack_level: AckLevel::SemiSync,
         semi_sync_timeout: Duration::from_secs(5),
         retain_bytes: 64 << 20,
+        group_size: 2,
     });
     leader_db.set_commit_sink(Some(Arc::clone(&replicator) as Arc<dyn ReplicationSink>));
     let snap_db = Arc::clone(&leader_db);
@@ -35,12 +36,12 @@ fn main() -> miodb::Result<()> {
         "127.0.0.1:0",
         Arc::clone(&leader_db) as Arc<dyn KvEngine>,
         ServerOptions::default(),
-        ReplConfig {
-            replicator: Some(Arc::clone(&replicator)),
-            snapshot: Some(Box::new(move || engine_snapshot_bytes(&snap_db))),
-            leader: true,
-            leader_hint: String::new(),
-        },
+        ReplConfig::new(
+            Some(Arc::clone(&replicator)),
+            Some(Box::new(move || engine_snapshot_bytes(&snap_db))),
+            Arc::new(RoleState::new_leader(1)),
+            "",
+        ),
     )?;
     println!("leader on {}", leader.local_addr());
 
@@ -59,12 +60,15 @@ fn main() -> miodb::Result<()> {
         "127.0.0.1:0",
         Arc::clone(&follower_db) as Arc<dyn KvEngine>,
         ServerOptions::default(),
-        ReplConfig {
-            replicator: None,
-            snapshot: None,
-            leader: false,
-            leader_hint: leader.local_addr().to_string(),
-        },
+        ReplConfig::new(
+            None,
+            None,
+            Arc::new(RoleState::new_follower(
+                1,
+                &leader.local_addr().to_string(),
+            )),
+            "",
+        ),
     )?;
     println!("follower on {}", fsrv.local_addr());
     let deadline = Instant::now() + Duration::from_secs(5);

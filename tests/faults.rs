@@ -403,6 +403,7 @@ fn fast_client(addr: std::net::SocketAddr) -> KvClient {
             max_retries: 4,
             backoff_base: Duration::from_millis(5),
             backoff_max: Duration::from_millis(100),
+            max_redirects: 4,
         },
     )
     .unwrap()

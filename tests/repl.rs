@@ -16,7 +16,9 @@ use miodb::repl::{
     bootstrap_from_leader, engine_snapshot_bytes, Follower, FollowerOptions, Replicator,
     ReplicatorOptions,
 };
-use miodb::{KvClient, KvEngine, KvServer, MioDb, MioOptions, ReplConfig, ServerOptions};
+use miodb::{
+    KvClient, KvEngine, KvServer, MioDb, MioOptions, ReplConfig, RoleState, ServerOptions,
+};
 
 fn test_opts(name: &str) -> MioOptions {
     MioOptions {
@@ -37,6 +39,7 @@ fn start_leader(
         ack_level: ack,
         semi_sync_timeout: Duration::from_secs(10),
         retain_bytes,
+        group_size: 2,
     });
     db.set_commit_sink(Some(replicator.clone() as Arc<dyn ReplicationSink>));
     let snap_db = Arc::clone(&db);
@@ -44,12 +47,12 @@ fn start_leader(
         "127.0.0.1:0",
         Arc::clone(&db) as Arc<dyn KvEngine>,
         ServerOptions::default(),
-        ReplConfig {
-            replicator: Some(Arc::clone(&replicator)),
-            snapshot: Some(Box::new(move || engine_snapshot_bytes(&snap_db))),
-            leader: true,
-            leader_hint: String::new(),
-        },
+        ReplConfig::new(
+            Some(Arc::clone(&replicator)),
+            Some(Box::new(move || engine_snapshot_bytes(&snap_db))),
+            Arc::new(RoleState::new_leader(1)),
+            "",
+        ),
     )
     .unwrap();
     (server, db, replicator)
@@ -68,12 +71,12 @@ fn start_follower(
         "127.0.0.1:0",
         Arc::clone(&db) as Arc<dyn KvEngine>,
         ServerOptions::default(),
-        ReplConfig {
-            replicator: None,
-            snapshot: None,
-            leader: false,
-            leader_hint: leader_addr.to_string(),
-        },
+        ReplConfig::new(
+            None,
+            None,
+            Arc::new(RoleState::new_follower(1, &leader_addr.to_string())),
+            "",
+        ),
     )
     .unwrap();
     (server, db, follower)
@@ -259,6 +262,9 @@ fn kill_the_leader_failover_preserves_acked_writes() {
             read_timeout: Duration::from_millis(50),
             reconnect_backoff: Duration::from_millis(5),
             max_backoff: Duration::from_millis(200),
+            // The chaos schedule starves the stream for long stretches on
+            // purpose; leader-death detection is exercised elsewhere.
+            leader_dead_timeout: Duration::from_secs(30),
         },
     );
     wait_subscribed(&replicator);
@@ -410,6 +416,7 @@ fn semi_sync_without_follower_is_maybe_applied() {
         ack_level: AckLevel::SemiSync,
         semi_sync_timeout: Duration::from_millis(50),
         retain_bytes: 1 << 20,
+        group_size: 2,
     });
     db.set_commit_sink(Some(replicator as Arc<dyn ReplicationSink>));
     let err = db.put(b"k", b"v").unwrap_err();
