@@ -63,6 +63,15 @@ pub const OP_STALE_EPOCH: u8 = 0x7D;
 /// counts; retrying is always safe.
 pub const OP_QUORUM_LOST: u8 = 0x7C;
 
+/// Backpressure advisory opcode: the server has stopped reading this
+/// connection because its request queue or response buffer hit the cap.
+/// Sent in-band with request id 0, *between* ordinary responses — it does
+/// not answer any request, so pipelined positional matching is
+/// unaffected; clients count it and keep draining responses. The body
+/// carries the queued-request count at the moment the connection was
+/// paused.
+pub const OP_BACKPRESSURE: u8 = 0x7B;
+
 /// Trace-flags bit marking the request as sampled for tracing.
 pub const TRACE_SAMPLED: u8 = 0x01;
 
@@ -440,6 +449,15 @@ pub enum Response {
         /// Members required for a majority.
         need: u32,
     },
+    /// In-band backpressure advisory (always request id 0): the server
+    /// stopped reading this connection because its request queue or
+    /// response buffer hit the configured cap. Purely informational —
+    /// clients skip it during positional response matching and keep
+    /// draining responses, which is what releases the pressure.
+    Backpressure {
+        /// Requests queued on the connection when it was paused.
+        queued: u32,
+    },
     /// REPL_VOTE result.
     Vote {
         /// Whether the vote was granted (always `false` for probes).
@@ -464,6 +482,7 @@ impl Response {
             Response::NotLeader { .. } => OP_NOT_LEADER | RESPONSE_BIT,
             Response::StaleEpoch { .. } => OP_STALE_EPOCH | RESPONSE_BIT,
             Response::QuorumLost { .. } => OP_QUORUM_LOST | RESPONSE_BIT,
+            Response::Backpressure { .. } => OP_BACKPRESSURE | RESPONSE_BIT,
             Response::ReplRecords { .. } => Opcode::ReplRecords as u8 | RESPONSE_BIT,
             _ => req_op as u8 | RESPONSE_BIT,
         }
@@ -496,6 +515,9 @@ impl Response {
             Response::QuorumLost { have, need } => {
                 buf.extend_from_slice(&have.to_le_bytes());
                 buf.extend_from_slice(&need.to_le_bytes());
+            }
+            Response::Backpressure { queued } => {
+                buf.extend_from_slice(&queued.to_le_bytes());
             }
             Response::ReplSubscribed {
                 log_start,
@@ -561,6 +583,10 @@ impl Response {
             Response::QuorumLost {
                 have: c.take_u32()?,
                 need: c.take_u32()?,
+            }
+        } else if base == OP_BACKPRESSURE {
+            Response::Backpressure {
+                queued: c.take_u32()?,
             }
         } else {
             let op = Opcode::from_u8(base)
@@ -689,14 +715,28 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>> {
         return Ok(None);
     }
     let len = u32::from_le_bytes(len_buf) as usize;
+    check_frame_len(len)?;
+    let mut rest = vec![0u8; len];
+    read_exact_retry(r, &mut rest)?;
+    decode_frame_rest(len, &rest).map(Some)
+}
+
+/// Validates the length prefix of a frame before its body is available.
+fn check_frame_len(len: usize) -> Result<()> {
     if len < HEADER_BYTES_V1 + 4 {
         return Err(Error::Corruption(format!("frame too short: {len} bytes")));
     }
     if len > MAX_FRAME_BYTES {
         return Err(Error::Corruption(format!("frame too large: {len} bytes")));
     }
-    let mut rest = vec![0u8; len];
-    read_exact_retry(r, &mut rest)?;
+    Ok(())
+}
+
+/// Decodes everything after the length prefix (header + body + CRC) into a
+/// [`Frame`]. Shared by the blocking [`read_frame`] and the incremental
+/// [`FrameDecoder`] so both paths accept and reject byte-identical input.
+fn decode_frame_rest(len: usize, rest: &[u8]) -> Result<Frame> {
+    debug_assert_eq!(rest.len(), len);
     let (payload, crc_bytes) = rest.split_at(len - 4);
     let want = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte crc"));
     if crc32(payload) != want {
@@ -723,13 +763,94 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>> {
     };
     let opcode = payload[1];
     let id = u32::from_le_bytes(payload[2..6].try_into().expect("4-byte id"));
-    Ok(Some(Frame {
+    Ok(Frame {
         opcode,
         id,
         trace_id,
         sampled,
         body: payload[header_bytes..].to_vec(),
-    }))
+    })
+}
+
+/// Incremental frame decoder for non-blocking transports.
+///
+/// Bytes arrive in arbitrary chunks via [`feed`](Self::feed);
+/// [`next_frame`](Self::next_frame) yields each complete frame exactly as
+/// the blocking [`read_frame`] would have decoded it (same CRC, version
+/// and length validation — see `decode_frame_rest`). A decode error is
+/// sticky in practice: the stream is desynchronized, so callers must drop
+/// the connection, matching the blocking path's behavior.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily to keep feeds O(1)
+    /// amortized.
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes read from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered bytes not yet decoded into frames.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Consumes the decoder, returning the residual undecoded bytes.
+    /// Used when a connection is handed off from the event loop to a
+    /// dedicated blocking reader (replication streams): the residue is
+    /// chained in front of the socket so no bytes are lost.
+    #[must_use]
+    pub fn into_residual(mut self) -> Vec<u8> {
+        self.buf.drain(..self.start);
+        self.buf
+    }
+
+    /// Decodes the next complete frame, or `Ok(None)` if more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Same corruption errors as [`read_frame`]; the connection must be
+    /// dropped afterwards.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4-byte len")) as usize;
+        check_frame_len(len)?;
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = decode_frame_rest(len, &avail[4..4 + len])?;
+        self.start += 4 + len;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Ok(Some(frame))
+    }
+
+    fn compact(&mut self) {
+        // Reclaim the consumed prefix once it dominates the buffer, so a
+        // long-lived connection doesn't grow its buffer without bound.
+        if self.start > 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
 }
 
 /// Serializes and writes one request frame.
@@ -1108,6 +1229,84 @@ mod tests {
         .unwrap();
         let frame = read_frame(&mut wire.as_slice()).unwrap().unwrap();
         assert_eq!(frame.opcode, OP_QUORUM_LOST | RESPONSE_BIT);
+    }
+
+    #[test]
+    fn backpressure_has_dedicated_opcode_and_round_trips() {
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            0,
+            Opcode::Put,
+            &Response::Backpressure { queued: 128 },
+        )
+        .unwrap();
+        let frame = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(frame.opcode, OP_BACKPRESSURE | RESPONSE_BIT);
+        assert_eq!(frame.id, 0);
+        assert_eq!(
+            Response::decode(frame.opcode, &frame.body).unwrap(),
+            Response::Backpressure { queued: 128 }
+        );
+    }
+
+    #[test]
+    fn incremental_decoder_matches_blocking_path_per_byte() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, 1, &Request::Get { key: b"k".to_vec() }).unwrap();
+        write_response(
+            &mut wire,
+            1,
+            Opcode::Get,
+            &Response::Value(Some(b"v".to_vec())),
+        )
+        .unwrap();
+        write_request(&mut wire, 2, &Request::Stats).unwrap();
+
+        let mut expected = Vec::new();
+        let mut r = wire.as_slice();
+        while let Some(f) = read_frame(&mut r).unwrap() {
+            expected.push(f);
+        }
+
+        // Feed one byte at a time: frames must come out identical.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            dec.feed(std::slice::from_ref(b));
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, expected);
+        assert_eq!(dec.buffered(), 0);
+        assert!(dec.into_residual().is_empty());
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_corrupt_crc() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, 1, &Request::Stats).unwrap();
+        let mid = wire.len() / 2;
+        wire[mid] ^= 0x40;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn incremental_decoder_keeps_residual_bytes() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, 1, &Request::Stats).unwrap();
+        let whole = wire.len();
+        write_request(&mut wire, 2, &Request::Stats).unwrap();
+        // Feed the first frame plus half of the second.
+        let cut = whole + (wire.len() - whole) / 2;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire[..cut]);
+        assert!(dec.next_frame().unwrap().is_some());
+        assert_eq!(dec.buffered(), cut - whole);
+        assert_eq!(dec.into_residual(), wire[whole..cut].to_vec());
     }
 
     #[test]

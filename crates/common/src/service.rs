@@ -25,6 +25,9 @@ pub struct ServiceTelemetry {
     requests_inflight: AtomicU64,
     /// Malformed frames that tore down a connection.
     protocol_errors: AtomicU64,
+    /// Backpressure advisories sent (connections paused by queue or
+    /// write-buffer caps).
+    backpressure_events: AtomicU64,
     /// Per-opcode request latency in nanoseconds, indexed by
     /// [`Opcode::ALL`] order.
     latency: [ConcurrentHistogram; Opcode::ALL.len()],
@@ -45,6 +48,7 @@ impl ServiceTelemetry {
             connections_refused: AtomicU64::new(0),
             requests_inflight: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            backpressure_events: AtomicU64::new(0),
             latency: std::array::from_fn(|_| ConcurrentHistogram::new()),
         }
     }
@@ -88,6 +92,17 @@ impl ServiceTelemetry {
     /// Counts a malformed frame.
     pub fn protocol_error(&self) {
         self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one backpressure advisory (a connection paused because its
+    /// request queue or response buffer hit the cap).
+    pub fn backpressure_event(&self) {
+        self.backpressure_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Backpressure advisories sent since start.
+    pub fn backpressure_events(&self) -> u64 {
+        self.backpressure_events.load(Ordering::Relaxed)
     }
 
     /// Currently open connections.
@@ -139,6 +154,12 @@ impl ServiceTelemetry {
             self.protocol_errors.load(Ordering::Relaxed) as f64,
         );
         reg.counter(
+            "miodb_server_backpressure_events_total",
+            "Backpressure advisories sent to paused connections",
+            &[],
+            self.backpressure_events.load(Ordering::Relaxed) as f64,
+        );
+        reg.counter(
             "miodb_server_dropped_spans_total",
             "Trace spans discarded because the span ring was full",
             &[],
@@ -186,6 +207,11 @@ mod tests {
         assert_eq!(t.requests_total(), 1);
         assert_eq!(t.latency(Opcode::Put).count(), 1);
         assert_eq!(t.latency(Opcode::Get).count(), 0);
+        t.backpressure_event();
+        assert_eq!(t.backpressure_events(), 1);
+        assert!(t
+            .render_prometheus()
+            .contains("miodb_server_backpressure_events_total 1"));
     }
 
     #[test]

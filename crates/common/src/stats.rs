@@ -72,6 +72,9 @@ pub struct Stats {
     pub bloom_skips: AtomicU64,
     /// Number of bloom-filter false positives (table probed, key absent).
     pub bloom_false_positives: AtomicU64,
+    /// Number of times a `get` re-probed a level because its structure
+    /// (settled/merging/lazy-draining sets) changed while the probe ran.
+    pub level_probe_retries: AtomicU64,
 }
 
 impl Stats {
@@ -132,6 +135,7 @@ impl Stats {
         Self::add(&self.get_hits, snap.get_hits);
         Self::add(&self.bloom_skips, snap.bloom_skips);
         Self::add(&self.bloom_false_positives, snap.bloom_false_positives);
+        Self::add(&self.level_probe_retries, snap.level_probe_retries);
     }
 
     /// Current write-amplification ratio: persistent bytes written divided
@@ -173,6 +177,7 @@ impl Stats {
             get_hits: ld(&self.get_hits),
             bloom_skips: ld(&self.bloom_skips),
             bloom_false_positives: ld(&self.bloom_false_positives),
+            level_probe_retries: ld(&self.level_probe_retries),
             write_amplification: self.write_amplification(),
         }
     }
@@ -204,6 +209,7 @@ pub struct StatsSnapshot {
     pub get_hits: u64,
     pub bloom_skips: u64,
     pub bloom_false_positives: u64,
+    pub level_probe_retries: u64,
     pub write_amplification: f64,
 }
 
@@ -268,6 +274,9 @@ impl StatsSnapshot {
             bloom_false_positives: self
                 .bloom_false_positives
                 .saturating_sub(earlier.bloom_false_positives),
+            level_probe_retries: self
+                .level_probe_retries
+                .saturating_sub(earlier.level_probe_retries),
             write_amplification: if user == 0 {
                 0.0
             } else {

@@ -1,0 +1,144 @@
+//! Property tests for the wire-protocol frame codec: the incremental
+//! [`FrameDecoder`] behind the event-driven server must be byte-for-byte
+//! equivalent to the blocking [`proto::read_frame`] path — every split of
+//! every frame at every byte boundary decodes to identical frames, and
+//! both paths reject the same corrupted input.
+
+use std::io::Cursor;
+
+use miodb_common::proto::{self, FrameDecoder};
+use proptest::prelude::*;
+
+/// An arbitrary wire frame: opcode byte, request id, raw body. The codec
+/// is payload-agnostic, so property coverage does not need well-formed
+/// `Request`/`Response` bodies — those have their own round-trip tests.
+fn frame_strategy() -> impl Strategy<Value = (u8, u32, Vec<u8>)> {
+    (
+        any::<u8>(),
+        any::<u32>(),
+        proptest::collection::vec(any::<u8>(), 0..200),
+    )
+}
+
+/// Encodes `frames` the way every peer does (via `write_frame`) into one
+/// contiguous byte stream.
+fn encode_stream(frames: &[(u8, u32, Vec<u8>)]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for (op, id, body) in frames {
+        proto::write_frame(&mut bytes, *op, *id, body).unwrap();
+    }
+    bytes
+}
+
+/// Decodes the whole stream with the blocking reader (the oracle).
+fn blocking_decode(bytes: &[u8]) -> Vec<proto::Frame> {
+    let mut cur = Cursor::new(bytes);
+    let mut out = Vec::new();
+    while let Some(f) = proto::read_frame(&mut cur).unwrap() {
+        out.push(f);
+    }
+    out
+}
+
+/// Drains every currently-complete frame from the decoder.
+fn drain(dec: &mut FrameDecoder, out: &mut Vec<proto::Frame>) {
+    while let Some(f) = dec.next_frame().unwrap() {
+        out.push(f);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Split the encoded stream at *every* byte boundary (two feeds per
+    /// boundary) — partial length prefixes, split headers, split bodies,
+    /// split CRCs — and require the exact frames the blocking reader
+    /// produces, plus an empty residual.
+    #[test]
+    fn every_split_point_decodes_identically(
+        frames in proptest::collection::vec(frame_strategy(), 1..4),
+    ) {
+        let bytes = encode_stream(&frames);
+        let want = blocking_decode(&bytes);
+        prop_assert_eq!(want.len(), frames.len());
+        for split in 0..=bytes.len() {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            dec.feed(&bytes[..split]);
+            drain(&mut dec, &mut got);
+            dec.feed(&bytes[split..]);
+            drain(&mut dec, &mut got);
+            prop_assert_eq!(&got, &want, "split at byte {}", split);
+            prop_assert_eq!(dec.buffered(), 0, "residual after split at {}", split);
+            prop_assert!(dec.into_residual().is_empty());
+        }
+    }
+
+    /// Arbitrary multi-chunk deliveries (including empty chunks) are
+    /// equivalent to one blocking read of the concatenation, and bytes
+    /// beyond the last complete frame come back verbatim as the residual.
+    #[test]
+    fn arbitrary_chunking_matches_blocking(
+        frames in proptest::collection::vec(frame_strategy(), 1..5),
+        cuts in proptest::collection::vec(any::<u16>(), 0..8),
+        truncate in any::<u16>(),
+    ) {
+        let mut bytes = encode_stream(&frames);
+        // Optionally truncate mid-frame: the tail must survive as residual.
+        let keep = bytes.len() - (truncate as usize % bytes.len().min(40));
+        bytes.truncate(keep);
+        let want = blocking_decode_lossy(&bytes);
+        let mut offsets: Vec<usize> = cuts.iter().map(|c| *c as usize % (bytes.len() + 1)).collect();
+        offsets.push(0);
+        offsets.push(bytes.len());
+        offsets.sort_unstable();
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for w in offsets.windows(2) {
+            dec.feed(&bytes[w[0]..w[1]]);
+            drain(&mut dec, &mut got);
+        }
+        prop_assert_eq!(&got, &want.0);
+        prop_assert_eq!(dec.into_residual(), want.1);
+    }
+
+    /// Flipping any byte after the length prefix of a frame (header, body
+    /// or CRC) must be rejected by both paths: everything there is under
+    /// the CRC, and the CRC field itself then mismatches the payload.
+    #[test]
+    fn corrupt_byte_rejected_by_both_paths(
+        frame in frame_strategy(),
+        at in any::<u16>(),
+        flip in any::<u8>(),
+    ) {
+        let (op, id, body) = frame;
+        let mut bytes = encode_stream(&[(op, id, body)]);
+        let pos = 4 + (at as usize) % (bytes.len() - 4);
+        bytes[pos] ^= flip | 1; // always a real flip
+        let blocking = proto::read_frame(&mut Cursor::new(&bytes));
+        prop_assert!(blocking.is_err(), "blocking path accepted corrupt byte at {}", pos);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        prop_assert!(dec.next_frame().is_err(), "incremental path accepted corrupt byte at {}", pos);
+    }
+}
+
+/// Like [`blocking_decode`] but stops at a truncated tail, returning the
+/// complete frames plus the leftover bytes.
+fn blocking_decode_lossy(bytes: &[u8]) -> (Vec<proto::Frame>, Vec<u8>) {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    loop {
+        let rest = &bytes[off..];
+        if rest.len() < 4 {
+            return (out, rest.to_vec());
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        if rest.len() < 4 + len {
+            return (out, rest.to_vec());
+        }
+        let mut cur = Cursor::new(&rest[..4 + len]);
+        out.push(proto::read_frame(&mut cur).unwrap().unwrap());
+        off += 4 + len;
+    }
+}

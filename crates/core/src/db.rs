@@ -166,6 +166,22 @@ struct Level {
     mark: InsertionMark,
     /// Scans exclude zero-copy pointer motion through this gate.
     gate: Arc<Mutex<()>>,
+    /// Structural version, bumped (under the levels lock) whenever a
+    /// table changes role: settled ↔ merging ↔ lazy-draining ↔ pushed
+    /// down. Readers snapshot a level's state once; if the version moved
+    /// by the time their probe misses, a table may have been re-linked
+    /// *under* the plain (non-mark-aware) search, so the probe retries
+    /// against a fresh snapshot. This closes the lost-read window where a
+    /// settled-table snapshot went stale the instant the compactor moved
+    /// those tables into `merging` (the multi_writer_stress flake).
+    version: Arc<AtomicU64>,
+}
+
+impl Level {
+    /// Bumps the structural version. Callers hold the levels lock.
+    fn bump_version(&self) {
+        self.version.fetch_add(1, Ordering::Release);
+    }
 }
 
 struct MemState {
@@ -310,6 +326,7 @@ impl MioDb {
                     lazy_draining: None,
                     mark,
                     gate: Arc::new(Mutex::new(())),
+                    version: Arc::new(AtomicU64::new(0)),
                 };
                 for ts in &ls.tables {
                     let t = rebuild_table(
@@ -376,6 +393,7 @@ impl MioDb {
                     lazy_draining: None,
                     mark: InsertionMark::alloc(&nvm)?,
                     gate: Arc::new(Mutex::new(())),
+                    version: Arc::new(AtomicU64::new(0)),
                 });
             }
         }
@@ -1684,6 +1702,7 @@ fn flush_one(inner: &Inner, imm: &Arc<MemTable>) -> Result<()> {
     {
         let mut levels = inner.levels.lock();
         levels[0].tables.push_back(table);
+        levels[0].bump_version();
         publish_level_gauges(inner, 0, &levels[0]);
         store_manifest_locked(inner, &levels)?;
         inner.level_cv.notify_all();
@@ -1731,6 +1750,7 @@ fn compactor_worker(inner: Arc<Inner>, i: usize) {
             let old_t = levels[i].tables.pop_front().unwrap();
             let new_t = levels[i].tables.pop_front().unwrap();
             levels[i].merging = Some((new_t.clone(), old_t.clone()));
+            levels[i].bump_version();
             if let Err(e) = store_manifest_locked(&inner, &levels) {
                 set_bg_error(&inner, format!("manifest store failed: {e}"));
                 return;
@@ -1763,6 +1783,7 @@ fn serial_compactor_worker(inner: Arc<Inner>) {
                     let old_t = levels[i].tables.pop_front().unwrap();
                     let new_t = levels[i].tables.pop_front().unwrap();
                     levels[i].merging = Some((new_t.clone(), old_t.clone()));
+                    levels[i].bump_version();
                     if let Err(e) = store_manifest_locked(&inner, &levels) {
                         set_bg_error(&inner, format!("manifest store failed: {e}"));
                         return;
@@ -1861,6 +1882,8 @@ fn run_one_zero_copy_merge(
         let mut levels = inner.levels.lock();
         levels[i].merging = None;
         levels[i + 1].tables.push_back(merged);
+        levels[i].bump_version();
+        levels[i + 1].bump_version();
         publish_level_gauges(inner, i, &levels[i]);
         publish_level_gauges(inner, i + 1, &levels[i + 1]);
         // Emit the End event while still holding the levels lock: once the
@@ -1927,6 +1950,7 @@ fn lazy_worker(inner: Arc<Inner>) {
             // this same levels lock.
             let t = levels[picked].tables.pop_front().unwrap();
             levels[picked].lazy_draining = Some(t.clone());
+            levels[picked].bump_version();
             if let Err(e) = store_manifest_locked(&inner, &levels) {
                 set_bg_error(&inner, format!("manifest store failed: {e}"));
                 return;
@@ -1977,6 +2001,7 @@ fn lazy_worker(inner: Arc<Inner>) {
         {
             let mut levels = inner.levels.lock();
             levels[level_idx].lazy_draining = None;
+            levels[level_idx].bump_version();
             publish_level_gauges(&inner, level_idx, &levels[level_idx]);
             // Under the levels lock for the same reason as the zero-copy
             // merge: `wait_idle` must not observe idle before the End
@@ -2184,82 +2209,102 @@ impl MioDb {
         }
 
         // 2. Elastic buffer, level by level, newest table first, following
-        //    the paper's merge-visibility protocol.
+        //    the paper's merge-visibility protocol. Each level's state is
+        //    snapshotted once; a settled table probed through the plain
+        //    (non-mark-aware) path may be popped into `merging` and
+        //    re-linked *while we search it*, silently bypassing the
+        //    newtable→mark→oldtable protocol below. Misses therefore
+        //    re-check the level's structural version and retry the level
+        //    on change — a retry that races the pop sees `merging = Some`
+        //    and takes the protected path. Bounded: a level can only
+        //    transition a handful of times while one probe runs; the cap
+        //    merely keeps a pathological schedule from livelocking, and on
+        //    exhaustion we fall through (no worse than the unversioned
+        //    probe).
+        const LEVEL_PROBE_RETRIES: u32 = 64;
         let n = inner.opts.elastic_levels;
         for i in 0..n {
             let mut level_span = trace::span(SpanKind::LevelProbe);
             level_span.annotate(i as u64);
-            let (tables, merging, lazy, mark, gate) = {
-                let levels = inner.levels.lock();
-                (
-                    levels[i].tables.iter().cloned().collect::<Vec<_>>(),
-                    levels[i].merging.clone(),
-                    levels[i].lazy_draining.clone(),
-                    levels[i].mark.clone(),
-                    levels[i].gate.clone(),
-                )
-            };
-            for t in tables.iter().rev() {
-                if inner.opts.bloom_enabled && !t.bloom.may_contain(key) {
-                    Stats::add(&inner.stats.bloom_skips, 1);
-                    inner.telemetry.bloom_skip(i);
-                    trace::instant(SpanKind::BloomSkip, i as u64);
-                    continue;
-                }
-                if let Some(r) = t.list.get(key) {
-                    Stats::add(&inner.stats.get_hits, 1);
-                    return Ok(Self::resolve(r));
-                }
-                Stats::add(&inner.stats.bloom_false_positives, 1);
-            }
-            if let Some((new_t, old_t)) = merging {
-                // newtable -> insertion mark -> oldtable (§4.3). The
-                // newtable search skips the in-flight node (Case 2): a
-                // traversal crossing it mid-splice would follow rewritten
-                // pointers into the oldtable and miss newtable entries.
-                let hit = if !inner.opts.bloom_enabled
-                    || new_t.bloom.may_contain(key)
-                    || old_t.bloom.may_contain(key)
-                {
-                    let optimistic = miodb_skiplist::get_skip_marked(&new_t.list, key, &mark)
-                        .or_else(|| mark.read(key))
-                        .or_else(|| old_t.list.get(key));
-                    match optimistic {
-                        Some(r) => Some(r),
-                        None => {
-                            // Rare revalidation: a reader preempted while
-                            // standing on a node that a whole merge step
-                            // then moved can compute a false miss that no
-                            // optimistic check can detect (ABA). Under the
-                            // level gate the merge is at a step boundary
-                            // (mark clear, lists well-formed), so plain
-                            // searches are exact.
-                            let _quiesce = gate.lock();
-                            new_t
-                                .list
-                                .get(key)
-                                .or_else(|| mark.read(key))
-                                .or_else(|| old_t.list.get(key))
-                        }
-                    }
-                } else {
-                    Stats::add(&inner.stats.bloom_skips, 1);
-                    inner.telemetry.bloom_skip(i);
-                    trace::instant(SpanKind::BloomSkip, i as u64);
-                    mark.read(key)
+            'probe: for _ in 0..LEVEL_PROBE_RETRIES {
+                let (tables, merging, lazy, mark, gate, version) = {
+                    let levels = inner.levels.lock();
+                    (
+                        levels[i].tables.iter().cloned().collect::<Vec<_>>(),
+                        levels[i].merging.clone(),
+                        levels[i].lazy_draining.clone(),
+                        levels[i].mark.clone(),
+                        levels[i].gate.clone(),
+                        levels[i].version.clone(),
+                    )
                 };
-                if let Some(r) = hit {
-                    Stats::add(&inner.stats.get_hits, 1);
-                    return Ok(Self::resolve(r));
-                }
-            }
-            if let Some(t) = lazy {
-                if !inner.opts.bloom_enabled || t.bloom.may_contain(key) {
+                let seen = version.load(Ordering::Acquire);
+                for t in tables.iter().rev() {
+                    if inner.opts.bloom_enabled && !t.bloom.may_contain(key) {
+                        Stats::add(&inner.stats.bloom_skips, 1);
+                        inner.telemetry.bloom_skip(i);
+                        trace::instant(SpanKind::BloomSkip, i as u64);
+                        continue;
+                    }
                     if let Some(r) = t.list.get(key) {
                         Stats::add(&inner.stats.get_hits, 1);
                         return Ok(Self::resolve(r));
                     }
+                    Stats::add(&inner.stats.bloom_false_positives, 1);
                 }
+                if let Some((new_t, old_t)) = merging {
+                    // newtable -> insertion mark -> oldtable (§4.3). The
+                    // newtable search skips the in-flight node (Case 2): a
+                    // traversal crossing it mid-splice would follow rewritten
+                    // pointers into the oldtable and miss newtable entries.
+                    let hit = if !inner.opts.bloom_enabled
+                        || new_t.bloom.may_contain(key)
+                        || old_t.bloom.may_contain(key)
+                    {
+                        let optimistic = miodb_skiplist::get_skip_marked(&new_t.list, key, &mark)
+                            .or_else(|| mark.read(key))
+                            .or_else(|| old_t.list.get(key));
+                        match optimistic {
+                            Some(r) => Some(r),
+                            None => {
+                                // Rare revalidation: a reader preempted while
+                                // standing on a node that a whole merge step
+                                // then moved can compute a false miss that no
+                                // optimistic check can detect (ABA). Under the
+                                // level gate the merge is at a step boundary
+                                // (mark clear, lists well-formed), so plain
+                                // searches are exact.
+                                let _quiesce = gate.lock();
+                                new_t
+                                    .list
+                                    .get(key)
+                                    .or_else(|| mark.read(key))
+                                    .or_else(|| old_t.list.get(key))
+                            }
+                        }
+                    } else {
+                        Stats::add(&inner.stats.bloom_skips, 1);
+                        inner.telemetry.bloom_skip(i);
+                        trace::instant(SpanKind::BloomSkip, i as u64);
+                        mark.read(key)
+                    };
+                    if let Some(r) = hit {
+                        Stats::add(&inner.stats.get_hits, 1);
+                        return Ok(Self::resolve(r));
+                    }
+                }
+                if let Some(t) = lazy {
+                    if !inner.opts.bloom_enabled || t.bloom.may_contain(key) {
+                        if let Some(r) = t.list.get(key) {
+                            Stats::add(&inner.stats.get_hits, 1);
+                            return Ok(Self::resolve(r));
+                        }
+                    }
+                }
+                if version.load(Ordering::Acquire) == seen {
+                    break 'probe;
+                }
+                Stats::add(&inner.stats.level_probe_retries, 1);
             }
         }
 

@@ -160,11 +160,7 @@ pub fn try_elect(
     my_seq: u64,
     timeout: Duration,
 ) -> ElectionOutcome {
-    let group_size = peers
-        .iter()
-        .filter(|p| p.as_str() != self_addr)
-        .count()
-        + 1;
+    let group_size = peers.iter().filter(|p| p.as_str() != self_addr).count() + 1;
     let need = majority(group_size);
 
     // Round 1: probe. Learn epochs, find live leaders and better
@@ -213,18 +209,16 @@ pub fn try_elect(
     }
     let mut granted = 1; // self
     for p in &probed {
-        match vote_rpc(&p.addr, new_epoch, my_seq, self_addr, timeout) {
-            Ok(v) => {
-                if v.epoch > new_epoch {
-                    // Someone is already past us; their election wins.
-                    role.observe_epoch(v.epoch, &v.leader_hint);
-                    return ElectionOutcome::Standby;
-                }
-                if v.granted {
-                    granted += 1;
-                }
+        // An unreachable peer mid-election simply counts as no vote.
+        if let Ok(v) = vote_rpc(&p.addr, new_epoch, my_seq, self_addr, timeout) {
+            if v.epoch > new_epoch {
+                // Someone is already past us; their election wins.
+                role.observe_epoch(v.epoch, &v.leader_hint);
+                return ElectionOutcome::Standby;
             }
-            Err(_) => {} // unreachable mid-election: counts as no vote
+            if v.granted {
+                granted += 1;
+            }
         }
     }
     if granted >= need {

@@ -173,9 +173,7 @@ impl Follower {
         let stop = Arc::new(AtomicBool::new(false));
         let drain = Arc::new(AtomicBool::new(false));
         let state = Arc::new(AtomicU8::new(FollowerState::Connecting as u8));
-        let epoch = Arc::new(AtomicU64::new(
-            role.as_ref().map_or(0, |r| r.epoch()),
-        ));
+        let epoch = Arc::new(AtomicU64::new(role.as_ref().map_or(0, |r| r.epoch())));
         let last_error: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
         let ctx = LoopCtx {
             db: db.clone(),

@@ -4,18 +4,22 @@
 //! network service: [`ShardRouter`] hash-partitions the keyspace across N
 //! independent engine instances (one commit queue, WAL and compactor set
 //! each), and [`KvServer`] fronts any engine with the length-prefixed,
-//! CRC-protected wire protocol from `miodb_common::proto` — thread per
-//! connection, in-order pipelining, connection limits and graceful drain
-//! on shutdown. See DESIGN.md §9. [`ReplNode`] composes a server with an
+//! CRC-protected wire protocol from `miodb_common::proto` — event-driven
+//! shard-per-core readiness loops with a worker pool, non-blocking
+//! partial-frame I/O, in-order pipelining, bounded per-connection queues
+//! with in-band backpressure, connection limits and graceful drain on
+//! shutdown. See DESIGN.md §14. [`ReplNode`] composes a server with an
 //! engine, a follower apply loop and an election supervisor into one
 //! self-healing replication-group member (DESIGN.md §13).
 
 #![deny(missing_docs)]
 
 mod node;
+mod poller;
 mod server;
 mod shard;
 
 pub use node::{EngineOptsFn, GroupConfig, NodeOptions, ReplNode};
+pub use poller::raise_nofile_limit;
 pub use server::{AppliedFn, KvServer, ReplConfig, ServerOptions, SnapshotFn};
 pub use shard::ShardRouter;

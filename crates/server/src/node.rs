@@ -508,7 +508,9 @@ impl NodeInner {
         }
         let engine = Arc::clone(&self.engine.lock());
         self.replicator.set_base(engine.last_sequence());
-        engine.set_commit_sink(Some(Arc::clone(&self.replicator) as Arc<dyn ReplicationSink>));
+        engine.set_commit_sink(Some(
+            Arc::clone(&self.replicator) as Arc<dyn ReplicationSink>
+        ));
     }
 
     /// Self-driven snapshot catch-up: fetch + restore into a fresh
@@ -529,7 +531,8 @@ impl NodeInner {
                     let db = Arc::new(db);
                     let old = std::mem::replace(&mut *self.engine.lock(), Arc::clone(&db));
                     *slot.lock() = Arc::clone(&db);
-                    self.server.replace_engine(Arc::clone(&db) as Arc<dyn KvEngine>);
+                    self.server
+                        .replace_engine(Arc::clone(&db) as Arc<dyn KvEngine>);
                     let _ = old.close();
                     self.bootstraps.fetch_add(1, Ordering::Relaxed);
                     self.start_following();

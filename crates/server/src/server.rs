@@ -1,44 +1,57 @@
-//! Thread-per-connection TCP server speaking the MioDB wire protocol.
+//! Event-driven TCP server speaking the MioDB wire protocol.
 //!
-//! Design (§9 of DESIGN.md):
+//! Design (§14 of DESIGN.md):
 //!
-//! - **Thread per connection.** The engine's write pipeline already batches
-//!   concurrent writers into group commits, so handler threads map directly
-//!   onto the concurrency the engine wants — no user-space scheduler.
-//! - **Pipelining.** A handler decodes frames as fast as they arrive and
-//!   answers strictly in order. Responses accumulate in a per-connection
-//!   `BufWriter` and are flushed only when the read side has no buffered
-//!   frame left, so a burst of N pipelined requests costs one syscall out.
-//! - **Shutdown.** Handlers block in `read_frame` with a short read
-//!   timeout; a timeout *between* frames is the poll point for the shutdown
-//!   flag. In-flight requests always finish and their responses are flushed
-//!   before the handler exits — [`KvServer::shutdown`] then joins every
-//!   thread, so it returns only once the connection set has drained.
-//! - **Backpressure.** Past `max_connections`, an accept is answered with a
-//!   single `Err` frame and closed; clients retry elsewhere or back off.
-//! - **Replication** (§13 of DESIGN.md). A server started with
-//!   [`KvServer::start_replicated`] carries a shared [`RoleState`]:
-//!   leaders accept `ReplSubscribe` by converting that connection into a
-//!   push stream of committed WAL records (fed from the [`Replicator`]'s
-//!   log, with acks read back on the same socket), serve `SnapshotFetch`
-//!   for cold catch-up and answer `ReplVote` probes/ballots; followers
-//!   refuse mutations with a typed `NotLeader` frame carrying the epoch
-//!   and a redirect hint. Every replication frame carries the epoch, and
-//!   every mutation checks it *before* engine work: a deposed leader
-//!   answers `StaleEpoch`, and a quorum-level leader that cannot reach a
-//!   majority answers `QuorumLost` instead of silently accepting.
+//! - **Shard-per-core readiness loops.** Accepted sockets are assigned
+//!   round-robin to a small set of shard threads, each owning one epoll
+//!   instance (see `poller`), a wake eventfd and the connections routed to
+//!   it. Sockets are non-blocking; all reads, frame decoding and writes
+//!   happen on the owning shard thread, so per-connection I/O state needs
+//!   no synchronization with other shards.
+//! - **Connection state machine.** Each connection carries an incremental
+//!   [`FrameDecoder`](proto::FrameDecoder) (partial-frame reads), a bounded
+//!   queue of decoded-but-unserved request frames, and a write buffer of
+//!   encoded responses drained as the socket allows (partial writes).
+//! - **Worker pool.** Decoded frames are executed by a shared worker pool.
+//!   At most one worker owns a connection at a time (the `executing` flag),
+//!   so responses are appended — and therefore hit the wire — strictly in
+//!   request order, preserving the pipelining contract.
+//! - **Backpressure.** When a connection's request queue or write buffer
+//!   hits its cap the shard stops reading from it (`EPOLLIN` dropped) and
+//!   sends a single in-band [`Response::Backpressure`] advisory (request
+//!   id 0). Reads resume once the client drains responses below half the
+//!   caps, which bounds per-connection server memory.
+//! - **Fairness.** Per-tick read rounds and per-dispatch execution are both
+//!   bounded, so one hot connection cannot starve the others on its shard
+//!   or monopolize a worker.
+//! - **Shutdown.** [`KvServer::shutdown`] stops the accept loop, has every
+//!   shard slurp each socket's already-sent bytes one final time, executes
+//!   everything queued, flushes all responses and only then closes — so
+//!   in-flight requests always finish, exactly as the thread-per-connection
+//!   server promised.
+//! - **Connection limit.** Past `max_connections`, an accept is answered
+//!   with a single typed `Err` frame and closed.
+//! - **Replication** (§13 of DESIGN.md). `ReplSubscribe` on a leader hands
+//!   the socket off from the event loop to a dedicated blocking stream
+//!   thread (the decoder's residual bytes are chained in front of the
+//!   socket so nothing is lost); followers refuse mutations with typed
+//!   `NotLeader`, deposed leaders with `StaleEpoch`, and quorum-level
+//!   leaders that cannot reach a majority with `QuorumLost`.
 //!   [`KvServer::promote_to_leader`] flips the role in place during
-//!   failover; [`KvServer::set_partitioned`] simulates a network
-//!   partition for chaos tests (inter-node opcodes dropped, streams cut,
-//!   client traffic still served).
+//!   failover; [`KvServer::set_partitioned`] simulates a network partition
+//!   for chaos tests (inter-node opcodes dropped, streams cut, client
+//!   traffic still served).
 
-use miodb_common::proto::{self, Frame, Opcode, ReplBatch, Request, Response};
+use crate::poller::{Poller, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use miodb_common::proto::{self, Frame, FrameDecoder, Opcode, ReplBatch, Request, Response};
 use miodb_common::trace::{self, SpanKind, TraceCtx};
 use miodb_common::{fault, Error, KvEngine, OpKind, Result, RoleState, ServiceTelemetry};
 use miodb_repl::Replicator;
-use parking_lot::{Mutex, RwLock};
-use std::io::{BufReader, BufWriter, Write};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -51,14 +64,40 @@ const MAX_REPL_FETCH_BYTES: usize = 4 << 20;
 /// emitting a heartbeat (an empty `ReplRecords` frame).
 const REPL_POLL: Duration = Duration::from_millis(100);
 
+/// Token reserved for a shard's wake eventfd.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Scratch read size per `read()` syscall.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Fairness bound: read syscalls per connection per poll tick. The level-
+/// triggered poller re-reports leftover data next tick, so capping rounds
+/// never loses bytes — it only interleaves hot connections.
+const READ_ROUNDS_PER_TICK: usize = 8;
+
+/// Fairness bound: frames one worker dispatch executes before requeueing
+/// the connection behind other pending work.
+const FRAMES_PER_DISPATCH: usize = 32;
+
 /// Server tunables.
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
     /// Maximum simultaneously open client connections; further accepts are
     /// refused with an `Err` frame.
     pub max_connections: usize,
-    /// Read timeout used as the shutdown poll interval between frames.
+    /// Poll tick of the readiness loops — the shutdown/maintenance poll
+    /// interval when no socket event arrives.
     pub read_timeout: Duration,
+    /// Readiness-loop (shard) threads; `0` sizes from the CPU count.
+    pub event_loops: usize,
+    /// Request-execution worker threads; `0` sizes from the CPU count.
+    pub event_workers: usize,
+    /// Per-connection cap of decoded-but-unserved request frames; hitting
+    /// it pauses reads and sends one backpressure advisory.
+    pub max_queued_requests: usize,
+    /// Per-connection cap of buffered response bytes; hitting it pauses
+    /// reads (and execution) until the client drains.
+    pub max_conn_buffer_bytes: usize,
 }
 
 impl Default for ServerOptions {
@@ -66,6 +105,35 @@ impl Default for ServerOptions {
         ServerOptions {
             max_connections: 64,
             read_timeout: Duration::from_millis(50),
+            event_loops: 0,
+            event_workers: 0,
+            max_queued_requests: 128,
+            max_conn_buffer_bytes: 1 << 20,
+        }
+    }
+}
+
+fn cpu_count() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+impl ServerOptions {
+    fn resolved_event_loops(&self) -> usize {
+        if self.event_loops > 0 {
+            self.event_loops
+        } else {
+            cpu_count().clamp(1, 4)
+        }
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.event_workers > 0 {
+            self.event_workers
+        } else {
+            // At least 4 so one injected stall (SERVER_REQUEST_STALL holds
+            // a worker for its sleep) cannot starve unrelated connections
+            // even on a single-core box.
+            cpu_count().clamp(4, 16)
         }
     }
 }
@@ -118,6 +186,149 @@ impl ReplConfig {
     }
 }
 
+/// Growable response buffer drained by partial writes.
+#[derive(Default)]
+struct WriteBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl WriteBuf {
+    fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn pending_slice(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.pos += n;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > (1 << 20) && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+/// Cross-thread state of one connection: written by the owning shard
+/// (decode/enqueue, writes) and by at most one worker at a time
+/// (execute/respond).
+struct ConnState {
+    /// Decoded frames awaiting execution, in arrival order.
+    queue: VecDeque<Frame>,
+    /// Encoded responses awaiting the socket.
+    out: WriteBuf,
+    /// A worker currently owns this connection's queue.
+    executing: bool,
+    /// Reads paused by the queue/buffer caps.
+    read_paused: bool,
+    /// An advisory was already sent for the current pause.
+    backpressure_sent: bool,
+    /// Flush remaining output, then close (protocol error, injected drop).
+    want_close: bool,
+    /// The socket is unusable; close immediately, discarding output.
+    socket_dead: bool,
+    /// Clean EOF from the client: finish queued work, flush, close.
+    read_closed: bool,
+    /// Corruption detected after `queue`'s frames: once the queue drains,
+    /// answer with this error and close (keeps responses in order).
+    pending_error: Option<String>,
+    /// A `ReplSubscribe` asked to convert this connection into a push
+    /// stream; the shard performs the handoff.
+    handoff: Option<(u32, u64)>,
+}
+
+struct ConnShared {
+    token: u64,
+    shard: usize,
+    state: Mutex<ConnState>,
+}
+
+impl ConnShared {
+    fn new(token: u64, shard: usize) -> ConnShared {
+        ConnShared {
+            token,
+            shard,
+            state: Mutex::new(ConnState {
+                queue: VecDeque::new(),
+                out: WriteBuf::default(),
+                executing: false,
+                read_paused: false,
+                backpressure_sent: false,
+                want_close: false,
+                socket_dead: false,
+                read_closed: false,
+                pending_error: None,
+                handoff: None,
+            }),
+        }
+    }
+}
+
+/// Message from the accept thread or a worker to a shard.
+enum ShardMsg {
+    /// Register a freshly accepted socket.
+    NewConn(TcpStream, Arc<ConnShared>),
+    /// Re-examine a connection (flush output, close, hand off, resume).
+    Touch(u64),
+}
+
+struct ShardHandle {
+    mailbox: Mutex<Vec<ShardMsg>>,
+    wake: WakeFd,
+}
+
+impl ShardHandle {
+    fn send(&self, msg: ShardMsg) {
+        self.mailbox.lock().push(msg);
+        self.wake.wake();
+    }
+}
+
+/// FIFO of connections with executable work, shared by the worker pool.
+struct WorkQueue {
+    queue: Mutex<VecDeque<Arc<ConnShared>>>,
+    cv: Condvar,
+    stopped: AtomicBool,
+}
+
+impl WorkQueue {
+    fn new() -> WorkQueue {
+        WorkQueue {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            stopped: AtomicBool::new(false),
+        }
+    }
+
+    fn push(&self, conn: Arc<ConnShared>) {
+        self.queue.lock().push_back(conn);
+        self.cv.notify_one();
+    }
+
+    fn pop(&self) -> Option<Arc<ConnShared>> {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(c) = q.pop_front() {
+                return Some(c);
+            }
+            if self.stopped.load(Ordering::Acquire) {
+                return None;
+            }
+            self.cv.wait(&mut q);
+        }
+    }
+
+    fn stop(&self) {
+        self.stopped.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+}
+
 struct Shared {
     /// Swappable so a snapshot re-bootstrap can replace a follower's
     /// engine in place without tearing down client connections.
@@ -125,6 +336,8 @@ struct Shared {
     telemetry: ServiceTelemetry,
     shutdown: AtomicBool,
     opts: ServerOptions,
+    shards: Vec<Arc<ShardHandle>>,
+    work: WorkQueue,
     /// Role/epoch state: plain servers get a permanent epoch-0 leader.
     role: Arc<RoleState>,
     /// Whether this server was started with replication wiring (gates
@@ -196,16 +409,21 @@ pub struct KvServer {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
+    shard_threads: Mutex<Vec<JoinHandle<()>>>,
+    worker_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Replication stream threads (and any other per-connection blocking
+    /// handlers spawned by handoffs).
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl KvServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// accept loop.
+    /// accept loop, readiness shards and worker pool.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] if the listener cannot bind.
+    /// Returns [`Error::Io`] if the listener cannot bind or a loop thread
+    /// cannot start.
     pub fn start<A: ToSocketAddrs>(
         addr: A,
         engine: Arc<dyn KvEngine>,
@@ -269,11 +487,22 @@ impl KvServer {
         if role.is_leader() && !advertised_addr.is_empty() {
             role.set_leader_hint(&advertised_addr);
         }
+        let n_shards = opts.resolved_event_loops();
+        let n_workers = opts.resolved_workers();
+        let mut shards = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            shards.push(Arc::new(ShardHandle {
+                mailbox: Mutex::new(Vec::new()),
+                wake: WakeFd::new().map_err(Error::Io)?,
+            }));
+        }
         let shared = Arc::new(Shared {
             engine: RwLock::new(engine),
             telemetry: ServiceTelemetry::new(),
             shutdown: AtomicBool::new(false),
             opts,
+            shards,
+            work: WorkQueue::new(),
             role,
             replication_enabled,
             replicator,
@@ -284,16 +513,37 @@ impl KvServer {
             partitioned: AtomicBool::new(false),
         });
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut shard_threads = Vec::with_capacity(n_shards);
+        for idx in 0..n_shards {
+            let shard_shared = Arc::clone(&shared);
+            let shard_handlers = Arc::clone(&handlers);
+            let t = std::thread::Builder::new()
+                .name(format!("miodb-shard-{idx}"))
+                .spawn(move || shard_loop(idx, &shard_shared, &shard_handlers))
+                .map_err(Error::Io)?;
+            shard_threads.push(t);
+        }
+        let mut worker_threads = Vec::with_capacity(n_workers);
+        for idx in 0..n_workers {
+            let worker_shared = Arc::clone(&shared);
+            let t = std::thread::Builder::new()
+                .name(format!("miodb-worker-{idx}"))
+                .spawn(move || worker_loop(&worker_shared))
+                .map_err(Error::Io)?;
+            worker_threads.push(t);
+        }
         let accept_shared = Arc::clone(&shared);
-        let accept_handlers = Arc::clone(&handlers);
         let accept_thread = std::thread::Builder::new()
             .name("miodb-accept".to_string())
-            .spawn(move || accept_loop(&listener, &accept_shared, &accept_handlers))
+            .spawn(move || accept_loop(&listener, &accept_shared))
             .map_err(Error::Io)?;
         Ok(KvServer {
             shared,
             local_addr,
             accept_thread: Mutex::new(Some(accept_thread)),
+            shard_threads: Mutex::new(shard_threads),
+            worker_threads: Mutex::new(worker_threads),
             handlers,
         })
     }
@@ -343,7 +593,9 @@ impl KvServer {
         let epoch = self.shared.role.epoch() + 1;
         self.shared.role.become_leader(epoch);
         if !self.shared.advertised_addr.is_empty() {
-            self.shared.role.set_leader_hint(&self.shared.advertised_addr);
+            self.shared
+                .role
+                .set_leader_hint(&self.shared.advertised_addr);
         } else {
             self.shared.role.set_leader_hint("");
         }
@@ -359,7 +611,9 @@ impl KvServer {
     /// still served (that asymmetry is what makes a partitioned
     /// quorum-level leader answer `QuorumLost`).
     pub fn set_partitioned(&self, partitioned: bool) {
-        self.shared.partitioned.store(partitioned, Ordering::Release);
+        self.shared
+            .partitioned
+            .store(partitioned, Ordering::Release);
     }
 
     /// Whether the partition chaos hook is engaged.
@@ -372,16 +626,30 @@ impl KvServer {
         self.shared.replicator.as_ref()
     }
 
-    /// Stops accepting, lets every handler finish its in-flight requests,
-    /// and joins all server threads. Responses for requests already read
-    /// are written and flushed before their connections close. Idempotent.
+    /// Stops accepting, drains every connection (queued requests execute,
+    /// responses are written and flushed) and joins all server threads.
+    /// Idempotent.
     ///
     /// Closing the engine (draining the commit queue and flushing
     /// MemTables) is the owner's job afterwards — e.g.
     /// [`ShardRouter::close`](crate::ShardRouter::close).
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
+        for shard in &self.shared.shards {
+            shard.wake.wake();
+        }
         if let Some(t) = self.accept_thread.lock().take() {
+            let _ = t.join();
+        }
+        // Shards exit only once every connection has been drained, so by
+        // the time they are joined the work queue is empty and quiescent.
+        let shards: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shard_threads.lock());
+        for t in shards {
+            let _ = t.join();
+        }
+        self.shared.work.stop();
+        let workers: Vec<JoinHandle<()>> = std::mem::take(&mut *self.worker_threads.lock());
+        for t in workers {
             let _ = t.join();
         }
         let drained: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handlers.lock());
@@ -397,11 +665,8 @@ impl Drop for KvServer {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<Shared>,
-    handlers: &Mutex<Vec<JoinHandle<()>>>,
-) {
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut next_token: u64 = 1;
     while !shared.shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -410,16 +675,11 @@ fn accept_loop(
                     continue;
                 }
                 shared.telemetry.conn_opened();
-                let conn_shared = Arc::clone(shared);
-                match std::thread::Builder::new()
-                    .name("miodb-conn".to_string())
-                    .spawn(move || {
-                        handle_connection(stream, &conn_shared);
-                        conn_shared.telemetry.conn_closed();
-                    }) {
-                    Ok(t) => handlers.lock().push(t),
-                    Err(_) => shared.telemetry.conn_closed(),
-                }
+                let token = next_token;
+                next_token += 1;
+                let shard_idx = (token as usize) % shared.shards.len();
+                let conn = Arc::new(ConnShared::new(token, shard_idx));
+                shared.shards[shard_idx].send(ShardMsg::NewConn(stream, conn));
             }
             Err(e) if proto::is_timeout(&e) => {
                 std::thread::sleep(Duration::from_millis(1));
@@ -441,64 +701,491 @@ fn refuse(stream: TcpStream, shared: &Shared) {
     let _ = w.flush();
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.opts.read_timeout));
-    let Ok(read_half) = stream.try_clone() else {
+/// Shard-thread-local half of one connection.
+struct ShardConn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    shared_conn: Arc<ConnShared>,
+    /// Currently registered epoll interest.
+    interest: u32,
+    /// Reading is over for good (EOF, error, post-drain); the queue/out
+    /// lifecycle decides when the connection closes.
+    no_more_reads: bool,
+}
+
+fn shard_loop(idx: usize, shared: &Arc<Shared>, handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    let Ok(poller) = Poller::new() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-
+    let handle = Arc::clone(&shared.shards[idx]);
+    if poller.add(handle.wake.fd(), WAKE_TOKEN, EPOLLIN).is_err() {
+        return;
+    }
+    let mut conns: HashMap<u64, ShardConn> = HashMap::new();
+    let mut events: Vec<(u64, u32)> = Vec::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
+    let mut draining = false;
     loop {
-        match proto::read_frame(&mut reader) {
-            Ok(None) => break, // clean EOF
-            Ok(Some(frame)) => {
-                match serve_frame(&frame, shared, &mut writer) {
-                    FrameOutcome::Continue => {}
-                    FrameOutcome::Close => break,
-                    // The connection stops being request/response and
-                    // becomes a replication push stream until it dies.
-                    FrameOutcome::StartStream { id, from } => {
-                        serve_repl_stream(id, from, reader, writer, shared);
-                        return;
+        if poller
+            .wait(&mut events, Some(shared.opts.read_timeout))
+            .is_err()
+        {
+            break;
+        }
+        if !draining && shared.shutdown.load(Ordering::Acquire) {
+            draining = true;
+            // Final read pass: slurp every socket's already-sent bytes
+            // (ignoring the queue caps), then stop reading for good. The
+            // loop below keeps executing and flushing until all drained.
+            let tokens: Vec<u64> = conns.keys().copied().collect();
+            for token in tokens {
+                if let Some(sc) = conns.get_mut(&token) {
+                    read_conn(sc, shared, &mut scratch, true);
+                    sc.no_more_reads = true;
+                    let mut st = sc.shared_conn.state.lock();
+                    st.read_closed = true;
+                }
+                service_conn(token, &mut conns, &poller, shared, handlers);
+            }
+        }
+        for &(token, ev) in &events {
+            if token == WAKE_TOKEN {
+                handle.wake.drain();
+                continue;
+            }
+            let Some(sc) = conns.get_mut(&token) else {
+                continue;
+            };
+            if ev & (EPOLLERR | EPOLLHUP) != 0 {
+                sc.shared_conn.state.lock().socket_dead = true;
+            } else if ev & (EPOLLIN | EPOLLRDHUP) != 0 {
+                read_conn(sc, shared, &mut scratch, draining);
+            }
+            service_conn(token, &mut conns, &poller, shared, handlers);
+        }
+        loop {
+            let msgs: Vec<ShardMsg> = std::mem::take(&mut *handle.mailbox.lock());
+            if msgs.is_empty() {
+                break;
+            }
+            for msg in msgs {
+                match msg {
+                    ShardMsg::NewConn(stream, conn) => {
+                        if draining {
+                            shared.telemetry.conn_closed();
+                            continue;
+                        }
+                        register_conn(stream, conn, &mut conns, &poller, shared, &mut scratch);
+                    }
+                    ShardMsg::Touch(token) => {
+                        service_conn(token, &mut conns, &poller, shared, handlers);
                     }
                 }
-                // Pipelining: only pay the flush syscall once the client
-                // has no further buffered frame waiting.
-                if reader.buffer().is_empty() && writer.flush().is_err() {
-                    break;
+            }
+        }
+        if draining && conns.is_empty() {
+            break;
+        }
+    }
+    // Unreachable in normal operation, but make sure the gauge stays
+    // truthful if the loop ever aborts with connections open.
+    for _ in conns.drain() {
+        shared.telemetry.conn_closed();
+    }
+}
+
+fn register_conn(
+    stream: TcpStream,
+    conn: Arc<ConnShared>,
+    conns: &mut HashMap<u64, ShardConn>,
+    poller: &Poller,
+    shared: &Arc<Shared>,
+    scratch: &mut [u8],
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_nonblocking(true).is_err() {
+        shared.telemetry.conn_closed();
+        return;
+    }
+    let token = conn.token;
+    let interest = EPOLLIN | EPOLLRDHUP;
+    if poller.add(stream.as_raw_fd(), token, interest).is_err() {
+        shared.telemetry.conn_closed();
+        return;
+    }
+    let mut sc = ShardConn {
+        stream,
+        decoder: FrameDecoder::new(),
+        shared_conn: conn,
+        interest,
+        no_more_reads: false,
+    };
+    // The client may have sent its first frames before registration.
+    read_conn(&mut sc, shared, scratch, false);
+    conns.insert(token, sc);
+}
+
+/// Reads until `WouldBlock`/EOF (bounded per tick for fairness unless
+/// `unbounded`), feeding the decoder and enqueueing decoded frames.
+fn read_conn(sc: &mut ShardConn, shared: &Arc<Shared>, scratch: &mut [u8], unbounded: bool) {
+    if sc.no_more_reads {
+        return;
+    }
+    let mut rounds = 0;
+    loop {
+        {
+            let st = sc.shared_conn.state.lock();
+            if !unbounded
+                && (st.read_paused || st.want_close || st.socket_dead || st.handoff.is_some())
+            {
+                return;
+            }
+        }
+        match sc.stream.read(scratch) {
+            Ok(0) => {
+                sc.no_more_reads = true;
+                sc.shared_conn.state.lock().read_closed = true;
+                return;
+            }
+            Ok(n) => {
+                sc.decoder.feed(&scratch[..n]);
+                decode_pending(sc, shared, unbounded);
+                rounds += 1;
+                if !unbounded && rounds >= READ_ROUNDS_PER_TICK {
+                    // Level-triggered: leftover bytes re-report next tick.
+                    return;
                 }
             }
-            // Idle between frames: flush anything pending, poll shutdown.
-            Err(Error::Io(ref e)) if proto::is_timeout(e) => {
-                if writer.flush().is_err() || shared.shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-            }
-            Err(Error::Io(_)) => break,
-            // Corruption (bad CRC/version/length): the stream can no
-            // longer be trusted to be frame-aligned — report and close.
-            Err(e) => {
-                shared.telemetry.protocol_error();
-                let resp = Response::Err(format!("protocol error: {e}"));
-                let _ = proto::write_response(&mut writer, 0, Opcode::Get, &resp);
-                break;
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(_) => {
+                sc.no_more_reads = true;
+                sc.shared_conn.state.lock().socket_dead = true;
+                return;
             }
         }
     }
-    let _ = writer.flush();
 }
 
-/// What `serve_frame` decided about the connection's future.
+/// Drains the decoder into the request queue, applying the backpressure
+/// caps (skipped while `draining`: shutdown executes everything already
+/// sent).
+fn decode_pending(sc: &mut ShardConn, shared: &Arc<Shared>, draining: bool) {
+    loop {
+        {
+            let mut st = sc.shared_conn.state.lock();
+            if st.handoff.is_some() || st.want_close {
+                return;
+            }
+            if !draining
+                && (st.queue.len() >= shared.opts.max_queued_requests
+                    || st.out.pending() >= shared.opts.max_conn_buffer_bytes)
+            {
+                st.read_paused = true;
+                if !st.backpressure_sent {
+                    st.backpressure_sent = true;
+                    let advisory = Response::Backpressure {
+                        queued: st.queue.len() as u32,
+                    };
+                    let _ = proto::write_response(&mut st.out.buf, 0, Opcode::Get, &advisory);
+                    shared.telemetry.backpressure_event();
+                }
+                return;
+            }
+        }
+        match sc.decoder.next_frame() {
+            Ok(Some(frame)) => {
+                let mut st = sc.shared_conn.state.lock();
+                st.queue.push_back(frame);
+                if !st.executing {
+                    st.executing = true;
+                    drop(st);
+                    shared.work.push(Arc::clone(&sc.shared_conn));
+                }
+            }
+            Ok(None) => return,
+            Err(e) => {
+                // Corruption: the stream is no longer frame-aligned.
+                // Frames decoded before the bad bytes still get served;
+                // the error response and the close follow them in order.
+                shared.telemetry.protocol_error();
+                sc.no_more_reads = true;
+                let mut st = sc.shared_conn.state.lock();
+                st.pending_error = Some(format!("protocol error: {e}"));
+                if !st.executing {
+                    st.executing = true;
+                    drop(st);
+                    shared.work.push(Arc::clone(&sc.shared_conn));
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Flushes, resumes, reschedules, hands off or closes one connection
+/// based on its current state. Called after every event/message touching
+/// the connection.
+fn service_conn(
+    token: u64,
+    conns: &mut HashMap<u64, ShardConn>,
+    poller: &Poller,
+    shared: &Arc<Shared>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let Some(sc) = conns.get_mut(&token) else {
+        return;
+    };
+    if sc.shared_conn.state.lock().handoff.is_some() {
+        handoff_conn(token, conns, poller, shared, handlers);
+        return;
+    }
+    write_conn(sc);
+
+    // Resume reads once the client has drained below half the caps. The
+    // decoder may still hold complete frames consumed from the kernel
+    // before the pause; drain them now — level-triggered EPOLLIN only
+    // re-reports bytes still sitting in the kernel buffer, so nothing
+    // else will ever decode them. This must run before the close check so
+    // a read-closed connection executes its final decoded requests.
+    let resumed = {
+        let mut st = sc.shared_conn.state.lock();
+        let can = st.read_paused
+            && !st.want_close
+            && st.queue.len() < shared.opts.max_queued_requests / 2
+            && st.out.pending() < shared.opts.max_conn_buffer_bytes / 2;
+        if can {
+            st.read_paused = false;
+            st.backpressure_sent = false;
+        }
+        can
+    };
+    if resumed {
+        decode_pending(sc, shared, false);
+    }
+
+    let mut st = sc.shared_conn.state.lock();
+    let out_empty = st.out.pending() == 0;
+    let idle = st.queue.is_empty() && !st.executing && st.pending_error.is_none();
+    let close_now = st.socket_dead
+        || (st.want_close && out_empty && !st.executing)
+        || (st.read_closed && idle && out_empty);
+    if close_now {
+        drop(st);
+        let sc = conns.remove(&token).expect("connection present");
+        let _ = poller.delete(sc.stream.as_raw_fd());
+        shared.telemetry.conn_closed();
+        return;
+    }
+    // A worker that stalled on the write-buffer cap parked the connection
+    // with work still queued; now that the buffer drained, reschedule.
+    if !st.executing
+        && (!st.queue.is_empty() || st.pending_error.is_some())
+        && st.out.pending() < shared.opts.max_conn_buffer_bytes
+    {
+        st.executing = true;
+        shared.work.push(Arc::clone(&sc.shared_conn));
+    }
+    let want_in = !st.read_paused && !sc.no_more_reads && !st.want_close;
+    let want_out = st.out.pending() > 0;
+    drop(st);
+
+    // Level-triggered: on a read resume, any bytes the kernel already
+    // buffered re-report on the next poll, so no immediate read is needed.
+    let mut interest = EPOLLRDHUP;
+    if want_in {
+        interest |= EPOLLIN;
+    }
+    if want_out {
+        interest |= EPOLLOUT;
+    }
+    if interest != sc.interest {
+        sc.interest = interest;
+        let _ = poller.modify(sc.stream.as_raw_fd(), token, interest);
+    }
+}
+
+/// Writes buffered responses until the socket would block.
+fn write_conn(sc: &mut ShardConn) {
+    let mut st = sc.shared_conn.state.lock();
+    while st.out.pending() > 0 && !st.socket_dead {
+        match sc.stream.write(st.out.pending_slice()) {
+            Ok(0) => {
+                st.socket_dead = true;
+            }
+            Ok(n) => st.out.consume(n),
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(_) => {
+                st.socket_dead = true;
+            }
+        }
+    }
+}
+
+/// Converts a connection into a replication push stream: deregisters it
+/// from the event loop, restores blocking mode, flushes pending output,
+/// and hands the socket (with the decoder's residual bytes and any
+/// already-queued frames) to a dedicated stream thread.
+fn handoff_conn(
+    token: u64,
+    conns: &mut HashMap<u64, ShardConn>,
+    poller: &Poller,
+    shared: &Arc<Shared>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let Some(sc) = conns.remove(&token) else {
+        return;
+    };
+    let _ = poller.delete(sc.stream.as_raw_fd());
+    let ShardConn {
+        stream,
+        decoder,
+        shared_conn,
+        ..
+    } = sc;
+    let (id, from, mut out, leftover) = {
+        let mut st = shared_conn.state.lock();
+        let (id, from) = st.handoff.take().expect("handoff set");
+        let out = std::mem::take(&mut st.out);
+        let leftover: Vec<Frame> = st.queue.drain(..).collect();
+        (id, from, out, leftover)
+    };
+    if stream.set_nonblocking(false).is_err() {
+        shared.telemetry.conn_closed();
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(shared.opts.read_timeout));
+    // Flush responses to requests pipelined before the subscribe, so the
+    // stream's hello is the next frame the follower sees.
+    let mut stream_w = &stream;
+    while out.pending() > 0 {
+        match stream_w.write(out.pending_slice()) {
+            Ok(0) | Err(_) => {
+                shared.telemetry.conn_closed();
+                return;
+            }
+            Ok(n) => out.consume(n),
+        }
+    }
+    let residual = decoder.into_residual();
+    let stream_shared = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name("miodb-repl-stream".to_string())
+        .spawn(move || {
+            let Ok(read_half) = stream.try_clone() else {
+                stream_shared.telemetry.conn_closed();
+                return;
+            };
+            let reader = BufReader::new(std::io::Cursor::new(residual).chain(read_half));
+            let writer = BufWriter::new(stream);
+            serve_repl_stream(id, from, leftover, reader, writer, &stream_shared);
+            stream_shared.telemetry.conn_closed();
+        });
+    match spawned {
+        Ok(t) => handlers.lock().push(t),
+        Err(_) => shared.telemetry.conn_closed(),
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let mut out = Vec::new();
+    while let Some(conn) = shared.work.pop() {
+        let requeue = serve_conn(&conn, shared, &mut out);
+        if requeue {
+            shared.work.push(Arc::clone(&conn));
+        }
+        let shard = &shared.shards[conn.shard];
+        shard.send(ShardMsg::Touch(conn.token));
+    }
+}
+
+/// Executes one connection's queued frames in order. Returns `true` when
+/// the connection still holds work but yielded for fairness (the caller
+/// requeues it).
+fn serve_conn(conn: &Arc<ConnShared>, shared: &Arc<Shared>, out: &mut Vec<u8>) -> bool {
+    let mut served = 0;
+    loop {
+        let frame = {
+            let mut st = conn.state.lock();
+            if st.want_close || st.socket_dead || st.handoff.is_some() {
+                st.executing = false;
+                return false;
+            }
+            if st.out.pending() >= shared.opts.max_conn_buffer_bytes {
+                // Stalled on the write buffer: park; the shard reschedules
+                // once the client drains.
+                st.executing = false;
+                return false;
+            }
+            match st.queue.pop_front() {
+                Some(f) => f,
+                None => {
+                    if let Some(msg) = st.pending_error.take() {
+                        let resp = Response::Err(msg);
+                        let _ = proto::write_response(&mut st.out.buf, 0, Opcode::Get, &resp);
+                        st.want_close = true;
+                    }
+                    st.executing = false;
+                    return false;
+                }
+            }
+        };
+        out.clear();
+        let outcome = serve_frame(&frame, shared, out);
+        match outcome {
+            FrameOutcome::Wrote => {
+                let mut st = conn.state.lock();
+                st.out.buf.extend_from_slice(out);
+            }
+            FrameOutcome::NoResponse => {}
+            FrameOutcome::Close => {
+                let mut st = conn.state.lock();
+                st.queue.clear();
+                st.pending_error = None;
+                st.want_close = true;
+                st.executing = false;
+                return false;
+            }
+            FrameOutcome::StartStream { id, from } => {
+                let mut st = conn.state.lock();
+                st.handoff = Some((id, from));
+                st.executing = false;
+                return false;
+            }
+        }
+        served += 1;
+        if served >= FRAMES_PER_DISPATCH {
+            // Yield to other connections; `executing` stays set so no
+            // second worker can claim the queue meanwhile.
+            let has_more = {
+                let st = conn.state.lock();
+                !st.queue.is_empty() || st.pending_error.is_some()
+            };
+            if has_more {
+                return true;
+            }
+            served = 0;
+        }
+    }
+}
+
+/// What serving one frame decided about the connection's future.
 enum FrameOutcome {
-    /// Keep reading requests.
-    Continue,
-    /// Close the connection.
+    /// A response was encoded into the scratch buffer.
+    Wrote,
+    /// No response frame (fire-and-forget opcodes).
+    NoResponse,
+    /// Close the connection (after flushing earlier responses).
     Close,
     /// Convert the connection into a replication push stream, resuming
     /// after `from`.
-    StartStream { id: u32, from: u64 },
+    StartStream {
+        /// Request id of the subscribe handshake (echoed on the hello).
+        id: u32,
+        /// Resume point: push records with sequence numbers after this.
+        from: u64,
+    },
 }
 
 /// Opcodes exchanged between group members (not clients): these are what
@@ -510,9 +1197,10 @@ fn is_inter_node(opcode: u8) -> bool {
     )
 }
 
-/// Decodes and executes one frame. Decode failure after a structurally
-/// valid frame keeps the connection open — framing is still aligned.
-fn serve_frame<W: Write>(frame: &Frame, shared: &Shared, writer: &mut W) -> FrameOutcome {
+/// Decodes and executes one frame, encoding any response into `out`.
+/// Decode failure after a structurally valid frame keeps the connection
+/// open — framing is still aligned.
+fn serve_frame(frame: &Frame, shared: &Shared, out: &mut Vec<u8>) -> FrameOutcome {
     // Injected stall: a `Latency` policy sleeps inside `hit`, holding this
     // connection's pipeline while every other connection keeps serving.
     let _ = fault::hit(fault::points::SERVER_REQUEST_STALL);
@@ -531,7 +1219,7 @@ fn serve_frame<W: Write>(frame: &Frame, shared: &Shared, writer: &mut W) -> Fram
     shared.telemetry.request_begin();
     // Adopt the frame's wire trace context so engine-internal spans (and
     // the response frame header) join the client's trace. Both guards
-    // live until after the response is written.
+    // live until after the response is encoded.
     let _ctx = (frame.sampled && frame.trace_id != 0 && trace::is_enabled()).then(|| {
         trace::with_ctx(TraceCtx {
             trace_id: frame.trace_id,
@@ -567,7 +1255,8 @@ fn serve_frame<W: Write>(frame: &Frame, shared: &Shared, writer: &mut W) -> Fram
             } else {
                 shared.not_leader()
             };
-            return respond(writer, frame.id, Opcode::ReplSubscribe, &resp);
+            let _ = proto::write_response(out, frame.id, Opcode::ReplSubscribe, &resp);
+            return FrameOutcome::Wrote;
         }
         // Acks are fire-and-forget (no response frame); outside a
         // subscriber stream there is nothing to credit one to — but the
@@ -579,7 +1268,7 @@ fn serve_frame<W: Write>(frame: &Frame, shared: &Shared, writer: &mut W) -> Fram
             if epoch > shared.role.epoch() {
                 shared.role.observe_epoch(epoch, "");
             }
-            return FrameOutcome::Continue;
+            return FrameOutcome::NoResponse;
         }
         Ok(req) => {
             let op = req.opcode();
@@ -602,15 +1291,8 @@ fn serve_frame<W: Write>(frame: &Frame, shared: &Shared, writer: &mut W) -> Fram
     shared
         .telemetry
         .request_end(op, started.elapsed().as_nanos() as u64);
-    respond(writer, frame.id, op, &resp)
-}
-
-fn respond<W: Write>(writer: &mut W, id: u32, op: Opcode, resp: &Response) -> FrameOutcome {
-    if proto::write_response(writer, id, op, resp).is_ok() {
-        FrameOutcome::Continue
-    } else {
-        FrameOutcome::Close
-    }
+    let _ = proto::write_response(out, frame.id, op, &resp);
+    FrameOutcome::Wrote
 }
 
 fn execute(req: &Request, shared: &Shared) -> Response {
@@ -715,10 +1397,15 @@ fn execute(req: &Request, shared: &Shared) -> Response {
 /// deposition (an ack or ballot carried a newer epoch — the final frame
 /// is then a `StaleEpoch` goodbye), shutdown, partition, log truncation
 /// or an injected `repl.stream.drop`.
-fn serve_repl_stream(
+///
+/// `leftover` carries frames the event loop had already decoded past the
+/// subscribe (acks a follower pipelined before the hello); they are
+/// credited before the socket is read.
+fn serve_repl_stream<R: Read + Send + 'static>(
     id: u32,
     from: u64,
-    mut reader: BufReader<TcpStream>,
+    leftover: Vec<Frame>,
+    mut reader: BufReader<R>,
     mut writer: BufWriter<TcpStream>,
     shared: &Shared,
 ) {
@@ -748,22 +1435,26 @@ fn serve_repl_stream(
     let ack_thread = std::thread::Builder::new()
         .name("miodb-repl-ack".to_string())
         .spawn(move || {
+            let credit = |frame: &Frame| {
+                if let Ok(Request::ReplAck { offset, epoch }) =
+                    Request::decode(frame.opcode, &frame.body)
+                {
+                    // Fencing: a follower that voted in an election we
+                    // missed reports the new epoch here; observing it
+                    // deposes this leader and the sender loop below winds
+                    // the stream down.
+                    if epoch > ack_role.epoch() {
+                        ack_role.observe_epoch(epoch, "");
+                    }
+                    ack_replicator.record_ack(sub_id, offset);
+                }
+            };
+            for frame in &leftover {
+                credit(frame);
+            }
             loop {
                 match proto::read_frame(&mut reader) {
-                    Ok(Some(frame)) => {
-                        if let Ok(Request::ReplAck { offset, epoch }) =
-                            Request::decode(frame.opcode, &frame.body)
-                        {
-                            // Fencing: a follower that voted in an
-                            // election we missed reports the new epoch
-                            // here; observing it deposes this leader and
-                            // the sender loop below winds the stream down.
-                            if epoch > ack_role.epoch() {
-                                ack_role.observe_epoch(epoch, "");
-                            }
-                            ack_replicator.record_ack(sub_id, offset);
-                        }
-                    }
+                    Ok(Some(frame)) => credit(&frame),
                     Ok(None) => break,
                     Err(Error::Io(ref e)) if proto::is_timeout(e) => {
                         if ack_stop.load(Ordering::Acquire) {
@@ -785,7 +1476,8 @@ fn serve_repl_stream(
         // Deposed mid-stream: say goodbye with the typed frame so the
         // follower learns the fence even before it finds the new leader.
         if !shared.leader() {
-            let _ = proto::write_response(&mut writer, 0, Opcode::ReplRecords, &shared.stale_epoch());
+            let _ =
+                proto::write_response(&mut writer, 0, Opcode::ReplRecords, &shared.stale_epoch());
             let _ = writer.flush();
             break;
         }

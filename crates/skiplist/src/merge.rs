@@ -452,7 +452,14 @@ pub fn get_skip_marked(
                 if nxt == 0 {
                     break;
                 }
-                if nxt == marked || (marked == 0 && Some(nxt) == mark.load().map(|(n, _)| n)) {
+                // Check the attempt-start snapshot *and* the live mark on
+                // every step: a merge step can complete and mark a
+                // different node mid-descent, and crossing that newly
+                // marked node while its tower is rewritten into the
+                // oldtable loses the rest of the newtable (the stale
+                // `marked` snapshot alone missed exactly that — the root
+                // cause of the multi_writer_stress lost-read flake).
+                if nxt == marked || Some(nxt) == mark.load().map(|(n, _)| n) {
                     // The in-flight node is (or just became) unsafe to
                     // cross; restart from the head, which already bypasses
                     // it (unlink precedes the splice phase).
@@ -739,6 +746,162 @@ mod tests {
             assert_eq!(m.count_nodes(), 5, "crash_at={crash_at}");
             assert!(mark.load().is_none(), "crash_at={crash_at}");
             assert!(SkipList::from_raw(p.clone(), new.head()).is_empty());
+        }
+    }
+
+    /// Deterministic regression for the multi_writer_stress lost-read
+    /// flake (ROADMAP item 6): tables transitioning settled → merging →
+    /// merged must never lose a key from the reader protocol
+    /// (`get_skip_marked(new)` → `mark.read` → `old.get`). Part 1 pauses
+    /// the merge at *every step boundary* and probes every key — the
+    /// suspect interleaving (reader probing while half the keys have
+    /// migrated to the oldtable) run as a deterministic schedule instead
+    /// of a racy stress. Part 2 freezes the merge after every individual
+    /// link write (mark set, tower half re-pointed) and probes the
+    /// guaranteed-visible set: the marked key itself, everything already
+    /// merged ahead of it, and the oldtable's own keys.
+    #[test]
+    fn reader_protocol_sees_every_key_at_every_merge_interleaving() {
+        let keys: Vec<String> = (0..24u32).map(|i| format!("k{i:03}")).collect();
+        let build = |p: &Arc<PmemPool>| {
+            // Every 4th key carries an older duplicate in the newtable so
+            // the steps exercise drop-front-duplicates too.
+            let mut new_entries: Vec<(Vec<u8>, Vec<u8>, u64)> = Vec::new();
+            for (i, k) in keys.iter().enumerate() {
+                if i % 4 == 0 {
+                    new_entries.push((k.clone().into_bytes(), b"superseded".to_vec(), 50));
+                }
+                new_entries.push((k.clone().into_bytes(), format!("new-{k}").into_bytes(), 100));
+            }
+            let new_refs: Vec<(&[u8], &[u8], u64)> = new_entries
+                .iter()
+                .map(|(k, v, s)| (k.as_slice(), v.as_slice(), *s))
+                .collect();
+            let new = table(p, &new_refs);
+            let old = table(p, &[(b"m-aaa", b"old", 1), (b"m-zzz", b"old", 2)]);
+            let mark = InsertionMark::alloc(p).unwrap();
+            (new, old, mark)
+        };
+        let probe = |new_view: &SkipList, old_view: &SkipList, mark: &InsertionMark, k: &str| {
+            get_skip_marked(new_view, k.as_bytes(), mark)
+                .or_else(|| mark.read(k.as_bytes()))
+                .or_else(|| old_view.get(k.as_bytes()))
+        };
+
+        // Part 1: pause at every clean step boundary, probe every key.
+        {
+            let p = pool();
+            let (new, old, mark) = build(&p);
+            let new_view = SkipList::from_raw(p.clone(), new.head());
+            let old_view = SkipList::from_raw(p.clone(), old.head());
+            let mut boundary = 0usize;
+            loop {
+                for k in &keys {
+                    let found = probe(&new_view, &old_view, &mark, k)
+                        .unwrap_or_else(|| panic!("{k} invisible at step boundary {boundary}"));
+                    assert_eq!(
+                        found.value,
+                        format!("new-{k}").as_bytes(),
+                        "stale {k} at step boundary {boundary}"
+                    );
+                }
+                for mk in ["m-aaa", "m-zzz"] {
+                    assert_eq!(
+                        probe(&new_view, &old_view, &mark, mk).unwrap().value,
+                        b"old",
+                        "{mk} lost at step boundary {boundary}"
+                    );
+                }
+                let out = zero_copy_merge(
+                    &p,
+                    new.head(),
+                    old.head(),
+                    &mark,
+                    MergeLimits {
+                        max_steps: Some(1),
+                        abandon_after_link_writes: None,
+                    },
+                );
+                assert!(mark.load().is_none(), "mark leaked past a step boundary");
+                boundary += 1;
+                if out.is_complete() {
+                    break;
+                }
+                assert!(boundary < 1000, "merge did not converge");
+            }
+        }
+
+        // Part 2: freeze after every individual link write; mid-step the
+        // guaranteed-visible set is the marked key (covered by the mark
+        // itself), every key merged ahead of it, and the oldtable keys.
+        for crash_at in 1..10_000u64 {
+            let p = pool();
+            let (new, old, mark) = build(&p);
+            let out = zero_copy_merge(
+                &p,
+                new.head(),
+                old.head(),
+                &mark,
+                MergeLimits {
+                    max_steps: None,
+                    abandon_after_link_writes: Some(crash_at),
+                },
+            );
+            let new_view = SkipList::from_raw(p.clone(), new.head());
+            let old_view = SkipList::from_raw(p.clone(), old.head());
+            let marked_key = mark
+                .load()
+                .map(|(n, _)| String::from_utf8(raw::key(&p, n).to_vec()).unwrap());
+            for k in &keys {
+                match &marked_key {
+                    Some(mk) if k == mk => {
+                        // The in-flight key must be served by the mark
+                        // (its list linkage is arbitrary mid-step).
+                        let found = mark.read(k.as_bytes()).unwrap_or_else(|| {
+                            panic!("marked {k} invisible at crash_at={crash_at}")
+                        });
+                        assert_eq!(found.value, format!("new-{k}").as_bytes());
+                    }
+                    Some(mk) if k < mk => {
+                        // Fully merged ahead of the frozen step: the plain
+                        // oldtable probe must already serve it.
+                        let found = old_view.get(k.as_bytes()).unwrap_or_else(|| {
+                            panic!("merged {k} invisible at crash_at={crash_at}")
+                        });
+                        assert_eq!(
+                            found.value,
+                            format!("new-{k}").as_bytes(),
+                            "stale {k} at crash_at={crash_at}"
+                        );
+                    }
+                    _ => {
+                        // Beyond the marked node (or merge complete): the
+                        // full protocol finds it; skip get_skip_marked's
+                        // bounded-restart fallback which presumes a live
+                        // compactor advancing the mark.
+                        let found = new_view
+                            .get(k.as_bytes())
+                            .or_else(|| mark.read(k.as_bytes()))
+                            .or_else(|| old_view.get(k.as_bytes()))
+                            .unwrap_or_else(|| panic!("{k} invisible at crash_at={crash_at}"));
+                        assert_eq!(
+                            found.value,
+                            format!("new-{k}").as_bytes(),
+                            "stale {k} at crash_at={crash_at}"
+                        );
+                    }
+                }
+            }
+            for mk in ["m-aaa", "m-zzz"] {
+                assert_eq!(
+                    old_view.get(mk.as_bytes()).unwrap().value,
+                    b"old",
+                    "{mk} lost at crash_at={crash_at}"
+                );
+            }
+            if out.is_complete() {
+                break; // later crash points are no-ops
+            }
         }
     }
 

@@ -63,10 +63,7 @@ fn main() -> miodb::Result<()> {
         ReplConfig::new(
             None,
             None,
-            Arc::new(RoleState::new_follower(
-                1,
-                &leader.local_addr().to_string(),
-            )),
+            Arc::new(RoleState::new_follower(1, &leader.local_addr().to_string())),
             "",
         ),
     )?;

@@ -45,8 +45,10 @@ pub use miodb_wal as wal;
 pub use miodb_workloads as workloads;
 
 pub use miodb_client::{ClientCounters, ClientOptions, KvClient};
+pub use miodb_common::{majority, Role, RoleState};
 pub use miodb_common::{Error, KvEngine, Result, ScanEntry, Stats};
 pub use miodb_core::{MioDb, MioOptions, RepositoryMode, WriteBatch};
-pub use miodb_common::{majority, Role, RoleState};
 pub use miodb_repl::{AckLevel, Follower, FollowerOptions, Replicator, ReplicatorOptions};
-pub use miodb_server::{GroupConfig, KvServer, NodeOptions, ReplConfig, ReplNode, ServerOptions, ShardRouter};
+pub use miodb_server::{
+    GroupConfig, KvServer, NodeOptions, ReplConfig, ReplNode, ServerOptions, ShardRouter,
+};

@@ -255,7 +255,10 @@ fn follower_restart_resumes_from_cursor() {
     // from zero would have re-applied `pre*` records the dedup filter
     // must drop) and the log was never truncated past the cursor.
     assert_eq!(follower2.applied(), ldb.last_sequence());
-    assert!(!follower2.needs_snapshot(), "resume must not need a snapshot");
+    assert!(
+        !follower2.needs_snapshot(),
+        "resume must not need a snapshot"
+    );
     assert_eq!(fdb.get(b"pre00").unwrap().as_deref(), Some(&b"v1"[..]));
     assert_eq!(fdb.get(b"post19").unwrap().as_deref(), Some(&b"v2"[..]));
 
@@ -334,10 +337,7 @@ fn client_redirect_loop_is_bounded() {
         ReplConfig::new(None, None, Arc::clone(&role_a), ""),
     )
     .unwrap();
-    let role_b = Arc::new(RoleState::new_follower(
-        1,
-        &srv_a.local_addr().to_string(),
-    ));
+    let role_b = Arc::new(RoleState::new_follower(1, &srv_a.local_addr().to_string()));
     let srv_b = KvServer::start_replicated(
         "127.0.0.1:0",
         Arc::clone(&db_b) as Arc<dyn KvEngine>,
@@ -419,7 +419,10 @@ fn three_node_automatic_failover_preserves_quorum_acked_writes() {
     wait_until(20, || leader_index(&nodes).is_some(), "automatic promotion");
     let li = leader_index(&nodes).unwrap();
     let new_leader = nodes[li].as_ref().unwrap();
-    assert!(new_leader.role().epoch() >= 2, "promotion advances the epoch");
+    assert!(
+        new_leader.role().epoch() >= 2,
+        "promotion advances the epoch"
+    );
     assert_eq!(new_leader.elections_won(), 1);
     oracle
         .verify_engine(new_leader.engine().as_ref(), crash_ns)
@@ -449,7 +452,12 @@ fn three_node_automatic_failover_preserves_quorum_acked_writes() {
     wait_until(
         20,
         || {
-            rejoin.engine().get(b"post-failover").ok().flatten().as_deref()
+            rejoin
+                .engine()
+                .get(b"post-failover")
+                .ok()
+                .flatten()
+                .as_deref()
                 == Some(&b"accepted"[..])
         },
         "old leader caught up",
@@ -537,7 +545,12 @@ fn partitioned_leader_degrades_to_quorum_lost_then_rejoins() {
     wait_until(
         20,
         || {
-            node0.engine().get(b"post-election").ok().flatten().as_deref()
+            node0
+                .engine()
+                .get(b"post-election")
+                .ok()
+                .flatten()
+                .as_deref()
                 == Some(&b"accepted"[..])
         },
         "healed node caught up",
@@ -772,7 +785,9 @@ fn chaos_matrix_survives_seeded_failures() {
         .unwrap()
         .addr()
         .to_string();
-    nodes[0] = Some(ReplNode::start_with_engine(engine0, &make_group(0, &successor), opts.clone()).unwrap());
+    nodes[0] = Some(
+        ReplNode::start_with_engine(engine0, &make_group(0, &successor), opts.clone()).unwrap(),
+    );
     phases.push(chaos_phase(&addrs, &oracle, 2, || {}));
     assert!(
         !nodes[0].as_ref().unwrap().is_leader(),
@@ -790,8 +805,9 @@ fn chaos_matrix_survives_seeded_failures() {
         .unwrap()
         .addr()
         .to_string();
-    nodes[fi] =
-        Some(ReplNode::start_with_engine(enginef, &make_group(fi, &successor), opts.clone()).unwrap());
+    nodes[fi] = Some(
+        ReplNode::start_with_engine(enginef, &make_group(fi, &successor), opts.clone()).unwrap(),
+    );
 
     // Phase 4: partition the leader during an election seeded with
     // dropped vote RPCs — elections must retry through the drops.

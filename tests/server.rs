@@ -401,6 +401,82 @@ fn wire_histories_are_linearizable() {
     router.close().unwrap();
 }
 
+/// The wire-protocol linearizability contract holds at connection-sweep
+/// scale: one thousand live connections to the event-driven server, each
+/// issuing recorded operations over a shared keyspace from a pool of
+/// driver threads (the test holds both ends of every socket, hence the
+/// fd-limit raise). The recorded history — real invoke/return windows and
+/// observed outcomes for every connection — must check linearizable.
+#[test]
+fn wire_histories_linearizable_at_1000_connections() {
+    use miodb::check::{check_history, HistoryRecorder};
+    const CONNS: usize = 1000;
+    const DRIVERS: usize = 16;
+    const OPS_PER_CONN: u64 = 12;
+    let achieved = miodb::server::raise_nofile_limit(2 * CONNS as u64 + 512);
+    assert!(
+        achieved >= 2 * CONNS as u64 + 256,
+        "fd limit too low for a 1000-connection test: {achieved}"
+    );
+    let router = Arc::new(ShardRouter::open_miodb(&test_opts(), 2).unwrap());
+    let server = KvServer::start(
+        "127.0.0.1:0",
+        Arc::clone(&router) as Arc<dyn KvEngine>,
+        ServerOptions {
+            max_connections: CONNS + 16,
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let recorder = HistoryRecorder::new();
+    std::thread::scope(|s| {
+        for d in 0..DRIVERS {
+            let lo = CONNS * d / DRIVERS;
+            let hi = CONNS * (d + 1) / DRIVERS;
+            // One log (= one checker process) per connection: ops on one
+            // connection are sequential, ops across connections overlap.
+            let mut logs: Vec<_> = (lo..hi).map(|_| recorder.log()).collect();
+            s.spawn(move || {
+                let mut conns: Vec<KvClient> =
+                    (lo..hi).map(|_| KvClient::connect(addr).unwrap()).collect();
+                for i in 0..OPS_PER_CONN {
+                    for (j, c) in conns.iter_mut().enumerate() {
+                        let log = &mut logs[j];
+                        let mut x = 0x9E37_79B9_7F4A_7C15u64
+                            ^ ((lo + j) as u64).wrapping_mul(0x2545_F491_4F6C_DD1D)
+                            ^ i.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+                        x ^= x >> 33;
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let key = format!("sw{:03}", x % 192);
+                        match (x >> 33) % 10 {
+                            0..=3 => {
+                                let value = format!("c{}-i{i}", lo + j);
+                                log.client_put(c, key.as_bytes(), value.as_bytes()).unwrap();
+                            }
+                            4..=8 => {
+                                log.client_get(c, key.as_bytes()).unwrap();
+                            }
+                            _ => {
+                                log.client_delete(c, key.as_bytes()).unwrap();
+                            }
+                        }
+                    }
+                }
+                for c in conns {
+                    c.close().unwrap();
+                }
+            });
+        }
+    });
+    let history = recorder.take_history();
+    assert_eq!(history.len(), CONNS * OPS_PER_CONN as usize);
+    let verdict = check_history(&history);
+    assert!(verdict.is_linearizable(), "{verdict}");
+    server.shutdown();
+    router.close().unwrap();
+}
+
 #[test]
 fn shutdown_drains_inflight_pipeline() {
     let (server, router) = start_server(2);
